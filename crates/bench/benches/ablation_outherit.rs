@@ -1,0 +1,96 @@
+//! Ablation: what does outheritance itself cost, and what does elasticity
+//! buy?
+//!
+//! Three comparisons on the Fig. 6 (linked list) workload:
+//!
+//! 1. **OE-STM vs E-STM** on the composed workload — the price of the
+//!    `outherit()` bookkeeping (merging child windows into the parent's
+//!    read set and carrying it to commit). E-STM is *incorrect* under
+//!    composition (Fig. 1); this measures only its speed.
+//! 2. **OE-STM vs E-STM on a composition-free workload** (0% composed) —
+//!    both behave identically there; any difference is framework noise,
+//!    bounding the cost of having outheritance "on" when unused.
+//! 3. **Elastic window size sweep** (2, 4, 8) — how much relaxation the
+//!    window grants (larger windows protect more, relax less).
+
+use bench::harness::{prefill, run_fixed};
+use bench::workload::{Mix, DEFAULT_INITIAL_SIZE};
+use cec::LinkedListSet;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oe_stm::OeStm;
+use std::time::Duration;
+use stm_core::StmConfig;
+
+const OPS: u64 = 300;
+const THREADS: usize = 4;
+
+fn bench_case(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    id: BenchmarkId,
+    stm: &OeStm,
+    mix: Mix,
+) {
+    let set = LinkedListSet::new();
+    prefill(&set, stm, mix, DEFAULT_INITIAL_SIZE);
+    group.bench_function(id, |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_fixed(stm, &set, THREADS, OPS, mix);
+            }
+            total
+        });
+    });
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_outherit");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+
+    // 1. Outheritance cost under composition (15% composed ops).
+    let composed = Mix::paper(15);
+    bench_case(
+        &mut group,
+        BenchmarkId::new("composed15", "OE-STM"),
+        &OeStm::new(),
+        composed,
+    );
+    bench_case(
+        &mut group,
+        BenchmarkId::new("composed15", "E-STM(no-outherit)"),
+        &OeStm::estm_compat(),
+        composed,
+    );
+
+    // 2. Zero composed operations: outheritance has nothing to do.
+    let flat = Mix::paper(0);
+    bench_case(
+        &mut group,
+        BenchmarkId::new("composed0", "OE-STM"),
+        &OeStm::new(),
+        flat,
+    );
+    bench_case(
+        &mut group,
+        BenchmarkId::new("composed0", "E-STM(no-outherit)"),
+        &OeStm::estm_compat(),
+        flat,
+    );
+
+    // 3. Elastic window sweep.
+    for window in [2usize, 4, 8] {
+        let stm = OeStm::with_config(StmConfig::default().with_elastic_window(window));
+        bench_case(
+            &mut group,
+            BenchmarkId::new("window", window),
+            &stm,
+            composed,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

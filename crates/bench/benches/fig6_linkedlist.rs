@@ -1,0 +1,15 @@
+//! Fig. 6: throughput on `LinkedListSet` for OE-STM / LSA / TL2 / SwissTM
+//! at 5% and 15% composed updates (Criterion variant; `repro fig6` is the
+//! timed reproduction).
+
+use bench::figures::figure_bench;
+use bench::report::Structure;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig6(c: &mut Criterion) {
+    figure_bench(c, Structure::LinkedList, 5);
+    figure_bench(c, Structure::LinkedList, 15);
+}
+
+criterion_group!(benches, fig6);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Fig. 7: throughput on `SkipListSet` for OE-STM / LSA / TL2 / SwissTM
+//! at 5% and 15% composed updates (Criterion variant; `repro fig7` is the
+//! timed reproduction).
+
+use bench::figures::figure_bench;
+use bench::report::Structure;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig7(c: &mut Criterion) {
+    figure_bench(c, Structure::SkipList, 5);
+    figure_bench(c, Structure::SkipList, 15);
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Fig. 8: throughput on `HashSet` at load factor 512 for OE-STM / LSA /
+//! TL2 / SwissTM at 5% and 15% composed updates (Criterion variant;
+//! `repro fig8` is the timed reproduction).
+
+use bench::figures::figure_bench;
+use bench::report::Structure;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig8(c: &mut Criterion) {
+    figure_bench(c, Structure::HashSet, 5);
+    figure_bench(c, Structure::HashSet, 15);
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks: raw per-transaction costs of the four STMs
+//! (uncontended read-only and write transactions of various sizes).
+//!
+//! These are not in the paper; they explain *why* the figure results look
+//! the way they do (e.g. TL2's read path is the cheapest per access, LSA
+//! pays for eager locking, OE-STM's elastic window bookkeeping costs a
+//! couple of nanoseconds per read and buys the Fig. 6 abort-rate gap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oe_stm::OeStm;
+use std::time::Duration;
+use stm_core::{Stm, TVar, Transaction, TxKind};
+use stm_lsa::Lsa;
+use stm_swiss::Swiss;
+use stm_tl2::Tl2;
+
+fn bench_stm<S: Stm>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    stm: &S,
+    kind: TxKind,
+) {
+    let vars: Vec<TVar<u64>> = (0..64u64).map(TVar::new).collect();
+
+    for reads in [4usize, 32] {
+        group.bench_function(BenchmarkId::new(format!("{name}/read_only"), reads), |b| {
+            b.iter(|| {
+                stm.run(kind, |tx| {
+                    let mut acc = 0u64;
+                    for v in &vars[..reads] {
+                        acc = acc.wrapping_add(tx.read(v)?);
+                    }
+                    Ok(acc)
+                })
+            });
+        });
+    }
+
+    for writes in [1usize, 8] {
+        group.bench_function(BenchmarkId::new(format!("{name}/update"), writes), |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                stm.run(kind, |tx| {
+                    for v in &vars[..writes] {
+                        tx.write(v, i)?;
+                    }
+                    Ok(())
+                })
+            });
+        });
+    }
+}
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_micro");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(600));
+    bench_stm(&mut group, "TL2", &Tl2::new(), TxKind::Regular);
+    bench_stm(&mut group, "LSA", &Lsa::new(), TxKind::Regular);
+    bench_stm(&mut group, "SwissTM", &Swiss::new(), TxKind::Regular);
+    bench_stm(&mut group, "OE-STM/elastic", &OeStm::new(), TxKind::Elastic);
+    bench_stm(&mut group, "OE-STM/regular", &OeStm::new(), TxKind::Regular);
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

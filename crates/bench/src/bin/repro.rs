@@ -1,0 +1,122 @@
+//! `repro` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! repro [fig6|fig7|fig8|summary|all] [--threads 1,2,4,8,16,32,64]
+//!       [--duration-ms 500] [--composed 5,15]
+//! ```
+//!
+//! Prints, for every (structure, composed-update ratio, system, thread
+//! count): throughput in ops/ms and the abort rate — the two panels of
+//! each figure in the paper.
+
+use bench::report::{print_figure, print_summary, run_figure, Structure};
+use std::time::Duration;
+
+struct Args {
+    what: Vec<String>,
+    threads: Vec<usize>,
+    duration: Duration,
+    composed: Vec<u32>,
+}
+
+fn parse_args() -> Args {
+    let mut what = Vec::new();
+    let mut threads = vec![1, 2, 4, 8, 16, 32, 64];
+    let mut duration = Duration::from_millis(500);
+    let mut composed = vec![5, 15];
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--threads" => {
+                i += 1;
+                threads = argv[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("bad thread count"))
+                    .collect();
+            }
+            "--duration-ms" => {
+                i += 1;
+                duration = Duration::from_millis(argv[i].parse().expect("bad duration"));
+            }
+            "--composed" => {
+                i += 1;
+                composed = argv[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("bad composed pct"))
+                    .collect();
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [fig6|fig7|fig8|summary|all]... \
+                     [--threads 1,2,4] [--duration-ms 500] [--composed 5,15]"
+                );
+                std::process::exit(0);
+            }
+            w => what.push(w.to_string()),
+        }
+        i += 1;
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
+    Args {
+        what,
+        threads,
+        duration,
+        composed,
+    }
+}
+
+fn figure(structure: Structure, fig_no: u32, args: &Args, summaries: bool) {
+    for &pct in &args.composed {
+        let rows = run_figure(structure, &args.threads, args.duration, pct);
+        print_figure(
+            &format!(
+                "Fig. {fig_no}: {} — {pct}% addAll/removeAll (duration {:?}/point)",
+                structure.name(),
+                args.duration
+            ),
+            &rows,
+        );
+        if summaries {
+            print_summary(structure, &rows);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "Composing Relaxed Transactions (IPDPS 2013) — evaluation reproduction\n\
+         workload: 2^12 elements, 2^13 key range, 80% contains (Section VII-A)\n\
+         host parallelism: {} core(s) — see EXPERIMENTS.md for scaling caveats",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    for w in &args.what {
+        match w.as_str() {
+            "fig6" => figure(Structure::LinkedList, 6, &args, true),
+            "fig7" => figure(Structure::SkipList, 7, &args, true),
+            "fig8" => figure(Structure::HashSet, 8, &args, true),
+            "summary" => {
+                for s in [
+                    Structure::LinkedList,
+                    Structure::SkipList,
+                    Structure::HashSet,
+                ] {
+                    let rows = run_figure(s, &args.threads, args.duration, 15);
+                    print_summary(s, &rows);
+                }
+            }
+            "all" => {
+                figure(Structure::LinkedList, 6, &args, true);
+                figure(Structure::SkipList, 7, &args, true);
+                figure(Structure::HashSet, 8, &args, true);
+            }
+            other => {
+                eprintln!("unknown target {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+}

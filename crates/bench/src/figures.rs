@@ -1,0 +1,87 @@
+//! Shared Criterion plumbing for the figure benches.
+//!
+//! Each `benches/figN_*.rs` file delegates here: one benchmark group per
+//! figure, one benchmark per (system, composed-ratio, thread-count)
+//! triple, measuring a fixed batch of workload operations. The `repro`
+//! binary remains the faithful timed reproduction (the paper measures
+//! ops/second over 10-second runs); these benches are the `cargo bench`
+//! entry point with statistics courtesy of Criterion.
+
+use crate::harness::{prefill, run_fixed};
+use crate::report::{paper_hash_buckets, Structure};
+use crate::workload::{Mix, DEFAULT_INITIAL_SIZE};
+use cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
+use criterion::{BenchmarkId, Criterion};
+use oe_stm::OeStm;
+use std::time::Duration;
+use stm_core::Stm;
+use stm_lsa::Lsa;
+use stm_swiss::Swiss;
+use stm_tl2::Tl2;
+
+/// Operations per thread per measured batch.
+const OPS_PER_BATCH: u64 = 300;
+
+fn bench_system<S: Stm, C: TxSet<S>>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    name: &str,
+    stm: &S,
+    set: &C,
+    mix: Mix,
+    threads: usize,
+) {
+    prefill(set, stm, mix, DEFAULT_INITIAL_SIZE);
+    group.throughput(criterion::Throughput::Elements(
+        OPS_PER_BATCH * threads as u64,
+    ));
+    group.bench_function(BenchmarkId::new(name, threads), |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                total += run_fixed(stm, set, threads, OPS_PER_BATCH, mix);
+            }
+            total
+        });
+    });
+}
+
+/// Run one figure's benchmark group.
+pub fn figure_bench(c: &mut Criterion, structure: Structure, composed_pct: u32) {
+    let mix = Mix::paper(composed_pct);
+    let mut group = c.benchmark_group(format!(
+        "{}_composed{}",
+        structure.name().to_lowercase(),
+        composed_pct
+    ));
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+
+    let threads_list: &[usize] = &[1, 2, 4];
+    macro_rules! one {
+        ($name:expr, $stm:expr) => {{
+            let stm = $stm;
+            for &threads in threads_list {
+                match structure {
+                    Structure::LinkedList => {
+                        let set = LinkedListSet::new();
+                        bench_system(&mut group, $name, &stm, &set, mix, threads);
+                    }
+                    Structure::SkipList => {
+                        let set = SkipListSet::new();
+                        bench_system(&mut group, $name, &stm, &set, mix, threads);
+                    }
+                    Structure::HashSet => {
+                        let set = HashSet::new(paper_hash_buckets());
+                        bench_system(&mut group, $name, &stm, &set, mix, threads);
+                    }
+                }
+            }
+        }};
+    }
+    one!("OE-STM", OeStm::new());
+    one!("LSA", Lsa::new());
+    one!("TL2", Tl2::new());
+    one!("SwissTM", Swiss::new());
+    group.finish();
+}

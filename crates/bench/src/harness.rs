@@ -1,0 +1,196 @@
+//! The measurement harness: timed multi-threaded runs producing the
+//! throughput (ops/ms) and abort-rate (%) series of Figs. 6–8.
+
+use crate::workload::{Mix, OpGen, WorkOp, DEFAULT_INITIAL_SIZE};
+use cec::seq::SeqSet;
+use cec::TxSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use stm_core::Stm;
+
+/// One measured data point.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// High-level operations completed per millisecond (the paper's
+    /// y-axis).
+    pub throughput: f64,
+    /// aborts / (aborts + commits), in `[0, 1]` (the paper's right axis).
+    pub abort_rate: f64,
+    /// Total high-level operations completed.
+    pub ops: u64,
+    /// Transaction commits.
+    pub commits: u64,
+    /// Transaction aborts.
+    pub aborts: u64,
+    /// Elastic cuts taken (OE-STM only; 0 elsewhere).
+    pub elastic_cuts: u64,
+    /// Wall-clock duration measured.
+    pub elapsed: Duration,
+}
+
+/// Execute one sampled operation against a transactional set.
+pub fn apply_op<S: Stm, C: TxSet<S> + ?Sized>(set: &C, stm: &S, op: &WorkOp) {
+    match *op {
+        WorkOp::Contains(k) => {
+            set.contains(stm, k);
+        }
+        WorkOp::Add(k) => {
+            set.add(stm, k);
+        }
+        WorkOp::Remove(k) => {
+            set.remove(stm, k);
+        }
+        WorkOp::AddAll(ref ks) => {
+            set.add_all(stm, ks);
+        }
+        WorkOp::RemoveAll(ref ks) => {
+            set.remove_all(stm, ks);
+        }
+    }
+}
+
+/// Pre-fill `set` to `target` elements with keys from the mix's range.
+pub fn prefill<S: Stm, C: TxSet<S> + ?Sized>(set: &C, stm: &S, mix: Mix, target: usize) {
+    let mut gen = OpGen::new(mix, 0xF111);
+    let mut inserted = 0usize;
+    while inserted < target {
+        if set.add(stm, gen.next_key()) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Timed run: `threads` workers apply the mix to `set` under `stm` for
+/// `duration`; returns aggregate throughput and the STM's abort rate over
+/// the run.
+pub fn run_timed<S: Stm, C: TxSet<S>>(
+    stm: &S,
+    set: &C,
+    threads: usize,
+    duration: Duration,
+    mix: Mix,
+) -> Measurement {
+    stm.reset_stats();
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stop = &stop;
+            let total_ops = &total_ops;
+            let stm = &*stm;
+            let set = &*set;
+            scope.spawn(move || {
+                let mut gen = OpGen::new(mix, 0x9E3779B9 ^ (t as u64 + 1));
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let op = gen.next_op();
+                    apply_op(set, stm, &op);
+                    ops += 1;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = started.elapsed();
+    let snap = stm.stats();
+    let ops = total_ops.load(Ordering::Relaxed);
+    Measurement {
+        throughput: ops as f64 / elapsed.as_secs_f64() / 1e3,
+        abort_rate: snap.abort_rate(),
+        ops,
+        commits: snap.commits,
+        aborts: snap.aborts(),
+        elastic_cuts: snap.elastic_cuts,
+        elapsed,
+    }
+}
+
+/// Fixed-work run for Criterion benches: every worker performs exactly
+/// `ops_per_thread` operations; returns the wall-clock duration of the
+/// parallel phase.
+pub fn run_fixed<S: Stm, C: TxSet<S>>(
+    stm: &S,
+    set: &C,
+    threads: usize,
+    ops_per_thread: u64,
+    mix: Mix,
+) -> Duration {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stm = &*stm;
+            let set = &*set;
+            scope.spawn(move || {
+                let mut gen = OpGen::new(mix, 0xABCD ^ (t as u64 + 1));
+                for _ in 0..ops_per_thread {
+                    let op = gen.next_op();
+                    apply_op(set, stm, &op);
+                }
+            });
+        }
+    });
+    started.elapsed()
+}
+
+/// Timed single-threaded run of the uninstrumented sequential baseline.
+pub fn run_sequential(
+    set: &mut dyn SeqSet,
+    duration: Duration,
+    mix: Mix,
+) -> Measurement {
+    let mut gen = OpGen::new(mix, 0x5EC_u64);
+    let started = Instant::now();
+    let mut ops = 0u64;
+    while started.elapsed() < duration {
+        for _ in 0..256 {
+            match gen.next_op() {
+                WorkOp::Contains(k) => {
+                    set.contains(k);
+                }
+                WorkOp::Add(k) => {
+                    set.add(k);
+                }
+                WorkOp::Remove(k) => {
+                    set.remove(k);
+                }
+                WorkOp::AddAll(ks) => {
+                    set.add_all(&ks);
+                }
+                WorkOp::RemoveAll(ks) => {
+                    set.remove_all(&ks);
+                }
+            }
+            ops += 1;
+        }
+    }
+    let elapsed = started.elapsed();
+    Measurement {
+        throughput: ops as f64 / elapsed.as_secs_f64() / 1e3,
+        abort_rate: 0.0,
+        ops,
+        commits: ops,
+        aborts: 0,
+        elastic_cuts: 0,
+        elapsed,
+    }
+}
+
+/// Pre-fill a sequential set.
+pub fn prefill_sequential(set: &mut dyn SeqSet, mix: Mix, target: usize) {
+    let mut gen = OpGen::new(mix, 0xF111);
+    let mut inserted = 0usize;
+    while inserted < target {
+        if set.add(gen.next_key()) {
+            inserted += 1;
+        }
+    }
+}
+
+/// The paper's default pre-fill size.
+#[must_use]
+pub fn default_initial_size() -> usize {
+    DEFAULT_INITIAL_SIZE
+}

@@ -1,0 +1,30 @@
+//! # bench — the evaluation harness (Section VII)
+//!
+//! Regenerates every figure of the paper's evaluation:
+//!
+//! | Paper artifact | Here |
+//! |---|---|
+//! | Fig. 6 (LinkedListSet, 5%/15% composed) | `repro fig6` / `benches/fig6_linkedlist.rs` |
+//! | Fig. 7 (SkipListSet, 5%/15% composed) | `repro fig7` / `benches/fig7_skiplist.rs` |
+//! | Fig. 8 (HashSet @ load factor 512) | `repro fig8` / `benches/fig8_hashset.rs` |
+//! | headline speedups (abstract, §VII-B) | `repro summary` |
+//! | outheritance bookkeeping cost (ablation) | `benches/ablation_outherit.rs` |
+//!
+//! Systems: the uninstrumented sequential baseline plus OE-STM, LSA, TL2
+//! and SwissTM — all running the *same* `cec` collections. Workload:
+//! Section VII-A verbatim (2^12 elements, 2^13 key range, 80% contains,
+//! composed updates taking `{v, v/2}`).
+//!
+//! Run `cargo run --release -p bench --bin repro -- all` for the full
+//! sweep; see `repro --help` for knobs.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+pub mod report;
+pub mod workload;
+
+pub use harness::{apply_op, prefill, run_timed, Measurement};
+pub use report::{print_figure, print_summary, run_figure, Row, Structure};
+pub use workload::{Mix, OpGen, WorkOp};

@@ -1,0 +1,212 @@
+//! Figure regeneration: sweeps and table printing for Figs. 6–8 plus the
+//! summary comparisons the paper's abstract quotes.
+
+use crate::harness::{
+    prefill, prefill_sequential, run_sequential, run_timed, Measurement,
+};
+use crate::workload::{Mix, DEFAULT_INITIAL_SIZE};
+use cec::seq::{SeqHashSet, SeqLinkedListSet, SeqSet, SeqSkipListSet};
+use cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
+use oe_stm::OeStm;
+use std::time::Duration;
+use stm_core::Stm;
+use stm_lsa::Lsa;
+use stm_swiss::Swiss;
+use stm_tl2::Tl2;
+
+/// Which figure's data structure to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Structure {
+    /// Fig. 6: `LinkedListSet`.
+    LinkedList,
+    /// Fig. 7: `SkipListSet`.
+    SkipList,
+    /// Fig. 8: `HashSet`, load factor 512 (8 buckets at 2^12 elements).
+    HashSet,
+}
+
+impl Structure {
+    /// Display name matching the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Structure::LinkedList => "LinkedListSet",
+            Structure::SkipList => "SkipListSet",
+            Structure::HashSet => "HashSet",
+        }
+    }
+}
+
+/// The systems of Figs. 6–8.
+pub const SYSTEMS: [&str; 5] = ["Sequential", "OE-STM", "LSA", "TL2", "SwissTM"];
+
+/// One row of a figure table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System name ("OE-STM", "TL2", …).
+    pub system: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// The measurement.
+    pub m: Measurement,
+}
+
+/// Paper's Fig. 8 geometry: 2^12 elements at load factor 512.
+#[must_use]
+pub fn paper_hash_buckets() -> usize {
+    DEFAULT_INITIAL_SIZE / 512
+}
+
+fn run_one_system<S: Stm, C: TxSet<S>>(
+    name: &str,
+    stm: &S,
+    set: &C,
+    threads: &[usize],
+    duration: Duration,
+    mix: Mix,
+    rows: &mut Vec<Row>,
+) {
+    prefill(set, stm, mix, DEFAULT_INITIAL_SIZE);
+    for &t in threads {
+        let m = run_timed(stm, set, t, duration, mix);
+        rows.push(Row {
+            system: name.to_string(),
+            threads: t,
+            m,
+        });
+    }
+}
+
+fn run_sequential_rows(
+    structure: Structure,
+    threads: &[usize],
+    duration: Duration,
+    mix: Mix,
+    rows: &mut Vec<Row>,
+) {
+    let mut set: Box<dyn SeqSet> = match structure {
+        Structure::LinkedList => Box::new(SeqLinkedListSet::new()),
+        Structure::SkipList => Box::new(SeqSkipListSet::new()),
+        Structure::HashSet => Box::new(SeqHashSet::new(paper_hash_buckets())),
+    };
+    prefill_sequential(set.as_mut(), mix, DEFAULT_INITIAL_SIZE);
+    let m = run_sequential(set.as_mut(), duration, mix);
+    // The paper plots the sequential result as a flat reference across the
+    // thread axis; we record it once per thread count for table symmetry.
+    for &t in threads {
+        rows.push(Row {
+            system: "Sequential".to_string(),
+            threads: t,
+            m,
+        });
+    }
+}
+
+/// Run one figure's full sweep: the four STMs plus the sequential
+/// baseline, over `threads`, with the paper's mix at `composed_pct`.
+#[must_use]
+pub fn run_figure(
+    structure: Structure,
+    threads: &[usize],
+    duration: Duration,
+    composed_pct: u32,
+) -> Vec<Row> {
+    let mix = Mix::paper(composed_pct);
+    let mut rows = Vec::new();
+    run_sequential_rows(structure, threads, duration, mix, &mut rows);
+    macro_rules! with_stm {
+        ($name:expr, $stm:expr) => {{
+            let stm = $stm;
+            match structure {
+                Structure::LinkedList => {
+                    let set = LinkedListSet::new();
+                    run_one_system($name, &stm, &set, threads, duration, mix, &mut rows);
+                }
+                Structure::SkipList => {
+                    let set = SkipListSet::new();
+                    run_one_system($name, &stm, &set, threads, duration, mix, &mut rows);
+                }
+                Structure::HashSet => {
+                    let set = HashSet::new(paper_hash_buckets());
+                    run_one_system($name, &stm, &set, threads, duration, mix, &mut rows);
+                }
+            }
+        }};
+    }
+    with_stm!("OE-STM", OeStm::new());
+    with_stm!("LSA", Lsa::new());
+    with_stm!("TL2", Tl2::new());
+    with_stm!("SwissTM", Swiss::new());
+    rows
+}
+
+/// Print a figure's rows in the paper's two-panel format (throughput and
+/// abort rate per thread count).
+pub fn print_figure(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<12} {:>8} {:>16} {:>12} {:>12} {:>12}",
+        "system", "threads", "ops/ms", "abort-rate", "commits", "aborts"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>8} {:>16.1} {:>11.1}% {:>12} {:>12}",
+            r.system,
+            r.threads,
+            r.m.throughput,
+            r.m.abort_rate * 100.0,
+            r.m.commits,
+            r.m.aborts
+        );
+    }
+}
+
+/// Cross-system summary at the highest thread count: speedup of OE-STM
+/// over each classic STM (the abstract's "up to 2.7×"; "at least 6.6×" on
+/// the linked list).
+pub fn print_summary(structure: Structure, rows: &[Row]) {
+    let max_t = rows.iter().map(|r| r.threads).max().unwrap_or(1);
+    let tp = |name: &str| {
+        rows.iter()
+            .find(|r| r.system == name && r.threads == max_t)
+            .map(|r| r.m.throughput)
+    };
+    let Some(oe) = tp("OE-STM") else {
+        return;
+    };
+    println!("\n--- {} @ {} threads: OE-STM speedups ---", structure.name(), max_t);
+    for sys in ["LSA", "TL2", "SwissTM"] {
+        if let Some(other) = tp(sys) {
+            println!("  vs {sys:<8}: {:.2}x", oe / other);
+        }
+    }
+    if let Some(seq) = tp("Sequential") {
+        println!("  vs Sequential(1-thread reference): {:.2}x", oe / seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_geometry_matches_paper() {
+        assert_eq!(paper_hash_buckets(), 8, "2^12 elements / load factor 512");
+    }
+
+    #[test]
+    fn tiny_figure_run_produces_all_rows() {
+        // Smoke test: 2 systems' worth of rows exist, measurements sane.
+        let rows = run_figure(
+            Structure::HashSet,
+            &[1, 2],
+            Duration::from_millis(40),
+            5,
+        );
+        assert_eq!(rows.len(), 5 * 2, "5 systems x 2 thread counts");
+        for r in &rows {
+            assert!(r.m.throughput > 0.0, "{} produced no ops", r.system);
+            assert!((0.0..=1.0).contains(&r.m.abort_rate));
+        }
+    }
+}

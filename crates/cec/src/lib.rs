@@ -1,0 +1,57 @@
+//! # cec — composable concurrent collections
+//!
+//! The Rust analog of the paper's **edu.epfl.compositional (e.e.c)**
+//! package (Section VI): a composable alternative to
+//! `java.util.concurrent`, built on the transactional memories of this
+//! workspace.
+//!
+//! ## What "composable" means here
+//!
+//! Every collection exposes its operations twice:
+//!
+//! * as plain atomic methods (`contains`, `add`, `remove`, `size`), each a
+//!   single (elastic) transaction;
+//! * as *building blocks* (`contains_in`, `add_in`, …) that run inside an
+//!   ambient transaction — so a user can compose them, via
+//!   [`Transaction::child`](stm_core::Transaction::child), into new atomic
+//!   operations (`add_all`, `remove_all`, `insert_if_absent`,
+//!   [`compose::move_entry`], atomic `size` across buckets or whole
+//!   collections) without touching the collection's code — the paper's
+//!   Alice-and-Bob scenario.
+//!
+//! Under OE-STM these compositions are atomic *and* fast (elastic children
+//! ignore read-prefix conflicts; outheritance keeps what matters
+//! protected). Under classic STMs (TL2/LSA/SwissTM) they are atomic via
+//! flat nesting. Under the E-STM compatibility mode they demonstrably
+//! violate atomicity — which is the paper's point.
+//!
+//! ## Structures
+//!
+//! | Type | Paper figure | Notes |
+//! |---|---|---|
+//! | [`LinkedListSet`](linkedlist::LinkedListSet) | Fig. 6 | sorted list, linear traversals — elastic's best case |
+//! | [`SkipListSet`](skiplist::SkipListSet) | Fig. 7 | log-height towers |
+//! | [`HashSet`](hashset::HashSet) | Fig. 8 | fixed buckets (load factor 512 in the paper) |
+//! | [`seq`] | "Sequential" line | uninstrumented baselines |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod compose;
+pub mod hashset;
+pub mod linkedlist;
+pub mod listcore;
+pub mod noderef;
+pub mod queue;
+pub mod seq;
+pub mod set;
+pub mod skiplist;
+
+pub use compose::{move_entry, total_size};
+pub use hashset::HashSet;
+pub use linkedlist::LinkedListSet;
+pub use noderef::NodeRef;
+pub use queue::{transfer, TxQueue};
+pub use set::{OpScratch, TxSet};
+pub use skiplist::SkipListSet;

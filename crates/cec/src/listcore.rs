@@ -1,0 +1,253 @@
+//! The sorted transactional linked list underlying [`LinkedListSet`] and
+//! every [`HashSet`] bucket.
+//!
+//! The algorithm is the elastic-transaction integer-set list (Fig. 5 of the
+//! paper shows the skip-list sibling): a sorted singly linked list with a
+//! head sentinel, where
+//!
+//! * `contains`/`add`/`remove` traverse with transactional reads — under an
+//!   *elastic* transaction only the immediate past reads stay protected,
+//!   so long traversals don't conflict with updates behind them;
+//! * `add` links a fresh node; the reads that locate the insertion point
+//!   (`pred.next`, `curr.key`) are exactly the transaction's elastic window
+//!   at its first write, so hardening protects them through commit;
+//! * `remove` writes the **dead marker** into the removed node's `next` and
+//!   redirects the predecessor *in the same transaction*. The dead marker
+//!   creates the write-write overlap that makes adjacent removals conflict
+//!   (without it, `remove(a)‖remove(b)` on neighbours could both "succeed"
+//!   while leaving `b` linked), and it stops stale elastic traversers from
+//!   silently walking frozen pointer chains through deleted nodes — they
+//!   read `DEAD` and retry instead.
+//!
+//! [`LinkedListSet`]: crate::linkedlist::LinkedListSet
+//! [`HashSet`]: crate::hashset::HashSet
+
+use crate::arena::Arena;
+use crate::noderef::NodeRef;
+use crate::set::OpScratch;
+use stm_core::{Abort, AbortReason, TVar, Transaction};
+
+/// One sorted-list node. Both fields are transactional: `key` is written
+/// once per (re)use of the slot but must be read under the STM protocol so
+/// that slot reuse is always detected by validation.
+#[derive(Debug)]
+pub struct ListNode {
+    /// The element stored at this node (head sentinels hold `i64::MIN`).
+    pub key: TVar<i64>,
+    /// Link to the successor; [`NodeRef::DEAD`] once the node is removed.
+    pub next: TVar<NodeRef>,
+}
+
+impl Default for ListNode {
+    fn default() -> Self {
+        Self {
+            key: TVar::new(0),
+            next: TVar::new(NodeRef::NULL),
+        }
+    }
+}
+
+/// Result of a traversal: the insertion point for `key`.
+#[derive(Debug, Clone, Copy)]
+pub struct Find {
+    /// Index of the last node with `node.key < key` (possibly the head
+    /// sentinel).
+    pub pred: u64,
+    /// The value read from `pred.next`: the first node with `key <= node
+    /// .key`, or null at the end of the list.
+    pub curr: NodeRef,
+    /// `curr`'s key, if `curr` is a node.
+    pub curr_key: Option<i64>,
+}
+
+/// Guard against keys that collide with the head sentinel.
+pub(crate) fn check_key(key: i64) {
+    assert!(
+        key > i64::MIN,
+        "i64::MIN is reserved for the head sentinel and cannot be stored"
+    );
+}
+
+/// Traverse the list rooted at the sentinel `head` until the first node
+/// whose key is `>= key`.
+///
+/// Aborts with [`AbortReason::Explicit`] when standing on a removed node
+/// (dead `next` pointer) and with [`AbortReason::StepBound`] if the
+/// traversal runs longer than any consistent list could be (defensive
+/// termination bound).
+pub fn find<'e, T: Transaction<'e>>(
+    arena: &'e Arena<ListNode>,
+    head: u64,
+    tx: &mut T,
+    key: i64,
+) -> Result<Find, Abort> {
+    let bound = 2 * arena.high_water() + 64;
+    let mut steps: u64 = 0;
+    let mut pred = head;
+    let mut curr = tx.read(&arena.get(pred).next)?;
+    loop {
+        if curr.is_dead() {
+            // `pred` was removed under us (stale elastic position): restart.
+            return Err(Abort::new(AbortReason::Explicit));
+        }
+        if curr.is_null() {
+            return Ok(Find {
+                pred,
+                curr,
+                curr_key: None,
+            });
+        }
+        let c = curr.index();
+        let ck = tx.read(&arena.get(c).key)?;
+        if ck >= key {
+            return Ok(Find {
+                pred,
+                curr,
+                curr_key: Some(ck),
+            });
+        }
+        let next = tx.read(&arena.get(c).next)?;
+        pred = c;
+        curr = next;
+        steps += 1;
+        if steps > bound {
+            return Err(Abort::new(AbortReason::StepBound));
+        }
+    }
+}
+
+/// Membership test. Read-only: under an elastic transaction this never
+/// conflicts with updates outside its two-read window.
+pub fn contains_in<'e, T: Transaction<'e>>(
+    arena: &'e Arena<ListNode>,
+    head: u64,
+    tx: &mut T,
+    key: i64,
+) -> Result<bool, Abort> {
+    let f = find(arena, head, tx, key)?;
+    Ok(f.curr_key == Some(key))
+}
+
+/// Insert `key`; returns `false` if already present.
+///
+/// The caller owns `scratch`: allocations of aborted attempts are recorded
+/// there so the retry wrapper can recycle them (see
+/// [`TxSet`](crate::set::TxSet)).
+pub fn add_in<'e, T: Transaction<'e>>(
+    arena: &'e Arena<ListNode>,
+    head: u64,
+    tx: &mut T,
+    key: i64,
+    scratch: &mut OpScratch,
+) -> Result<bool, Abort> {
+    let f = find(arena, head, tx, key)?;
+    if f.curr_key == Some(key) {
+        return Ok(false);
+    }
+    let n = arena.alloc();
+    scratch.allocated.push(n);
+    let node = arena.get(n);
+    // First write: the transaction hardens here; the elastic window is
+    // exactly {pred.next, curr.key}, so the insertion point is protected
+    // from now until commit.
+    tx.write(&node.key, key)?;
+    tx.write(&node.next, f.curr)?;
+    tx.write(&arena.get(f.pred).next, NodeRef::node(n))?;
+    Ok(true)
+}
+
+/// Remove `key`; returns `false` if absent.
+///
+/// Unlinks the node and writes [`NodeRef::DEAD`] into its `next` in the
+/// same transaction; the unlinked slot index is pushed to
+/// `scratch.unlinked` for epoch-based retirement after commit.
+pub fn remove_in<'e, T: Transaction<'e>>(
+    arena: &'e Arena<ListNode>,
+    head: u64,
+    tx: &mut T,
+    key: i64,
+    scratch: &mut OpScratch,
+) -> Result<bool, Abort> {
+    let f = find(arena, head, tx, key)?;
+    if f.curr_key != Some(key) {
+        return Ok(false);
+    }
+    let c = f.curr.index();
+    let cnext = tx.read(&arena.get(c).next)?;
+    if cnext.is_dead() {
+        // Concurrently removed; linearize after that removal.
+        return Ok(false);
+    }
+    // Logical delete; hardens the transaction with {curr.key, curr.next}
+    // protected.
+    tx.write(&arena.get(c).next, NodeRef::DEAD)?;
+    // Re-read the predecessor link under full protection (the elastic
+    // window may have evicted it during the curr.next read).
+    let pn = tx.read(&arena.get(f.pred).next)?;
+    if pn != f.curr {
+        // Somebody inserted before curr or removed pred: retry.
+        return Err(Abort::new(AbortReason::Explicit));
+    }
+    tx.write(&arena.get(f.pred).next, cnext)?;
+    scratch.unlinked.push(c);
+    Ok(true)
+}
+
+/// Count the elements. Only atomic when run under a *regular* transaction
+/// (the `size` wrapper does so); an elastic caller gets a relaxed count.
+pub fn len_in<'e, T: Transaction<'e>>(
+    arena: &'e Arena<ListNode>,
+    head: u64,
+    tx: &mut T,
+) -> Result<usize, Abort> {
+    let bound = 2 * arena.high_water() + 64;
+    let mut steps: u64 = 0;
+    let mut count = 0usize;
+    let mut curr = tx.read(&arena.get(head).next)?;
+    while curr.is_node() {
+        count += 1;
+        curr = tx.read(&arena.get(curr.index()).next)?;
+        steps += 1;
+        if steps > bound {
+            return Err(Abort::new(AbortReason::StepBound));
+        }
+    }
+    if curr.is_dead() {
+        return Err(Abort::new(AbortReason::Explicit));
+    }
+    Ok(count)
+}
+
+/// Collect the elements in ascending order (testing/debug helper; atomic
+/// under a regular transaction).
+pub fn snapshot_in<'e, T: Transaction<'e>>(
+    arena: &'e Arena<ListNode>,
+    head: u64,
+    tx: &mut T,
+) -> Result<Vec<i64>, Abort> {
+    let bound = 2 * arena.high_water() + 64;
+    let mut steps: u64 = 0;
+    let mut out = Vec::new();
+    let mut curr = tx.read(&arena.get(head).next)?;
+    while curr.is_node() {
+        out.push(tx.read(&arena.get(curr.index()).key)?);
+        curr = tx.read(&arena.get(curr.index()).next)?;
+        steps += 1;
+        if steps > bound {
+            return Err(Abort::new(AbortReason::StepBound));
+        }
+    }
+    if curr.is_dead() {
+        return Err(Abort::new(AbortReason::Explicit));
+    }
+    Ok(out)
+}
+
+/// Allocate and initialize a head sentinel in `arena` (single-threaded
+/// setup).
+pub fn new_sentinel(arena: &Arena<ListNode>) -> u64 {
+    let head = arena.alloc();
+    arena.get(head).key.store_atomic(i64::MIN, 0);
+    arena.get(head).next.store_atomic(NodeRef::NULL, 0);
+    head
+}

@@ -1,0 +1,103 @@
+//! Node references: the word type linking arena nodes together.
+//!
+//! A [`NodeRef`] is what a node's `next` [`TVar`](stm_core::TVar) holds:
+//! either a (non-zero) arena index, the null terminator, or the special
+//! **dead** marker that a removal writes into the unlinked node's own `next`
+//! pointer.
+//!
+//! The dead marker is the linchpin of linearizability for *elastic*
+//! traversals: an elastic transaction forgets the prefix of its traversal,
+//! so it can find itself standing on a node that has since been unlinked.
+//! Because every removal atomically (i) redirects the predecessor and
+//! (ii) writes `DEAD` into the removed node's `next`, a stale traverser
+//! that tries to continue reads `DEAD` and aborts — frozen pointer chains
+//! through deleted nodes cannot be silently followed. (This mirrors the
+//! "null the next pointer and restart" convention of the original E-STM
+//! integer-set benchmarks.)
+
+use stm_core::Word;
+
+/// Bit 63 marks the reference as the dead marker.
+const DEAD_BIT: u64 = 1 << 63;
+
+/// A reference to an arena node: an index, null, or the dead marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef(u64);
+
+impl NodeRef {
+    /// The null reference (end of list).
+    pub const NULL: NodeRef = NodeRef(0);
+
+    /// The dead marker: written into a removed node's `next` pointers so
+    /// stale traversers cannot cross it.
+    pub const DEAD: NodeRef = NodeRef(DEAD_BIT);
+
+    /// Reference to the node at `index` (must be a valid non-zero arena
+    /// index below 2^63).
+    #[must_use]
+    pub fn node(index: u64) -> Self {
+        debug_assert!(index != 0 && index & DEAD_BIT == 0);
+        NodeRef(index)
+    }
+
+    /// True for the null terminator.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True for the dead marker.
+    #[must_use]
+    pub fn is_dead(self) -> bool {
+        self.0 & DEAD_BIT != 0
+    }
+
+    /// True if this references an actual node.
+    #[must_use]
+    pub fn is_node(self) -> bool {
+        !self.is_null() && !self.is_dead()
+    }
+
+    /// The arena index (only meaningful when [`is_node`](Self::is_node)).
+    #[must_use]
+    pub fn index(self) -> u64 {
+        debug_assert!(self.is_node());
+        self.0
+    }
+}
+
+impl Word for NodeRef {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        self.0
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        NodeRef(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_dead_node_are_distinct() {
+        assert!(NodeRef::NULL.is_null());
+        assert!(!NodeRef::NULL.is_dead());
+        assert!(!NodeRef::NULL.is_node());
+        assert!(NodeRef::DEAD.is_dead());
+        assert!(!NodeRef::DEAD.is_null());
+        assert!(!NodeRef::DEAD.is_node());
+        let n = NodeRef::node(42);
+        assert!(n.is_node());
+        assert_eq!(n.index(), 42);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        for r in [NodeRef::NULL, NodeRef::DEAD, NodeRef::node(7)] {
+            assert_eq!(NodeRef::from_word(r.into_word()), r);
+        }
+    }
+}

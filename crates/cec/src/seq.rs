@@ -1,0 +1,241 @@
+//! Uninstrumented sequential baselines — the paper's "bare sequential
+//! code" reference line in Figs. 6–8.
+//!
+//! Same algorithms and memory layouts as the transactional structures
+//! (node-based sorted list, skip list, fixed-bucket hash), but without any
+//! synchronization or instrumentation. Single-threaded use only.
+
+/// A sequential set of `i64` keys (single-threaded baseline).
+pub trait SeqSet {
+    /// Membership test.
+    fn contains(&self, key: i64) -> bool;
+    /// Insert; `false` if already present.
+    fn add(&mut self, key: i64) -> bool;
+    /// Remove; `false` if absent.
+    fn remove(&mut self, key: i64) -> bool;
+    /// Element count.
+    fn size(&self) -> usize;
+
+    /// `addAll` composed sequentially.
+    fn add_all(&mut self, keys: &[i64]) -> bool {
+        let mut changed = false;
+        for &k in keys {
+            changed |= self.add(k);
+        }
+        changed
+    }
+
+    /// `removeAll` composed sequentially.
+    fn remove_all(&mut self, keys: &[i64]) -> bool {
+        let mut changed = false;
+        for &k in keys {
+            changed |= self.remove(k);
+        }
+        changed
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sorted linked list
+// ---------------------------------------------------------------------
+
+struct SeqNode {
+    key: i64,
+    next: Option<Box<SeqNode>>,
+}
+
+/// Sequential sorted singly linked list (baseline for Fig. 6).
+#[derive(Default)]
+pub struct SeqLinkedListSet {
+    head: Option<Box<SeqNode>>,
+    len: usize,
+}
+
+impl SeqLinkedListSet {
+    /// An empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SeqSet for SeqLinkedListSet {
+    fn contains(&self, key: i64) -> bool {
+        let mut curr = &self.head;
+        while let Some(n) = curr {
+            if n.key >= key {
+                return n.key == key;
+            }
+            curr = &n.next;
+        }
+        false
+    }
+
+    fn add(&mut self, key: i64) -> bool {
+        let mut slot = &mut self.head;
+        loop {
+            match slot {
+                Some(n) if n.key < key => {
+                    // Move to the next link.
+                    slot = &mut slot.as_mut().unwrap().next;
+                    continue;
+                }
+                Some(n) if n.key == key => return false,
+                _ => {
+                    let next = slot.take();
+                    *slot = Some(Box::new(SeqNode { key, next }));
+                    self.len += 1;
+                    return true;
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, key: i64) -> bool {
+        let mut slot = &mut self.head;
+        loop {
+            match slot {
+                Some(n) if n.key < key => {
+                    slot = &mut slot.as_mut().unwrap().next;
+                }
+                Some(n) if n.key == key => {
+                    let node = slot.take().unwrap();
+                    *slot = node.next;
+                    self.len -= 1;
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.len
+    }
+}
+
+// ---------------------------------------------------------------------
+// Skip list (via the standard library's ordered set; the baseline only
+// needs "a fast ordered set without instrumentation")
+// ---------------------------------------------------------------------
+
+/// Sequential ordered-set baseline for Fig. 7. Backed by `BTreeSet`,
+/// which plays the same role as an uninstrumented skip list: logarithmic
+/// ordered search without any concurrency control.
+#[derive(Default)]
+pub struct SeqSkipListSet {
+    inner: std::collections::BTreeSet<i64>,
+}
+
+impl SeqSkipListSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SeqSet for SeqSkipListSet {
+    fn contains(&self, key: i64) -> bool {
+        self.inner.contains(&key)
+    }
+    fn add(&mut self, key: i64) -> bool {
+        self.inner.insert(key)
+    }
+    fn remove(&mut self, key: i64) -> bool {
+        self.inner.remove(&key)
+    }
+    fn size(&self) -> usize {
+        self.inner.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixed-bucket hash set (same geometry as the transactional HashSet)
+// ---------------------------------------------------------------------
+
+/// Sequential fixed-bucket hash set with sorted-list buckets (baseline for
+/// Fig. 8; same load factor semantics as the transactional `HashSet`).
+pub struct SeqHashSet {
+    buckets: Vec<SeqLinkedListSet>,
+}
+
+impl SeqHashSet {
+    /// An empty set with `n_buckets` buckets.
+    #[must_use]
+    pub fn new(n_buckets: usize) -> Self {
+        assert!(n_buckets > 0);
+        Self {
+            buckets: (0..n_buckets).map(|_| SeqLinkedListSet::new()).collect(),
+        }
+    }
+
+    fn bucket_of(&self, key: i64) -> usize {
+        key.rem_euclid(self.buckets.len() as i64) as usize
+    }
+}
+
+impl SeqSet for SeqHashSet {
+    fn contains(&self, key: i64) -> bool {
+        self.buckets[self.bucket_of(key)].contains(key)
+    }
+    fn add(&mut self, key: i64) -> bool {
+        let b = self.bucket_of(key);
+        self.buckets[b].add(key)
+    }
+    fn remove(&mut self, key: i64) -> bool {
+        let b = self.bucket_of(key);
+        self.buckets[b].remove(key)
+    }
+    fn size(&self) -> usize {
+        self.buckets.iter().map(SeqSet::size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet as StdHashSet;
+
+    fn exercise(set: &mut dyn SeqSet) {
+        // Cross-check against a std HashSet oracle.
+        let mut oracle = StdHashSet::new();
+        let keys = [5i64, 1, 9, 3, 5, -2, 7, 9, 0, 4];
+        for k in keys {
+            assert_eq!(set.add(k), oracle.insert(k), "add {k}");
+        }
+        for k in -3..12 {
+            assert_eq!(set.contains(k), oracle.contains(&k), "contains {k}");
+        }
+        assert_eq!(set.size(), oracle.len());
+        for k in [5i64, 9, 100] {
+            assert_eq!(set.remove(k), oracle.remove(&k), "remove {k}");
+        }
+        assert_eq!(set.size(), oracle.len());
+    }
+
+    #[test]
+    fn seq_linked_list() {
+        exercise(&mut SeqLinkedListSet::new());
+    }
+
+    #[test]
+    fn seq_skiplist() {
+        exercise(&mut SeqSkipListSet::new());
+    }
+
+    #[test]
+    fn seq_hash() {
+        exercise(&mut SeqHashSet::new(4));
+    }
+
+    #[test]
+    fn bulk_composition_defaults() {
+        let mut s = SeqLinkedListSet::new();
+        assert!(s.add_all(&[3, 1, 2]));
+        assert!(!s.add_all(&[1, 2, 3]));
+        assert_eq!(s.size(), 3);
+        assert!(s.remove_all(&[1, 7]));
+        assert_eq!(s.size(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! The composable set interface — the paper's `edu.epfl.compositional`
+//! Collection analog.
+//!
+//! [`TxSet`] separates every operation into a *building block*
+//! (`contains_in`, `add_in`, `remove_in`, `len_in`) usable inside any
+//! transaction, and a *wrapper* (`contains`, `add`, …) that runs the block
+//! as its own (elastic) transaction. Composed operations — `add_all`,
+//! `remove_all`, `insert_if_absent`, `size` — are default methods that
+//! invoke the building blocks as **child transactions** of one parent, the
+//! concurrent composition of Section III of the paper. Their atomicity is
+//! exactly what outheritance guarantees: with OE-STM they are atomic; with
+//! the E-STM compatibility mode they reproduce the paper's Fig. 1
+//! violation (see the `fig1_composition_violation` integration test).
+//!
+//! The wrappers also own the memory-management choreography:
+//!
+//! * every operation pins an epoch guard, so nodes the traversal may still
+//!   observe cannot be recycled under it;
+//! * nodes allocated by an attempt that later aborts are recycled at the
+//!   start of the next attempt ([`OpScratch::allocated`]);
+//! * nodes unlinked by a committed removal are *retired* — returned to the
+//!   free list only after all concurrently pinned threads move on
+//!   ([`OpScratch::unlinked`]).
+
+use crate::arena::pin;
+use crossbeam::epoch::Guard;
+use stm_core::{Abort, Stm, Transaction, TxKind};
+
+/// Per-operation allocation bookkeeping shared between a wrapper and its
+/// building blocks across retries.
+#[derive(Debug, Default)]
+pub struct OpScratch {
+    /// Arena slots allocated by the current attempt. If the attempt
+    /// aborts they were never published and are recycled immediately; if
+    /// it commits they are linked and simply forgotten.
+    pub allocated: Vec<u64>,
+    /// Arena slots unlinked by the current attempt; retired (epoch-safe)
+    /// after the transaction commits.
+    pub unlinked: Vec<u64>,
+}
+
+/// A transactional set of `i64` keys with composable operations.
+///
+/// Implementations provide the four building blocks plus the two
+/// memory-reclamation hooks; all user-facing operations (including the
+/// composed ones) are default methods.
+pub trait TxSet<S: Stm>: Sync {
+    /// Membership test inside an ambient transaction.
+    fn contains_in<'e>(&'e self, tx: &mut S::Txn<'e>, key: i64) -> Result<bool, Abort>;
+
+    /// Insert inside an ambient transaction; `false` if already present.
+    fn add_in<'e>(
+        &'e self,
+        tx: &mut S::Txn<'e>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort>;
+
+    /// Remove inside an ambient transaction; `false` if absent.
+    fn remove_in<'e>(
+        &'e self,
+        tx: &mut S::Txn<'e>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort>;
+
+    /// Element count inside an ambient transaction (atomic only under a
+    /// regular transaction).
+    fn len_in<'e>(&'e self, tx: &mut S::Txn<'e>) -> Result<usize, Abort>;
+
+    /// Recycle slots allocated by an aborted attempt (never published, so
+    /// immediate reuse is safe). Implementations push them back to their
+    /// arena's free list and clear the vector.
+    fn release_unpublished(&self, allocated: &mut Vec<u64>);
+
+    /// Retire slots unlinked by a committed attempt (epoch-deferred
+    /// reuse). Implementations hand them to their arena and clear the
+    /// vector.
+    fn retire_unlinked(&self, unlinked: &mut Vec<u64>, guard: &Guard);
+
+    // ------------------------------------------------------------------
+    // Single-operation wrappers (each its own elastic transaction).
+    // ------------------------------------------------------------------
+
+    /// Atomic membership test.
+    fn contains(&self, stm: &S, key: i64) -> bool {
+        let _guard = pin();
+        stm.run(TxKind::Elastic, |tx| self.contains_in(tx, key))
+    }
+
+    /// Atomic insert; `false` if already present.
+    fn add(&self, stm: &S, key: i64) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = stm.run(TxKind::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            self.add_in(tx, key, &mut scratch)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// Atomic remove; `false` if absent.
+    fn remove(&self, stm: &S, key: i64) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = stm.run(TxKind::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            self.remove_in(tx, key, &mut scratch)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// Atomic size — the operation the JDK's lock-free collections
+    /// famously cannot provide atomically; here it is a regular (classic)
+    /// read-only transaction.
+    fn size(&self, stm: &S) -> usize {
+        let _guard = pin();
+        stm.run(TxKind::Regular, |tx| self.len_in(tx))
+    }
+
+    // ------------------------------------------------------------------
+    // Composed operations (Fig. 5 of the paper): children of one parent.
+    // ------------------------------------------------------------------
+
+    /// Atomically insert every key; `true` if the set changed. Composes
+    /// one `add` child per key, exactly like the paper's `addAll`.
+    fn add_all(&self, stm: &S, keys: &[i64]) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = stm.run(TxKind::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            let mut changed = false;
+            for &k in keys {
+                changed |= tx.child(TxKind::Elastic, |t| self.add_in(t, k, &mut scratch))?;
+            }
+            Ok(changed)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// Atomically remove every key; `true` if the set changed.
+    fn remove_all(&self, stm: &S, keys: &[i64]) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = stm.run(TxKind::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            let mut changed = false;
+            for &k in keys {
+                changed |= tx.child(TxKind::Elastic, |t| self.remove_in(t, k, &mut scratch))?;
+            }
+            Ok(changed)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// The paper's Fig. 1 composition: insert `x` only if `y` is absent;
+    /// `true` if `x` was inserted. Atomic under OE-STM; the motivating
+    /// counterexample under E-STM compatibility mode.
+    fn insert_if_absent(&self, stm: &S, x: i64, y: i64) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = stm.run(TxKind::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            let present = tx.child(TxKind::Elastic, |t| self.contains_in(t, y))?;
+            if present {
+                return Ok(false);
+            }
+            tx.child(TxKind::Elastic, |t| self.add_in(t, x, &mut scratch))?;
+            Ok(true)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+}

@@ -1,0 +1,426 @@
+//! `SkipListSet` — the skip-list set of the paper's e.e.c package
+//! (Fig. 5 pseudocode; evaluated in Fig. 7).
+//!
+//! A transactional skip list with geometrically distributed tower heights.
+//! Search descends from the head tower; under an elastic transaction only
+//! the last two reads stay protected, so the O(log n) descent does not
+//! conflict with updates elsewhere. Updates harden the transaction at
+//! their first write and then **re-read every predecessor link under full
+//! protection** before redirecting it — upper-level predecessors found
+//! during the relaxed descent are never trusted blindly.
+//!
+//! Removal follows the same dead-marker protocol as the linked list
+//! (`listcore`), applied to every level of the tower: unlinking and
+//! writing [`NodeRef::DEAD`] into all of the victim's `next` pointers is
+//! one atomic transaction, so
+//!
+//! * adjacent removals and insert-after-victim races always overlap on a
+//!   written location and are detected, and
+//! * stale elastic traversers standing on a removed tower read `DEAD` and
+//!   retry instead of wandering a frozen tower.
+
+use crate::arena::Arena;
+use crate::noderef::NodeRef;
+use crate::set::{OpScratch, TxSet};
+use crossbeam::epoch::Guard;
+use std::cell::Cell;
+use stm_core::{Abort, AbortReason, Stm, TVar, Transaction};
+
+/// Maximum tower height. 2^16 expected elements per level-16 node; plenty
+/// for the paper's 2^12-element workloads and beyond.
+pub const MAX_LEVEL: usize = 16;
+
+/// One skip-list node: a key, its tower height, and one link per level.
+/// All fields are transactional so slot reuse is always detected.
+#[derive(Debug)]
+pub struct SkipNode {
+    key: TVar<i64>,
+    /// Tower height in `1..=MAX_LEVEL`; links `next[level..]` are unused.
+    level: TVar<u64>,
+    next: [TVar<NodeRef>; MAX_LEVEL],
+}
+
+impl Default for SkipNode {
+    fn default() -> Self {
+        Self {
+            key: TVar::new(0),
+            level: TVar::new(1),
+            next: core::array::from_fn(|_| TVar::new(NodeRef::NULL)),
+        }
+    }
+}
+
+/// A transactional skip-list set of `i64` keys. STM-agnostic.
+#[derive(Debug)]
+pub struct SkipListSet {
+    arena: Arena<SkipNode>,
+    head: u64,
+}
+
+impl Default for SkipListSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Geometric (p = 1/2) tower height in `1..=MAX_LEVEL`, from a per-thread
+/// xorshift generator.
+fn random_level() -> usize {
+    thread_local! {
+        static RNG: Cell<u64> = const { Cell::new(0) };
+    }
+    RNG.with(|rng| {
+        let mut x = rng.get();
+        if x == 0 {
+            // Seed lazily from a global ticket so threads decorrelate.
+            x = stm_core::ticket::next_ticket().get() | (1 << 32);
+        }
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        rng.set(x);
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        ((bits.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+    })
+}
+
+/// Result of a descent: per-level predecessors and successors.
+struct FindResult {
+    preds: [u64; MAX_LEVEL],
+    succs: [NodeRef; MAX_LEVEL],
+    /// The level-0 successor's key, if it is a node.
+    succ0_key: Option<i64>,
+}
+
+impl SkipListSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        let arena: Arena<SkipNode> = Arena::new();
+        let head = arena.alloc();
+        let h = arena.get(head);
+        h.key.store_atomic(i64::MIN, 0);
+        h.level.store_atomic(MAX_LEVEL as u64, 0);
+        Self { arena, head }
+    }
+
+    fn node(&self, idx: u64) -> &SkipNode {
+        self.arena.get(idx)
+    }
+
+    /// Descend towards `key`, recording the insertion point at every
+    /// level. Aborts (`Explicit`) when crossing a removed tower and
+    /// (`StepBound`) past the defensive traversal bound.
+    fn locate<'e, T: Transaction<'e>>(&'e self, tx: &mut T, key: i64) -> Result<FindResult, Abort> {
+        let bound = 4 * self.arena.high_water() + 4 * MAX_LEVEL as u64 + 64;
+        let mut steps: u64 = 0;
+        let mut preds = [self.head; MAX_LEVEL];
+        let mut succs = [NodeRef::NULL; MAX_LEVEL];
+        let mut succ0_key = None;
+        let mut pred = self.head;
+        for l in (0..MAX_LEVEL).rev() {
+            let mut curr = tx.read(&self.node(pred).next[l])?;
+            loop {
+                if curr.is_dead() {
+                    // `pred` was removed under us: restart the operation.
+                    return Err(Abort::new(AbortReason::Explicit));
+                }
+                if !curr.is_node() {
+                    break;
+                }
+                let c = curr.index();
+                let ck = tx.read(&self.node(c).key)?;
+                if ck < key {
+                    let next = tx.read(&self.node(c).next[l])?;
+                    pred = c;
+                    curr = next;
+                } else {
+                    if l == 0 {
+                        succ0_key = Some(ck);
+                    }
+                    break;
+                }
+                steps += 1;
+                if steps > bound {
+                    return Err(Abort::new(AbortReason::StepBound));
+                }
+            }
+            preds[l] = pred;
+            succs[l] = curr;
+        }
+        Ok(FindResult {
+            preds,
+            succs,
+            succ0_key,
+        })
+    }
+}
+
+impl<S: Stm> TxSet<S> for SkipListSet {
+    fn contains_in<'e>(&'e self, tx: &mut S::Txn<'e>, key: i64) -> Result<bool, Abort> {
+        crate::listcore::check_key(key);
+        let f = self.locate(tx, key)?;
+        Ok(f.succ0_key == Some(key))
+    }
+
+    fn add_in<'e>(
+        &'e self,
+        tx: &mut S::Txn<'e>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort> {
+        crate::listcore::check_key(key);
+        let f = self.locate(tx, key)?;
+        if f.succ0_key == Some(key) {
+            return Ok(false);
+        }
+        let level = random_level();
+        let n = self.arena.alloc();
+        scratch.allocated.push(n);
+        let node = self.node(n);
+        // First write hardens the transaction; the elastic window holds
+        // the level-0 insertion point {pred0.next[0], succ0.key}.
+        tx.write(&node.key, key)?;
+        tx.write(&node.level, level as u64)?;
+        for l in 0..level {
+            tx.write(&node.next[l], f.succs[l])?;
+        }
+        // Link bottom-up, re-reading each predecessor link under full
+        // (hardened) protection. A mismatch means a concurrent update beat
+        // us to this insertion point: retry the operation.
+        for l in 0..level {
+            let pn = tx.read(&self.node(f.preds[l]).next[l])?;
+            if pn != f.succs[l] {
+                return Err(Abort::new(AbortReason::Explicit));
+            }
+            tx.write(&self.node(f.preds[l]).next[l], NodeRef::node(n))?;
+        }
+        Ok(true)
+    }
+
+    fn remove_in<'e>(
+        &'e self,
+        tx: &mut S::Txn<'e>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort> {
+        crate::listcore::check_key(key);
+        let f = self.locate(tx, key)?;
+        if f.succ0_key != Some(key) {
+            return Ok(false);
+        }
+        let c = f.succs[0].index();
+        let victim = self.node(c);
+        let level = tx.read(&victim.level)? as usize;
+        let c0 = tx.read(&victim.next[0])?;
+        if c0.is_dead() {
+            // Concurrently removed; linearize after that removal.
+            return Ok(false);
+        }
+        // Logical delete: hardens the transaction with {victim.level,
+        // victim.next[0]} protected.
+        tx.write(&victim.next[0], NodeRef::DEAD)?;
+        for l in 0..level {
+            // Current successor at this level (for l = 0 we captured it
+            // before overwriting with DEAD).
+            let cl = if l == 0 {
+                c0
+            } else {
+                let v = tx.read(&victim.next[l])?;
+                if v.is_dead() {
+                    return Err(Abort::new(AbortReason::Explicit));
+                }
+                v
+            };
+            // Re-read the predecessor link under full protection and
+            // verify it still points at the victim.
+            let pn = tx.read(&self.node(f.preds[l]).next[l])?;
+            if pn != NodeRef::node(c) {
+                return Err(Abort::new(AbortReason::Explicit));
+            }
+            tx.write(&self.node(f.preds[l]).next[l], cl)?;
+            tx.write(&victim.next[l], NodeRef::DEAD)?;
+        }
+        scratch.unlinked.push(c);
+        Ok(true)
+    }
+
+    fn len_in<'e>(&'e self, tx: &mut S::Txn<'e>) -> Result<usize, Abort> {
+        // Walk level 0.
+        let bound = 2 * self.arena.high_water() + 64;
+        let mut steps: u64 = 0;
+        let mut count = 0usize;
+        let mut curr = tx.read(&self.node(self.head).next[0])?;
+        while curr.is_node() {
+            count += 1;
+            curr = tx.read(&self.node(curr.index()).next[0])?;
+            steps += 1;
+            if steps > bound {
+                return Err(Abort::new(AbortReason::StepBound));
+            }
+        }
+        if curr.is_dead() {
+            return Err(Abort::new(AbortReason::Explicit));
+        }
+        Ok(count)
+    }
+
+    fn release_unpublished(&self, allocated: &mut Vec<u64>) {
+        for idx in allocated.drain(..) {
+            self.arena.free_unpublished(idx);
+        }
+    }
+
+    fn retire_unlinked(&self, unlinked: &mut Vec<u64>, guard: &Guard) {
+        if unlinked.is_empty() {
+            return;
+        }
+        for idx in unlinked.drain(..) {
+            self.arena.retire(idx, guard);
+        }
+        // Hand the deferred frees to the global collector promptly so
+        // slots recycle under steady remove/add churn.
+        guard.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oe_stm::OeStm;
+    use stm_swiss::Swiss;
+    use stm_tl2::Tl2;
+
+    fn basic_ops<S: Stm>(stm: &S) {
+        let set = SkipListSet::new();
+        assert!(!set.contains(stm, 5));
+        for k in [5i64, 3, 8, 1, 9, 7, 2] {
+            assert!(set.add(stm, k), "insert {k}");
+        }
+        for k in [5i64, 3, 8, 1, 9, 7, 2] {
+            assert!(set.contains(stm, k), "contains {k}");
+            assert!(!set.add(stm, k), "duplicate {k}");
+        }
+        assert!(!set.contains(stm, 4));
+        assert_eq!(set.size(stm), 7);
+        assert!(set.remove(stm, 5));
+        assert!(!set.remove(stm, 5));
+        assert!(!set.contains(stm, 5));
+        assert_eq!(set.size(stm), 6);
+        // Remove everything.
+        for k in [3i64, 8, 1, 9, 7, 2] {
+            assert!(set.remove(stm, k), "remove {k}");
+        }
+        assert_eq!(set.size(stm), 0);
+    }
+
+    #[test]
+    fn basic_ops_under_oestm() {
+        basic_ops(&OeStm::new());
+    }
+
+    #[test]
+    fn basic_ops_under_tl2() {
+        basic_ops(&Tl2::new());
+    }
+
+    #[test]
+    fn basic_ops_under_swiss() {
+        basic_ops(&Swiss::new());
+    }
+
+    #[test]
+    fn random_levels_are_bounded_and_varied() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let l = random_level();
+            assert!((1..=MAX_LEVEL).contains(&l));
+            seen.insert(l);
+        }
+        assert!(seen.len() >= 5, "level distribution too degenerate");
+    }
+
+    #[test]
+    fn large_ordered_and_reverse_inserts() {
+        let stm = OeStm::new();
+        let set = SkipListSet::new();
+        for k in 0..500 {
+            assert!(set.add(&stm, k));
+        }
+        for k in (500..1000).rev() {
+            assert!(set.add(&stm, k));
+        }
+        assert_eq!(set.size(&stm), 1000);
+        for k in 0..1000 {
+            assert!(set.contains(&stm, k), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn add_all_remove_all_compose() {
+        let stm = OeStm::new();
+        let set = SkipListSet::new();
+        assert!(set.add_all(&stm, &[10, 20, 30]));
+        assert_eq!(set.size(&stm), 3);
+        assert!(set.remove_all(&stm, &[10, 30]));
+        assert_eq!(set.size(&stm), 1);
+        assert!(set.contains(&stm, 20));
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_preserves_balance() {
+        use std::sync::Arc;
+        let stm = Arc::new(OeStm::new());
+        let set = Arc::new(SkipListSet::new());
+        for k in 0..32 {
+            set.add(&*stm, k);
+        }
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let stm = Arc::clone(&stm);
+            let set = Arc::clone(&set);
+            handles.push(std::thread::spawn(move || {
+                let mut balance = 0i64;
+                for i in 0..1500 {
+                    let k = (i * 7 + t * 13) % 32;
+                    match i % 3 {
+                        0 => {
+                            if set.add(&*stm, k) {
+                                balance += 1;
+                            }
+                        }
+                        1 => {
+                            if set.remove(&*stm, k) {
+                                balance -= 1;
+                            }
+                        }
+                        _ => {
+                            set.contains(&*stm, k);
+                        }
+                    }
+                }
+                balance
+            }));
+        }
+        let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(set.size(&*stm) as i64, 32 + net, "updates lost or doubled");
+    }
+
+    #[test]
+    fn removed_towers_are_recycled() {
+        let stm = OeStm::new();
+        let set = SkipListSet::new();
+        for k in 0..16 {
+            set.add(&stm, k);
+        }
+        let hw = set.arena.high_water();
+        for round in 0..50 {
+            let k = 100 + round;
+            set.add(&stm, k);
+            set.remove(&stm, k);
+            crate::arena::quiesce();
+        }
+        let growth = set.arena.high_water() - hw;
+        assert!(growth < 50, "towers must be recycled, grew {growth}");
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the collections: each transactional structure
+//! is driven by a random operation sequence and compared against a model
+//! `BTreeSet` oracle (sequentially — the linearizable concurrent cases are
+//! covered by the stress tests in the workspace `tests/` directory).
+
+use cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
+use oe_stm::OeStm;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use stm_core::Stm;
+use stm_tl2::Tl2;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Add(i64),
+    Remove(i64),
+    Contains(i64),
+    AddAll(Vec<i64>),
+    RemoveAll(Vec<i64>),
+    Size,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = -20i64..20;
+    prop_oneof![
+        key.clone().prop_map(Op::Add),
+        key.clone().prop_map(Op::Remove),
+        key.clone().prop_map(Op::Contains),
+        prop::collection::vec(-20i64..20, 1..4).prop_map(Op::AddAll),
+        prop::collection::vec(-20i64..20, 1..4).prop_map(Op::RemoveAll),
+        Just(Op::Size),
+    ]
+}
+
+fn check_against_oracle<S: Stm, C: TxSet<S>>(stm: &S, set: &C, ops: &[Op]) {
+    let mut oracle: BTreeSet<i64> = BTreeSet::new();
+    for op in ops {
+        match op {
+            Op::Add(k) => {
+                assert_eq!(set.add(stm, *k), oracle.insert(*k), "add({k})");
+            }
+            Op::Remove(k) => {
+                assert_eq!(set.remove(stm, *k), oracle.remove(k), "remove({k})");
+            }
+            Op::Contains(k) => {
+                assert_eq!(set.contains(stm, *k), oracle.contains(k), "contains({k})");
+            }
+            Op::AddAll(ks) => {
+                let mut expected = false;
+                for k in ks {
+                    expected |= oracle.insert(*k);
+                }
+                assert_eq!(set.add_all(stm, ks), expected, "add_all({ks:?})");
+            }
+            Op::RemoveAll(ks) => {
+                let mut expected = false;
+                for k in ks {
+                    expected |= oracle.remove(k);
+                }
+                assert_eq!(set.remove_all(stm, ks), expected, "remove_all({ks:?})");
+            }
+            Op::Size => {
+                assert_eq!(set.size(stm), oracle.len(), "size");
+            }
+        }
+    }
+    assert_eq!(set.size(stm), oracle.len(), "final size");
+    for k in -20i64..20 {
+        assert_eq!(set.contains(stm, k), oracle.contains(&k), "final contains({k})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn linked_list_matches_oracle(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        check_against_oracle(&OeStm::new(), &LinkedListSet::new(), &ops);
+    }
+
+    #[test]
+    fn skiplist_matches_oracle(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        check_against_oracle(&OeStm::new(), &SkipListSet::new(), &ops);
+    }
+
+    #[test]
+    fn hashset_matches_oracle(ops in prop::collection::vec(op_strategy(), 0..80)) {
+        check_against_oracle(&OeStm::new(), &HashSet::new(3), &ops);
+    }
+
+    #[test]
+    fn linked_list_matches_oracle_under_tl2(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        check_against_oracle(&Tl2::new(), &LinkedListSet::new(), &ops);
+    }
+
+    /// The snapshot helper returns exactly the oracle's sorted contents.
+    #[test]
+    fn snapshot_is_sorted_oracle(keys in prop::collection::vec(-50i64..50, 0..40)) {
+        let stm = OeStm::new();
+        let list = LinkedListSet::new();
+        let mut oracle = BTreeSet::new();
+        for k in keys {
+            TxSet::<OeStm>::add(&list, &stm, k);
+            oracle.insert(k);
+        }
+        let expect: Vec<i64> = oracle.into_iter().collect();
+        prop_assert_eq!(list.snapshot(&stm), expect);
+    }
+}

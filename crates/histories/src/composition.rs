@@ -1,0 +1,218 @@
+//! Compositions and the two composability criteria (Section III).
+//!
+//! A *composition* `C` is a set of committed transactions, all executed by
+//! one process, consecutive in that process's committed-transaction order;
+//! its *supremum* is the last member. [`is_strongly_composable`] and
+//! [`is_weakly_composable`] decide Definitions 3.1 and 3.2 by witness
+//! search (see [`crate::search`]).
+
+use crate::event::{Event, TxId};
+use crate::history::History;
+use crate::search::find_relax_serial_witness;
+
+/// A composition: ordered members (program order of the composing
+/// process). The supremum is the last member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Composition {
+    /// Member transactions, in program order.
+    pub members: Vec<TxId>,
+}
+
+impl Composition {
+    /// A composition over the given members (≥ 2 of them, per the paper).
+    #[must_use]
+    pub fn new(members: Vec<TxId>) -> Self {
+        assert!(members.len() >= 2, "|C| >= 2 (Section III)");
+        Self { members }
+    }
+
+    /// `Sup(C)`: the last member.
+    #[must_use]
+    pub fn sup(&self) -> TxId {
+        *self.members.last().expect("nonempty by construction")
+    }
+
+    /// Does this satisfy the paper's definition of a composition of some
+    /// process `p` in `h`? All members committed, executed by one
+    /// process, and consecutive in the order of `h|p`'s committed
+    /// transactions (each member is immediately followed by the next).
+    #[must_use]
+    pub fn is_valid(&self, h: &History) -> bool {
+        let committed = h.committed();
+        if !self.members.iter().all(|t| committed.contains(t)) {
+            return false;
+        }
+        let Some(p) = h.proc_of(self.members[0]) else {
+            return false;
+        };
+        if !self.members.iter().all(|&t| h.proc_of(t) == Some(p)) {
+            return false;
+        }
+        // Committed transactions of p in commit order.
+        let mut p_committed: Vec<(usize, TxId)> = committed
+            .iter()
+            .filter(|&&t| h.proc_of(t) == Some(p))
+            .filter_map(|&t| h.commit_index(t).map(|i| (i, t)))
+            .collect();
+        p_committed.sort_unstable();
+        let order: Vec<TxId> = p_committed.into_iter().map(|(_, t)| t).collect();
+        let Some(start) = order.iter().position(|&t| t == self.members[0]) else {
+            return false;
+        };
+        order[start..]
+            .iter()
+            .take(self.members.len())
+            .eq(self.members.iter())
+    }
+}
+
+/// Commit positions of all committed transactions in `s`, in order.
+fn commit_sequence(s: &History) -> Vec<TxId> {
+    s.events
+        .iter()
+        .filter_map(|e| match *e {
+            Event::Commit { t, .. } => Some(t),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Definition 3.1 condition on a candidate witness `s`: no foreign
+/// transaction's commit falls between any two member commits — i.e. the
+/// members' commits are contiguous in `s`'s commit sequence.
+fn strong_condition(s: &History, c: &Composition) -> bool {
+    let commits = commit_sequence(s);
+    let positions: Vec<usize> = c
+        .members
+        .iter()
+        .filter_map(|&t| commits.iter().position(|&u| u == t))
+        .collect();
+    if positions.len() != c.members.len() {
+        return false;
+    }
+    let (&lo, &hi) = match (positions.iter().min(), positions.iter().max()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false,
+    };
+    commits[lo..=hi].iter().all(|t| c.members.contains(t))
+}
+
+/// Definition 3.2 condition on a candidate witness `s`, with kernels
+/// taken from the original history `h` (the kernel is a property of the
+/// run, not of the witness): for every member `t` and every `o ∈ ker(t)`
+/// there is no foreign transaction `t'` with `t ≺ t' ≺ Sup(C)` in `s|o`
+/// (orders on `s|o` compare last-op-of vs first-op-of positions).
+fn weak_condition(s: &History, h: &History, c: &Composition) -> bool {
+    let sup = c.sup();
+    let foreign: Vec<TxId> = s
+        .committed()
+        .into_iter()
+        .filter(|t| !c.members.contains(t))
+        .collect();
+    for &t in &c.members {
+        for &o in &h.kernel(t) {
+            let t_ops = s.op_indices(t, o);
+            let Some(&t_last) = t_ops.last() else {
+                continue;
+            };
+            let sup_ops = s.op_indices(sup, o);
+            for &f in &foreign {
+                let f_ops = s.op_indices(f, o);
+                let (Some(&f_first), Some(&f_last)) = (f_ops.first(), f_ops.last()) else {
+                    continue;
+                };
+                // t ≺ f in s|o
+                let t_before_f = t_last < f_first;
+                // f ≺ sup in s|o
+                let f_before_sup = sup_ops.first().is_some_and(|&s0| f_last < s0);
+                if t_before_f && f_before_sup {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Definition 3.1: is `h` strongly composable with respect to `c`?
+#[must_use]
+pub fn is_strongly_composable(h: &History, c: &Composition) -> bool {
+    find_relax_serial_witness(h, |s| strong_condition(s, c)).is_some()
+}
+
+/// Definition 3.2: is `h` weakly composable with respect to `c`?
+#[must_use]
+pub fn is_weakly_composable(h: &History, c: &Composition) -> bool {
+    find_relax_serial_witness(h, |s| weak_condition(s, h, c)).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ObjKind, OpKind};
+
+    /// Two children of p1 (t1 inc, t2 inc) with nothing concurrent:
+    /// trivially strongly and weakly composable.
+    fn simple_composed() -> History {
+        History::new()
+            .with_object(1, ObjKind::Counter)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, OpKind::Inc, 1)
+            .commit(1, 1)
+            .begin(2, 1)
+            .op(2, 1, OpKind::Inc, 2)
+            .commit(2, 1)
+            .release(1, 1, 2)
+    }
+
+    #[test]
+    fn composition_validity() {
+        let h = simple_composed();
+        assert!(Composition::new(vec![1, 2]).is_valid(&h));
+        assert!(!Composition::new(vec![2, 1]).is_valid(&h), "wrong order");
+        assert!(!Composition::new(vec![1, 9]).is_valid(&h), "unknown member");
+    }
+
+    #[test]
+    #[should_panic(expected = "|C| >= 2")]
+    fn singleton_composition_rejected() {
+        let _ = Composition::new(vec![1]);
+    }
+
+    #[test]
+    fn uncontended_composition_is_strongly_and_weakly_composable() {
+        let h = simple_composed();
+        let c = Composition::new(vec![1, 2]);
+        assert!(is_strongly_composable(&h, &c));
+        assert!(is_weakly_composable(&h, &c));
+    }
+
+    #[test]
+    fn interleaved_foreign_commit_breaks_strong_composability_when_ordered() {
+        // p1 composes t1,t3 on counter c; p2's t2 increments in between
+        // and the return values pin the order 1,2,3 — the essence of the
+        // paper's Fig. 3 (full version in `theorems`).
+        let h = History::new()
+            .with_object(1, ObjKind::Counter)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, OpKind::Inc, 1)
+            .commit(1, 1)
+            .release(1, 1, 1)
+            .begin(3, 1)
+            .begin(2, 2)
+            .acquire(1, 2, 2)
+            .op(2, 1, OpKind::Inc, 2)
+            .commit(2, 2)
+            .release(1, 2, 2)
+            .acquire(1, 1, 3)
+            .op(3, 1, OpKind::Inc, 3)
+            .commit(3, 1)
+            .release(1, 1, 3);
+        assert_eq!(h.well_formed(), Ok(()));
+        let c = Composition::new(vec![1, 3]);
+        assert!(c.is_valid(&h));
+        assert!(!is_strongly_composable(&h, &c));
+    }
+}

@@ -1,0 +1,84 @@
+//! Human-readable rendering of histories, in the paper's own notation.
+//!
+//! `⟨begin(t1), p1⟩ ⟨a((o1)), p1⟩ ⟨w(2), o1, t1⟩⟨ok⟩ …` — invaluable when a
+//! composability check fails and you want to see the witness (or the lack
+//! of one).
+
+use crate::event::{Event, OpKind};
+use crate::history::History;
+use core::fmt;
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                if f.alternate() {
+                    writeln!(f)?;
+                } else {
+                    write!(f, " ")?;
+                }
+            }
+            match *e {
+                Event::Begin { t, p } => write!(f, "⟨begin(t{t}), p{p}⟩")?,
+                Event::Commit { t, p } => write!(f, "⟨commit(t{t}), p{p}⟩")?,
+                Event::Abort { t, p } => write!(f, "⟨abort(t{t}), p{p}⟩")?,
+                Event::Acquire { o, p, .. } => write!(f, "⟨a((o{o})), p{p}⟩")?,
+                Event::Release { o, p, .. } => write!(f, "⟨r((o{o})), p{p}⟩")?,
+                Event::Op { t, o, op, val } => match op {
+                    OpKind::Read => write!(f, "⟨r(), o{o}, t{t}⟩⟨{val}⟩")?,
+                    OpKind::Write(v) => write!(f, "⟨w({v}), o{o}, t{t}⟩⟨ok⟩")?,
+                    OpKind::Inc => write!(f, "⟨inc(), o{o}, t{t}⟩⟨{val}⟩")?,
+                    OpKind::Add(k) => write!(f, "⟨add({k}), o{o}, t{t}⟩⟨{val}⟩")?,
+                    OpKind::Remove(k) => write!(f, "⟨rem({k}), o{o}, t{t}⟩⟨{val}⟩")?,
+                    OpKind::Contains(k) => write!(f, "⟨has({k}), o{o}, t{t}⟩⟨{val}⟩")?,
+                },
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::event::ObjKind;
+    use crate::history::History;
+    use crate::theorems::fig3_history;
+
+    #[test]
+    fn fig3_renders_in_paper_notation() {
+        let s = fig3_history().to_string();
+        assert!(s.contains("⟨begin(t1), p1⟩"));
+        assert!(s.contains("⟨w(2), o1, t1⟩⟨ok⟩"));
+        assert!(s.contains("⟨inc(), o2, t3⟩⟨1⟩"));
+        assert!(s.contains("⟨inc(), o2, t2⟩⟨2⟩"));
+        assert!(s.contains("⟨commit(t3), p1⟩"));
+        assert!(s.contains("⟨r((o1)), p1⟩"));
+    }
+
+    #[test]
+    fn alternate_renders_one_event_per_line() {
+        let h = History::new()
+            .with_object(1, ObjKind::Register)
+            .begin(1, 1)
+            .commit(1, 1);
+        let s = format!("{h:#}");
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn set_ops_render() {
+        let h = History::new()
+            .with_object(1, ObjKind::IntSet)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, crate::event::OpKind::Add(5), 1)
+            .op(1, 1, crate::event::OpKind::Contains(5), 1)
+            .op(1, 1, crate::event::OpKind::Remove(5), 1)
+            .commit(1, 1)
+            .release(1, 1, 1);
+        let s = h.to_string();
+        assert!(s.contains("⟨add(5), o1, t1⟩⟨1⟩"));
+        assert!(s.contains("⟨has(5), o1, t1⟩⟨1⟩"));
+        assert!(s.contains("⟨rem(5), o1, t1⟩⟨1⟩"));
+    }
+}

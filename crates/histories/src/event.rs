@@ -1,0 +1,236 @@
+//! The event vocabulary of the paper's system model (Section II).
+//!
+//! A history is a finite sequence of events: transaction begin / commit /
+//! abort, operations on objects, and acquire / release of *protection
+//! elements* — the abstraction the paper uses to model whatever conflict
+//! detection an STM employs (locks, invisible-read validation, …).
+//!
+//! One deliberate simplification: the paper models an operation as a
+//! matching invocation/response event *pair* that is never interleaved
+//! with other events of the same process; we fuse the pair into a single
+//! [`Event::Op`] carrying both the operation and its return value. Every
+//! history in the paper (and every history our recorder produces) has the
+//! pairs adjacent, so nothing is lost, and the composability search space
+//! halves.
+
+/// Transaction identifier.
+pub type TxId = u32;
+/// Process identifier.
+pub type ProcId = u32;
+/// Object identifier; the protection element of object `o` is also keyed
+/// by `o` (the paper's `(o)`).
+pub type ObjId = u32;
+/// Operation return values. Booleans are encoded as 0/1, acknowledgements
+/// of writes as 0.
+pub type Val = i64;
+
+/// The operation part of an invocation (the paper's `op ∈ o.ops`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Read a register; the response is its value.
+    Read,
+    /// Write a register; the response is an acknowledgement (0).
+    Write(Val),
+    /// Increment a counter; the response is the *new* count (as in the
+    /// paper's Fig. 3, where `c.inc()` returns 1, 2, 3).
+    Inc,
+    /// Insert into a set; the response is 1 if the key was absent.
+    Add(Val),
+    /// Remove from a set; the response is 1 if the key was present.
+    Remove(Val),
+    /// Membership test on a set; the response is 0/1.
+    Contains(Val),
+}
+
+/// The serial specification `o.seq` of an object, given as an executable
+/// state machine: a sequence of `[op, val]` pairs is legal iff every step
+/// succeeds from the initial state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjKind {
+    /// An integer register initialized to 0.
+    Register,
+    /// A counter initialized to 0; `Inc` returns the new value.
+    Counter,
+    /// A set of integers, initially empty.
+    IntSet,
+}
+
+/// Mutable object state used when checking legality incrementally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjState {
+    /// Register value.
+    Register(Val),
+    /// Counter value.
+    Counter(Val),
+    /// Set contents (sorted for cheap equality).
+    IntSet(Vec<Val>),
+}
+
+impl ObjKind {
+    /// Initial state.
+    #[must_use]
+    pub fn initial(self) -> ObjState {
+        match self {
+            ObjKind::Register => ObjState::Register(0),
+            ObjKind::Counter => ObjState::Counter(0),
+            ObjKind::IntSet => ObjState::IntSet(Vec::new()),
+        }
+    }
+}
+
+impl ObjState {
+    /// Apply `[op, val]`: returns `false` (state unchanged or partially
+    /// advanced — caller must treat it as poisoned) if the response `val`
+    /// is not the one the serial specification produces here.
+    pub fn step(&mut self, op: OpKind, val: Val) -> bool {
+        match (self, op) {
+            (ObjState::Register(s), OpKind::Read) => *s == val,
+            (ObjState::Register(s), OpKind::Write(v)) => {
+                *s = v;
+                val == 0
+            }
+            (ObjState::Counter(s), OpKind::Inc) => {
+                *s += 1;
+                *s == val
+            }
+            (ObjState::IntSet(s), OpKind::Add(k)) => {
+                let absent = !s.contains(&k);
+                if absent {
+                    s.push(k);
+                    s.sort_unstable();
+                }
+                val == i64::from(absent)
+            }
+            (ObjState::IntSet(s), OpKind::Remove(k)) => {
+                let present = s.contains(&k);
+                s.retain(|&x| x != k);
+                val == i64::from(present)
+            }
+            (ObjState::IntSet(s), OpKind::Contains(k)) => val == i64::from(s.contains(&k)),
+            _ => false, // op not in o.ops for this object kind
+        }
+    }
+}
+
+/// One event of a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// `⟨begin(t), p⟩`.
+    Begin {
+        /// Transaction beginning.
+        t: TxId,
+        /// Executing process.
+        p: ProcId,
+    },
+    /// A fused invocation/response pair `⟨op, o, t⟩⟨v, o, t⟩`.
+    Op {
+        /// Invoking transaction.
+        t: TxId,
+        /// Target object.
+        o: ObjId,
+        /// The operation.
+        op: OpKind,
+        /// The response value.
+        val: Val,
+    },
+    /// `⟨commit(t), p⟩`.
+    Commit {
+        /// Committing transaction.
+        t: TxId,
+        /// Executing process.
+        p: ProcId,
+    },
+    /// `⟨abort(t), p⟩`.
+    Abort {
+        /// Aborting transaction.
+        t: TxId,
+        /// Executing process.
+        p: ProcId,
+    },
+    /// `⟨a((o)), p⟩` — process `p` acquires the protection element of `o`.
+    /// We additionally record the transaction on whose behalf it happened
+    /// (used to compute minimal protected sets).
+    Acquire {
+        /// Object whose protection element is acquired.
+        o: ObjId,
+        /// Acquiring process.
+        p: ProcId,
+        /// Transaction on whose behalf.
+        t: TxId,
+    },
+    /// `⟨r((o)), p⟩` — the matching release.
+    Release {
+        /// Object whose protection element is released.
+        o: ObjId,
+        /// Releasing process.
+        p: ProcId,
+        /// Transaction on whose behalf.
+        t: TxId,
+    },
+}
+
+impl Event {
+    /// The process an event belongs to (ops belong to their transaction's
+    /// process, which the history resolves; `None` here).
+    #[must_use]
+    pub fn proc(&self) -> Option<ProcId> {
+        match *self {
+            Event::Begin { p, .. }
+            | Event::Commit { p, .. }
+            | Event::Abort { p, .. }
+            | Event::Acquire { p, .. }
+            | Event::Release { p, .. } => Some(p),
+            Event::Op { .. } => None,
+        }
+    }
+
+    /// The transaction an event belongs to.
+    #[must_use]
+    pub fn tx(&self) -> TxId {
+        match *self {
+            Event::Begin { t, .. }
+            | Event::Op { t, .. }
+            | Event::Commit { t, .. }
+            | Event::Abort { t, .. }
+            | Event::Acquire { t, .. }
+            | Event::Release { t, .. } => t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_spec() {
+        let mut s = ObjKind::Register.initial();
+        assert!(s.step(OpKind::Read, 0));
+        assert!(s.step(OpKind::Write(5), 0));
+        assert!(s.step(OpKind::Read, 5));
+        assert!(!s.clone().step(OpKind::Read, 4));
+        assert!(!s.step(OpKind::Inc, 1), "inc is not a register op");
+    }
+
+    #[test]
+    fn counter_spec_returns_new_value() {
+        let mut s = ObjKind::Counter.initial();
+        assert!(s.step(OpKind::Inc, 1));
+        assert!(s.step(OpKind::Inc, 2));
+        assert!(!s.clone().step(OpKind::Inc, 2));
+        // The order of observed values matters: counters do not commute.
+        let mut s2 = ObjKind::Counter.initial();
+        assert!(!s2.step(OpKind::Inc, 2));
+    }
+
+    #[test]
+    fn intset_spec() {
+        let mut s = ObjKind::IntSet.initial();
+        assert!(s.step(OpKind::Contains(7), 0));
+        assert!(s.step(OpKind::Add(7), 1));
+        assert!(s.step(OpKind::Add(7), 0));
+        assert!(s.step(OpKind::Contains(7), 1));
+        assert!(s.step(OpKind::Remove(7), 1));
+        assert!(s.step(OpKind::Remove(7), 0));
+    }
+}

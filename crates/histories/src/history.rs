@@ -1,0 +1,512 @@
+//! Histories: well-formedness, projections, minimal protected sets,
+//! kernels, and the induced partial order (Section II of the paper).
+
+use crate::event::{Event, ObjId, ObjKind, OpKind, ProcId, TxId, Val};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A history: a finite sequence of events plus the serial specifications
+/// of the objects involved.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// The event sequence.
+    pub events: Vec<Event>,
+    /// Serial specification of each object.
+    pub objects: BTreeMap<ObjId, ObjKind>,
+}
+
+/// A well-formedness violation (diagnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Malformed {
+    /// A transaction event appeared outside begin..commit/abort.
+    StrayEvent(usize),
+    /// Two live transactions on one process, or begin of a live tx.
+    NestedBegin(usize),
+    /// An operation on an object whose protection element the process
+    /// does not hold.
+    UnprotectedOp(usize),
+    /// Acquire of an element already held by this process, or release of
+    /// one it does not hold.
+    ProtectionMisuse(usize),
+    /// An acquire/release between a transaction's last operation and its
+    /// commit (disallowed by the model).
+    LateProtectionChange(usize),
+    /// An operation on an object with no declared specification.
+    UnknownObject(usize),
+}
+
+impl History {
+    /// Empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare an object's serial specification (builder style).
+    #[must_use]
+    pub fn with_object(mut self, o: ObjId, kind: ObjKind) -> Self {
+        self.objects.insert(o, kind);
+        self
+    }
+
+    /// Append an event (builder style).
+    #[must_use]
+    pub fn then(mut self, e: Event) -> Self {
+        self.events.push(e);
+        self
+    }
+
+    /// The process executing transaction `t`, from its begin event.
+    #[must_use]
+    pub fn proc_of(&self, t: TxId) -> Option<ProcId> {
+        self.events.iter().find_map(|e| match *e {
+            Event::Begin { t: t2, p } if t2 == t => Some(p),
+            _ => None,
+        })
+    }
+
+    /// `transactions(H)`.
+    #[must_use]
+    pub fn transactions(&self) -> BTreeSet<TxId> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Begin { t, .. } => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `committed(H)`.
+    #[must_use]
+    pub fn committed(&self) -> BTreeSet<TxId> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Commit { t, .. } => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `aborted(H)`.
+    #[must_use]
+    pub fn aborted(&self) -> BTreeSet<TxId> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Abort { t, .. } => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `live(H)` — begun but neither committed nor aborted.
+    #[must_use]
+    pub fn live(&self) -> BTreeSet<TxId> {
+        let mut s = self.transactions();
+        for t in self.committed().union(&self.aborted()) {
+            s.remove(t);
+        }
+        s
+    }
+
+    /// The history restricted to events of committed transactions (the
+    /// paper removes aborted transactions' events before reasoning).
+    #[must_use]
+    pub fn committed_projection(&self) -> History {
+        let committed = self.committed();
+        History {
+            events: self
+                .events
+                .iter()
+                .copied()
+                .filter(|e| committed.contains(&e.tx()))
+                .collect(),
+            objects: self.objects.clone(),
+        }
+    }
+
+    /// `H|p`: the subsequence of events executed by process `p`
+    /// (operations belong to their transaction's process).
+    #[must_use]
+    pub fn proc_projection(&self, p: ProcId) -> Vec<Event> {
+        let proc_of: HashMap<TxId, ProcId> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Begin { t, p } => Some((t, p)),
+                _ => None,
+            })
+            .collect();
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| match e.proc() {
+                Some(q) => q == p,
+                None => proc_of.get(&e.tx()) == Some(&p),
+            })
+            .collect()
+    }
+
+    /// All processes appearing in the history.
+    #[must_use]
+    pub fn processes(&self) -> BTreeSet<ProcId> {
+        self.events
+            .iter()
+            .filter_map(Event::proc)
+            .collect()
+    }
+
+    /// Operation events of transaction `t` on object `o`, as indices.
+    #[must_use]
+    pub fn op_indices(&self, t: TxId, o: ObjId) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match *e {
+                Event::Op { t: t2, o: o2, .. } if t2 == t && o2 == o => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Index of `commit(t)`, if present.
+    #[must_use]
+    pub fn commit_index(&self, t: TxId) -> Option<usize> {
+        self.events.iter().position(|e| matches!(*e, Event::Commit { t: t2, .. } if t2 == t))
+    }
+
+    /// Index of `begin(t)`, if present.
+    #[must_use]
+    pub fn begin_index(&self, t: TxId) -> Option<usize> {
+        self.events.iter().position(|e| matches!(*e, Event::Begin { t: t2, .. } if t2 == t))
+    }
+
+    /// The minimal protected set `Pmin(t)`: objects whose protection
+    /// element is acquired between `begin(t)` and `commit(t)` (by `t`'s
+    /// process, on behalf of `t`) and not released before `commit(t)`.
+    #[must_use]
+    pub fn pmin(&self, t: TxId) -> BTreeSet<ObjId> {
+        let Some(b) = self.begin_index(t) else {
+            return BTreeSet::new();
+        };
+        let Some(c) = self.commit_index(t) else {
+            return BTreeSet::new();
+        };
+        let mut held: BTreeSet<ObjId> = BTreeSet::new();
+        for e in &self.events[b..c] {
+            match *e {
+                Event::Acquire { o, t: t2, .. } if t2 == t => {
+                    held.insert(o);
+                }
+                Event::Release { o, t: t2, .. } if t2 == t => {
+                    held.remove(&o);
+                }
+                _ => {}
+            }
+        }
+        held
+    }
+
+    /// The kernel `ker(t) = {o | (o) ∈ Pmin(t)}` (identical to `pmin`
+    /// under our one-element-per-object encoding; kept for fidelity to the
+    /// paper's vocabulary).
+    #[must_use]
+    pub fn kernel(&self, t: TxId) -> BTreeSet<ObjId> {
+        self.pmin(t)
+    }
+
+    /// The induced partial order `<H`: `t <H t'` iff `commit(t)` precedes
+    /// `begin(t')`. Returned as the set of ordered pairs over committed
+    /// transactions.
+    #[must_use]
+    pub fn partial_order(&self) -> BTreeSet<(TxId, TxId)> {
+        let mut out = BTreeSet::new();
+        for &t in &self.committed() {
+            let Some(c) = self.commit_index(t) else {
+                continue;
+            };
+            for &t2 in &self.transactions() {
+                if t2 == t {
+                    continue;
+                }
+                if let Some(b) = self.begin_index(t2) {
+                    if c < b {
+                        out.insert((t, t2));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Check well-formedness per the model: per-process sequences are
+    /// sequences of transactions; operations happen between acquire and
+    /// release of the object's protection element by the executing
+    /// process; no protection change between a transaction's last
+    /// response and its commit; every object has a declared spec.
+    pub fn well_formed(&self) -> Result<(), Malformed> {
+        let mut live_tx: HashMap<ProcId, TxId> = HashMap::new();
+        let mut held: HashMap<ProcId, HashSet<ObjId>> = HashMap::new();
+        // Per-process flag: protection change since the last op of the
+        // current transaction (must be false when commit arrives, unless
+        // the transaction performed no op after it... the model forbids
+        // acquire/release between last response and commit).
+        let mut dirty_since_op: HashMap<ProcId, bool> = HashMap::new();
+        let proc_of: HashMap<TxId, ProcId> = self
+            .events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Begin { t, p } => Some((t, p)),
+                _ => None,
+            })
+            .collect();
+
+        for (i, e) in self.events.iter().enumerate() {
+            match *e {
+                Event::Begin { t, p } => {
+                    if live_tx.contains_key(&p) {
+                        return Err(Malformed::NestedBegin(i));
+                    }
+                    live_tx.insert(p, t);
+                    dirty_since_op.insert(p, false);
+                }
+                Event::Op { t, o, .. } => {
+                    let Some(&p) = proc_of.get(&t) else {
+                        return Err(Malformed::StrayEvent(i));
+                    };
+                    if live_tx.get(&p) != Some(&t) {
+                        return Err(Malformed::StrayEvent(i));
+                    }
+                    if !self.objects.contains_key(&o) {
+                        return Err(Malformed::UnknownObject(i));
+                    }
+                    if !held.get(&p).is_some_and(|h| h.contains(&o)) {
+                        return Err(Malformed::UnprotectedOp(i));
+                    }
+                    dirty_since_op.insert(p, false);
+                }
+                Event::Commit { t, p } | Event::Abort { t, p } => {
+                    if live_tx.get(&p) != Some(&t) {
+                        return Err(Malformed::StrayEvent(i));
+                    }
+                    if matches!(*e, Event::Commit { .. })
+                        && dirty_since_op.get(&p).copied().unwrap_or(false)
+                    {
+                        return Err(Malformed::LateProtectionChange(i));
+                    }
+                    live_tx.remove(&p);
+                }
+                Event::Acquire { o, p, .. } | Event::Release { o, p, .. } => {
+                    let h = held.entry(p).or_default();
+                    let ok = match *e {
+                        Event::Acquire { .. } => h.insert(o),
+                        _ => h.remove(&o),
+                    };
+                    if !ok {
+                        return Err(Malformed::ProtectionMisuse(i));
+                    }
+                    if live_tx.contains_key(&p) {
+                        dirty_since_op.insert(p, true);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Is the history relax-serial? Per the paper: for every protection
+    /// element, the acquire/release events form alternating matched pairs
+    /// starting with an acquire — episodes of different processes never
+    /// interleave.
+    #[must_use]
+    pub fn is_relax_serial(&self) -> bool {
+        let mut holder: HashMap<ObjId, ProcId> = HashMap::new();
+        for e in &self.events {
+            match *e {
+                // Acquired while held: episodes interleave.
+                Event::Acquire { o, p, .. } if holder.insert(o, p).is_some() => return false,
+                // Released by a non-holder (or never acquired).
+                Event::Release { o, p, .. } if holder.remove(&o) != Some(p) => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Is the per-object operation sequence legal (each `opseq(H|o)` in
+    /// `o.seq`)? Only meaningful for (relax-)serial candidates.
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        let mut states: BTreeMap<ObjId, crate::event::ObjState> = self
+            .objects
+            .iter()
+            .map(|(&o, &k)| (o, k.initial()))
+            .collect();
+        for e in &self.events {
+            if let Event::Op { o, op, val, .. } = *e {
+                let Some(s) = states.get_mut(&o) else {
+                    return false;
+                };
+                if !s.step(op, val) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Convenience: push a fused op event.
+    #[must_use]
+    pub fn op(self, t: TxId, o: ObjId, op: OpKind, val: Val) -> Self {
+        self.then(Event::Op { t, o, op, val })
+    }
+
+    /// Convenience: push begin.
+    #[must_use]
+    pub fn begin(self, t: TxId, p: ProcId) -> Self {
+        self.then(Event::Begin { t, p })
+    }
+
+    /// Convenience: push commit.
+    #[must_use]
+    pub fn commit(self, t: TxId, p: ProcId) -> Self {
+        self.then(Event::Commit { t, p })
+    }
+
+    /// Convenience: push abort.
+    #[must_use]
+    pub fn abort(self, t: TxId, p: ProcId) -> Self {
+        self.then(Event::Abort { t, p })
+    }
+
+    /// Convenience: push acquire.
+    #[must_use]
+    pub fn acquire(self, o: ObjId, p: ProcId, t: TxId) -> Self {
+        self.then(Event::Acquire { o, p, t })
+    }
+
+    /// Convenience: push release.
+    #[must_use]
+    pub fn release(self, o: ObjId, p: ProcId, t: TxId) -> Self {
+        self.then(Event::Release { o, p, t })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> History {
+        // t1 on p1 writes x; t2 on p2 reads it afterwards.
+        History::new()
+            .with_object(1, ObjKind::Register)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, OpKind::Write(5), 0)
+            .commit(1, 1)
+            .release(1, 1, 1)
+            .begin(2, 2)
+            .acquire(1, 2, 2)
+            .op(2, 1, OpKind::Read, 5)
+            .commit(2, 2)
+            .release(1, 2, 2)
+    }
+
+    #[test]
+    fn tiny_history_is_well_formed_relax_serial_legal() {
+        let h = tiny();
+        assert_eq!(h.well_formed(), Ok(()));
+        assert!(h.is_relax_serial());
+        assert!(h.is_legal());
+    }
+
+    #[test]
+    fn classification_sets() {
+        let h = tiny().begin(3, 3).abort(3, 3).begin(4, 3);
+        assert_eq!(h.transactions().len(), 4);
+        assert_eq!(h.committed(), [1, 2].into());
+        assert_eq!(h.aborted(), [3].into());
+        assert_eq!(h.live(), [4].into());
+        let cp = h.committed_projection();
+        assert!(cp.events.iter().all(|e| e.tx() == 1 || e.tx() == 2));
+    }
+
+    #[test]
+    fn pmin_excludes_released_elements() {
+        // t acquires o1 and o2, releases o1 before commit.
+        let h = History::new()
+            .with_object(1, ObjKind::Register)
+            .with_object(2, ObjKind::Register)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, OpKind::Read, 0)
+            .acquire(2, 1, 1)
+            .op(1, 2, OpKind::Read, 0)
+            .release(1, 1, 1)
+            .op(1, 2, OpKind::Read, 0)
+            .commit(1, 1)
+            .release(2, 1, 1);
+        assert_eq!(h.well_formed(), Ok(()));
+        assert_eq!(h.pmin(1), [2].into());
+        assert_eq!(h.kernel(1), [2].into());
+    }
+
+    #[test]
+    fn partial_order_commit_before_begin() {
+        let h = tiny();
+        assert!(h.partial_order().contains(&(1, 2)));
+        assert!(!h.partial_order().contains(&(2, 1)));
+    }
+
+    #[test]
+    fn unprotected_op_is_malformed() {
+        let h = History::new()
+            .with_object(1, ObjKind::Register)
+            .begin(1, 1)
+            .op(1, 1, OpKind::Read, 0)
+            .commit(1, 1);
+        assert_eq!(h.well_formed(), Err(Malformed::UnprotectedOp(1)));
+    }
+
+    #[test]
+    fn late_protection_change_is_malformed() {
+        let h = History::new()
+            .with_object(1, ObjKind::Register)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, OpKind::Read, 0)
+            .release(1, 1, 1) // between last response and commit: forbidden
+            .commit(1, 1);
+        assert_eq!(h.well_formed(), Err(Malformed::LateProtectionChange(4)));
+    }
+
+    #[test]
+    fn double_acquire_is_not_relax_serial() {
+        let h = History::new()
+            .with_object(1, ObjKind::Register)
+            .acquire(1, 1, 1)
+            .acquire(1, 2, 2);
+        assert!(!h.is_relax_serial());
+    }
+
+    #[test]
+    fn illegal_read_detected() {
+        let h = History::new()
+            .with_object(1, ObjKind::Register)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, OpKind::Read, 7) // register starts at 0
+            .commit(1, 1)
+            .release(1, 1, 1);
+        assert!(!h.is_legal());
+    }
+
+    #[test]
+    fn proc_projection_owns_ops() {
+        let h = tiny();
+        let p1 = h.proc_projection(1);
+        assert_eq!(p1.len(), 5);
+        assert!(p1.iter().all(|e| e.tx() == 1));
+    }
+}

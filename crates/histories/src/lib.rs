@@ -1,0 +1,43 @@
+//! # histories — the paper's formal model, executable
+//!
+//! Sections II–IV of *Composing Relaxed Transactions* define a system
+//! model (events, histories, protection elements, minimal protected
+//! sets), a relaxed correctness criterion (relax-serializability), two
+//! composition criteria (strong and weak composability), and the
+//! **outheritance** property, proven necessary (Thm 4.3) and sufficient
+//! (Thm 4.4) for weak composability, and insufficient for strong
+//! composability (Thm 4.2, Fig. 3).
+//!
+//! This crate turns all of that into code:
+//!
+//! * [`event`] / [`history`] — the vocabulary: events, well-formedness,
+//!   `Pmin`, `ker`, `<H`, relax-seriality, legality per serial object
+//!   specifications (registers, counters, integer sets);
+//! * [`search`] — exhaustive decision procedures for serializability and
+//!   relax-serializability on small histories;
+//! * [`composition`] — compositions, `Sup(C)`, Definitions 3.1/3.2;
+//! * [`outheritance`] — Definition 4.1;
+//! * [`theorems`] — the paper's constructions verbatim (Fig. 3, the
+//!   Section II-B example, the Theorem 4.3 extension), each checked by
+//!   this crate's test suite;
+//! * [`recorder`] — a `TraceSink` recording *live* OE-STM executions into
+//!   the model, closing the loop between implementation and theory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod composition;
+pub mod display;
+pub mod event;
+pub mod history;
+pub mod outheritance;
+pub mod recorder;
+pub mod search;
+pub mod theorems;
+
+pub use composition::{is_strongly_composable, is_weakly_composable, Composition};
+pub use event::{Event, ObjId, ObjKind, OpKind, ProcId, TxId, Val};
+pub use history::History;
+pub use outheritance::satisfies_outheritance;
+pub use recorder::Recorder;
+pub use search::{find_relax_serial_witness, is_relax_serializable, is_serializable};

@@ -1,0 +1,136 @@
+//! Outheritance — Definition 4.1, the paper's central property.
+//!
+//! A history `H` satisfies outheritance with respect to a composition `C`
+//! executed by process `p` iff for every member `t ∈ C` and every
+//! protection element `(o) ∈ Pmin(t)`, there is **no** release
+//! `⟨r((o)), p⟩` between `commit(t)` and `commit(Sup(C))` — the child's
+//! minimal protected set stays protected until the whole composition
+//! commits. Concretely this is what OE-STM's `outherit()` (Fig. 4)
+//! enforces, and what the E-STM compatibility mode deliberately violates.
+
+use crate::composition::Composition;
+use crate::event::Event;
+use crate::history::History;
+
+/// Definition 4.1: does `h` satisfy outheritance with respect to `c`?
+///
+/// If `Sup(C)` has not committed, the end of the history is used as the
+/// bound: a release after `commit(t)` while the supremum is still pending
+/// already violates the property (it would precede the eventual commit).
+#[must_use]
+pub fn satisfies_outheritance(h: &History, c: &Composition) -> bool {
+    let Some(p) = h.proc_of(c.members[0]) else {
+        return true; // no events of the composition: vacuous
+    };
+    let bound = h
+        .commit_index(c.sup())
+        .unwrap_or(h.events.len());
+    for &t in &c.members {
+        let Some(ci) = h.commit_index(t) else {
+            continue; // member not committed: nothing to check yet
+        };
+        let pmin = h.pmin(t);
+        for (i, e) in h.events.iter().enumerate() {
+            if i <= ci || i >= bound {
+                continue;
+            }
+            if let Event::Release { o, p: rp, .. } = *e {
+                if rp == p && pmin.contains(&o) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ObjKind, OpKind};
+
+    /// t1 protects o1 (in Pmin); outheritance holds iff the release comes
+    /// after t2 (= Sup) commits.
+    fn base(release_early: bool) -> History {
+        let h = History::new()
+            .with_object(1, ObjKind::Register)
+            .with_object(2, ObjKind::Register)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, OpKind::Read, 0)
+            .commit(1, 1);
+        let h = if release_early {
+            h.release(1, 1, 1)
+        } else {
+            h
+        };
+        let h = h
+            .begin(2, 1)
+            .acquire(2, 1, 2)
+            .op(2, 2, OpKind::Write(1), 0)
+            .commit(2, 1)
+            .release(2, 1, 2);
+        if release_early {
+            h
+        } else {
+            h.release(1, 1, 1)
+        }
+    }
+
+    #[test]
+    fn outheriting_history_satisfies_definition() {
+        let h = base(false);
+        assert_eq!(h.well_formed(), Ok(()));
+        let c = Composition::new(vec![1, 2]);
+        assert!(c.is_valid(&h));
+        assert!(satisfies_outheritance(&h, &c));
+    }
+
+    #[test]
+    fn early_release_violates_definition() {
+        let h = base(true);
+        assert_eq!(h.well_formed(), Ok(()));
+        let c = Composition::new(vec![1, 2]);
+        assert!(!satisfies_outheritance(&h, &c));
+    }
+
+    #[test]
+    fn release_of_non_pmin_element_is_fine() {
+        // t1 acquires and releases o1 *before* committing (so o1 is not in
+        // Pmin(t1)); a later release between commits involves nothing
+        // protected.
+        let h = History::new()
+            .with_object(1, ObjKind::Register)
+            .with_object(2, ObjKind::Register)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, OpKind::Read, 0)
+            .acquire(2, 1, 1)
+            .op(1, 2, OpKind::Read, 0)
+            .release(1, 1, 1) // released pre-commit → not in Pmin
+            .op(1, 2, OpKind::Read, 0)
+            .commit(1, 1)
+            .begin(2, 1)
+            .op(2, 2, OpKind::Read, 0)
+            .commit(2, 1)
+            .release(2, 1, 2);
+        assert_eq!(h.well_formed(), Ok(()));
+        let c = Composition::new(vec![1, 2]);
+        assert!(satisfies_outheritance(&h, &c));
+    }
+
+    #[test]
+    fn live_supremum_uses_history_end_as_bound() {
+        // Sup not committed yet; the early release already violates.
+        let h = History::new()
+            .with_object(1, ObjKind::Register)
+            .begin(1, 1)
+            .acquire(1, 1, 1)
+            .op(1, 1, OpKind::Read, 0)
+            .commit(1, 1)
+            .release(1, 1, 1)
+            .begin(2, 1); // sup began but never commits in H
+        let c = Composition::new(vec![1, 2]);
+        assert!(!satisfies_outheritance(&h, &c));
+    }
+}

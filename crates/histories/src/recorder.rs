@@ -1,0 +1,223 @@
+//! Recording live STM executions into the formal model.
+//!
+//! [`Recorder`] implements `stm_core::trace::TraceSink`: attach it to an
+//! OE-STM instance (`OeStm::with_trace`) and every transaction emits the
+//! begin / op / acquire / release / commit / abort events of the paper's
+//! model. [`Recorder::history`] then yields a [`History`] whose objects
+//! are registers (one per traced memory location), ready for the
+//! relax-serializability / composability / outheritance checkers — tying
+//! the implementation back to the theory.
+//!
+//! Event order is the global arrival order (a mutex serializes appends),
+//! which is a linear extension of each thread's program order — exactly
+//! what a history needs.
+
+use crate::event::{Event, ObjId, ObjKind, OpKind, TxId};
+use crate::history::History;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use stm_core::trace::{TraceOp, TraceSink};
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    /// Dense object ids per traced location.
+    objs: HashMap<usize, ObjId>,
+    /// Dense transaction ids per traced transaction.
+    txs: HashMap<u64, TxId>,
+    /// Dense process ids.
+    procs: HashMap<u64, u32>,
+}
+
+impl Inner {
+    fn obj(&mut self, loc: usize) -> ObjId {
+        let next = self.objs.len() as ObjId + 1;
+        *self.objs.entry(loc).or_insert(next)
+    }
+    fn tx(&mut self, t: u64) -> TxId {
+        let next = self.txs.len() as TxId + 1;
+        *self.txs.entry(t).or_insert(next)
+    }
+    fn proc(&mut self, p: u64) -> u32 {
+        let next = self.procs.len() as u32 + 1;
+        *self.procs.entry(p).or_insert(next)
+    }
+}
+
+/// A thread-safe trace sink that accumulates the history of a run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    /// Fresh, empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every recorded event, aborted attempts included (diagnostics).
+    #[must_use]
+    pub fn raw_history(&self) -> History {
+        let inner = self.inner.lock().expect("recorder poisoned");
+        History {
+            events: inner.events.clone(),
+            objects: inner
+                .objs
+                .values()
+                .map(|&o| (o, ObjKind::Register))
+                .collect(),
+        }
+    }
+
+    /// The recorded history with aborted transactions removed, as the
+    /// paper's model prescribes ("we remove from histories all events
+    /// involving aborted transactions"). An aborted *composition attempt*
+    /// aborts its children too — the tracer emits abort events for each —
+    /// so their provisional commits disappear here as well. All objects
+    /// are registers (values are raw transactional words; `TVar`s start
+    /// at 0, matching the register specification's initial state).
+    #[must_use]
+    pub fn history(&self) -> History {
+        let raw = self.raw_history();
+        let aborted = raw.aborted();
+        History {
+            events: raw
+                .events
+                .into_iter()
+                .filter(|e| !aborted.contains(&e.tx()))
+                .collect(),
+            objects: raw.objects,
+        }
+    }
+
+    /// Number of events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("recorder poisoned").events.len()
+    }
+
+    /// True if nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Transaction ids (model-side) in begin order for process `p`
+    /// (model-side id). Useful to build [`Composition`]s from a run.
+    ///
+    /// [`Composition`]: crate::composition::Composition
+    #[must_use]
+    pub fn txs_of_proc(&self, p: u32) -> Vec<TxId> {
+        let h = self.history();
+        h.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Begin { t, p: q } if q == p => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl TraceSink for Recorder {
+    fn begin(&self, tx: u64, proc_id: u64) {
+        let mut g = self.inner.lock().expect("recorder poisoned");
+        let (t, p) = (g.tx(tx), g.proc(proc_id));
+        g.events.push(Event::Begin { t, p });
+    }
+
+    fn op(&self, tx: u64, _proc_id: u64, loc: usize, op: TraceOp) {
+        let mut g = self.inner.lock().expect("recorder poisoned");
+        let (t, o) = (g.tx(tx), g.obj(loc));
+        let ev = match op {
+            TraceOp::Read(w) => Event::Op {
+                t,
+                o,
+                op: OpKind::Read,
+                val: w as i64,
+            },
+            TraceOp::Write(w) => Event::Op {
+                t,
+                o,
+                op: OpKind::Write(w as i64),
+                val: 0,
+            },
+        };
+        g.events.push(ev);
+    }
+
+    fn acquire(&self, tx: u64, proc_id: u64, loc: usize) {
+        let mut g = self.inner.lock().expect("recorder poisoned");
+        let (t, p, o) = (g.tx(tx), g.proc(proc_id), g.obj(loc));
+        g.events.push(Event::Acquire { o, p, t });
+    }
+
+    fn release(&self, tx: u64, proc_id: u64, loc: usize) {
+        let mut g = self.inner.lock().expect("recorder poisoned");
+        let (t, p, o) = (g.tx(tx), g.proc(proc_id), g.obj(loc));
+        g.events.push(Event::Release { o, p, t });
+    }
+
+    fn commit(&self, tx: u64, proc_id: u64) {
+        let mut g = self.inner.lock().expect("recorder poisoned");
+        let (t, p) = (g.tx(tx), g.proc(proc_id));
+        g.events.push(Event::Commit { t, p });
+    }
+
+    fn abort(&self, tx: u64, proc_id: u64) {
+        let mut g = self.inner.lock().expect("recorder poisoned");
+        let (t, p) = (g.tx(tx), g.proc(proc_id));
+        g.events.push(Event::Abort { t, p });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_assigns_dense_ids() {
+        let r = Recorder::new();
+        r.begin(100, 7);
+        r.acquire(100, 7, 0xdead0);
+        r.op(100, 7, 0xdead0, TraceOp::Read(0));
+        r.commit(100, 7);
+        r.release(100, 7, 0xdead0);
+        let h = r.history();
+        assert_eq!(h.events.len(), 5);
+        assert_eq!(h.committed(), [1].into());
+        assert_eq!(h.objects.len(), 1);
+        assert_eq!(h.well_formed(), Ok(()));
+    }
+
+    #[test]
+    fn aborted_transactions_are_filtered_from_history() {
+        let r = Recorder::new();
+        r.begin(1, 1);
+        r.abort(1, 1);
+        r.begin(2, 1);
+        r.commit(2, 1);
+        assert_eq!(r.raw_history().aborted(), [1].into());
+        let h = r.history();
+        assert_eq!(h.transactions(), [2].into());
+    }
+
+    #[test]
+    fn revoked_child_commit_is_filtered_too() {
+        // A child commits provisionally, then the whole attempt aborts:
+        // the tracer emits an abort for the child as well, and history()
+        // drops its events despite the commit event.
+        let r = Recorder::new();
+        r.begin(10, 1); // child
+        r.op(10, 1, 0x40, TraceOp::Write(5));
+        r.commit(10, 1);
+        r.abort(10, 1); // attempt-wide revocation
+        r.begin(11, 1);
+        r.commit(11, 1);
+        let h = r.history();
+        assert_eq!(h.transactions(), [2].into(), "only the retry survives");
+        assert!(h.events.iter().all(|e| !matches!(e, Event::Op { .. })));
+    }
+}

@@ -1,0 +1,248 @@
+//! The paper's theorems as executable artifacts.
+//!
+//! * [`fig3_history`] — the exact history of the Theorem 4.2 proof
+//!   (Fig. 3): it satisfies outheritance w.r.t. `C = {t1, t3}` yet is
+//!   **not** strongly composable (outheritance is not sufficient for
+//!   *strong* composition).
+//! * [`section2_example`] — the Section II-B history that is
+//!   relax-serializable but not serializable (relaxation is real).
+//! * [`thm43_witness`] — a concrete instance of the Theorem 4.3
+//!   construction: take a history satisfying outheritance, release one
+//!   protected element early, extend with a conflicting transaction as in
+//!   the proof, and observe that weak composability is lost (outheritance
+//!   is *necessary*).
+//!
+//! Theorem 4.4 (sufficiency) is exercised by property tests over
+//! generated histories in this crate's test suite and the workspace
+//! integration tests.
+
+use crate::composition::Composition;
+use crate::event::{ObjKind, OpKind};
+use crate::history::History;
+
+/// Object ids used by the constructions.
+pub const OBJ_X: u32 = 1;
+/// Counter object of Fig. 3.
+pub const OBJ_C: u32 = 2;
+
+/// The history of the Theorem 4.2 proof (Fig. 3), verbatim:
+///
+/// ```text
+/// H = ⟨begin(t1),p1⟩ ⟨a(e1),p1⟩ ⟨w(2),x,t1⟩⟨ok⟩ ⟨commit(t1),p1⟩
+///     ⟨begin(t3),p1⟩ ⟨a(e2),p1⟩ ⟨inc(),c,t3⟩⟨1⟩ ⟨r(e2),p1⟩
+///     ⟨begin(t2),p2⟩ ⟨a(e2),p2⟩ ⟨inc(),c,t2⟩⟨2⟩ ⟨commit(t2),p2⟩ ⟨r(e2),p2⟩
+///     ⟨a(e2),p1⟩ ⟨inc(),c,t3⟩⟨3⟩ ⟨r(e2),p1⟩
+///     ⟨r(),x,t3⟩⟨2⟩ ⟨commit(t3),p1⟩ ⟨r(e1),p1⟩
+/// ```
+///
+/// `x` is a register protected by `e1` (held by `p1` from `t1`'s write
+/// until after `t3` commits — that *is* outheritance for `Pmin(t1) =
+/// {x}`), `c` a counter whose element `e2` is acquired and released
+/// around each increment (so `Pmin(t3) = ∅`).
+#[must_use]
+pub fn fig3_history() -> History {
+    History::new()
+        .with_object(OBJ_X, ObjKind::Register)
+        .with_object(OBJ_C, ObjKind::Counter)
+        // t1 on p1: write x = 2 under e1.
+        .begin(1, 1)
+        .acquire(OBJ_X, 1, 1)
+        .op(1, OBJ_X, OpKind::Write(2), 0)
+        .commit(1, 1)
+        // t3 on p1: first increment of c (returns 1).
+        .begin(3, 1)
+        .acquire(OBJ_C, 1, 3)
+        .op(3, OBJ_C, OpKind::Inc, 1)
+        .release(OBJ_C, 1, 3)
+        // t2 on p2: increment of c (returns 2).
+        .begin(2, 2)
+        .acquire(OBJ_C, 2, 2)
+        .op(2, OBJ_C, OpKind::Inc, 2)
+        .commit(2, 2)
+        .release(OBJ_C, 2, 2)
+        // t3 again: second increment (returns 3), then reads x = 2.
+        .acquire(OBJ_C, 1, 3)
+        .op(3, OBJ_C, OpKind::Inc, 3)
+        .release(OBJ_C, 1, 3)
+        .op(3, OBJ_X, OpKind::Read, 2)
+        .commit(3, 1)
+        .release(OBJ_X, 1, 1)
+}
+
+/// The composition `C = {t1, t3}` of the Theorem 4.2 proof.
+#[must_use]
+pub fn fig3_composition() -> Composition {
+    Composition::new(vec![1, 3])
+}
+
+/// The Section II-B example history: relax-serial (hence
+/// relax-serializable as its own witness) but not serializable.
+///
+/// t1 reads o1 and o2, releases (o1); t2 writes o1 and reads o3, commits;
+/// t1 then writes o3 and commits. Serializing needs t1 < t2 (t1 read o1
+/// before t2's write) *and* t2 < t1 (t2 read o3 before t1's write):
+/// contradiction.
+#[must_use]
+pub fn section2_example() -> History {
+    const O1: u32 = 1;
+    const O2: u32 = 2;
+    const O3: u32 = 3;
+    History::new()
+        .with_object(O1, ObjKind::Register)
+        .with_object(O2, ObjKind::Register)
+        .with_object(O3, ObjKind::Register)
+        .begin(1, 1)
+        .acquire(O1, 1, 1)
+        .op(1, O1, OpKind::Read, 0)
+        .acquire(O2, 1, 1)
+        .op(1, O2, OpKind::Read, 0)
+        .release(O1, 1, 1)
+        .begin(2, 2)
+        .acquire(O1, 2, 2)
+        .op(2, O1, OpKind::Write(9), 0)
+        .acquire(O3, 2, 2)
+        .op(2, O3, OpKind::Read, 0)
+        .commit(2, 2)
+        .release(O1, 2, 2)
+        .release(O3, 2, 2)
+        .acquire(O3, 1, 1)
+        .op(1, O3, OpKind::Write(7), 0)
+        .commit(1, 1)
+        .release(O2, 1, 1)
+        .release(O3, 1, 1)
+}
+
+/// A concrete Theorem 4.3 construction. Returns `(h_outherit,
+/// h_violating, composition)`:
+///
+/// * `h_outherit`: `t1` (committed, `Pmin = {x}`, wrote `x = 1`) composed
+///   with live `t2`; the element `(x)` is still held — outheritance holds
+///   so far, and every completion in which `p1` keeps holding `(x)` is
+///   weakly composable.
+/// * `h_violating`: as the proof prescribes, extend with the early
+///   release `⟨r((x)), p1⟩` (outheritance now violated), a foreign `t3`
+///   that writes `x = 5` and commits (the non-commuting `ω_o`), and the
+///   completion of `t2` which reads `x = 5` — a value from *inside* the
+///   composition window. The resulting history is not weakly composable
+///   w.r.t. `C = {t1, t2}`.
+#[must_use]
+pub fn thm43_witness() -> (History, History, Composition) {
+    let c = Composition::new(vec![1, 2]);
+    let h_outherit = History::new()
+        .with_object(OBJ_X, ObjKind::Register)
+        .begin(1, 1)
+        .acquire(OBJ_X, 1, 1)
+        .op(1, OBJ_X, OpKind::Write(1), 0)
+        .commit(1, 1)
+        .begin(2, 1);
+    // The proof's extension: release (x) early, run the conflicting t3,
+    // then complete t2 with an operation on x that observes t3's write.
+    let h_violating = h_outherit
+        .clone()
+        .release(OBJ_X, 1, 1)
+        .begin(3, 2)
+        .acquire(OBJ_X, 2, 3)
+        .op(3, OBJ_X, OpKind::Write(5), 0)
+        .commit(3, 2)
+        .release(OBJ_X, 2, 3)
+        .acquire(OBJ_X, 1, 2)
+        .op(2, OBJ_X, OpKind::Read, 5)
+        .commit(2, 1)
+        .release(OBJ_X, 1, 2);
+    (h_outherit, h_violating, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composition::{is_strongly_composable, is_weakly_composable};
+    use crate::outheritance::satisfies_outheritance;
+    use crate::search::{is_relax_serializable, is_serializable};
+
+    #[test]
+    fn fig3_is_well_formed_and_relax_serial() {
+        let h = fig3_history();
+        assert_eq!(h.well_formed(), Ok(()));
+        assert!(h.is_relax_serial());
+        assert!(h.is_legal());
+    }
+
+    #[test]
+    fn fig3_composition_is_valid_and_pmin_as_stated() {
+        let h = fig3_history();
+        let c = fig3_composition();
+        assert!(c.is_valid(&h));
+        assert_eq!(h.pmin(1), [OBJ_X].into(), "Pmin(t1) = {{x}}");
+        assert_eq!(h.pmin(3).len(), 0, "t3 released e2 before committing");
+    }
+
+    #[test]
+    fn theorem_4_2_fig3_satisfies_outheritance() {
+        let h = fig3_history();
+        assert!(satisfies_outheritance(&h, &fig3_composition()));
+    }
+
+    #[test]
+    fn theorem_4_2_fig3_is_not_strongly_composable() {
+        // The counter return values pin inc order 1,2,3 and the episode
+        // structure pins commit(t2) between commit(t1) and commit(t3):
+        // t2's commit always separates the composition.
+        let h = fig3_history();
+        assert!(!is_strongly_composable(&h, &fig3_composition()));
+    }
+
+    #[test]
+    fn theorem_4_4_fig3_is_weakly_composable() {
+        // Outheritance holds, so weak composability must (Thm 4.4).
+        let h = fig3_history();
+        assert!(is_weakly_composable(&h, &fig3_composition()));
+    }
+
+    #[test]
+    fn fig3_is_relax_serializable_but_not_serializable() {
+        let h = fig3_history();
+        assert!(is_relax_serializable(&h));
+        assert!(
+            !is_serializable(&h),
+            "the interleaved counter increments admit no serial order"
+        );
+    }
+
+    #[test]
+    fn section2_example_separates_the_two_criteria() {
+        let h = section2_example();
+        assert_eq!(h.well_formed(), Ok(()));
+        assert!(h.is_relax_serial());
+        assert!(is_relax_serializable(&h));
+        assert!(!is_serializable(&h));
+    }
+
+    #[test]
+    fn theorem_4_3_early_release_destroys_weak_composability() {
+        let (h_ok, h_bad, c) = thm43_witness();
+        // Before the release: outheritance holds.
+        assert!(satisfies_outheritance(&h_ok, &c));
+        // The extension violates outheritance…
+        assert!(!satisfies_outheritance(&h_bad, &c));
+        assert_eq!(h_bad.well_formed(), Ok(()));
+        // …and the completed history is not weakly composable: t3 wrote x
+        // between t1's ops on x and Sup(C) = t2's read of x.
+        assert!(!is_weakly_composable(&h_bad, &c));
+    }
+
+    #[test]
+    fn theorem_4_3_without_foreign_writer_stays_composable() {
+        // Control: the same early release with no conflicting t3 and t2
+        // reading the old value remains weakly composable — the release
+        // alone is not observable, which is why Thm 4.3 needs the
+        // non-commutativity assumption.
+        let (h_ok, _, c) = thm43_witness();
+        let h = h_ok
+            .release(OBJ_X, 1, 1)
+            .acquire(OBJ_X, 1, 2)
+            .op(2, OBJ_X, OpKind::Read, 1)
+            .commit(2, 1)
+            .release(OBJ_X, 1, 2);
+        assert!(is_weakly_composable(&h, &c));
+    }
+}

@@ -1,0 +1,178 @@
+//! Optional execution tracing: maps a live OE-STM run onto the event
+//! vocabulary of the paper's history model (begin / op / acquire / release
+//! / commit / abort), for checking by the `histories` crate.
+//!
+//! ## Mapping
+//!
+//! The model has *flat* transactions: a composition is a sequence of
+//! sibling transactions of one process, not a tree. The tracer therefore
+//! emits:
+//!
+//! * one model transaction per **child** (begin at its first operation,
+//!   commit at child commit) — the members of the composition;
+//! * a model transaction for the **top level** only if it performs
+//!   operations directly (a pure composition shell stays invisible);
+//! * `begin` lazily at the first operation of each (sub)transaction, so
+//!   the recorded per-process sequences are sequences of transactions as
+//!   the model requires;
+//! * on a top-level abort, `abort` events for *every* transaction begun by
+//!   the attempt — including children whose provisional commits the abort
+//!   revokes; the recorder drops all of their events, exactly like the
+//!   paper removes aborted transactions from histories.
+//!
+//! A per-location hold count keeps acquire/release alternating per
+//! protection element even when a location is read several times.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use stm_core::trace::{current_proc_id, TraceOp, TraceSink};
+
+#[derive(Debug, Clone, Copy)]
+struct Level {
+    id: u64,
+    begun: bool,
+}
+
+/// Per-transaction tracing state. Boxed inside the transaction and absent
+/// (zero-cost) when tracing is disabled.
+#[derive(Clone)]
+pub(crate) struct Tracer {
+    sink: Arc<dyn TraceSink>,
+    /// Hold counts per location id; acquire on 0→1, release on 1→0.
+    held: HashMap<usize, u32>,
+    /// Stack of (sub)transaction levels; index 0 is the top level.
+    stack: Vec<Level>,
+    /// Every transaction id that emitted `begin` during this attempt (for
+    /// attempt-wide abort).
+    attempt_begun: Vec<u64>,
+    proc_id: u64,
+}
+
+impl core::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("held", &self.held.len())
+            .field("stack", &self.stack)
+            .field("proc_id", &self.proc_id)
+            .finish()
+    }
+}
+
+impl Tracer {
+    pub(crate) fn begin_top(sink: Arc<dyn TraceSink>, tx_id: u64) -> Self {
+        Self {
+            sink,
+            held: HashMap::new(),
+            stack: vec![Level {
+                id: tx_id,
+                begun: false,
+            }],
+            attempt_begun: Vec::new(),
+            proc_id: current_proc_id(),
+        }
+    }
+
+    fn cur(&self) -> Level {
+        *self.stack.last().expect("tracer has no live level")
+    }
+
+    /// Emit `begin` for the current level if it has not happened yet.
+    fn ensure_begun(&mut self) -> u64 {
+        let top = self.stack.last_mut().expect("tracer has no live level");
+        if !top.begun {
+            top.begun = true;
+            let id = top.id;
+            self.attempt_begun.push(id);
+            self.sink.begin(id, self.proc_id);
+            id
+        } else {
+            top.id
+        }
+    }
+
+    pub(crate) fn begin_child(&mut self, tx_id: u64) {
+        self.stack.push(Level {
+            id: tx_id,
+            begun: false,
+        });
+    }
+
+    /// Child commit: emits `commit` if the child performed operations.
+    /// Returns the child's transaction id so follow-up releases (E-STM
+    /// mode) can be attributed to it.
+    pub(crate) fn commit_child(&mut self) -> u64 {
+        let lvl = self.stack.pop().expect("child commit without child");
+        if lvl.begun {
+            self.sink.commit(lvl.id, self.proc_id);
+        }
+        lvl.id
+    }
+
+    /// Record a read/write operation; acquires the protection element on
+    /// first touch.
+    pub(crate) fn op(&mut self, loc: usize, op: TraceOp) {
+        let tx = self.ensure_begun();
+        let count = self.held.entry(loc).or_insert(0);
+        if *count == 0 {
+            self.sink.acquire(tx, self.proc_id, loc);
+        }
+        *count += 1;
+        self.sink.op(tx, self.proc_id, loc, op);
+    }
+
+    /// Record an operation on a location whose protection element is
+    /// already held and tracked elsewhere (read-after-write from the write
+    /// set): no hold-count change.
+    pub(crate) fn op_held(&mut self, loc: usize, op: TraceOp) {
+        let tx = self.ensure_begun();
+        self.sink.op(tx, self.proc_id, loc, op);
+    }
+
+    /// One hold on `loc` lapsed (elastic window eviction); emits the
+    /// release event when the last hold drops, attributed to the current
+    /// (sub)transaction.
+    pub(crate) fn drop_hold(&mut self, loc: usize) {
+        let tx = self.cur().id;
+        self.drop_hold_as(tx, loc);
+    }
+
+    /// Like [`drop_hold`](Self::drop_hold) with explicit attribution —
+    /// used for the E-STM child-commit releases, which belong to the
+    /// just-committed child rather than its (invisible) parent.
+    pub(crate) fn drop_hold_as(&mut self, tx: u64, loc: usize) {
+        if let Some(count) = self.held.get_mut(&loc) {
+            *count -= 1;
+            if *count == 0 {
+                self.held.remove(&loc);
+                self.sink.release(tx, self.proc_id, loc);
+            }
+        }
+    }
+
+    /// Commit the top level (if it became a transaction) and release
+    /// everything still held.
+    pub(crate) fn commit_top(&mut self) {
+        debug_assert_eq!(self.stack.len(), 1);
+        let lvl = self.cur();
+        if lvl.begun {
+            self.sink.commit(lvl.id, self.proc_id);
+        }
+        for (loc, _) in self.held.drain() {
+            self.sink.release(lvl.id, self.proc_id, loc);
+        }
+        self.attempt_begun.clear();
+    }
+
+    /// Abort the whole attempt: every transaction that begun during it —
+    /// children with provisional commits included — is aborted, innermost
+    /// first. The recorder removes all of their events.
+    pub(crate) fn abort_all(&mut self) {
+        for id in self.attempt_begun.drain(..).rev() {
+            self.sink.abort(id, self.proc_id);
+        }
+        self.stack.truncate(1);
+        // Holds of an aborted attempt take no effect; drop them silently
+        // (their events disappear with the aborted transactions).
+        self.held.clear();
+    }
+}

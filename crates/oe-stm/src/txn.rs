@@ -1,0 +1,354 @@
+//! The OE-STM transaction: elastic execution with outheritance-based
+//! composition (Sections V and VI of the paper).
+
+use crate::tracer::Tracer;
+use crate::OeStm;
+use stm_core::readset::ReadSet;
+use stm_core::ticket::next_ticket;
+use stm_core::trace::TraceOp;
+use stm_core::tvar::{ReadConflict, TVarCore};
+use stm_core::writeset::WriteSet;
+use stm_core::{Abort, AbortReason, Stm, TVar, Transaction, TxKind, Word};
+
+use crate::window::Window;
+
+/// Saved parent state across a child transaction (one nesting frame).
+#[derive(Debug)]
+struct Frame<'env> {
+    saved_mode: TxKind,
+    saved_hardened: bool,
+    saved_window: Vec<stm_core::readset::ReadEntry<'env>>,
+    /// Parent's read-set length at child begin; the child's reads are the
+    /// suffix past this mark.
+    read_mark: usize,
+}
+
+/// Bound on snapshot-advance attempts within a single read (prevents
+/// livelock against a pathological stream of conflicting commits).
+const MAX_ADVANCE_ATTEMPTS: u32 = 16;
+
+/// One OE-STM transaction attempt.
+///
+/// An attempt executes either as a *regular* (classic) transaction or as an
+/// *elastic* one. Elastic attempts keep only a sliding [`Window`] of their
+/// most recent reads until their first write ("the read-only prefix"),
+/// ignoring conflicts on everything that slid out; from the first write on
+/// they behave classically. Composition runs children via
+/// [`Transaction::child`]; with outheritance enabled (the OE in OE-STM) a
+/// committing child passes its protected set — read set, last-read window
+/// entries, and write set — to the parent exactly as in Fig. 4 of the
+/// paper.
+#[derive(Debug)]
+pub struct OeTxn<'env> {
+    stm: &'env OeStm,
+    /// Snapshot time: all protected reads are consistent at `rv`.
+    rv: u64,
+    ticket: u64,
+    reads: ReadSet<'env>,
+    writes: WriteSet<'env>,
+    window: Window<'env>,
+    mode: TxKind,
+    /// True once the current (sub)transaction has written (elastic
+    /// transactions "harden" into classic behaviour at their first write).
+    hardened: bool,
+    frames: Vec<Frame<'env>>,
+    pub(crate) tracer: Option<Box<Tracer>>,
+}
+
+impl<'env> OeTxn<'env> {
+    pub(crate) fn begin(stm: &'env OeStm, kind: TxKind) -> Self {
+        let tracer = stm
+            .sink()
+            .map(|sink| Box::new(Tracer::begin_top(sink, next_ticket().get())));
+        Self {
+            stm,
+            rv: stm.clock().now(),
+            ticket: next_ticket().get(),
+            reads: ReadSet::new(),
+            writes: WriteSet::new(),
+            window: Window::new(stm.config().elastic_window),
+            mode: kind,
+            hardened: kind == TxKind::Regular,
+            frames: Vec::new(),
+            tracer,
+        }
+    }
+
+    /// The snapshot time of this attempt (diagnostics/tests).
+    #[must_use]
+    pub fn snapshot_time(&self) -> u64 {
+        self.rv
+    }
+
+    /// Number of reads currently protected (read set + window). This is
+    /// the size of the transaction's protected set minus its writes.
+    #[must_use]
+    pub fn protected_reads(&self) -> usize {
+        self.reads.len() + self.window.len()
+    }
+
+    fn validate_all_reads(&self) -> bool {
+        self.reads
+            .validate(Some(self.ticket), |core| self.writes.locked_version_of(core))
+            && self.window.validate()
+    }
+
+    /// Move the snapshot forward to "now", requiring every currently
+    /// protected read to still be valid. In elastic (non-hardened) mode
+    /// this is the *elastic cut*: earlier prefix reads already slid out of
+    /// the window, so their conflicts are ignored — the defining relaxation
+    /// of the model. In hardened/regular mode it is a classic lazy
+    /// snapshot extension.
+    fn advance_snapshot(&mut self) -> Result<(), Abort> {
+        let now = self.stm.clock().now();
+        if !self.validate_all_reads() {
+            let reason = if self.hardened {
+                AbortReason::ExtensionFailed
+            } else {
+                AbortReason::ElasticCut
+            };
+            return Err(Abort::new(reason));
+        }
+        self.rv = now;
+        if self.hardened {
+            self.stm.counters().record_extension();
+        } else {
+            self.stm.counters().record_elastic_cut();
+        }
+        Ok(())
+    }
+
+    pub(crate) fn on_abort(&mut self) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.abort_all();
+        }
+    }
+
+    /// Top-level commit.
+    pub(crate) fn commit(&mut self) -> Result<(), Abort> {
+        debug_assert!(self.frames.is_empty(), "commit with live children");
+        if self.writes.is_empty() {
+            // Read-only: elastic reads were validated pairwise at each cut,
+            // classic reads against rv — the snapshot is consistent.
+            if let Some(t) = self.tracer.as_mut() {
+                t.commit_top();
+            }
+            return Ok(());
+        }
+        // The last elastic reads (r_k..r_n of Section V) are part of the
+        // minimal protected set: fold them into the read set and validate
+        // everything together.
+        self.window.drain_into(&mut self.reads);
+        self.writes.lock_all(self.ticket)?;
+        let wv = self.stm.clock().tick();
+        if wv != self.rv + 1 {
+            let ok = self
+                .reads
+                .validate(Some(self.ticket), |core| self.writes.locked_version_of(core));
+            if !ok {
+                self.writes.release_locks();
+                return Err(Abort::new(AbortReason::ReadValidation));
+            }
+        }
+        self.writes.write_back_and_release(wv);
+        if let Some(t) = self.tracer.as_mut() {
+            t.commit_top();
+        }
+        Ok(())
+    }
+
+    fn read_core(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
+        if let Some(word) = self.writes.lookup(core) {
+            if let Some(t) = self.tracer.as_mut() {
+                t.op_held(core.id(), TraceOp::Read(word));
+            }
+            return Ok(word);
+        }
+        let mut advances = 0u32;
+        let mut spins = 0u32;
+        loop {
+            match core.read_consistent() {
+                Ok((word, version)) => {
+                    if version > self.rv {
+                        advances += 1;
+                        if advances > MAX_ADVANCE_ATTEMPTS {
+                            return Err(Abort::new(AbortReason::ReadValidation));
+                        }
+                        self.advance_snapshot()?;
+                        // Re-read: the location may have changed between the
+                        // consistent read and the snapshot advance.
+                        continue;
+                    }
+                    if self.hardened {
+                        self.reads.push(core, version);
+                    } else {
+                        // Elastic read-only prefix: protect through the
+                        // sliding window; the evicted read is released.
+                        let evicted = self.window.push(core, version);
+                        if let (Some(t), Some(e)) = (self.tracer.as_mut(), evicted) {
+                            t.drop_hold(e.core.id());
+                        }
+                        // E-STM's per-read check: the immediate past reads
+                        // (the remaining window) must still be valid, so
+                        // every *consecutive pair* of reads is consistent —
+                        // the property elastic traversals rely on. The
+                        // just-pushed entry is fresh by construction.
+                        if !self.window.validate_previous() {
+                            return Err(Abort::new(AbortReason::ElasticCut));
+                        }
+                    }
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.op(core.id(), TraceOp::Read(word));
+                    }
+                    return Ok(word);
+                }
+                Err(ReadConflict::Locked(owner)) if owner != self.ticket => {
+                    spins += 1;
+                    if spins > self.stm.config().lock_spin_limit {
+                        return Err(Abort::new(AbortReason::LockConflict));
+                    }
+                    core::hint::spin_loop();
+                }
+                Err(ReadConflict::Locked(_)) => {
+                    // Locked by ourselves without a write-set entry cannot
+                    // happen (lazy write-back only locks at commit).
+                    unreachable!("self-locked location outside commit");
+                }
+                Err(ReadConflict::Unstable) => {
+                    return Err(Abort::new(AbortReason::UnstableRead));
+                }
+            }
+        }
+    }
+
+    fn write_core(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
+        if self.mode == TxKind::Elastic && !self.hardened {
+            // First write: the transaction hardens. The immediate past
+            // reads (the window) become permanently tracked — they are the
+            // r_k..r_n prefix boundary of the minimal protected set.
+            self.hardened = true;
+            self.window.drain_into(&mut self.reads);
+        }
+        let first_touch = self.writes.lookup(core).is_none();
+        self.writes.insert(core, word);
+        if let Some(t) = self.tracer.as_mut() {
+            if first_touch {
+                t.op(core.id(), TraceOp::Write(word));
+            } else {
+                t.op_held(core.id(), TraceOp::Write(word));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<'env> Transaction<'env> for OeTxn<'env> {
+    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort> {
+        self.read_core(var.core()).map(T::from_word)
+    }
+
+    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort> {
+        self.write_core(var.core(), value.into_word())
+    }
+
+    /// Composition. The child runs as its own (sub)transaction of the given
+    /// kind; what happens to its protected set at child commit is the
+    /// paper's crux:
+    ///
+    /// * **Outheritance enabled** (OE-STM, the default): `outherit()` — the
+    ///   child's window remnants join the parent's read set, and its reads
+    ///   and writes stay in the parent's sets, protected until the
+    ///   top-level commit (Fig. 4).
+    /// * **Outheritance disabled** (E-STM compatibility mode): the child's
+    ///   accesses are validated at child commit and then *released* —
+    ///   reproducing the Fig. 1 composition bug that motivates the paper.
+    fn child<R>(
+        &mut self,
+        kind: TxKind,
+        mut f: impl FnMut(&mut Self) -> Result<R, Abort>,
+    ) -> Result<R, Abort> {
+        self.frames.push(Frame {
+            saved_mode: self.mode,
+            saved_hardened: self.hardened,
+            saved_window: self.window.take_entries(),
+            read_mark: self.reads.len(),
+        });
+        self.mode = kind;
+        self.hardened = kind == TxKind::Regular;
+        if let Some(t) = self.tracer.as_mut() {
+            t.begin_child(next_ticket().get());
+        }
+
+        let result = f(self);
+        let frame = self.frames.pop().expect("frame pushed above");
+
+        match result {
+            Ok(value) => {
+                if self.stm.outheritance() {
+                    // outherit(): pass the child's protected set to the
+                    // parent. Reads and writes already accumulated in the
+                    // shared sets; the window remnants (the child's
+                    // last-read entries) are folded into the read set so
+                    // they stay protected until the parent commits.
+                    self.window.drain_into(&mut self.reads);
+                    self.stm.counters().record_outherit();
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.commit_child();
+                    }
+                } else if self.mode == TxKind::Regular {
+                    // E-STM with a *regular* child: flat nesting. A classic
+                    // child's accesses stay in the parent's sets until the
+                    // top-level commit — this is the workaround the elastic
+                    // transactions paper recommends ("use regular mode when
+                    // composing"), safe but paying classic-conflict aborts.
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.commit_child();
+                    }
+                } else {
+                    // E-STM child commit: check the child's access sequence
+                    // is atomic as of now, then release its protection
+                    // (the releases follow the child's commit event, as in
+                    // the model).
+                    let ok = self
+                        .reads
+                        .validate_suffix(frame.read_mark, Some(self.ticket), |core| {
+                            self.writes.locked_version_of(core)
+                        })
+                        && self.window.validate();
+                    if !ok {
+                        return Err(Abort::new(AbortReason::ReadValidation));
+                    }
+                    if let Some(t) = self.tracer.as_mut() {
+                        let child_id = t.commit_child();
+                        for e in self.reads.iter().skip(frame.read_mark) {
+                            t.drop_hold_as(child_id, e.core.id());
+                        }
+                        for e in self.window.iter() {
+                            t.drop_hold_as(child_id, e.core.id());
+                        }
+                    }
+                    self.reads.truncate(frame.read_mark);
+                    self.window.clear();
+                }
+                self.stm.counters().record_child_commit();
+                self.mode = frame.saved_mode;
+                self.hardened = frame.saved_hardened;
+                self.window.restore_entries(frame.saved_window);
+                Ok(value)
+            }
+            Err(abort) => {
+                // Child abort aborts the whole attempt (the retry loop
+                // re-runs the top-level transaction from scratch).
+                Err(abort)
+            }
+        }
+    }
+
+    fn kind(&self) -> TxKind {
+        self.mode
+    }
+
+    fn ticket(&self) -> u64 {
+        self.ticket
+    }
+}

@@ -1,0 +1,112 @@
+//! The linearizable base structure transactional boosting builds on.
+//!
+//! Boosting treats the underlying data structure as a black box from "a
+//! separate thread-safe library" — conflict detection happens entirely in
+//! the abstract-lock layer, so the base only needs linearizable single-key
+//! operations. A lock-striped hash of `BTreeSet` shards is plenty.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+
+/// Number of shards (power of two).
+const SHARDS: usize = 16;
+
+/// A linearizable concurrent set of `i64` keys.
+#[derive(Debug)]
+pub struct BaseSet {
+    shards: Vec<Mutex<BTreeSet<i64>>>,
+}
+
+impl Default for BaseSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BaseSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(BTreeSet::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: i64) -> &Mutex<BTreeSet<i64>> {
+        &self.shards[(key.rem_euclid(SHARDS as i64)) as usize]
+    }
+
+    /// Insert; `true` if the key was absent.
+    pub fn add(&self, key: i64) -> bool {
+        self.shard(key).lock().insert(key)
+    }
+
+    /// Remove; `true` if the key was present.
+    pub fn remove(&self, key: i64) -> bool {
+        self.shard(key).lock().remove(&key)
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, key: i64) -> bool {
+        self.shard(key).lock().contains(&key)
+    }
+
+    /// Total size (locks shards one at a time; linearizable only in
+    /// quiescence — boosted transactions protect it with abstract locks
+    /// instead).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True if empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics() {
+        let s = BaseSet::new();
+        assert!(s.add(5));
+        assert!(!s.add(5));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert!(s.remove(5));
+        assert!(!s.remove(5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn negative_keys() {
+        let s = BaseSet::new();
+        assert!(s.add(-17));
+        assert!(s.contains(-17));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_adds() {
+        let s = Arc::new(BaseSet::new());
+        let mut handles = Vec::new();
+        for t in 0..4i64 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..200 {
+                    assert!(s.add(t * 1000 + k));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 800);
+    }
+}

@@ -1,0 +1,41 @@
+//! # stm-boost — transactional boosting with outheritance
+//!
+//! The paper argues (Section VIII) that **outheritance is a general
+//! principle**, not something tied to the elastic model: any relaxed
+//! synchronization scheme composes iff committing children pass their
+//! conflict information to their parent. Its first example is
+//! *transactional boosting* (Herlihy & Koskinen, PPoPP 2008), where
+//! transactions operate on a linearizable black-box data structure,
+//! detect conflicts with **abstract locks** (one per key, since set
+//! operations on different keys commute), and roll back with
+//! **compensating operations**:
+//!
+//! > "Although not described in the paper, passing abstract locks from
+//! > the child to the parent transaction would make transactional
+//! > boosting satisfy outheritance and therefore provide composition."
+//!
+//! This crate implements exactly that sentence:
+//!
+//! * [`BaseSet`] — a linearizable concurrent integer set (lock-striped),
+//!   standing in for the "separate thread-safe library";
+//! * [`AbstractLocks`] — per-key two-phase abstract locks;
+//! * [`BoostedSet`] / [`BoostTxn`] — boosted transactions whose updates
+//!   apply eagerly to the base set, log compensations (`add(k)` ↦
+//!   `remove(k)` and vice versa), and hold abstract locks until commit;
+//! * composition with a switch: with **outheritance on** a committing
+//!   child passes its locks *and compensations* to the parent (atomic
+//!   composition — the parent can still undo the child); with
+//!   **outheritance off** the child releases its locks at child commit,
+//!   reproducing the open-nesting-style composition hazard the paper
+//!   describes for Moss's model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base;
+pub mod locks;
+pub mod txn;
+
+pub use base::BaseSet;
+pub use locks::AbstractLocks;
+pub use txn::{BoostError, BoostedSet, BoostTxn};

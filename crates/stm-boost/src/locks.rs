@@ -1,0 +1,104 @@
+//! Abstract locks — boosting's protection elements.
+//!
+//! One logical lock per key: set operations on *different* keys commute,
+//! so only same-key operations conflict (this is the commutativity-based
+//! conflict abstraction the paper's Section II mentions as the natural
+//! extension of its protection-element model). Locks are owner-tracked
+//! and reentrant for their owner, and acquired two-phase: everything a
+//! transaction (or composition, under outheritance) acquired is released
+//! together at top-level commit or abort.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Owner-tracked abstract locks keyed by `i64`.
+#[derive(Debug, Default)]
+pub struct AbstractLocks {
+    /// key -> owner ticket.
+    owners: Mutex<HashMap<i64, u64>>,
+}
+
+impl AbstractLocks {
+    /// Fresh lock manager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Try to acquire the lock of `key` for `owner`. Returns `true` on
+    /// success or if `owner` already holds it (reentrant).
+    pub fn try_acquire(&self, key: i64, owner: u64) -> bool {
+        let mut m = self.owners.lock();
+        match m.get(&key) {
+            Some(&o) => o == owner,
+            None => {
+                m.insert(key, owner);
+                true
+            }
+        }
+    }
+
+    /// Release `key` if held by `owner` (idempotent otherwise).
+    pub fn release(&self, key: i64, owner: u64) {
+        let mut m = self.owners.lock();
+        if m.get(&key) == Some(&owner) {
+            m.remove(&key);
+        }
+    }
+
+    /// Transfer ownership of `key` from `child` to `parent` — the
+    /// mechanical heart of outheritance for boosting.
+    pub fn pass_up(&self, key: i64, child: u64, parent: u64) {
+        let mut m = self.owners.lock();
+        if m.get(&key) == Some(&child) {
+            m.insert(key, parent);
+        }
+    }
+
+    /// Current owner of `key` (diagnostics/tests).
+    #[must_use]
+    pub fn owner_of(&self, key: i64) -> Option<u64> {
+        self.owners.lock().get(&key).copied()
+    }
+
+    /// Number of currently held locks (diagnostics/tests).
+    #[must_use]
+    pub fn held(&self) -> usize {
+        self.owners.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_exclusive_and_reentrant() {
+        let l = AbstractLocks::new();
+        assert!(l.try_acquire(7, 1));
+        assert!(l.try_acquire(7, 1), "reentrant for the owner");
+        assert!(!l.try_acquire(7, 2), "exclusive across owners");
+        assert!(l.try_acquire(8, 2), "different keys are independent");
+    }
+
+    #[test]
+    fn release_is_owner_checked() {
+        let l = AbstractLocks::new();
+        assert!(l.try_acquire(7, 1));
+        l.release(7, 2); // not the owner: no-op
+        assert_eq!(l.owner_of(7), Some(1));
+        l.release(7, 1);
+        assert_eq!(l.owner_of(7), None);
+        assert!(l.try_acquire(7, 2));
+    }
+
+    #[test]
+    fn pass_up_transfers_ownership() {
+        let l = AbstractLocks::new();
+        assert!(l.try_acquire(7, 10)); // child
+        l.pass_up(7, 10, 1); // outherit to parent
+        assert_eq!(l.owner_of(7), Some(1));
+        assert!(!l.try_acquire(7, 10), "child no longer owns it");
+        assert!(l.try_acquire(7, 1), "parent does (reentrant)");
+    }
+}

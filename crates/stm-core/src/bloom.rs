@@ -1,0 +1,114 @@
+//! A 64-bit bloom signature for fast negative write-set lookups.
+//!
+//! Every transactional read must first check whether the transaction itself
+//! wrote the location (read-after-write). Most reads did not, so the write
+//! set keeps a one-word bloom signature: if the location's bit is absent the
+//! read can skip the lookup entirely. False positives only cost a lookup.
+
+/// One-word bloom filter over location identities.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bloom(u64);
+
+/// Mix a pointer-derived identity into a well-distributed 64-bit hash
+/// (Fibonacci hashing then a xor-fold; cheap and good enough for set
+/// membership bits).
+#[inline]
+#[must_use]
+pub fn hash_id(id: usize) -> u64 {
+    // Drop the low alignment bits (TVarCore is 16-byte aligned) then mix.
+    let x = (id as u64) >> 4;
+    let h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^ (h >> 32)
+}
+
+impl Bloom {
+    /// The empty signature.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self(0)
+    }
+
+    /// Insert a location identity.
+    #[inline]
+    pub fn insert(&mut self, id: usize) {
+        self.0 |= 1u64 << (hash_id(id) & 63);
+    }
+
+    /// `false` means *definitely absent*; `true` means "maybe present".
+    #[inline]
+    #[must_use]
+    pub fn may_contain(&self, id: usize) -> bool {
+        self.0 & (1u64 << (hash_id(id) & 63)) != 0
+    }
+
+    /// Merge another signature in (used by `outherit()`: the child's write
+    /// signature joins the parent's).
+    #[inline]
+    pub fn union(&mut self, other: Bloom) {
+        self.0 |= other.0;
+    }
+
+    /// Remove all entries.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+
+    /// True if no bit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserted_ids_are_found() {
+        let mut b = Bloom::new();
+        for id in (0..64).map(|i| 0x1000 + i * 16) {
+            b.insert(id);
+            assert!(b.may_contain(id));
+        }
+    }
+
+    #[test]
+    fn empty_contains_nothing() {
+        let b = Bloom::new();
+        assert!(b.is_empty());
+        for id in (0..100).map(|i| 0x2000 + i * 16) {
+            assert!(!b.may_contain(id));
+        }
+    }
+
+    #[test]
+    fn union_preserves_members() {
+        let mut a = Bloom::new();
+        let mut b = Bloom::new();
+        a.insert(0x1230);
+        b.insert(0x4560);
+        a.union(b);
+        assert!(a.may_contain(0x1230));
+        assert!(a.may_contain(0x4560));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut a = Bloom::new();
+        a.insert(0xabc0);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn hash_distributes_aligned_pointers() {
+        // Consecutive 16-byte aligned ids should hit many distinct bits.
+        let mut bits = std::collections::HashSet::new();
+        for i in 0..64usize {
+            bits.insert(hash_id(0x7f00_0000 + i * 16) & 63);
+        }
+        assert!(bits.len() > 32, "only {} distinct bits", bits.len());
+    }
+}

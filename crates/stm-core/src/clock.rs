@@ -1,0 +1,95 @@
+//! The global version clock shared by all transactions of one STM instance.
+//!
+//! Every STM in this workspace (TL2, LSA, SwissTM, OE-STM) orders committed
+//! state with a single monotonically increasing counter, as in TL2's global
+//! version clock. A transaction samples the clock at begin time (its *read
+//! version*) and update transactions advance it at commit time (their *write
+//! version*). A location whose version exceeds a transaction's read version
+//! was written after the transaction started — reading it requires either an
+//! abort (TL2), a snapshot extension (LSA/SwissTM), or an elastic cut
+//! (OE-STM).
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing global version clock.
+///
+/// The clock starts at 0; [`TVar`](crate::TVar)s are born with version 0, so
+/// a freshly created variable is readable by every transaction.
+#[derive(Debug, Default)]
+pub struct GlobalClock {
+    now: AtomicU64,
+}
+
+impl GlobalClock {
+    /// Create a clock at time 0.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            now: AtomicU64::new(0),
+        }
+    }
+
+    /// Sample the current time. Used to obtain a transaction's read version.
+    #[inline]
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::Acquire)
+    }
+
+    /// Advance the clock and return the *new* time. Used to obtain a commit
+    /// (write) version; the returned value is strictly greater than any
+    /// value `now()` returned before the call.
+    #[inline]
+    #[must_use]
+    pub fn tick(&self) -> u64 {
+        self.now.fetch_add(1, Ordering::AcqRel) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = GlobalClock::new();
+        assert_eq!(c.now(), 0);
+    }
+
+    #[test]
+    fn tick_is_strictly_increasing() {
+        let c = GlobalClock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(b > a);
+        assert_eq!(c.now(), b);
+    }
+
+    #[test]
+    fn tick_returns_new_value() {
+        let c = GlobalClock::new();
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.tick(), 2);
+    }
+
+    #[test]
+    fn concurrent_ticks_are_unique() {
+        let c = Arc::new(GlobalClock::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000, "ticks must never be duplicated");
+        assert_eq!(c.now(), 4000);
+    }
+}

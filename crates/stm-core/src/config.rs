@@ -1,0 +1,83 @@
+//! Tunables shared by the STM implementations.
+
+/// Configuration for an STM instance.
+///
+/// Defaults reproduce the paper's setup; the benchmark harness sweeps some
+/// of these for the ablation studies.
+#[derive(Debug, Clone)]
+pub struct StmConfig {
+    /// Number of busy-wait spins for the first backoff step after an abort.
+    pub backoff_min_spins: u32,
+    /// Backoff cap: the exponential backoff never exceeds this many spins
+    /// before falling through to `thread::yield_now`.
+    pub backoff_max_spins: u32,
+    /// Size of the elastic window (the number of most recent reads an
+    /// elastic transaction keeps protected before its first write). The
+    /// paper and the original E-STM keep the immediate past read, i.e. a
+    /// window of 2 (previous and current).
+    pub elastic_window: usize,
+    /// SwissTM two-phase contention manager: transactions that have
+    /// performed fewer writes than this are "timid" and abort themselves on
+    /// any write-write conflict; beyond it they compare greedy priorities.
+    pub cm_write_threshold: usize,
+    /// Upper bound on commit-time lock-acquisition spin iterations before
+    /// declaring a lock conflict.
+    pub lock_spin_limit: u32,
+    /// Optional cap on retries per `run` call; `None` retries forever.
+    /// `try_run` reports `RunError::RetriesExhausted` when exceeded.
+    pub max_retries: Option<u64>,
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        Self {
+            backoff_min_spins: 32,
+            backoff_max_spins: 1 << 14,
+            elastic_window: 2,
+            cm_write_threshold: 4,
+            lock_spin_limit: 64,
+            max_retries: None,
+        }
+    }
+}
+
+impl StmConfig {
+    /// Config with a bounded number of retries (useful in tests that must
+    /// terminate even if a bug causes livelock).
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u64) -> Self {
+        self.max_retries = Some(retries);
+        self
+    }
+
+    /// Override the elastic window size.
+    #[must_use]
+    pub fn with_elastic_window(mut self, window: usize) -> Self {
+        assert!(window >= 2, "elastic window must hold at least 2 entries");
+        self.elastic_window = window;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_window_matches_paper() {
+        assert_eq!(StmConfig::default().elastic_window, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn window_below_two_rejected() {
+        let _ = StmConfig::default().with_elastic_window(1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = StmConfig::default().with_max_retries(5).with_elastic_window(4);
+        assert_eq!(c.max_retries, Some(5));
+        assert_eq!(c.elastic_window, 4);
+    }
+}

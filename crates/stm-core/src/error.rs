@@ -1,0 +1,127 @@
+//! Abort causes and user-visible errors.
+
+/// Why a transaction attempt aborted. Used both to drive the retry loop and
+/// for the per-cause abort statistics the paper's evaluation reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// A location we needed was write-locked by another transaction.
+    LockConflict,
+    /// Read-set validation failed (a location we read was overwritten).
+    ReadValidation,
+    /// A lazy-snapshot / timestamp extension failed.
+    ExtensionFailed,
+    /// The contention manager decided this transaction should yield.
+    ContentionManager,
+    /// A consistent snapshot of a single location could not be obtained
+    /// (the location churned during the read protocol).
+    UnstableRead,
+    /// The elastic cut could not be taken: a location in the elastic window
+    /// changed under us.
+    ElasticCut,
+    /// The user requested an abort (explicit retry).
+    Explicit,
+    /// A defensive traversal bound was exceeded (used by the collection
+    /// layer to guarantee termination even under pathological interleaving).
+    StepBound,
+}
+
+impl AbortReason {
+    /// Stable index for per-cause counters.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            AbortReason::LockConflict => 0,
+            AbortReason::ReadValidation => 1,
+            AbortReason::ExtensionFailed => 2,
+            AbortReason::ContentionManager => 3,
+            AbortReason::UnstableRead => 4,
+            AbortReason::ElasticCut => 5,
+            AbortReason::Explicit => 6,
+            AbortReason::StepBound => 7,
+        }
+    }
+
+    /// Number of distinct abort causes (size of the counter array).
+    pub const COUNT: usize = 8;
+
+    /// All causes, in `index` order.
+    pub const ALL: [AbortReason; Self::COUNT] = [
+        AbortReason::LockConflict,
+        AbortReason::ReadValidation,
+        AbortReason::ExtensionFailed,
+        AbortReason::ContentionManager,
+        AbortReason::UnstableRead,
+        AbortReason::ElasticCut,
+        AbortReason::Explicit,
+        AbortReason::StepBound,
+    ];
+}
+
+impl core::fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            AbortReason::LockConflict => "lock conflict",
+            AbortReason::ReadValidation => "read validation",
+            AbortReason::ExtensionFailed => "snapshot extension failed",
+            AbortReason::ContentionManager => "contention manager",
+            AbortReason::UnstableRead => "unstable read",
+            AbortReason::ElasticCut => "elastic cut failed",
+            AbortReason::Explicit => "explicit",
+            AbortReason::StepBound => "step bound exceeded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The in-flight abort signal. Transaction bodies propagate this with `?`;
+/// the STM's retry loop consumes it and re-runs the body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Abort {
+    /// Why the attempt must be abandoned.
+    pub reason: AbortReason,
+}
+
+impl Abort {
+    /// Construct an abort with the given cause.
+    #[must_use]
+    pub fn new(reason: AbortReason) -> Self {
+        Self { reason }
+    }
+}
+
+impl From<AbortReason> for Abort {
+    fn from(reason: AbortReason) -> Self {
+        Self { reason }
+    }
+}
+
+impl core::fmt::Display for Abort {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "transaction aborted: {}", self.reason)
+    }
+}
+
+impl std::error::Error for Abort {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; AbortReason::COUNT];
+        for r in AbortReason::ALL {
+            assert!(!seen[r.index()], "duplicate index for {r:?}");
+            seen[r.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for r in AbortReason::ALL {
+            assert!(!r.to_string().is_empty());
+        }
+        assert!(Abort::new(AbortReason::Explicit).to_string().contains("explicit"));
+    }
+}

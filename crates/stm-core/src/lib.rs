@@ -1,0 +1,55 @@
+//! # stm-core — shared substrate for the OE-STM reproduction stack
+//!
+//! This crate contains everything the four STM implementations of this
+//! workspace (TL2, LSA, SwissTM, OE-STM) have in common:
+//!
+//! * a [`GlobalClock`](clock::GlobalClock) — the global version clock that
+//!   timestamps committed state,
+//! * [`VLock`](vlock::VLock) — a versioned write-lock word (version when
+//!   unlocked, owner ticket when locked),
+//! * [`TVar<T>`](tvar::TVar) — a word-sized transactional variable guarded by
+//!   a `VLock`, readable with the load-version / load-value / re-check
+//!   protocol so that no torn reads are possible,
+//! * read/write sets ([`readset`], [`writeset`]) with a small-set fast path
+//!   and a bloom-filter-accelerated lookup,
+//! * the [`Stm`](stm::Stm) / [`Transaction`](stm::Transaction) traits that
+//!   all four STMs implement, including the `child` entry point used for
+//!   *composition* (the subject of the paper),
+//! * retry machinery with bounded exponential [`backoff`],
+//! * per-STM [`stats`] (commits, aborts by cause, elastic cuts, outherits),
+//! * an optional [`trace`] sink so executions can be recorded into the formal
+//!   history model of the `histories` crate and checked for
+//!   relax-serializability.
+//!
+//! The design is *word-based*: every transactional location holds a `u64`
+//! and typed access goes through the [`Word`](word::Word) bijection. This
+//! mirrors the paper's experimental setup ("all STMs protect memory
+//! locations at the granularity level of object fields") and keeps the hot
+//! path free of `unsafe`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod bloom;
+pub mod clock;
+pub mod config;
+pub mod error;
+pub mod readset;
+pub mod stats;
+pub mod stm;
+pub mod ticket;
+pub mod trace;
+pub mod tvar;
+pub mod vlock;
+pub mod word;
+pub mod writeset;
+
+pub use clock::GlobalClock;
+pub use config::StmConfig;
+pub use error::{Abort, AbortReason};
+pub use stats::{StatsSnapshot, StmStats};
+pub use stm::{RunError, Stm, Transaction, TxKind};
+pub use tvar::{TVar, TVarCore};
+pub use vlock::{LockState, VLock};
+pub use word::Word;

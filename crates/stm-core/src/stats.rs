@@ -1,0 +1,202 @@
+//! Commit/abort statistics.
+//!
+//! The paper's evaluation reports throughput *and abort rate* for every STM
+//! (Figs. 6–8); these counters are what the benchmark harness reads. They
+//! are sharded per-STM-instance and updated with relaxed atomics so they add
+//! no synchronization to the hot path beyond the RMW itself.
+
+use crate::error::AbortReason;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// Live counters owned by an STM instance.
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits: AtomicU64,
+    aborts_by_cause: [AtomicU64; AbortReason::COUNT],
+    child_commits: AtomicU64,
+    outherits: AtomicU64,
+    elastic_cuts: AtomicU64,
+    extensions: AtomicU64,
+}
+
+impl StmStats {
+    /// Fresh, zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a top-level commit.
+    #[inline]
+    pub fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an abort with its cause.
+    #[inline]
+    pub fn record_abort(&self, reason: AbortReason) {
+        self.aborts_by_cause[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a committed child (composed) transaction.
+    #[inline]
+    pub fn record_child_commit(&self) {
+        self.child_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an `outherit()` — a child passing its protected set up.
+    #[inline]
+    pub fn record_outherit(&self) {
+        self.outherits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an elastic cut (a read-only prefix entry dropped from the
+    /// window, i.e. a conflict the relaxed model ignored).
+    #[inline]
+    pub fn record_elastic_cut(&self) {
+        self.elastic_cuts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a successful snapshot extension (LSA/SwissTM/elastic).
+    #[inline]
+    pub fn record_extension(&self) {
+        self.extensions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot for reporting (counters are
+    /// monotone; exact simultaneity is not required).
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut aborts_by_cause = [0u64; AbortReason::COUNT];
+        for (slot, counter) in aborts_by_cause.iter_mut().zip(&self.aborts_by_cause) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts_by_cause,
+            child_commits: self.child_commits.load(Ordering::Relaxed),
+            outherits: self.outherits.load(Ordering::Relaxed),
+            elastic_cuts: self.elastic_cuts.load(Ordering::Relaxed),
+            extensions: self.extensions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.commits.store(0, Ordering::Relaxed);
+        for c in &self.aborts_by_cause {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.child_commits.store(0, Ordering::Relaxed);
+        self.outherits.store(0, Ordering::Relaxed);
+        self.elastic_cuts.store(0, Ordering::Relaxed);
+        self.extensions.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`StmStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Top-level commits.
+    pub commits: u64,
+    /// Aborts, indexed by [`AbortReason::index`].
+    pub aborts_by_cause: [u64; AbortReason::COUNT],
+    /// Committed child (composed) transactions.
+    pub child_commits: u64,
+    /// `outherit()` invocations (protected sets passed to parents).
+    pub outherits: u64,
+    /// Elastic cuts taken (ignored read-prefix conflicts).
+    pub elastic_cuts: u64,
+    /// Successful snapshot extensions.
+    pub extensions: u64,
+}
+
+impl StatsSnapshot {
+    /// Total aborts across all causes.
+    #[must_use]
+    pub fn aborts(&self) -> u64 {
+        self.aborts_by_cause.iter().sum()
+    }
+
+    /// Abort rate as the paper plots it: aborts / (aborts + commits).
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        let aborts = self.aborts() as f64;
+        let total = aborts + self.commits as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            aborts / total
+        }
+    }
+
+    /// Pointwise difference (for measuring a benchmark phase).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut aborts_by_cause = [0u64; AbortReason::COUNT];
+        for (slot, (now, then)) in aborts_by_cause
+            .iter_mut()
+            .zip(self.aborts_by_cause.iter().zip(&earlier.aborts_by_cause))
+        {
+            *slot = now - then;
+        }
+        StatsSnapshot {
+            commits: self.commits - earlier.commits,
+            aborts_by_cause,
+            child_commits: self.child_commits - earlier.child_commits,
+            outherits: self.outherits - earlier.outherits,
+            elastic_cuts: self.elastic_cuts - earlier.elastic_cuts,
+            extensions: self.extensions - earlier.extensions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_rate_empty_is_zero() {
+        assert_eq!(StatsSnapshot::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn abort_rate_counts_all_causes() {
+        let s = StmStats::new();
+        s.record_commit();
+        s.record_abort(AbortReason::LockConflict);
+        s.record_abort(AbortReason::ReadValidation);
+        s.record_abort(AbortReason::ReadValidation);
+        let snap = s.snapshot();
+        assert_eq!(snap.aborts(), 3);
+        assert!((snap.abort_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(snap.aborts_by_cause[AbortReason::ReadValidation.index()], 2);
+    }
+
+    #[test]
+    fn delta_subtracts_pointwise() {
+        let s = StmStats::new();
+        s.record_commit();
+        let before = s.snapshot();
+        s.record_commit();
+        s.record_abort(AbortReason::Explicit);
+        s.record_outherit();
+        let d = s.snapshot().delta_since(&before);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.aborts(), 1);
+        assert_eq!(d.outherits, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = StmStats::new();
+        s.record_commit();
+        s.record_abort(AbortReason::Explicit);
+        s.record_elastic_cut();
+        s.record_extension();
+        s.record_child_commit();
+        s.record_outherit();
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

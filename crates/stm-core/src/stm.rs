@@ -1,0 +1,234 @@
+//! The `Stm` / `Transaction` traits all four STMs implement, plus the shared
+//! retry loop.
+//!
+//! The trait surface mirrors the paper's system model (Section II): a
+//! transactional memory lets processes begin transactions, invoke operations
+//! (here: word reads and writes), and attempt to commit; `child` is the
+//! *composition* entry point of Section III — a new operation invoking
+//! existing operations in sequence inside a parent transaction.
+
+use crate::backoff::Backoff;
+use crate::clock::GlobalClock;
+use crate::config::StmConfig;
+use crate::error::{Abort, AbortReason};
+use crate::stats::{StatsSnapshot, StmStats};
+use crate::tvar::TVar;
+use crate::word::Word;
+
+/// Which transactional model a (sub)transaction runs under.
+///
+/// For the classic STMs (TL2, LSA, SwissTM) the two kinds behave
+/// identically; for OE-STM, `Elastic` enables the relaxed read-only-prefix
+/// semantics of Felber et al.'s elastic transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxKind {
+    /// Classic transaction: every access is protected until commit.
+    Regular,
+    /// Elastic transaction: conflicts on the read-only prefix may be
+    /// ignored (the transaction "cuts" itself), as in the paper's Section V.
+    Elastic,
+}
+
+/// Error returned by [`Stm::try_run`] when the retry budget is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunError {
+    /// The transaction aborted more than `max_retries` times.
+    RetriesExhausted {
+        /// Number of attempts performed.
+        attempts: u64,
+        /// Reason of the final abort.
+        last: AbortReason,
+    },
+}
+
+impl core::fmt::Display for RunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RunError::RetriesExhausted { attempts, last } => write!(
+                f,
+                "transaction failed after {attempts} attempts (last abort: {last})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// An in-flight transaction attempt.
+///
+/// The `'env` lifetime ties every accessed [`TVar`] to the environment the
+/// transaction runs in: variables must outlive the `run` call, which the
+/// borrow checker enforces — no use-after-free is possible by construction.
+pub trait Transaction<'env> {
+    /// Transactionally read `var`.
+    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort>;
+
+    /// Transactionally write `value` to `var` (deferred or eager, per STM).
+    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort>;
+
+    /// Run `f` as a *child transaction* of this one — the concurrent
+    /// composition operator of the paper. The child sees the parent's
+    /// effects; on child commit, what happens to the child's protected set
+    /// is the crux of the paper:
+    ///
+    /// * classic STMs use flat nesting: the child's accesses simply stay in
+    ///   the parent's sets, which trivially satisfies outheritance;
+    /// * OE-STM executes the child elastically and then `outherit()`s its
+    ///   protected set into the parent (Fig. 4);
+    /// * E-STM mode (OE-STM with outheritance disabled) *releases* the
+    ///   child's protected set, reproducing the paper's Fig. 1 atomicity
+    ///   violation.
+    fn child<R>(
+        &mut self,
+        kind: TxKind,
+        f: impl FnMut(&mut Self) -> Result<R, Abort>,
+    ) -> Result<R, Abort>
+    where
+        Self: Sized;
+
+    /// The kind this (sub)transaction currently runs under.
+    fn kind(&self) -> TxKind;
+
+    /// This attempt's globally unique ticket (lock-owner identity).
+    fn ticket(&self) -> u64;
+
+    /// Abort explicitly (retry from scratch).
+    fn retry<T>(&mut self) -> Result<T, Abort> {
+        Err(Abort::new(AbortReason::Explicit))
+    }
+}
+
+/// A software transactional memory instance.
+pub trait Stm: Send + Sync {
+    /// The transaction type, parameterized by the environment lifetime.
+    type Txn<'env>: Transaction<'env>
+    where
+        Self: 'env;
+
+    /// Human-readable algorithm name ("TL2", "LSA", "SwissTM", "OE-STM").
+    fn name(&self) -> &'static str;
+
+    /// Snapshot of the commit/abort counters.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Zero the counters (between benchmark phases).
+    fn reset_stats(&self);
+
+    /// The instance's global version clock (needed by non-transactional
+    /// setup code that must still publish version bumps, e.g.
+    /// [`TVar::store_atomic`]).
+    fn clock(&self) -> &GlobalClock;
+
+    /// The instance's configuration.
+    fn config(&self) -> &StmConfig;
+
+    /// Run `f` transactionally, retrying on aborts with exponential backoff,
+    /// until commit or until `config().max_retries` is exceeded.
+    fn try_run<'env, R>(
+        &'env self,
+        kind: TxKind,
+        f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
+    ) -> Result<R, RunError>;
+
+    /// Like [`try_run`](Self::try_run) but panics if the retry budget is
+    /// exhausted (the default, unbounded configuration never panics).
+    fn run<'env, R>(
+        &'env self,
+        kind: TxKind,
+        f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
+    ) -> R {
+        match self.try_run(kind, f) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// The shared retry loop: runs `attempt` until it returns `Ok`, recording
+/// commit/abort statistics and backing off between attempts.
+///
+/// `attempt` must perform a complete begin → body → commit cycle and map
+/// every failure to an [`Abort`].
+pub fn retry_loop<R>(
+    cfg: &StmConfig,
+    stats: &StmStats,
+    seed: u64,
+    mut attempt: impl FnMut() -> Result<R, Abort>,
+) -> Result<R, RunError> {
+    let mut backoff = Backoff::new(cfg.backoff_min_spins, cfg.backoff_max_spins, seed);
+    let mut attempts: u64 = 0;
+    loop {
+        attempts += 1;
+        match attempt() {
+            Ok(r) => {
+                stats.record_commit();
+                return Ok(r);
+            }
+            Err(abort) => {
+                stats.record_abort(abort.reason);
+                if let Some(max) = cfg.max_retries {
+                    if attempts > max {
+                        return Err(RunError::RetriesExhausted {
+                            attempts,
+                            last: abort.reason,
+                        });
+                    }
+                }
+                backoff.wait();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_loop_commits_first_try() {
+        let cfg = StmConfig::default();
+        let stats = StmStats::new();
+        let r = retry_loop(&cfg, &stats, 1, || Ok::<_, Abort>(42)).unwrap();
+        assert_eq!(r, 42);
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts(), 0);
+    }
+
+    #[test]
+    fn retry_loop_retries_until_success() {
+        let cfg = StmConfig::default();
+        let stats = StmStats::new();
+        let mut left = 3;
+        let r = retry_loop(&cfg, &stats, 1, || {
+            if left > 0 {
+                left -= 1;
+                Err(Abort::new(AbortReason::LockConflict))
+            } else {
+                Ok(7)
+            }
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts(), 3);
+    }
+
+    #[test]
+    fn retry_loop_respects_max_retries() {
+        let cfg = StmConfig::default().with_max_retries(2);
+        let stats = StmStats::new();
+        let r: Result<(), _> = retry_loop(&cfg, &stats, 1, || {
+            Err(Abort::new(AbortReason::ReadValidation))
+        });
+        assert_eq!(
+            r.unwrap_err(),
+            RunError::RetriesExhausted {
+                attempts: 3,
+                last: AbortReason::ReadValidation
+            }
+        );
+        assert_eq!(stats.snapshot().aborts(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Execution tracing: bridges live STM runs to the formal history model.
+//!
+//! The `histories` crate implements the paper's Sections II–IV as an
+//! executable checker. To tie the *implementation* back to the *theory*,
+//! an STM can be given a [`TraceSink`]; it then emits the begin / operation
+//! / acquire / release / commit / abort events of the paper's model, and a
+//! recorded run can be checked for relax-serializability, outheritance and
+//! weak composability.
+//!
+//! Tracing is strictly optional: the default is [`NoTrace`], whose methods
+//! are empty and compile away.
+
+/// The kind of a traced operation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A transactional read returning the given word.
+    Read(u64),
+    /// A transactional write of the given word.
+    Write(u64),
+}
+
+/// Receives the events of the paper's history model from a live STM.
+///
+/// `tx` is the logical transaction identifier (stable across child
+/// boundaries: children get their own ids), `proc_id` the executing
+/// process/thread, and `loc` the location identity
+/// ([`TVarCore::id`](crate::TVarCore::id)).
+///
+/// Implementations must be cheap and thread-safe; they are called from the
+/// STM hot path.
+pub trait TraceSink: Send + Sync {
+    /// Transaction `tx` began on process `proc_id`.
+    fn begin(&self, tx: u64, proc_id: u64);
+    /// Transaction `tx` performed `op` on location `loc`.
+    fn op(&self, tx: u64, proc_id: u64, loc: usize, op: TraceOp);
+    /// Process `proc_id` acquired the protection element of `loc`.
+    fn acquire(&self, tx: u64, proc_id: u64, loc: usize);
+    /// Process `proc_id` released the protection element of `loc`.
+    fn release(&self, tx: u64, proc_id: u64, loc: usize);
+    /// Transaction `tx` committed.
+    fn commit(&self, tx: u64, proc_id: u64);
+    /// Transaction `tx` aborted.
+    fn abort(&self, tx: u64, proc_id: u64);
+}
+
+/// The no-op sink: tracing disabled.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoTrace;
+
+impl TraceSink for NoTrace {
+    #[inline(always)]
+    fn begin(&self, _: u64, _: u64) {}
+    #[inline(always)]
+    fn op(&self, _: u64, _: u64, _: usize, _: TraceOp) {}
+    #[inline(always)]
+    fn acquire(&self, _: u64, _: u64, _: usize) {}
+    #[inline(always)]
+    fn release(&self, _: u64, _: u64, _: usize) {}
+    #[inline(always)]
+    fn commit(&self, _: u64, _: u64) {}
+    #[inline(always)]
+    fn abort(&self, _: u64, _: u64) {}
+}
+
+/// A small, stable, per-thread process identifier for trace events (the
+/// paper's process `p`). Assigned on first use, dense from 1.
+#[must_use]
+pub fn current_proc_id() -> u64 {
+    use core::sync::atomic::{AtomicU64, Ordering};
+    static NEXT_PROC: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static PROC_ID: u64 = NEXT_PROC.fetch_add(1, Ordering::Relaxed);
+    }
+    PROC_ID.with(|p| *p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_is_stable_per_thread() {
+        let a = current_proc_id();
+        let b = current_proc_id();
+        assert_eq!(a, b);
+        let other = std::thread::spawn(current_proc_id).join().unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn no_trace_is_callable() {
+        let t = NoTrace;
+        t.begin(1, 1);
+        t.op(1, 1, 0x10, TraceOp::Read(5));
+        t.acquire(1, 1, 0x10);
+        t.release(1, 1, 0x10);
+        t.commit(1, 1);
+        t.abort(1, 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! The [`Word`] trait: types that fit losslessly in a transactional word.
+//!
+//! All transactional state in this workspace is stored in `u64` words (the
+//! granularity at which the paper's STMs detect conflicts). `Word` is the
+//! bijection between a user-facing `Copy` type and its `u64` representation.
+//!
+//! Implementations must be *bijective on the values the type can take*:
+//! `from_word(into_word(x)) == x` for every `x`. The reverse direction only
+//! needs to hold for words produced by `into_word` — e.g. `bool` maps to
+//! `0`/`1` and `from_word` treats any non-zero word as `true`.
+
+/// A `Copy` type bijective with `u64`, storable in a [`TVar`](crate::TVar).
+pub trait Word: Copy + Send + Sync + 'static {
+    /// Convert the value into its word representation.
+    fn into_word(self) -> u64;
+    /// Recover the value from its word representation.
+    fn from_word(w: u64) -> Self;
+}
+
+impl Word for u64 {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        self
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        w
+    }
+}
+
+impl Word for i64 {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        self as u64
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        w as i64
+    }
+}
+
+impl Word for u32 {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        u64::from(self)
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        w as u32
+    }
+}
+
+impl Word for i32 {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        self as u32 as u64
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        w as u32 as i32
+    }
+}
+
+impl Word for u16 {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        u64::from(self)
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        w as u16
+    }
+}
+
+impl Word for u8 {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        u64::from(self)
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        w as u8
+    }
+}
+
+impl Word for usize {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        self as u64
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        w as usize
+    }
+}
+
+impl Word for bool {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        u64::from(self)
+    }
+    #[inline(always)]
+    fn from_word(w: u64) -> Self {
+        w != 0
+    }
+}
+
+impl Word for () {
+    #[inline(always)]
+    fn into_word(self) -> u64 {
+        0
+    }
+    #[inline(always)]
+    fn from_word(_: u64) -> Self {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Word + PartialEq + core::fmt::Debug>(values: &[T]) {
+        for &v in values {
+            assert_eq!(T::from_word(v.into_word()), v);
+        }
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        roundtrip(&[0u64, 1, u64::MAX, 0xdead_beef]);
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        roundtrip(&[0i64, -1, i64::MIN, i64::MAX, 42]);
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        roundtrip(&[0i32, -1, i32::MIN, i32::MAX]);
+    }
+
+    #[test]
+    fn u32_roundtrip() {
+        roundtrip(&[0u32, u32::MAX, 7]);
+    }
+
+    #[test]
+    fn small_ints_roundtrip() {
+        roundtrip(&[0u16, u16::MAX]);
+        roundtrip(&[0u8, u8::MAX]);
+        roundtrip(&[0usize, usize::MAX]);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        roundtrip(&[true, false]);
+        // Any non-zero word decodes to true.
+        assert!(bool::from_word(17));
+    }
+
+    #[test]
+    fn negative_i32_does_not_sign_extend_into_word() {
+        // -1i32 must occupy only the low 32 bits of the word so that two
+        // different negative i32 values never collide after truncation.
+        assert_eq!((-1i32).into_word(), 0xffff_ffff);
+        assert_eq!(i32::from_word((-1i32).into_word()), -1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Write sets: deferred updates plus the bookkeeping needed to lock,
+//! validate, write back and release at commit time.
+//!
+//! The write set deduplicates by location (a second write to the same
+//! location overwrites the buffered value), keeps insertion order for
+//! write-back, and answers read-after-write lookups through a one-word bloom
+//! signature with a linear scan (small sets) or a hash index (large sets).
+
+use crate::bloom::Bloom;
+use crate::error::{Abort, AbortReason};
+use crate::tvar::TVarCore;
+use crate::vlock::LockState;
+use std::collections::HashMap;
+
+/// Above this size, lookups go through a hash index instead of scanning.
+const LINEAR_SCAN_MAX: usize = 16;
+
+/// One buffered write.
+#[derive(Debug, Clone, Copy)]
+pub struct WriteEntry<'env> {
+    /// The location to be written.
+    pub core: &'env TVarCore,
+    /// The value to install at commit.
+    pub value: u64,
+    /// If this transaction currently holds the location's lock, the version
+    /// the lock carried when acquired (needed to validate reads of
+    /// self-locked locations and to restore the version on abort).
+    pub locked_at: Option<u64>,
+}
+
+/// The deferred-update write set.
+#[derive(Debug, Default)]
+pub struct WriteSet<'env> {
+    entries: Vec<WriteEntry<'env>>,
+    bloom: Bloom,
+    /// Lazily built once the set outgrows the linear-scan threshold.
+    /// Maps location id -> index in `entries`.
+    index: Option<HashMap<usize, usize>>,
+}
+
+impl<'env> WriteSet<'env> {
+    /// An empty write set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct locations to be written.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no writes are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The bloom signature over written locations.
+    #[must_use]
+    pub fn bloom(&self) -> Bloom {
+        self.bloom
+    }
+
+    fn position(&self, id: usize) -> Option<usize> {
+        if let Some(index) = &self.index {
+            index.get(&id).copied()
+        } else {
+            self.entries.iter().rposition(|e| e.core.id() == id)
+        }
+    }
+
+    /// Buffer a write of `value` to `core`, overwriting any earlier buffered
+    /// write to the same location. Returns the entry index.
+    pub fn insert(&mut self, core: &'env TVarCore, value: u64) -> usize {
+        let id = core.id();
+        if self.bloom.may_contain(id) {
+            if let Some(i) = self.position(id) {
+                self.entries[i].value = value;
+                return i;
+            }
+        }
+        self.bloom.insert(id);
+        let i = self.entries.len();
+        self.entries.push(WriteEntry {
+            core,
+            value,
+            locked_at: None,
+        });
+        if let Some(index) = &mut self.index {
+            index.insert(id, i);
+        } else if self.entries.len() > LINEAR_SCAN_MAX {
+            self.index = Some(
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| (e.core.id(), i))
+                    .collect(),
+            );
+        }
+        i
+    }
+
+    /// Read-after-write lookup: the buffered value for `core`, if any.
+    #[inline]
+    #[must_use]
+    pub fn lookup(&self, core: &TVarCore) -> Option<u64> {
+        let id = core.id();
+        if !self.bloom.may_contain(id) {
+            return None;
+        }
+        self.position(id).map(|i| self.entries[i].value)
+    }
+
+    /// The pre-lock version of `core` if this write set holds its lock.
+    /// Used by read-set validation for self-locked locations.
+    #[must_use]
+    pub fn locked_version_of(&self, core: &TVarCore) -> Option<u64> {
+        let id = core.id();
+        if !self.bloom.may_contain(id) {
+            return None;
+        }
+        self.position(id).and_then(|i| self.entries[i].locked_at)
+    }
+
+    /// Iterate over entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &WriteEntry<'env>> {
+        self.entries.iter()
+    }
+
+    /// Acquire the lock of every entry for `owner`, in ascending location-id
+    /// order so that concurrent committers cannot deadlock. On failure,
+    /// releases everything acquired and reports a lock conflict.
+    ///
+    /// Entries already locked by `owner` (eager STMs, or a retryable commit)
+    /// are skipped.
+    pub fn lock_all(&mut self, owner: u64) -> Result<(), Abort> {
+        // Sort indices by id; the entries vector itself keeps insertion
+        // order because write-back wants program order.
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_unstable_by_key(|&i| self.entries[i].core.id());
+        for (k, &i) in order.iter().enumerate() {
+            let e = &mut self.entries[i];
+            if e.locked_at.is_some() {
+                continue;
+            }
+            match e.core.lock().load() {
+                LockState::Unlocked { version } => {
+                    if e.core.lock().try_lock_at(version, owner) {
+                        e.locked_at = Some(version);
+                        continue;
+                    }
+                }
+                LockState::Locked { owner: o } if o == owner => {
+                    // Locked by us through another alias; treat as held.
+                    continue;
+                }
+                LockState::Locked { .. } => {}
+            }
+            // Conflict: roll back the locks acquired in this call.
+            for &j in &order[..k] {
+                let e = &mut self.entries[j];
+                if let Some(v) = e.locked_at.take() {
+                    e.core.lock().unlock_to(v);
+                }
+            }
+            return Err(Abort::new(AbortReason::LockConflict));
+        }
+        Ok(())
+    }
+
+    /// Write every buffered value back and release each lock at
+    /// `commit_version`. Caller must have successfully called
+    /// [`lock_all`](Self::lock_all) (or acquired the locks eagerly).
+    pub fn write_back_and_release(&mut self, commit_version: u64) {
+        for e in &mut self.entries {
+            debug_assert!(e.locked_at.is_some(), "write-back without lock");
+            e.core.store_value(e.value);
+            e.core.lock().unlock_to(commit_version);
+            e.locked_at = None;
+        }
+    }
+
+    /// Release all locks *without* writing back, restoring pre-lock
+    /// versions. Used on abort after a partial or full lock acquisition.
+    pub fn release_locks(&mut self) {
+        for e in &mut self.entries {
+            if let Some(v) = e.locked_at.take() {
+                e.core.lock().unlock_to(v);
+            }
+        }
+    }
+
+    /// Record that `core`'s lock is held by this transaction, acquired when
+    /// the lock carried `version` (eager/encounter-time locking STMs).
+    pub fn mark_locked(&mut self, core: &'env TVarCore, version: u64) {
+        let i = match self.position(core.id()) {
+            Some(i) => i,
+            None => self.insert(core, core.value_unsync()),
+        };
+        self.entries[i].locked_at = Some(version);
+    }
+
+    /// Forget everything (abort path, after `release_locks`).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bloom.clear();
+        self.index = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tvar::TVar;
+
+    #[test]
+    fn insert_dedups_by_location() {
+        let a = TVar::new(0u64);
+        let mut ws = WriteSet::new();
+        ws.insert(a.core(), 1);
+        ws.insert(a.core(), 2);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws.lookup(a.core()), Some(2));
+    }
+
+    #[test]
+    fn lookup_misses_unwritten() {
+        let a = TVar::new(0u64);
+        let b = TVar::new(0u64);
+        let mut ws = WriteSet::new();
+        ws.insert(a.core(), 1);
+        assert_eq!(ws.lookup(b.core()), None);
+    }
+
+    #[test]
+    fn large_sets_switch_to_index_and_stay_correct() {
+        let vars: Vec<TVar<u64>> = (0..100).map(TVar::new).collect();
+        let mut ws = WriteSet::new();
+        for (i, v) in vars.iter().enumerate() {
+            ws.insert(v.core(), i as u64);
+        }
+        assert_eq!(ws.len(), 100);
+        for (i, v) in vars.iter().enumerate() {
+            assert_eq!(ws.lookup(v.core()), Some(i as u64));
+        }
+        // Overwrites after the index is built still dedup.
+        ws.insert(vars[7].core(), 999);
+        assert_eq!(ws.len(), 100);
+        assert_eq!(ws.lookup(vars[7].core()), Some(999));
+    }
+
+    #[test]
+    fn lock_all_then_write_back() {
+        let a = TVar::new(0u64);
+        let b = TVar::new(0u64);
+        let mut ws = WriteSet::new();
+        ws.insert(a.core(), 10);
+        ws.insert(b.core(), 20);
+        ws.lock_all(5).unwrap();
+        assert!(a.core().lock().is_locked_by(5));
+        ws.write_back_and_release(3);
+        assert_eq!(a.load_atomic(), 10);
+        assert_eq!(b.load_atomic(), 20);
+        assert_eq!(a.core().read_consistent().unwrap().1, 3);
+    }
+
+    #[test]
+    fn lock_all_conflict_rolls_back() {
+        let a = TVar::new(0u64);
+        let b = TVar::new(0u64);
+        // Foreign lock on b.
+        assert!(b.core().lock().try_lock_at(0, 99));
+        let mut ws = WriteSet::new();
+        ws.insert(a.core(), 1);
+        ws.insert(b.core(), 2);
+        let err = ws.lock_all(5).unwrap_err();
+        assert_eq!(err.reason, AbortReason::LockConflict);
+        // a must have been released back to version 0.
+        assert_eq!(a.core().read_consistent().unwrap().1, 0);
+        b.core().lock().unlock_to(0);
+    }
+
+    #[test]
+    fn release_locks_restores_versions() {
+        let a = TVar::new(0u64);
+        a.store_atomic(5, 7);
+        let mut ws = WriteSet::new();
+        ws.insert(a.core(), 1);
+        ws.lock_all(5).unwrap();
+        ws.release_locks();
+        let (v, ver) = a.core().read_consistent().unwrap();
+        assert_eq!((v, ver), (5, 7), "abort must not change value or version");
+    }
+
+    #[test]
+    fn mark_locked_records_preversion() {
+        let a = TVar::new(3u64);
+        assert!(a.core().lock().try_lock_at(0, 8));
+        let mut ws = WriteSet::new();
+        ws.mark_locked(a.core(), 0);
+        assert_eq!(ws.locked_version_of(a.core()), Some(0));
+        ws.release_locks();
+        assert_eq!(a.core().read_consistent().unwrap().1, 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let a = TVar::new(0u64);
+        let mut ws = WriteSet::new();
+        ws.insert(a.core(), 1);
+        ws.clear();
+        assert!(ws.is_empty());
+        assert_eq!(ws.lookup(a.core()), None);
+        assert!(ws.bloom().is_empty());
+    }
+}

@@ -1,0 +1,500 @@
+//! # LSA — the Lazy Snapshot Algorithm
+//!
+//! A word-based implementation of the LSA STM (Riegel, Felber, Fetzer;
+//! DISC 2006), the second classic baseline of the paper's evaluation.
+//!
+//! Algorithm summary (as the paper characterises it: "relies on a lazy
+//! snapshot algorithm that uses eager lock acquirement and extends the
+//! validity interval of the transaction as much as possible"):
+//!
+//! * The transaction maintains a **validity interval** `[rv, ub]` of
+//!   global-clock times at which its snapshot is known consistent.
+//! * **Read**: if the location's version is within the interval, record and
+//!   return it. If it is newer than `ub`, *extend* the snapshot: re-sample
+//!   the clock and revalidate the whole read set; on success the interval
+//!   grows and the read proceeds, otherwise abort.
+//! * **Write**: acquire the location's versioned lock at encounter time
+//!   (eager), save the old `(value, version)` in an undo log, and write the
+//!   new value **in place**. Readers that hit the locked word conflict
+//!   immediately (visible writes).
+//! * **Commit**: tick the clock to get `wv`; if the snapshot does not
+//!   already extend to `wv - 1`, revalidate the read set; then release each
+//!   written lock at `wv`. **Abort**: restore old values in reverse order
+//!   and release each lock at its old version.
+//!
+//! Like TL2, LSA is a *classic* transaction model: the protection element of
+//! every access is held until commit, so flat nesting composes (trivially
+//! satisfying the paper's outheritance), at the cost of conflicts over whole
+//! search-structure traversals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stm_core::bloom::Bloom;
+use stm_core::readset::ReadSet;
+use stm_core::stm::retry_loop;
+use stm_core::ticket::next_ticket;
+use stm_core::tvar::{ReadConflict, TVarCore};
+use stm_core::{
+    Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TVar,
+    Transaction, TxKind, Word,
+};
+
+/// One saved pre-write state for the in-place undo log.
+#[derive(Debug, Clone, Copy)]
+struct UndoEntry<'env> {
+    core: &'env TVarCore,
+    old_value: u64,
+    old_version: u64,
+}
+
+/// The undo log: first-write-wins saved states, released on commit, rolled
+/// back in reverse on abort.
+#[derive(Debug, Default)]
+struct UndoLog<'env> {
+    entries: Vec<UndoEntry<'env>>,
+    bloom: Bloom,
+}
+
+impl<'env> UndoLog<'env> {
+    fn record_first_write(&mut self, core: &'env TVarCore, old_value: u64, old_version: u64) {
+        self.bloom.insert(core.id());
+        self.entries.push(UndoEntry {
+            core,
+            old_value,
+            old_version,
+        });
+    }
+
+    /// The pre-lock version of `core` if this transaction wrote it.
+    fn old_version_of(&self, core: &TVarCore) -> Option<u64> {
+        if !self.bloom.may_contain(core.id()) {
+            return None;
+        }
+        self.entries
+            .iter()
+            .find(|e| e.core.id() == core.id())
+            .map(|e| e.old_version)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Commit path: release every lock at `wv` (values are already in
+    /// place).
+    fn release_at(&mut self, wv: u64) {
+        for e in self.entries.drain(..) {
+            e.core.lock().unlock_to(wv);
+        }
+        self.bloom.clear();
+    }
+
+    /// Abort path: restore saved values in reverse write order and release
+    /// each lock at its pre-write version.
+    fn rollback(&mut self) {
+        for e in self.entries.drain(..).rev() {
+            e.core.store_value(e.old_value);
+            e.core.lock().unlock_to(e.old_version);
+        }
+        self.bloom.clear();
+    }
+}
+
+/// An LSA software-transactional-memory instance.
+#[derive(Debug, Default)]
+pub struct Lsa {
+    clock: GlobalClock,
+    stats: StmStats,
+    config: StmConfig,
+}
+
+impl Lsa {
+    /// Create an instance with the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(StmConfig::default())
+    }
+
+    /// Create an instance with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: StmConfig) -> Self {
+        Self {
+            clock: GlobalClock::new(),
+            stats: StmStats::new(),
+            config,
+        }
+    }
+}
+
+/// One LSA transaction attempt.
+#[derive(Debug)]
+pub struct LsaTxn<'env> {
+    stm: &'env Lsa,
+    /// Lower bound of the validity interval (begin-time clock sample).
+    rv: u64,
+    /// Upper bound: the snapshot is consistent for all times in `[rv, ub]`.
+    ub: u64,
+    ticket: u64,
+    reads: ReadSet<'env>,
+    undo: UndoLog<'env>,
+    depth: u32,
+}
+
+impl<'env> LsaTxn<'env> {
+    fn begin(stm: &'env Lsa) -> Self {
+        let now = stm.clock.now();
+        Self {
+            stm,
+            rv: now,
+            ub: now,
+            ticket: next_ticket().get(),
+            reads: ReadSet::new(),
+            undo: UndoLog::default(),
+            depth: 0,
+        }
+    }
+
+    /// The current validity interval `[rv, ub]`: the snapshot this
+    /// transaction has observed is consistent at every clock time in the
+    /// interval. Exposed for diagnostics and tests.
+    #[must_use]
+    pub fn validity_interval(&self) -> (u64, u64) {
+        (self.rv, self.ub)
+    }
+
+    /// Try to extend the validity interval to the current clock time.
+    fn extend(&mut self) -> Result<(), Abort> {
+        let new_ub = self.stm.clock.now();
+        let ok = self
+            .reads
+            .validate(Some(self.ticket), |core| self.undo.old_version_of(core));
+        if ok {
+            self.ub = new_ub;
+            self.stm.stats.record_extension();
+            Ok(())
+        } else {
+            Err(Abort::new(AbortReason::ExtensionFailed))
+        }
+    }
+
+    fn on_abort(&mut self) {
+        self.undo.rollback();
+    }
+
+    fn commit(&mut self) -> Result<(), Abort> {
+        if self.undo.is_empty() {
+            return Ok(());
+        }
+        let wv = self.stm.clock.tick();
+        if wv != self.ub + 1 {
+            let ok = self
+                .reads
+                .validate(Some(self.ticket), |core| self.undo.old_version_of(core));
+            if !ok {
+                self.on_abort();
+                return Err(Abort::new(AbortReason::ReadValidation));
+            }
+        }
+        self.undo.release_at(wv);
+        Ok(())
+    }
+
+    /// Bounded wait for a foreign lock, then give up (simple conservative
+    /// contention management: the requester yields).
+    fn wait_for_unlock(&self, core: &TVarCore) -> bool {
+        for _ in 0..self.stm.config.lock_spin_limit {
+            if core.read_consistent().is_ok() {
+                return true;
+            }
+            core::hint::spin_loop();
+        }
+        false
+    }
+}
+
+impl<'env> Transaction<'env> for LsaTxn<'env> {
+    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort> {
+        let core = var.core();
+        // In-place writes: if we hold the lock, the current word is ours.
+        if core.lock().is_locked_by(self.ticket) {
+            return Ok(T::from_word(core.value_unsync()));
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > 64 {
+                // Pathological lock churn on this location; give up and
+                // let the retry loop re-run the transaction.
+                return Err(Abort::new(AbortReason::LockConflict));
+            }
+            match core.read_consistent() {
+                Ok((word, version)) => {
+                    // Record the read BEFORE any extension so the
+                    // revalidation covers this location too: if it changes
+                    // between the consistent read and the extension sample,
+                    // the extension fails instead of the snapshot silently
+                    // going stale (matters for read-only transactions,
+                    // which are never validated again).
+                    self.reads.push(core, version);
+                    if version > self.ub {
+                        // Location is newer than our snapshot: lazily extend.
+                        self.extend()?;
+                    }
+                    return Ok(T::from_word(word));
+                }
+                Err(ReadConflict::Locked(_)) => {
+                    if !self.wait_for_unlock(core) {
+                        return Err(Abort::new(AbortReason::LockConflict));
+                    }
+                }
+                Err(ReadConflict::Unstable) => {
+                    return Err(Abort::new(AbortReason::UnstableRead));
+                }
+            }
+        }
+    }
+
+    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort> {
+        let core = var.core();
+        if core.lock().is_locked_by(self.ticket) {
+            core.store_value(value.into_word());
+            return Ok(());
+        }
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            if attempts > 64 {
+                return Err(Abort::new(AbortReason::LockConflict));
+            }
+            match core.lock().try_lock_any(self.ticket) {
+                Ok(old_version) => {
+                    let old_value = core.value_unsync();
+                    self.undo.record_first_write(core, old_value, old_version);
+                    core.store_value(value.into_word());
+                    return Ok(());
+                }
+                Err(_) => {
+                    if !self.wait_for_unlock(core) {
+                        return Err(Abort::new(AbortReason::LockConflict));
+                    }
+                }
+            }
+        }
+    }
+
+    fn child<R>(
+        &mut self,
+        _kind: TxKind,
+        mut f: impl FnMut(&mut Self) -> Result<R, Abort>,
+    ) -> Result<R, Abort> {
+        // Flat nesting (see TL2): classic transactions outherit trivially.
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        if r.is_ok() {
+            self.stm.stats.record_child_commit();
+        }
+        r
+    }
+
+    fn kind(&self) -> TxKind {
+        TxKind::Regular
+    }
+
+    fn ticket(&self) -> u64 {
+        self.ticket
+    }
+}
+
+impl Stm for Lsa {
+    type Txn<'env> = LsaTxn<'env>;
+
+    fn name(&self) -> &'static str {
+        "LSA"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    fn try_run<'env, R>(
+        &'env self,
+        _kind: TxKind,
+        mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
+    ) -> Result<R, RunError> {
+        let seed = next_ticket().get();
+        retry_loop(&self.config, &self.stats, seed, || {
+            let mut txn = LsaTxn::begin(self);
+            match f(&mut txn) {
+                Ok(r) => {
+                    txn.commit()?;
+                    Ok(r)
+                }
+                Err(abort) => {
+                    txn.on_abort();
+                    Err(abort)
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_own_write_in_place() {
+        let stm = Lsa::new();
+        let v = TVar::new(1u64);
+        let out = stm.run(TxKind::Regular, |tx| {
+            tx.write(&v, 5)?;
+            tx.read(&v)
+        });
+        assert_eq!(out, 5);
+        assert_eq!(v.load_atomic(), 5);
+    }
+
+    #[test]
+    fn abort_rolls_back_in_place_writes() {
+        let stm = Lsa::with_config(StmConfig::default().with_max_retries(0));
+        let a = TVar::new(1u64);
+        let b = TVar::new(2u64);
+        let r = stm.try_run(TxKind::Regular, |tx| {
+            tx.write(&a, 10)?;
+            tx.write(&b, 20)?;
+            Err::<(), _>(Abort::new(AbortReason::Explicit))
+        });
+        assert!(r.is_err());
+        assert_eq!(a.load_atomic(), 1, "undo must restore the first write");
+        assert_eq!(b.load_atomic(), 2, "undo must restore the second write");
+        // Versions restored too: a fresh read sees version 0.
+        assert_eq!(a.core().read_consistent().unwrap().1, 0);
+    }
+
+    #[test]
+    fn snapshot_extension_allows_reading_newer_locations() {
+        // A transaction starts, another commit advances the clock, then the
+        // first transaction reads the newly written location: LSA extends
+        // instead of aborting (TL2 would abort here).
+        let stm = Lsa::new();
+        let v = TVar::new(0u64);
+        let w = TVar::new(0u64);
+        let out = stm.run(TxKind::Regular, |tx| {
+            // Out-of-band commit moving the clock and writing v.
+            let nv = stm.clock().tick();
+            v.store_atomic(42, nv);
+            let a = tx.read(&v)?; // needs extension
+            let b = tx.read(&w)?;
+            Ok((a, b))
+        });
+        assert_eq!(out, (42, 0));
+        assert!(stm.stats().extensions >= 1);
+        assert_eq!(stm.stats().aborts(), 0);
+    }
+
+    #[test]
+    fn extension_fails_when_read_set_invalidated() {
+        // Read a location, then another commit overwrites it, then read a
+        // second newer location: the extension must fail (our snapshot can
+        // no longer be extended past the overwrite).
+        let stm = Lsa::new();
+        let a = TVar::new(1u64);
+        let b = TVar::new(2u64);
+        let mut first = true;
+        let out = stm.run(TxKind::Regular, |tx| {
+            let ra = tx.read(&a)?;
+            if first {
+                first = false;
+                let nv1 = stm.clock().tick();
+                a.store_atomic(9, nv1); // invalidate the read
+                let nv2 = stm.clock().tick();
+                b.store_atomic(8, nv2); // force b to need extension
+            }
+            let rb = tx.read(&b)?;
+            Ok((ra, rb))
+        });
+        // After the retry we read the new values consistently.
+        assert_eq!(out, (9, 8));
+        assert_eq!(
+            stm.stats().aborts_by_cause[AbortReason::ExtensionFailed.index()],
+            1
+        );
+    }
+
+    #[test]
+    fn readers_conflict_with_in_flight_writer() {
+        // Encounter-time locking makes writes visible: a reader that hits a
+        // locked word waits, and aborts if the writer holds on.
+        let stm = Lsa::with_config(StmConfig::default().with_max_retries(0));
+        let v = TVar::new(0u64);
+        // Foreign lock held for the duration of the read attempt.
+        assert!(v.core().lock().try_lock_at(0, 424242));
+        let r = stm.try_run(TxKind::Regular, |tx| tx.read(&v));
+        assert!(r.is_err());
+        v.core().lock().unlock_to(0);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_not_lost() {
+        use std::sync::Arc;
+        let stm = Arc::new(Lsa::new());
+        let counter = Arc::new(TVar::new(0u64));
+        let threads = 4u64;
+        let per_thread = 500u64;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let stm = Arc::clone(&stm);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..per_thread {
+                    stm.run(TxKind::Regular, |tx| {
+                        let c = tx.read(&*counter)?;
+                        tx.write(&*counter, c + 1)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load_atomic(), threads * per_thread);
+    }
+
+    #[test]
+    fn double_write_keeps_single_undo_entry() {
+        let stm = Lsa::with_config(StmConfig::default().with_max_retries(0));
+        let v = TVar::new(7u64);
+        let r = stm.try_run(TxKind::Regular, |tx| {
+            tx.write(&v, 1)?;
+            tx.write(&v, 2)?;
+            Err::<(), _>(Abort::new(AbortReason::Explicit))
+        });
+        assert!(r.is_err());
+        assert_eq!(v.load_atomic(), 7, "rollback must restore the original");
+    }
+
+    #[test]
+    fn flat_child_commits_with_parent() {
+        let stm = Lsa::new();
+        let a = TVar::new(0u64);
+        stm.run(TxKind::Regular, |tx| {
+            tx.child(TxKind::Elastic, |tx| tx.write(&a, 1))
+        });
+        assert_eq!(a.load_atomic(), 1);
+        assert_eq!(stm.stats().child_commits, 1);
+    }
+}

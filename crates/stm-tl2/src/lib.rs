@@ -1,0 +1,335 @@
+//! # TL2 — Transactional Locking II
+//!
+//! A word-based implementation of TL2 (Dice, Shalev, Shavit; DISC 2006), one
+//! of the three classic STMs the paper benchmarks OE-STM against.
+//!
+//! Algorithm summary:
+//!
+//! * **Begin**: sample the global version clock into the read version `rv`.
+//! * **Read**: consistent-read the location; abort if it is locked or its
+//!   version exceeds `rv` (the location was written after we started — TL2
+//!   has no snapshot extension). Record the read invisibly.
+//! * **Write**: buffer in the write set (lazy versioning / deferred update).
+//! * **Commit**: acquire the versioned locks of the write set (sorted by
+//!   location to avoid deadlock), increment the clock to obtain the write
+//!   version `wv`, validate the read set (skippable when `wv == rv + 1`),
+//!   write back, and release every lock at `wv`.
+//!
+//! In the paper's protection-element vocabulary: TL2 acquires the protection
+//! element of every location it reads or writes and releases nothing before
+//! commit, so its minimal protected set is its entire access set — classic
+//! transactions compose (flat nesting satisfies outheritance trivially) but
+//! pay for it with aborts on long search-structure traversals, which is
+//! exactly what Figs. 6–8 of the paper show.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stm_core::readset::ReadSet;
+use stm_core::stm::retry_loop;
+use stm_core::ticket::next_ticket;
+use stm_core::tvar::ReadConflict;
+use stm_core::writeset::WriteSet;
+use stm_core::{
+    Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TVar,
+    Transaction, TxKind, Word,
+};
+
+/// A TL2 software-transactional-memory instance.
+///
+/// All transactions run against the same instance share its global version
+/// clock; `TVar`s are independent of the instance but must only be used with
+/// one STM instance at a time (versions are clock-relative).
+#[derive(Debug, Default)]
+pub struct Tl2 {
+    clock: GlobalClock,
+    stats: StmStats,
+    config: StmConfig,
+}
+
+impl Tl2 {
+    /// Create an instance with the default configuration.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_config(StmConfig::default())
+    }
+
+    /// Create an instance with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: StmConfig) -> Self {
+        Self {
+            clock: GlobalClock::new(),
+            stats: StmStats::new(),
+            config,
+        }
+    }
+}
+
+/// One TL2 transaction attempt.
+#[derive(Debug)]
+pub struct Tl2Txn<'env> {
+    stm: &'env Tl2,
+    rv: u64,
+    ticket: u64,
+    reads: ReadSet<'env>,
+    writes: WriteSet<'env>,
+    depth: u32,
+}
+
+impl<'env> Tl2Txn<'env> {
+    fn begin(stm: &'env Tl2) -> Self {
+        Self {
+            stm,
+            rv: stm.clock.now(),
+            ticket: next_ticket().get(),
+            reads: ReadSet::new(),
+            writes: WriteSet::new(),
+            depth: 0,
+        }
+    }
+
+    /// Commit the attempt. On `Err` the caller retries with a fresh
+    /// transaction; all locks have been released.
+    fn commit(&mut self) -> Result<(), Abort> {
+        if self.writes.is_empty() {
+            // Read-only fast path: every read was validated against rv at
+            // read time, so the snapshot is consistent as of rv.
+            return Ok(());
+        }
+        self.writes.lock_all(self.ticket)?;
+        let wv = self.stm.clock.tick();
+        if wv != self.rv + 1 {
+            let ok = self
+                .reads
+                .validate(Some(self.ticket), |core| self.writes.locked_version_of(core));
+            if !ok {
+                self.writes.release_locks();
+                return Err(Abort::new(AbortReason::ReadValidation));
+            }
+        }
+        self.writes.write_back_and_release(wv);
+        Ok(())
+    }
+}
+
+impl<'env> Transaction<'env> for Tl2Txn<'env> {
+    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort> {
+        let core = var.core();
+        if let Some(word) = self.writes.lookup(core) {
+            return Ok(T::from_word(word));
+        }
+        match core.read_consistent() {
+            Ok((word, version)) => {
+                if version > self.rv {
+                    // Written after we started; TL2 aborts (no extension).
+                    return Err(Abort::new(AbortReason::ReadValidation));
+                }
+                self.reads.push(core, version);
+                Ok(T::from_word(word))
+            }
+            Err(ReadConflict::Locked(_)) => Err(Abort::new(AbortReason::LockConflict)),
+            Err(ReadConflict::Unstable) => Err(Abort::new(AbortReason::UnstableRead)),
+        }
+    }
+
+    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort> {
+        self.writes.insert(var.core(), value.into_word());
+        Ok(())
+    }
+
+    fn child<R>(
+        &mut self,
+        _kind: TxKind,
+        mut f: impl FnMut(&mut Self) -> Result<R, Abort>,
+    ) -> Result<R, Abort> {
+        // Flat nesting: the child's accesses accumulate in the parent's
+        // sets and stay protected until the parent commits — the classic
+        // instantiation of outheritance the paper describes in Section I.
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        if r.is_ok() {
+            self.stm.stats.record_child_commit();
+        }
+        r
+    }
+
+    fn kind(&self) -> TxKind {
+        TxKind::Regular
+    }
+
+    fn ticket(&self) -> u64 {
+        self.ticket
+    }
+}
+
+impl Stm for Tl2 {
+    type Txn<'env> = Tl2Txn<'env>;
+
+    fn name(&self) -> &'static str {
+        "TL2"
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    fn try_run<'env, R>(
+        &'env self,
+        _kind: TxKind,
+        mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
+    ) -> Result<R, RunError> {
+        let seed = next_ticket().get();
+        retry_loop(&self.config, &self.stats, seed, || {
+            let mut txn = Tl2Txn::begin(self);
+            let r = f(&mut txn)?;
+            txn.commit()?;
+            Ok(r)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_your_own_write() {
+        let stm = Tl2::new();
+        let v = TVar::new(1u64);
+        let out = stm.run(TxKind::Regular, |tx| {
+            tx.write(&v, 5)?;
+            tx.read(&v)
+        });
+        assert_eq!(out, 5);
+        assert_eq!(v.load_atomic(), 5);
+    }
+
+    #[test]
+    fn aborted_attempt_leaves_no_trace() {
+        let stm = Tl2::with_config(StmConfig::default().with_max_retries(0));
+        let v = TVar::new(1u64);
+        let r = stm.try_run(TxKind::Regular, |tx| {
+            tx.write(&v, 99)?;
+            Err::<(), _>(Abort::new(AbortReason::Explicit))
+        });
+        assert!(r.is_err());
+        assert_eq!(v.load_atomic(), 1);
+    }
+
+    #[test]
+    fn commit_bumps_version_monotonically() {
+        let stm = Tl2::new();
+        let v = TVar::new(0u64);
+        stm.run(TxKind::Regular, |tx| tx.write(&v, 1));
+        let (_, ver1) = v.core().read_consistent().unwrap();
+        stm.run(TxKind::Regular, |tx| tx.write(&v, 2));
+        let (_, ver2) = v.core().read_consistent().unwrap();
+        assert!(ver2 > ver1);
+    }
+
+    #[test]
+    fn stale_read_aborts_and_retries() {
+        // A transaction that reads a version newer than its rv must abort;
+        // the retry then succeeds with a fresh rv.
+        let stm = Tl2::new();
+        let v = TVar::new(0u64);
+        stm.run(TxKind::Regular, |tx| tx.write(&v, 7));
+        let mut first = true;
+        let out = stm.run(TxKind::Regular, |tx| {
+            if first {
+                first = false;
+                // Simulate a racing commit with an out-of-band versioned write.
+                let nv = stm.clock().tick();
+                v.store_atomic(8, nv);
+            }
+            tx.read(&v)
+        });
+        assert_eq!(out, 8);
+        assert!(stm.stats().aborts() >= 1);
+    }
+
+    #[test]
+    fn read_only_transaction_needs_no_clock_tick() {
+        let stm = Tl2::new();
+        let v = TVar::new(3u64);
+        let before = stm.clock().now();
+        let out = stm.run(TxKind::Regular, |tx| tx.read(&v));
+        assert_eq!(out, 3);
+        assert_eq!(stm.clock().now(), before, "read-only commit must not tick");
+    }
+
+    #[test]
+    fn flat_child_commits_with_parent() {
+        let stm = Tl2::new();
+        let a = TVar::new(0u64);
+        let b = TVar::new(0u64);
+        stm.run(TxKind::Regular, |tx| {
+            tx.child(TxKind::Elastic, |tx| tx.write(&a, 1))?;
+            tx.child(TxKind::Regular, |tx| tx.write(&b, 2))?;
+            Ok(())
+        });
+        assert_eq!((a.load_atomic(), b.load_atomic()), (1, 2));
+        assert_eq!(stm.stats().child_commits, 2);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_not_lost() {
+        use std::sync::Arc;
+        let stm = Arc::new(Tl2::new());
+        let counter = Arc::new(TVar::new(0u64));
+        let threads = 4u64;
+        let per_thread = 500u64;
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let stm = Arc::clone(&stm);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..per_thread {
+                    stm.run(TxKind::Regular, |tx| {
+                        let c = tx.read(&*counter)?;
+                        tx.write(&*counter, c + 1)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load_atomic(), threads * per_thread);
+        assert_eq!(stm.stats().commits, threads * per_thread);
+    }
+
+    #[test]
+    fn disjoint_writers_both_commit() {
+        use std::sync::Arc;
+        let stm = Arc::new(Tl2::new());
+        let a = Arc::new(TVar::new(0u64));
+        let b = Arc::new(TVar::new(0u64));
+        let s1 = Arc::clone(&stm);
+        let a1 = Arc::clone(&a);
+        let h = std::thread::spawn(move || {
+            for i in 0..1000 {
+                s1.run(TxKind::Regular, |tx| tx.write(&*a1, i));
+            }
+        });
+        for i in 0..1000 {
+            stm.run(TxKind::Regular, |tx| tx.write(&*b, i));
+        }
+        h.join().unwrap();
+        assert_eq!(a.load_atomic(), 999);
+        assert_eq!(b.load_atomic(), 999);
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 1 of the paper, live: composing elastic `contains(y)` and
+//! `insert(x)` into `insertIfAbsent(x, y)`.
+//!
+//! With plain elastic transactions (E-STM, no outheritance) the composed
+//! operation is *not* atomic: an `insert(y)` landing between the
+//! containment check and the insert goes unnoticed and the composition
+//! commits anyway. With OE-STM, `contains(y)`'s protected set outherits
+//! to the parent, the intruding insert invalidates it, and the
+//! composition aborts and retries — now observing `y`.
+//!
+//! The race is reproduced *deterministically*: the adversary's
+//! `insert(y)` runs as a real committed transaction injected exactly
+//! between the two children of the composition's first attempt.
+//!
+//! ```sh
+//! cargo run --example insert_if_absent
+//! ```
+
+use composing_relaxed_transactions::cec::{LinkedListSet, OpScratch, TxSet};
+
+/// Disambiguate the generic `TxSet<S>` impl to OE-STM for this example.
+type Set = LinkedListSet;
+fn as_oe(set: &Set) -> &dyn TxSet<OeStm> {
+    set
+}
+use composing_relaxed_transactions::oe_stm::OeStm;
+use composing_relaxed_transactions::stm_core::{Stm, Transaction, TxKind};
+
+/// insertIfAbsent(x, y) composed from the set's building blocks, with a
+/// hook that fires between the two children on the first attempt only.
+fn insert_if_absent_with_hook(
+    stm: &OeStm,
+    set: &LinkedListSet,
+    x: i64,
+    y: i64,
+    mut between: impl FnMut(),
+) -> bool {
+    let mut scratch = OpScratch::default();
+    let mut adv_scratch = OpScratch::default();
+    let mut first_attempt = true;
+    let out = stm.run(TxKind::Elastic, |tx| {
+        as_oe(set).release_unpublished(&mut scratch.allocated);
+        scratch.unlinked.clear();
+        // Child 1: the containment check.
+        let present =
+            tx.child(TxKind::Elastic, |t| <Set as TxSet<OeStm>>::contains_in(set, t, y))?;
+        // The adversary strikes: a concurrent transaction inserts y RIGHT
+        // HERE (only on the first attempt, so the demonstration is
+        // deterministic).
+        if first_attempt {
+            first_attempt = false;
+            between();
+            // The adversary transaction, committed for real:
+            stm.run(TxKind::Elastic, |t| {
+                as_oe(set).release_unpublished(&mut adv_scratch.allocated);
+                <Set as TxSet<OeStm>>::add_in(set, t, y, &mut adv_scratch)
+            });
+        }
+        if present {
+            return Ok(false);
+        }
+        // Child 2: the insert that believes y is absent.
+        tx.child(TxKind::Elastic, |t| {
+            <Set as TxSet<OeStm>>::add_in(set, t, x, &mut scratch)
+        })?;
+        Ok(true)
+    });
+    out
+}
+
+fn demo(label: &str, stm: &OeStm) {
+    let set = LinkedListSet::new();
+    for k in (0..40).step_by(2) {
+        set.add(stm, k);
+    }
+    let (x, y) = (101, 33);
+    let inserted = insert_if_absent_with_hook(stm, &set, x, y, || {});
+    let x_in = set.contains(stm, x);
+    let y_in = set.contains(stm, y);
+    let aborted = stm.stats().aborts();
+    println!("{label}:");
+    println!("  insertIfAbsent({x}, {y}) returned {inserted}");
+    println!("  final state: x present = {x_in}, y present = {y_in}");
+    println!("  transaction aborts during the composition: {aborted}");
+    if inserted && y_in {
+        println!("  → ATOMICITY VIOLATED: x was inserted although y was present.\n");
+    } else {
+        println!("  → atomic: the race was detected, the composition retried and saw y.\n");
+    }
+}
+
+fn main() {
+    println!("The paper's Fig. 1, reproduced deterministically.\n");
+    demo("E-STM (elastic, outheritance OFF)", &OeStm::estm_compat());
+    demo("OE-STM (elastic, outheritance ON)", &OeStm::new());
+}

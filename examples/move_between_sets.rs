@@ -1,0 +1,115 @@
+//! The introduction's motivating example: an atomic `move` composed from
+//! `remove` and `add` of two independent collections.
+//!
+//! With locks, two concurrent `move(k → k')` and `move(k' → k)` deadlock;
+//! with `java.util.concurrent`-style lock-free structures the composition
+//! simply cannot be written atomically. With composed transactions it is
+//! a few lines — and here both directions hammer each other at full speed
+//! while every invariant holds.
+//!
+//! ```sh
+//! cargo run --release --example move_between_sets
+//! ```
+
+use composing_relaxed_transactions::cec::{move_entry, total_size, LinkedListSet, SkipListSet, TxSet};
+use composing_relaxed_transactions::stm_core::Stm;
+use composing_relaxed_transactions::oe_stm::OeStm;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let stm = Arc::new(OeStm::new());
+    // Two different structures on purpose: composition is cross-type.
+    let inbox = Arc::new(LinkedListSet::new());
+    let archive = Arc::new(SkipListSet::new());
+
+    // 100 "messages" start in the inbox.
+    for k in 0..100 {
+        inbox.add(&*stm, k);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // Archivers: move messages inbox → archive.
+    for _ in 0..2 {
+        let (stm, inbox, archive, stop) = (
+            Arc::clone(&stm),
+            Arc::clone(&inbox),
+            Arc::clone(&archive),
+            Arc::clone(&stop),
+        );
+        handles.push(std::thread::spawn(move || {
+            let mut moved = 0u64;
+            let mut k = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                if move_entry(&*stm, &*inbox, &*archive, k, k) {
+                    moved += 1;
+                }
+                k = (k + 1) % 100;
+            }
+            moved
+        }));
+    }
+
+    // Restorers: move messages archive → inbox (the opposite direction —
+    // the classic deadlock shape for lock-based code).
+    for _ in 0..2 {
+        let (stm, inbox, archive, stop) = (
+            Arc::clone(&stm),
+            Arc::clone(&inbox),
+            Arc::clone(&archive),
+            Arc::clone(&stop),
+        );
+        handles.push(std::thread::spawn(move || {
+            let mut moved = 0u64;
+            let mut k = 99i64;
+            while !stop.load(Ordering::Relaxed) {
+                if move_entry(&*stm, &*archive, &*inbox, k, k) {
+                    moved += 1;
+                }
+                k = (k + 99) % 100;
+            }
+            moved
+        }));
+    }
+
+    // Auditor: the composed cross-collection size must be constant 100 at
+    // every instant — that is the atomicity of `move`.
+    let auditor = {
+        let (stm, inbox, archive, stop) = (
+            Arc::clone(&stm),
+            Arc::clone(&inbox),
+            Arc::clone(&archive),
+            Arc::clone(&stop),
+        );
+        std::thread::spawn(move || {
+            let mut audits = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let total = total_size(&*stm, &*inbox, &*archive);
+                assert_eq!(total, 100, "a message vanished or duplicated mid-move!");
+                audits += 1;
+            }
+            audits
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(750));
+    stop.store(true, Ordering::Relaxed);
+    let moves: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let audits = auditor.join().unwrap();
+
+    let final_inbox = inbox.size(&*stm);
+    let final_archive = archive.size(&*stm);
+    println!("completed {moves} moves under {audits} concurrent atomic audits");
+    println!("final: inbox={final_inbox}, archive={final_archive}, total={}", final_inbox + final_archive);
+    println!(
+        "stm: {} commits, {} aborts ({} from composition children outherited)",
+        stm.stats().commits,
+        stm.stats().aborts(),
+        stm.stats().outherits
+    );
+    assert_eq!(final_inbox + final_archive, 100);
+    println!("\nno deadlock, no lost message — the composition is atomic.");
+}

@@ -1,0 +1,77 @@
+//! Quickstart: transactional variables, elastic transactions, and
+//! composition in ~60 lines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use composing_relaxed_transactions::oe_stm::OeStm;
+use composing_relaxed_transactions::stm_core::{Abort, Stm, TVar, Transaction, TxKind};
+
+/// A reusable building block: withdraw `amount` if the balance allows.
+/// Works inside any transaction of any STM in the workspace.
+fn withdraw<'e, T: Transaction<'e>>(
+    tx: &mut T,
+    var: &'e TVar<i64>,
+    amount: i64,
+) -> Result<bool, Abort> {
+    let v = tx.read(var)?;
+    if v >= amount {
+        tx.write(var, v - amount)?;
+        Ok(true)
+    } else {
+        Ok(false)
+    }
+}
+
+fn main() {
+    // An OE-STM instance: elastic transactions + outheritance.
+    let stm = OeStm::new();
+
+    // Two "bank accounts" as transactional variables.
+    let alice = TVar::new(100i64);
+    let bob = TVar::new(50i64);
+
+    // 1. A plain atomic transfer.
+    stm.run(TxKind::Regular, |tx| {
+        let a = tx.read(&alice)?;
+        let b = tx.read(&bob)?;
+        tx.write(&alice, a - 30)?;
+        tx.write(&bob, b + 30)
+    });
+    assert_eq!(alice.load_atomic(), 70);
+    assert_eq!(bob.load_atomic(), 80);
+    println!("after transfer: alice={}, bob={}", alice.load_atomic(), bob.load_atomic());
+
+    // 2. Composition: two existing operations (a withdrawal and a
+    //    deposit), each written as its own child transaction, composed
+    //    into one atomic operation — no changes to the children needed.
+    let moved = stm.run(TxKind::Elastic, |tx| {
+        let ok = tx.child(TxKind::Elastic, |tx| withdraw(tx, &alice, 25))?;
+        if ok {
+            tx.child(TxKind::Elastic, |tx| {
+                let b = tx.read(&bob)?;
+                tx.write(&bob, b + 25)
+            })?;
+        }
+        Ok(ok)
+    });
+    println!(
+        "composed move {}: alice={}, bob={}",
+        if moved { "succeeded" } else { "skipped" },
+        alice.load_atomic(),
+        bob.load_atomic()
+    );
+    assert_eq!(alice.load_atomic() + bob.load_atomic(), 150, "money conserved");
+
+    // 3. Statistics: the STM counts commits, aborts (by cause), elastic
+    //    cuts, and outherit() calls.
+    let stats = stm.stats();
+    println!(
+        "commits={}, aborts={}, child-commits={}, outherits={}",
+        stats.commits,
+        stats.aborts(),
+        stats.child_commits,
+        stats.outherits
+    );
+}

@@ -1,0 +1,28 @@
+//! Umbrella crate for the *Composing Relaxed Transactions* reproduction.
+//!
+//! Re-exports the whole stack so examples and integration tests can depend
+//! on a single crate:
+//!
+//! * [`stm_core`] — substrate (clock, versioned locks, `TVar`, traits)
+//! * [`stm_tl2`], [`stm_lsa`], [`stm_swiss`] — the baseline STMs
+//! * [`oe_stm`] — the paper's contribution: elastic transactions with
+//!   outheritance
+//! * [`stm_boost`] — transactional boosting with outheritance (Section
+//!   VIII's "general principle" claim, executable)
+//! * [`histories`] — the executable formal model of Sections II–IV
+//! * [`cec`] — the composable collections package of Section VI
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+pub use cec;
+pub use histories;
+pub use oe_stm;
+pub use stm_boost;
+pub use stm_core;
+pub use stm_lsa;
+pub use stm_swiss;
+pub use stm_tl2;
+
+/// The paper this repository reproduces.
+pub const PAPER: &str =
+    "Gramoli, Guerraoui, Letia: Composing Relaxed Transactions (IPDPS 2013)";

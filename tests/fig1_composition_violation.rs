@@ -1,0 +1,140 @@
+//! Fig. 1 of the paper at the collections level: `insertIfAbsent(x, y)`
+//! composed from elastic `contains` and `add` building blocks, against an
+//! adversary inserting `y` between the two children.
+//!
+//! The interleaving is deterministic (the adversary transaction runs
+//! inside a hook between the children, exactly once), and is replayed on
+//! all three e.e.c structures:
+//!
+//! * under **OE-STM**, the composition must abort and retry, and never
+//!   insert `x`;
+//! * under **E-STM** (outheritance off), the composition must commit `x`
+//!   although `y` was present — the atomicity violation that motivates
+//!   the paper.
+
+use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, OpScratch, SkipListSet, TxSet};
+use composing_relaxed_transactions::oe_stm::OeStm;
+use composing_relaxed_transactions::stm_core::{Stm, Transaction, TxKind};
+
+/// insertIfAbsent(x, y) with an adversary `add(y)` transaction injected
+/// between the children of the first attempt.
+fn insert_if_absent_with_adversary<C>(stm: &OeStm, set: &C, x: i64, y: i64) -> bool
+where
+    C: TxSet<OeStm>,
+{
+    let mut scratch = OpScratch::default();
+    let mut adv_scratch = OpScratch::default();
+    let mut first_attempt = true;
+    stm.run(TxKind::Elastic, |tx| {
+        set.release_unpublished(&mut scratch.allocated);
+        scratch.unlinked.clear();
+        let present = tx.child(TxKind::Elastic, |t| set.contains_in(t, y))?;
+        if first_attempt {
+            first_attempt = false;
+            stm.run(TxKind::Elastic, |t| {
+                set.release_unpublished(&mut adv_scratch.allocated);
+                set.add_in(t, y, &mut adv_scratch)
+            });
+        }
+        if present {
+            return Ok(false);
+        }
+        tx.child(TxKind::Elastic, |t| set.add_in(t, x, &mut scratch))?;
+        Ok(true)
+    })
+}
+
+fn seed<C: TxSet<OeStm> + ?Sized>(stm: &OeStm, set: &C) {
+    for k in (0..60).step_by(2) {
+        set.add(stm, k);
+    }
+}
+
+fn check_structure<C: TxSet<OeStm>>(make: impl Fn() -> C, name: &str) {
+    let (x, y) = (101, 33); // both initially absent (odd / out of range)
+
+    // OE-STM: atomic — the race is detected.
+    let stm = OeStm::new();
+    let set = make();
+    seed(&stm, &set);
+    let inserted = insert_if_absent_with_adversary(&stm, &set, x, y);
+    assert!(
+        !inserted,
+        "{name}/OE-STM: retry must observe y and skip the insert"
+    );
+    assert!(!set.contains(&stm, x), "{name}/OE-STM: x must not be present");
+    assert!(set.contains(&stm, y));
+    assert!(
+        stm.stats().aborts() >= 1,
+        "{name}/OE-STM: the stale composition must abort at least once"
+    );
+
+    // E-STM: the violation commits silently.
+    let stm = OeStm::estm_compat();
+    let set = make();
+    seed(&stm, &set);
+    let inserted = insert_if_absent_with_adversary(&stm, &set, x, y);
+    assert!(
+        inserted,
+        "{name}/E-STM: the stale composition commits (the Fig. 1 bug)"
+    );
+    assert!(
+        set.contains(&stm, x) && set.contains(&stm, y),
+        "{name}/E-STM: both x and y present — atomicity violated"
+    );
+}
+
+#[test]
+fn fig1_linked_list() {
+    check_structure(LinkedListSet::new, "LinkedListSet");
+}
+
+#[test]
+fn fig1_skip_list() {
+    check_structure(SkipListSet::new, "SkipListSet");
+}
+
+#[test]
+fn fig1_hash_set() {
+    check_structure(|| HashSet::new(4), "HashSet");
+}
+
+/// The workaround the paper quotes from the elastic-transactions authors:
+/// "use regular mode when composing". A regular parent under E-STM mode
+/// is still safe because regular children protect every read until the
+/// top-level commit.
+#[test]
+fn regular_mode_workaround_is_safe_even_without_outheritance() {
+    let stm = OeStm::estm_compat();
+    let list = LinkedListSet::new();
+    let set: &dyn TxSet<OeStm> = &list;
+    seed(&stm, set);
+    let (x, y) = (101, 33);
+    let mut scratch = OpScratch::default();
+    let mut adv_scratch = OpScratch::default();
+    let mut first = true;
+    let inserted = stm.run(TxKind::Regular, |tx| {
+        set.release_unpublished(&mut scratch.allocated);
+        scratch.unlinked.clear();
+        // Regular children: reads go to the permanently tracked read set.
+        let present = tx.child(TxKind::Regular, |t| set.contains_in(t, y))?;
+        if first {
+            first = false;
+            stm.run(TxKind::Elastic, |t| {
+                set.release_unpublished(&mut adv_scratch.allocated);
+                set.add_in(t, y, &mut adv_scratch)
+            });
+        }
+        if present {
+            return Ok(false);
+        }
+        tx.child(TxKind::Regular, |t| set.add_in(t, x, &mut scratch))?;
+        Ok(true)
+    });
+    assert!(!inserted, "regular composition must detect the intruder");
+    assert!(!set.contains(&stm, x));
+    assert!(
+        stm.stats().aborts() >= 1,
+        "correctness recovered at the price of classic-transaction aborts"
+    );
+}
