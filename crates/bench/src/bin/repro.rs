@@ -19,6 +19,30 @@ struct Args {
     composed: Vec<u32>,
 }
 
+/// Fetch the value of `--flag` at `argv[i + 1]`, exiting with a usage
+/// error (not a panic) when it is missing.
+fn flag_value<'a>(argv: &'a [String], i: usize, flag: &str) -> &'a str {
+    argv.get(i + 1).map_or_else(
+        || {
+            eprintln!("{flag} requires a value; try --help");
+            std::process::exit(2);
+        },
+        String::as_str,
+    )
+}
+
+/// Parse a comma-separated list, exiting with a usage error on junk.
+fn parse_list<T: std::str::FromStr>(raw: &str, what: &str) -> Vec<T> {
+    raw.split(',')
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad {what} {s:?}; try --help");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
 fn parse_args() -> Args {
     let mut what = Vec::new();
     let mut threads = vec![1, 2, 4, 8, 16, 32, 64];
@@ -29,22 +53,20 @@ fn parse_args() -> Args {
     while i < argv.len() {
         match argv[i].as_str() {
             "--threads" => {
+                threads = parse_list(flag_value(&argv, i, "--threads"), "thread count");
                 i += 1;
-                threads = argv[i]
-                    .split(',')
-                    .map(|s| s.parse().expect("bad thread count"))
-                    .collect();
             }
             "--duration-ms" => {
+                let raw = flag_value(&argv, i, "--duration-ms");
+                duration = Duration::from_millis(raw.parse().unwrap_or_else(|_| {
+                    eprintln!("bad duration {raw:?}; try --help");
+                    std::process::exit(2);
+                }));
                 i += 1;
-                duration = Duration::from_millis(argv[i].parse().expect("bad duration"));
             }
             "--composed" => {
+                composed = parse_list(flag_value(&argv, i, "--composed"), "composed pct");
                 i += 1;
-                composed = argv[i]
-                    .split(',')
-                    .map(|s| s.parse().expect("bad composed pct"))
-                    .collect();
             }
             "--help" | "-h" => {
                 println!(
@@ -56,6 +78,15 @@ fn parse_args() -> Args {
             w => what.push(w.to_string()),
         }
         i += 1;
+    }
+    if threads.is_empty() || threads.contains(&0) {
+        eprintln!("--threads needs at least one nonzero count; try --help");
+        std::process::exit(2);
+    }
+    // Mix::paper requires composed <= 20 (updates are 20% of all ops).
+    if composed.iter().any(|&pct| pct > 20) {
+        eprintln!("--composed percentages must be <= 20 (updates are 20% of all operations)");
+        std::process::exit(2);
     }
     if what.is_empty() {
         what.push("all".to_string());
@@ -90,7 +121,7 @@ fn main() {
     println!(
         "Composing Relaxed Transactions (IPDPS 2013) — evaluation reproduction\n\
          workload: 2^12 elements, 2^13 key range, 80% contains (Section VII-A)\n\
-         host parallelism: {} core(s) — see EXPERIMENTS.md for scaling caveats",
+         host parallelism: {} core(s) — see README.md \"Scaling caveats\" before comparing",
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     );
     for w in &args.what {

@@ -136,11 +136,7 @@ pub fn run_fixed<S: Stm, C: TxSet<S>>(
 }
 
 /// Timed single-threaded run of the uninstrumented sequential baseline.
-pub fn run_sequential(
-    set: &mut dyn SeqSet,
-    duration: Duration,
-    mix: Mix,
-) -> Measurement {
+pub fn run_sequential(set: &mut dyn SeqSet, duration: Duration, mix: Mix) -> Measurement {
     let mut gen = OpGen::new(mix, 0x5EC_u64);
     let started = Instant::now();
     let mut ops = 0u64;

@@ -1,9 +1,7 @@
 //! Figure regeneration: sweeps and table printing for Figs. 6–8 plus the
 //! summary comparisons the paper's abstract quotes.
 
-use crate::harness::{
-    prefill, prefill_sequential, run_sequential, run_timed, Measurement,
-};
+use crate::harness::{prefill, prefill_sequential, run_sequential, run_timed, Measurement};
 use crate::workload::{Mix, DEFAULT_INITIAL_SIZE};
 use cec::seq::{SeqHashSet, SeqLinkedListSet, SeqSet, SeqSkipListSet};
 use cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
@@ -174,7 +172,11 @@ pub fn print_summary(structure: Structure, rows: &[Row]) {
     let Some(oe) = tp("OE-STM") else {
         return;
     };
-    println!("\n--- {} @ {} threads: OE-STM speedups ---", structure.name(), max_t);
+    println!(
+        "\n--- {} @ {} threads: OE-STM speedups ---",
+        structure.name(),
+        max_t
+    );
     for sys in ["LSA", "TL2", "SwissTM"] {
         if let Some(other) = tp(sys) {
             println!("  vs {sys:<8}: {:.2}x", oe / other);
@@ -197,12 +199,7 @@ mod tests {
     #[test]
     fn tiny_figure_run_produces_all_rows() {
         // Smoke test: 2 systems' worth of rows exist, measurements sane.
-        let rows = run_figure(
-            Structure::HashSet,
-            &[1, 2],
-            Duration::from_millis(40),
-            5,
-        );
+        let rows = run_figure(Structure::HashSet, &[1, 2], Duration::from_millis(40), 5);
         assert_eq!(rows.len(), 5 * 2, "5 systems x 2 thread counts");
         for r in &rows {
             assert!(r.m.throughput > 0.0, "{} produced no ops", r.system);

@@ -133,7 +133,6 @@ impl<T: Default> Arena<T> {
     pub fn high_water(&self) -> u64 {
         self.next.load(Ordering::Relaxed)
     }
-
 }
 
 /// Pin the current thread's epoch (convenience re-export so callers don't
@@ -230,7 +229,7 @@ mod tests {
         use std::sync::Arc as StdArc;
         let a: StdArc<Arena<Cell>> = StdArc::new(Arena::new());
         let mut handles = Vec::new();
-        for _ in 0..4 {
+        for _ in 0..stm_core::parallel::worker_threads(4) {
             let a = StdArc::clone(&a);
             handles.push(std::thread::spawn(move || {
                 (0..2000).map(|_| a.alloc()).collect::<Vec<_>>()

@@ -32,7 +32,9 @@ where
         to.release_unpublished(&mut s_to.allocated);
         s_from.unlinked.clear();
         s_to.unlinked.clear();
-        let removed = tx.child(TxKind::Elastic, |t| from.remove_in(t, from_key, &mut s_from))?;
+        let removed = tx.child(TxKind::Elastic, |t| {
+            from.remove_in(t, from_key, &mut s_from)
+        })?;
         if removed {
             tx.child(TxKind::Elastic, |t| to.add_in(t, to_key, &mut s_to))?;
         }

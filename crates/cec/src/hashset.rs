@@ -81,9 +81,7 @@ impl<S: Stm> TxSet<S> for HashSet {
         // count outherits to the parent, making the total atomic.
         let mut total = 0usize;
         for &head in &self.buckets {
-            total += tx.child(TxKind::Regular, |t| {
-                listcore::len_in(&self.arena, head, t)
-            })?;
+            total += tx.child(TxKind::Regular, |t| listcore::len_in(&self.arena, head, t))?;
         }
         Ok(total)
     }

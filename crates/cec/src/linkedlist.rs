@@ -194,8 +194,9 @@ mod tests {
         use std::sync::Arc;
         let stm = Arc::new(OeStm::new());
         let set = Arc::new(LinkedListSet::new());
+        let threads = stm_core::parallel::worker_threads(4) as i64;
         let mut handles = Vec::new();
-        for t in 0..4i64 {
+        for t in 0..threads {
             let stm = Arc::clone(&stm);
             let set = Arc::clone(&set);
             handles.push(std::thread::spawn(move || {
@@ -207,8 +208,8 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(set.size(&*stm), 400);
-        for t in 0..4i64 {
+        assert_eq!(set.size(&*stm), threads as usize * 100);
+        for t in 0..threads {
             for k in 0..100 {
                 assert!(set.contains(&*stm, t * 1000 + k));
             }
@@ -226,7 +227,7 @@ mod tests {
             set.add(&*stm, k);
         }
         let mut handles = Vec::new();
-        for t in 0..4 {
+        for t in 0..stm_core::parallel::worker_threads(4) as i64 {
             let stm = Arc::clone(&stm);
             let set = Arc::clone(&set);
             handles.push(std::thread::spawn(move || {

@@ -376,7 +376,7 @@ mod tests {
             set.add(&*stm, k);
         }
         let mut handles = Vec::new();
-        for t in 0..4 {
+        for t in 0..stm_core::parallel::worker_threads(4) as i64 {
             let stm = Arc::clone(&stm);
             let set = Arc::clone(&set);
             handles.push(std::thread::spawn(move || {

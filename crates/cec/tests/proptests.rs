@@ -66,7 +66,11 @@ fn check_against_oracle<S: Stm, C: TxSet<S>>(stm: &S, set: &C, ops: &[Op]) {
     }
     assert_eq!(set.size(stm), oracle.len(), "final size");
     for k in -20i64..20 {
-        assert_eq!(set.contains(stm, k), oracle.contains(&k), "final contains({k})");
+        assert_eq!(
+            set.contains(stm, k),
+            oracle.contains(&k),
+            "final contains({k})"
+        );
     }
 }
 

@@ -151,10 +151,7 @@ impl History {
     /// All processes appearing in the history.
     #[must_use]
     pub fn processes(&self) -> BTreeSet<ProcId> {
-        self.events
-            .iter()
-            .filter_map(Event::proc)
-            .collect()
+        self.events.iter().filter_map(Event::proc).collect()
     }
 
     /// Operation events of transaction `t` on object `o`, as indices.
@@ -173,13 +170,17 @@ impl History {
     /// Index of `commit(t)`, if present.
     #[must_use]
     pub fn commit_index(&self, t: TxId) -> Option<usize> {
-        self.events.iter().position(|e| matches!(*e, Event::Commit { t: t2, .. } if t2 == t))
+        self.events
+            .iter()
+            .position(|e| matches!(*e, Event::Commit { t: t2, .. } if t2 == t))
     }
 
     /// Index of `begin(t)`, if present.
     #[must_use]
     pub fn begin_index(&self, t: TxId) -> Option<usize> {
-        self.events.iter().position(|e| matches!(*e, Event::Begin { t: t2, .. } if t2 == t))
+        self.events
+            .iter()
+            .position(|e| matches!(*e, Event::Begin { t: t2, .. } if t2 == t))
     }
 
     /// The minimal protected set `Pmin(t)`: objects whose protection

@@ -22,9 +22,7 @@ pub fn satisfies_outheritance(h: &History, c: &Composition) -> bool {
     let Some(p) = h.proc_of(c.members[0]) else {
         return true; // no events of the composition: vacuous
     };
-    let bound = h
-        .commit_index(c.sup())
-        .unwrap_or(h.events.len());
+    let bound = h.commit_index(c.sup()).unwrap_or(h.events.len());
     for &t in &c.members {
         let Some(ci) = h.commit_index(t) else {
             continue; // member not committed: nothing to check yet
@@ -59,11 +57,7 @@ mod tests {
             .acquire(1, 1, 1)
             .op(1, 1, OpKind::Read, 0)
             .commit(1, 1);
-        let h = if release_early {
-            h.release(1, 1, 1)
-        } else {
-            h
-        };
+        let h = if release_early { h.release(1, 1, 1) } else { h };
         let h = h
             .begin(2, 1)
             .acquire(2, 1, 2)

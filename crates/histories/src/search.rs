@@ -74,7 +74,12 @@ pub fn find_relax_serial_witness(
 
     impl<F: FnMut(&History) -> bool> Dfs<'_, F> {
         fn run(&mut self, st: &mut State) -> Option<Vec<Event>> {
-            if st.idx.iter().enumerate().all(|(i, &k)| k == self.seqs[i].len()) {
+            if st
+                .idx
+                .iter()
+                .enumerate()
+                .all(|(i, &k)| k == self.seqs[i].len())
+            {
                 let candidate = History {
                     events: st.built.clone(),
                     objects: self.objects.clone(),
@@ -98,10 +103,9 @@ pub fn find_relax_serial_witness(
                         .is_none_or(|ps| ps.iter().all(|q| st.committed.contains(q))),
                     Event::Acquire { o, .. } => !st.holder.contains_key(&o),
                     Event::Release { o, p, .. } => st.holder.get(&o) == Some(&p),
-                    Event::Op { o, op, val, .. } => st
-                        .states
-                        .get(&o)
-                        .is_some_and(|s| s.clone().step(op, val)),
+                    Event::Op { o, op, val, .. } => {
+                        st.states.get(&o).is_some_and(|s| s.clone().step(op, val))
+                    }
                     Event::Commit { .. } | Event::Abort { .. } => true,
                 };
                 if !ok {
@@ -217,23 +221,28 @@ pub fn is_serializable(h: &History) -> bool {
 
     let mut remaining = txs.clone();
     let mut chosen = Vec::new();
-    perms(&mut remaining, &mut chosen, &order, &mut |seq: &[TxId]| {
-        let mut states: BTreeMap<ObjId, ObjState> =
-            hp.objects.iter().map(|(&o, &k)| (o, k.initial())).collect();
-        for t in seq {
-            for e in &tx_events[t] {
-                if let Event::Op { o, op, val, .. } = *e {
-                    let Some(s) = states.get_mut(&o) else {
-                        return false;
-                    };
-                    if !s.step(op, val) {
-                        return false;
+    perms(
+        &mut remaining,
+        &mut chosen,
+        &order,
+        &mut |seq: &[TxId]| {
+            let mut states: BTreeMap<ObjId, ObjState> =
+                hp.objects.iter().map(|(&o, &k)| (o, k.initial())).collect();
+            for t in seq {
+                for e in &tx_events[t] {
+                    if let Event::Op { o, op, val, .. } = *e {
+                        let Some(s) = states.get_mut(&o) else {
+                            return false;
+                        };
+                        if !s.step(op, val) {
+                            return false;
+                        }
                     }
                 }
             }
-        }
-        true
-    })
+            true
+        },
+    )
 }
 
 #[cfg(test)]
@@ -322,7 +331,10 @@ mod tests {
         let h = sequential();
         let w = find_relax_serial_witness(&h, |_| true).unwrap();
         for p in h.processes() {
-            assert_eq!(w.proc_projection(p), h.committed_projection().proc_projection(p));
+            assert_eq!(
+                w.proc_projection(p),
+                h.committed_projection().proc_projection(p)
+            );
         }
         assert!(w.is_relax_serial());
         assert!(w.is_legal());

@@ -75,9 +75,7 @@ use std::sync::Arc;
 use stm_core::stm::retry_loop;
 use stm_core::ticket::next_ticket;
 use stm_core::trace::TraceSink;
-use stm_core::{
-    Abort, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TxKind,
-};
+use stm_core::{Abort, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TxKind};
 
 /// The OE-STM instance.
 ///
@@ -432,7 +430,7 @@ mod tests {
         use std::sync::Arc;
         let stm = Arc::new(OeStm::new());
         let counter = Arc::new(TVar::new(0u64));
-        let threads = 4u64;
+        let threads = stm_core::parallel::worker_threads(4) as u64;
         let per_thread = 500u64;
         let mut handles = Vec::new();
         for _ in 0..threads {

@@ -88,9 +88,9 @@ impl<'env> OeTxn<'env> {
     }
 
     fn validate_all_reads(&self) -> bool {
-        self.reads
-            .validate(Some(self.ticket), |core| self.writes.locked_version_of(core))
-            && self.window.validate()
+        self.reads.validate(Some(self.ticket), |core| {
+            self.writes.locked_version_of(core)
+        }) && self.window.validate()
     }
 
     /// Move the snapshot forward to "now", requiring every currently
@@ -142,9 +142,9 @@ impl<'env> OeTxn<'env> {
         self.writes.lock_all(self.ticket)?;
         let wv = self.stm.clock().tick();
         if wv != self.rv + 1 {
-            let ok = self
-                .reads
-                .validate(Some(self.ticket), |core| self.writes.locked_version_of(core));
+            let ok = self.reads.validate(Some(self.ticket), |core| {
+                self.writes.locked_version_of(core)
+            });
             if !ok {
                 self.writes.release_locks();
                 return Err(Abort::new(AbortReason::ReadValidation));
@@ -309,12 +309,12 @@ impl<'env> Transaction<'env> for OeTxn<'env> {
                     // is atomic as of now, then release its protection
                     // (the releases follow the child's commit event, as in
                     // the model).
-                    let ok = self
-                        .reads
-                        .validate_suffix(frame.read_mark, Some(self.ticket), |core| {
-                            self.writes.locked_version_of(core)
-                        })
-                        && self.window.validate();
+                    let ok =
+                        self.reads
+                            .validate_suffix(frame.read_mark, Some(self.ticket), |core| {
+                                self.writes.locked_version_of(core)
+                            })
+                            && self.window.validate();
                     if !ok {
                         return Err(Abort::new(AbortReason::ReadValidation));
                     }

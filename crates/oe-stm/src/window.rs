@@ -185,7 +185,11 @@ mod tests {
         assert_eq!(dropped.core.id(), a.core().id());
         assert_eq!(w.len(), 2);
         let ids: Vec<usize> = w.iter().map(|e| e.core.id()).collect();
-        assert_eq!(ids, vec![b.core().id(), c.core().id()], "oldest-first order");
+        assert_eq!(
+            ids,
+            vec![b.core().id(), c.core().id()],
+            "oldest-first order"
+        );
     }
 
     #[test]

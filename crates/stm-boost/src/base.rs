@@ -95,8 +95,9 @@ mod tests {
     #[test]
     fn concurrent_disjoint_adds() {
         let s = Arc::new(BaseSet::new());
+        let threads = stm_core::parallel::worker_threads(4) as i64;
         let mut handles = Vec::new();
-        for t in 0..4i64 {
+        for t in 0..threads {
             let s = Arc::clone(&s);
             handles.push(std::thread::spawn(move || {
                 for k in 0..200 {
@@ -107,6 +108,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(s.len(), 800);
+        assert_eq!(s.len(), threads as usize * 200);
     }
 }

@@ -38,4 +38,4 @@ pub mod txn;
 
 pub use base::BaseSet;
 pub use locks::AbstractLocks;
-pub use txn::{BoostError, BoostedSet, BoostTxn};
+pub use txn::{BoostError, BoostTxn, BoostedSet};

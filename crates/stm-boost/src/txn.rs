@@ -428,7 +428,10 @@ mod tests {
             })
             .join()
             .unwrap();
-            assert!(free, "open nesting released the child's lock at child commit");
+            assert!(
+                free,
+                "open nesting released the child's lock at child commit"
+            );
             Ok(())
         });
     }
@@ -440,7 +443,7 @@ mod tests {
             s.base().add(k);
         }
         let mut handles = Vec::new();
-        for t in 0..4 {
+        for t in 0..stm_core::parallel::worker_threads(4) as i64 {
             let s = Arc::clone(&s);
             handles.push(std::thread::spawn(move || {
                 let mut net = 0i64;

@@ -76,8 +76,9 @@ mod tests {
     #[test]
     fn concurrent_ticks_are_unique() {
         let c = Arc::new(GlobalClock::new());
+        let threads = crate::parallel::worker_threads(4);
         let mut handles = Vec::new();
-        for _ in 0..4 {
+        for _ in 0..threads {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
                 (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
@@ -89,7 +90,8 @@ mod tests {
             .collect();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all.len(), 4000, "ticks must never be duplicated");
-        assert_eq!(c.now(), 4000);
+        let expected = threads as u64 * 1000;
+        assert_eq!(all.len() as u64, expected, "ticks must never be duplicated");
+        assert_eq!(c.now(), expected);
     }
 }

@@ -76,7 +76,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = StmConfig::default().with_max_retries(5).with_elastic_window(4);
+        let c = StmConfig::default()
+            .with_max_retries(5)
+            .with_elastic_window(4);
         assert_eq!(c.max_retries, Some(5));
         assert_eq!(c.elastic_window, 4);
     }

@@ -122,6 +122,8 @@ mod tests {
         for r in AbortReason::ALL {
             assert!(!r.to_string().is_empty());
         }
-        assert!(Abort::new(AbortReason::Explicit).to_string().contains("explicit"));
+        assert!(Abort::new(AbortReason::Explicit)
+            .to_string()
+            .contains("explicit"));
     }
 }

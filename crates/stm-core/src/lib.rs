@@ -35,6 +35,7 @@ pub mod bloom;
 pub mod clock;
 pub mod config;
 pub mod error;
+pub mod parallel;
 pub mod readset;
 pub mod stats;
 pub mod stm;

@@ -1,0 +1,41 @@
+//! Thread-count budgeting for concurrency tests and stress harnesses.
+//!
+//! Tests that hard-code a worker count (say 8) oversubscribe small CI
+//! runners and containers, which turns timing-sensitive assertions
+//! flaky. Every concurrency test in this workspace instead asks
+//! [`worker_threads`] for its count: the requested number, capped by
+//! what the machine actually offers, but never less than 2 so
+//! cross-thread interleavings still happen.
+
+/// Number of worker threads a concurrency test should spawn: `max`
+/// capped at the machine's available parallelism (fallback 2 when that
+/// cannot be determined), floored at 2 so concurrency is still
+/// exercised on single-core runners.
+#[must_use]
+pub fn worker_threads(max: usize) -> usize {
+    let available = std::thread::available_parallelism().map_or(2, usize::from);
+    max.min(available).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_exceeds_request() {
+        assert!(worker_threads(4) <= 4);
+        assert!(worker_threads(2) <= 2);
+    }
+
+    #[test]
+    fn at_least_two_for_real_concurrency() {
+        assert!(worker_threads(1) >= 2);
+        assert!(worker_threads(64) >= 2);
+    }
+
+    #[test]
+    fn capped_by_available_parallelism() {
+        let available = std::thread::available_parallelism().map_or(2, usize::from);
+        assert!(worker_threads(usize::MAX) <= available.max(2));
+    }
+}

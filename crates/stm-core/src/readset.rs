@@ -179,7 +179,10 @@ mod tests {
         rs.truncate(1);
         assert_eq!(rs.len(), 1);
         b.store_atomic(7, 9); // change the dropped entry
-        assert!(rs.validate(None, |_| None), "dropped entries must not matter");
+        assert!(
+            rs.validate(None, |_| None),
+            "dropped entries must not matter"
+        );
     }
 
     #[test]
@@ -192,6 +195,9 @@ mod tests {
         a.store_atomic(3, 4); // invalidate the prefix entry only
         assert!(!rs.validate(None, |_| None));
         assert!(rs.validate_suffix(1, None, |_| None));
-        assert!(rs.validate_suffix(99, None, |_| None), "out-of-range from is empty");
+        assert!(
+            rs.validate_suffix(99, None, |_| None),
+            "out-of-range from is empty"
+        );
     }
 }

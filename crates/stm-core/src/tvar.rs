@@ -219,7 +219,7 @@ mod tests {
         let stop = Arc::new(AtomicBool::new(false));
 
         let mut readers = Vec::new();
-        for _ in 0..3 {
+        for _ in 0..crate::parallel::worker_threads(3) {
             let v = Arc::clone(&v);
             let stop = Arc::clone(&stop);
             readers.push(std::thread::spawn(move || {

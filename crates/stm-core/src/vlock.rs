@@ -201,7 +201,10 @@ mod tests {
     fn decode_roundtrip() {
         assert_eq!(VLock::decode(0), LockState::Unlocked { version: 0 });
         assert_eq!(VLock::decode(5), LockState::Unlocked { version: 5 });
-        assert_eq!(VLock::decode(LOCKED_BIT | 9), LockState::Locked { owner: 9 });
+        assert_eq!(
+            VLock::decode(LOCKED_BIT | 9),
+            LockState::Locked { owner: 9 }
+        );
     }
 
     #[test]
@@ -211,7 +214,7 @@ mod tests {
         let lock = Arc::new(VLock::new(0));
         let winners = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
-        for t in 0..8u64 {
+        for t in 0..crate::parallel::worker_threads(8) as u64 {
             let lock = Arc::clone(&lock);
             let winners = Arc::clone(&winners);
             handles.push(std::thread::spawn(move || {

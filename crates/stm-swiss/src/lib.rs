@@ -159,9 +159,9 @@ impl<'env> SwissTxn<'env> {
 
     fn extend(&mut self) -> Result<(), Abort> {
         let new_ub = self.stm.clock.now();
-        let ok = self
-            .reads
-            .validate(Some(self.ticket), |core| self.writes.locked_version_of(core));
+        let ok = self.reads.validate(Some(self.ticket), |core| {
+            self.writes.locked_version_of(core)
+        });
         if ok {
             self.ub = new_ub;
             self.stm.stats.record_extension();
@@ -229,9 +229,9 @@ impl<'env> SwissTxn<'env> {
         }
         let wv = self.stm.clock.tick();
         if wv != self.ub + 1 {
-            let ok = self
-                .reads
-                .validate(Some(self.ticket), |core| self.writes.locked_version_of(core));
+            let ok = self.reads.validate(Some(self.ticket), |core| {
+                self.writes.locked_version_of(core)
+            });
             if !ok {
                 self.writes.release_locks();
                 self.release_wlocks();

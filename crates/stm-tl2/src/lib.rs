@@ -99,9 +99,9 @@ impl<'env> Tl2Txn<'env> {
         self.writes.lock_all(self.ticket)?;
         let wv = self.stm.clock.tick();
         if wv != self.rv + 1 {
-            let ok = self
-                .reads
-                .validate(Some(self.ticket), |core| self.writes.locked_version_of(core));
+            let ok = self.reads.validate(Some(self.ticket), |core| {
+                self.writes.locked_version_of(core)
+            });
             if !ok {
                 self.writes.release_locks();
                 return Err(Abort::new(AbortReason::ReadValidation));

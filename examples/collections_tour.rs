@@ -23,7 +23,11 @@ fn tour<S: Stm>(stm: &S) {
     assert!(list.add_all(stm, &[30, 10, 20])); // Fig. 5's addAll, composed
     assert!(!list.add(stm, 20));
     assert_eq!(list.snapshot(stm), vec![10, 20, 30]);
-    println!("  LinkedListSet: {:?}, size {}", list.snapshot(stm), list.size(stm));
+    println!(
+        "  LinkedListSet: {:?}, size {}",
+        list.snapshot(stm),
+        list.size(stm)
+    );
 
     // SkipListSet: Fig. 7 / Fig. 5 pseudocode.
     let skip = SkipListSet::new();
@@ -31,7 +35,10 @@ fn tour<S: Stm>(stm: &S) {
     assert!(skip.contains(stm, 9));
     skip.remove_all(stm, &[1, 9]);
     assert!(!skip.contains(stm, 9));
-    println!("  SkipListSet:   size {} after addAll/removeAll", skip.size(stm));
+    println!(
+        "  SkipListSet:   size {} after addAll/removeAll",
+        skip.size(stm)
+    );
 
     // HashSet with deliberately few buckets (the paper uses load factor
     // 512 to stress contention); size() composes one child per bucket.

@@ -42,8 +42,9 @@ fn insert_if_absent_with_hook(
         as_oe(set).release_unpublished(&mut scratch.allocated);
         scratch.unlinked.clear();
         // Child 1: the containment check.
-        let present =
-            tx.child(TxKind::Elastic, |t| <Set as TxSet<OeStm>>::contains_in(set, t, y))?;
+        let present = tx.child(TxKind::Elastic, |t| {
+            <Set as TxSet<OeStm>>::contains_in(set, t, y)
+        })?;
         // The adversary strikes: a concurrent transaction inserts y RIGHT
         // HERE (only on the first attempt, so the demonstration is
         // deterministic).

@@ -11,9 +11,11 @@
 //! cargo run --release --example move_between_sets
 //! ```
 
-use composing_relaxed_transactions::cec::{move_entry, total_size, LinkedListSet, SkipListSet, TxSet};
-use composing_relaxed_transactions::stm_core::Stm;
+use composing_relaxed_transactions::cec::{
+    move_entry, total_size, LinkedListSet, SkipListSet, TxSet,
+};
 use composing_relaxed_transactions::oe_stm::OeStm;
+use composing_relaxed_transactions::stm_core::Stm;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -103,7 +105,10 @@ fn main() {
     let final_inbox = inbox.size(&*stm);
     let final_archive = archive.size(&*stm);
     println!("completed {moves} moves under {audits} concurrent atomic audits");
-    println!("final: inbox={final_inbox}, archive={final_archive}, total={}", final_inbox + final_archive);
+    println!(
+        "final: inbox={final_inbox}, archive={final_archive}, total={}",
+        final_inbox + final_archive
+    );
     println!(
         "stm: {} commits, {} aborts ({} from composition children outherited)",
         stm.stats().commits,

@@ -109,7 +109,11 @@ fn main() {
     let audits = auditor.join().unwrap();
 
     assert_eq!(moved, JOBS as u64);
-    assert_eq!(sum, JOBS * (JOBS - 1) / 2, "every job processed exactly once");
+    assert_eq!(
+        sum,
+        JOBS * (JOBS - 1) / 2,
+        "every job processed exactly once"
+    );
     println!(
         "pipeline moved {moved} jobs (checksum ok) under {audits} composed audits; \
          stm: {} commits / {} aborts",

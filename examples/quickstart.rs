@@ -41,7 +41,11 @@ fn main() {
     });
     assert_eq!(alice.load_atomic(), 70);
     assert_eq!(bob.load_atomic(), 80);
-    println!("after transfer: alice={}, bob={}", alice.load_atomic(), bob.load_atomic());
+    println!(
+        "after transfer: alice={}, bob={}",
+        alice.load_atomic(),
+        bob.load_atomic()
+    );
 
     // 2. Composition: two existing operations (a withdrawal and a
     //    deposit), each written as its own child transaction, composed
@@ -62,7 +66,11 @@ fn main() {
         alice.load_atomic(),
         bob.load_atomic()
     );
-    assert_eq!(alice.load_atomic() + bob.load_atomic(), 150, "money conserved");
+    assert_eq!(
+        alice.load_atomic() + bob.load_atomic(),
+        150,
+        "money conserved"
+    );
 
     // 3. Statistics: the STM counts commits, aborts (by cause), elastic
     //    cuts, and outherit() calls.

@@ -1,0 +1,369 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API the `bench` crate
+//! uses: [`Criterion`], [`BenchmarkGroup`] (with `sample_size`,
+//! `warm_up_time`, `measurement_time`, `throughput`), [`BenchmarkId`],
+//! and a [`Bencher`] supporting `iter` and `iter_custom`. Statistics
+//! are a simple min/mean/median over the collected samples — enough to
+//! eyeball trends; no outlier analysis, HTML reports, or comparisons.
+//!
+//! `--bench` (passed by `cargo bench`) and a substring filter argument
+//! are accepted; `--test` runs each benchmark once, which is what
+//! `cargo test` does for bench targets.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from proving a value unused.
+///
+/// Same contract as `criterion::black_box`; implemented with
+/// `std::hint::black_box`, which is a stable compiler intrinsic.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement (the criterion default).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier composed of a name and a parameter shown after `/`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations to run per sample.
+    iters: u64,
+    /// Measured duration of the last sample, filled by `iter*`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back calls of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Let the routine time itself: it receives the iteration count and
+    /// returns the total duration those iterations took.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.elapsed = routine(self.iters);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    /// Run each benchmark exactly once (`--test` mode).
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            throughput: None,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+/// The benchmark manager: entry point of every bench target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Apply `cargo bench`/`cargo test` CLI arguments (`--bench` is
+    /// ignored, `--test` switches to run-once mode, the first free
+    /// argument is a substring filter).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => self.settings.test_mode = true,
+                s if s.starts_with("--") => {}
+                s => self.settings.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            _criterion: self,
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let settings = self.settings.clone();
+        run_benchmark(&settings, None, &id.into().id, f);
+        self
+    }
+
+    /// Final-summary hook (report generation in real criterion); a
+    /// no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to warm up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time across samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput, so results are
+    /// also reported as elements (or bytes) per second.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&self.settings, Some(&self.name), &id.into().id, f);
+        self
+    }
+
+    /// Close the group (report boundary in real criterion).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    settings: &Settings,
+    group: Option<&str>,
+    id: &str,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if let Some(filter) = &settings.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    if settings.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {full} ... ok");
+        return;
+    }
+
+    // Warm-up: run single-iteration samples until the warm-up budget is
+    // spent, to estimate per-iteration cost.
+    let warm_start = Instant::now();
+    let mut probe_iters: u64 = 0;
+    let mut probe_time = Duration::ZERO;
+    while warm_start.elapsed() < settings.warm_up_time || probe_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        probe_iters += 1;
+        probe_time += b.elapsed;
+    }
+    let per_iter = probe_time
+        .checked_div(probe_iters as u32)
+        .unwrap_or(Duration::ZERO)
+        .max(Duration::from_nanos(1));
+
+    // Split the measurement budget into sample_size samples of
+    // whatever iteration count the warm-up estimate suggests fits.
+    let budget_per_sample = settings.measurement_time / settings.sample_size as u32;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, u64::MAX as u128) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed / iters_per_sample.max(1) as u32);
+    }
+    samples.sort_unstable();
+
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    print!("{full:<50} min {min:>12.3?}  median {median:>12.3?}  mean {mean:>12.3?}");
+    if let Some(t) = settings.throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        let secs = median.as_secs_f64();
+        if secs > 0.0 {
+            print!("  {:>12.0} {unit}", count as f64 / secs);
+        }
+    }
+    println!();
+}
+
+/// Define a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_counts_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn bencher_iter_custom_uses_returned_duration() {
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_custom(|iters| Duration::from_nanos(iters * 10));
+        assert_eq!(b.elapsed, Duration::from_nanos(30));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("TL2", 4).id, "TL2/4");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+        assert_eq!(BenchmarkId::from("raw").id, "raw");
+    }
+
+    #[test]
+    fn group_runs_benchmark_in_test_mode() {
+        let mut c = Criterion::default();
+        c.settings.test_mode = true;
+        let mut ran = 0;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

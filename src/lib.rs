@@ -24,5 +24,4 @@ pub use stm_swiss;
 pub use stm_tl2;
 
 /// The paper this repository reproduces.
-pub const PAPER: &str =
-    "Gramoli, Guerraoui, Letia: Composing Relaxed Transactions (IPDPS 2013)";
+pub const PAPER: &str = "Gramoli, Guerraoui, Letia: Composing Relaxed Transactions (IPDPS 2013)";

@@ -17,7 +17,9 @@ use composing_relaxed_transactions::stm_swiss::Swiss;
 use composing_relaxed_transactions::stm_tl2::Tl2;
 use std::sync::Arc;
 
-const THREADS: usize = 4;
+use composing_relaxed_transactions::stm_core::parallel::worker_threads;
+
+const MAX_THREADS: usize = 4;
 const OPS_PER_THREAD: usize = 800;
 /// Keys per thread (disjoint ranges → per-key sequential histories).
 const KEYS_PER_THREAD: i64 = 16;
@@ -28,7 +30,7 @@ where
     C: TxSet<S> + Send + Sync + 'static,
 {
     let mut handles = Vec::new();
-    for t in 0..THREADS {
+    for t in 0..worker_threads(MAX_THREADS) {
         let stm = Arc::clone(&stm);
         let set = Arc::clone(&set);
         handles.push(std::thread::spawn(move || {
@@ -164,4 +166,8 @@ cell!(hashset_under_oestm, OeStm::new(), HashSet::new(4));
 // its own transaction; early release only affects children) — and the
 // composed ops in this stress touch thread-disjoint keys, so even the
 // non-outheriting mode must keep these invariants.
-cell!(linkedlist_under_estm, OeStm::estm_compat(), LinkedListSet::new());
+cell!(
+    linkedlist_under_estm,
+    OeStm::estm_compat(),
+    LinkedListSet::new()
+);

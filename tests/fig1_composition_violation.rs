@@ -62,7 +62,10 @@ fn check_structure<C: TxSet<OeStm>>(make: impl Fn() -> C, name: &str) {
         !inserted,
         "{name}/OE-STM: retry must observe y and skip the insert"
     );
-    assert!(!set.contains(&stm, x), "{name}/OE-STM: x must not be present");
+    assert!(
+        !set.contains(&stm, x),
+        "{name}/OE-STM: x must not be present"
+    );
     assert!(set.contains(&stm, y));
     assert!(
         stm.stats().aborts() >= 1,

@@ -30,7 +30,7 @@ fn elastic_child_relaxes_inside_regular_parent() {
             let ra = tx.read(&a)?;
             let rb = tx.read(&b)?;
             let rc = tx.read(&c)?; // `a` slides out of the child's window
-            // Prefix conflict on `a` while the child is still running:
+                                   // Prefix conflict on `a` while the child is still running:
             let nv = stm.clock().tick();
             a.store_atomic(99, nv);
             Ok(ra + rb + rc)

@@ -10,6 +10,7 @@
 //!   invariant under every STM.
 
 use composing_relaxed_transactions::oe_stm::OeStm;
+use composing_relaxed_transactions::stm_core::parallel::worker_threads;
 use composing_relaxed_transactions::stm_core::{Stm, TVar, Transaction, TxKind};
 use composing_relaxed_transactions::stm_lsa::Lsa;
 use composing_relaxed_transactions::stm_swiss::Swiss;
@@ -30,7 +31,7 @@ fn bank_conservation<S: Stm + 'static>(stm: S) {
     let stop = Arc::new(AtomicBool::new(false));
 
     let mut movers = Vec::new();
-    for t in 0..3u64 {
+    for t in 0..worker_threads(3) as u64 {
         let stm = Arc::clone(&stm);
         let accounts = Arc::clone(&accounts);
         let stop = Arc::clone(&stop);

@@ -31,7 +31,9 @@ fn run_scenario(outheritance: bool) -> (Arc<Recorder>, (u64, u64)) {
     } else {
         OeStm::estm_compat()
     }
-    .with_trace(recorder.clone() as Arc<dyn composing_relaxed_transactions::stm_core::trace::TraceSink>);
+    .with_trace(
+        recorder.clone() as Arc<dyn composing_relaxed_transactions::stm_core::trace::TraceSink>
+    );
     let stm = Arc::new(stm);
 
     let x = Arc::new(TVar::new(0u64));
@@ -96,7 +98,11 @@ fn committed_children(h: &composing_relaxed_transactions::histories::History) ->
             _ => None,
         })
         .filter(|t| committed.contains(t))
-        .filter(|&t| h.events.iter().any(|e| matches!(*e, Event::Op { t: t2, .. } if t2 == t)))
+        .filter(|&t| {
+            h.events
+                .iter()
+                .any(|e| matches!(*e, Event::Op { t: t2, .. } if t2 == t))
+        })
         .collect();
     Composition::new(members)
 }

@@ -1,0 +1,131 @@
+//! Workspace smoke test: one commit round-trip and one abort round-trip
+//! through every STM backend, driven exclusively through the
+//! `stm_core::Stm` trait (plus `stm-boost`'s own entry point, which
+//! deliberately does not implement the word-based trait).
+//!
+//! This is the canary for backend refactors: if a backend's trait
+//! surface drifts — begin/commit protocol, rollback-on-abort, stats
+//! accounting — this fails before any of the heavier semantic suites
+//! run.
+
+use composing_relaxed_transactions::oe_stm::OeStm;
+use composing_relaxed_transactions::stm_boost::BoostedSet;
+use composing_relaxed_transactions::stm_core::{
+    RunError, Stm, StmConfig, TVar, Transaction, TxKind,
+};
+use composing_relaxed_transactions::stm_lsa::Lsa;
+use composing_relaxed_transactions::stm_swiss::Swiss;
+use composing_relaxed_transactions::stm_tl2::Tl2;
+
+/// Commit path: read-modify-write two variables, check values and stats.
+fn commit_round_trip<S: Stm>(stm: &S, kind: TxKind) {
+    let a = TVar::new(1i64);
+    let b = TVar::new(2i64);
+    let sum = stm.run(kind, |tx| {
+        let va = tx.read(&a)?;
+        let vb = tx.read(&b)?;
+        tx.write(&a, va + 10)?;
+        tx.write(&b, vb + 20)?;
+        Ok(va + vb)
+    });
+    assert_eq!(sum, 3, "{}: body must see initial values", stm.name());
+    assert_eq!(a.load_atomic(), 11, "{}: write-back of a", stm.name());
+    assert_eq!(b.load_atomic(), 22, "{}: write-back of b", stm.name());
+    let snap = stm.stats();
+    assert_eq!(snap.commits, 1, "{}: exactly one commit", stm.name());
+    assert_eq!(
+        snap.aborts(),
+        0,
+        "{}: no aborts on the happy path",
+        stm.name()
+    );
+}
+
+/// Abort path: a transaction that writes and then explicitly retries must
+/// leave no trace, and a zero-retry budget surfaces `RetriesExhausted`.
+fn abort_round_trip<S: Stm>(stm: &S, kind: TxKind) {
+    let v = TVar::new(7u64);
+    let result: Result<(), RunError> = stm.try_run(kind, |tx| {
+        tx.write(&v, 999)?;
+        tx.retry()
+    });
+    assert!(
+        matches!(result, Err(RunError::RetriesExhausted { .. })),
+        "{}: explicit retry with zero budget must exhaust",
+        stm.name()
+    );
+    assert_eq!(
+        v.load_atomic(),
+        7,
+        "{}: aborted writes must roll back",
+        stm.name()
+    );
+    assert!(stm.stats().aborts() >= 1, "{}: abort accounted", stm.name());
+}
+
+fn smoke<S: Stm>(stm: &S, kind: TxKind) {
+    commit_round_trip(stm, kind);
+    abort_round_trip(stm, kind);
+}
+
+/// Zero retries so the abort round-trip terminates deterministically.
+fn no_retry() -> StmConfig {
+    StmConfig::default().with_max_retries(0)
+}
+
+#[test]
+fn tl2_commit_and_abort() {
+    smoke(&Tl2::with_config(no_retry()), TxKind::Regular);
+}
+
+#[test]
+fn lsa_commit_and_abort() {
+    smoke(&Lsa::with_config(no_retry()), TxKind::Regular);
+}
+
+#[test]
+fn swiss_commit_and_abort() {
+    smoke(&Swiss::with_config(no_retry()), TxKind::Regular);
+}
+
+#[test]
+fn oestm_regular_commit_and_abort() {
+    smoke(&OeStm::with_config(no_retry()), TxKind::Regular);
+}
+
+#[test]
+fn oestm_elastic_commit_and_abort() {
+    smoke(&OeStm::with_config(no_retry()), TxKind::Elastic);
+}
+
+#[test]
+fn estm_compat_commit_and_abort() {
+    smoke(&OeStm::estm_compat_with_config(no_retry()), TxKind::Elastic);
+}
+
+/// The boosted backend has its own transaction type (abstract locks over
+/// a linearizable base), so it is smoked through its own API.
+#[test]
+fn boosted_commit_and_abort() {
+    let set = BoostedSet::new();
+    assert!(set.run(|tx| tx.add(5)));
+    assert!(set.run(|tx| tx.contains(5)));
+    // Abort path: a child inserts, then the parent retries once; the
+    // undo log must remove the child's insert on the way out.
+    let mut attempts = 0;
+    let committed = set.run(|tx| {
+        attempts += 1;
+        tx.child(|t| t.add(6))?;
+        if attempts == 1 {
+            return tx.retry();
+        }
+        Ok(true)
+    });
+    assert!(committed);
+    assert_eq!(attempts, 2, "explicit retry must re-run the body");
+    assert!(
+        set.run(|tx| tx.contains(6)),
+        "second attempt's add persists"
+    );
+    assert_eq!(set.locks().held(), 0, "no abstract locks leak");
+}
