@@ -14,7 +14,7 @@
 //!    window grants (larger windows protect more, relax less).
 
 use bench::harness::{prefill, run_fixed};
-use bench::workload::{Mix, DEFAULT_INITIAL_SIZE};
+use bench::workload::{Mix, DEFAULT_INITIAL_SIZE, DEFAULT_SEED};
 use cec::LinkedListSet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oe_stm::OeStm;
@@ -31,12 +31,12 @@ fn bench_case(
     mix: Mix,
 ) {
     let set = LinkedListSet::new();
-    prefill(&set, stm, mix, DEFAULT_INITIAL_SIZE);
+    prefill(&set, stm, mix, DEFAULT_INITIAL_SIZE, DEFAULT_SEED);
     group.bench_function(id, |b| {
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for _ in 0..iters {
-                total += run_fixed(stm, &set, THREADS, OPS, mix);
+                total += run_fixed(stm, &set, THREADS, OPS, mix, DEFAULT_SEED);
             }
             total
         });

@@ -1,153 +1,206 @@
-//! `repro` — regenerate the paper's evaluation figures.
+//! `repro` — regenerate the paper's evaluation figures and drive the
+//! scenario × backend benchmark matrix.
 //!
 //! ```text
-//! repro [fig6|fig7|fig8|summary|all] [--threads 1,2,4,8,16,32,64]
-//!       [--duration-ms 500] [--composed 5,15]
+//! repro [fig6|fig7|fig8|summary|all|list]
+//!       [--stm tl2,lsa,swiss,oe,oe-estm-compat] [--scenario fig6,bank-transfer,...]
+//!       [--threads 1,2,4] [--duration-ms 500] [--composed 5,15]
+//!       [--seed N] [--json BENCH.json]
+//! repro validate-json BENCH.json [--require-full-coverage]
 //! ```
 //!
-//! Prints, for every (structure, composed-update ratio, system, thread
-//! count): throughput in ops/ms and the abort rate — the two panels of
-//! each figure in the paper.
+//! Tables print throughput (ops/ms), abort rate, and the relaxation /
+//! composition counters (elastic cuts, outherits). `--json` additionally
+//! writes every measured row as schema-stable JSON (`bench::json`), the
+//! machine-comparable perf artifact CI archives; `validate-json` checks
+//! such a file and, with `--require-full-coverage`, that every registered
+//! backend and scenario is represented.
 
-use bench::report::{print_figure, print_summary, run_figure, Structure};
-use std::time::Duration;
+use bench::cli::{parse_args, Options, USAGE};
+use bench::report::{print_bench_rows, print_summary, Row, Structure};
+use bench::scenario::{
+    backend_registry, run_matrix, scenarios, BenchRow, MatrixPlan, FIGURE_BACKENDS,
+};
 
-struct Args {
-    what: Vec<String>,
-    threads: Vec<usize>,
-    duration: Duration,
-    composed: Vec<u32>,
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }
 
-/// Fetch the value of `--flag` at `argv[i + 1]`, exiting with a usage
-/// error (not a panic) when it is missing.
-fn flag_value<'a>(argv: &'a [String], i: usize, flag: &str) -> &'a str {
-    argv.get(i + 1).map_or_else(
-        || {
-            eprintln!("{flag} requires a value; try --help");
-            std::process::exit(2);
-        },
-        String::as_str,
-    )
-}
-
-/// Parse a comma-separated list, exiting with a usage error on junk.
-fn parse_list<T: std::str::FromStr>(raw: &str, what: &str) -> Vec<T> {
-    raw.split(',')
-        .map(|s| {
-            s.parse().unwrap_or_else(|_| {
-                eprintln!("bad {what} {s:?}; try --help");
-                std::process::exit(2);
-            })
-        })
-        .collect()
-}
-
-fn parse_args() -> Args {
-    let mut what = Vec::new();
-    let mut threads = vec![1, 2, 4, 8, 16, 32, 64];
-    let mut duration = Duration::from_millis(500);
-    let mut composed = vec![5, 15];
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--threads" => {
-                threads = parse_list(flag_value(&argv, i, "--threads"), "thread count");
-                i += 1;
-            }
-            "--duration-ms" => {
-                let raw = flag_value(&argv, i, "--duration-ms");
-                duration = Duration::from_millis(raw.parse().unwrap_or_else(|_| {
-                    eprintln!("bad duration {raw:?}; try --help");
-                    std::process::exit(2);
-                }));
-                i += 1;
-            }
-            "--composed" => {
-                composed = parse_list(flag_value(&argv, i, "--composed"), "composed pct");
-                i += 1;
-            }
-            "--help" | "-h" => {
-                println!(
-                    "usage: repro [fig6|fig7|fig8|summary|all]... \
-                     [--threads 1,2,4] [--duration-ms 500] [--composed 5,15]"
-                );
-                std::process::exit(0);
-            }
-            w => what.push(w.to_string()),
-        }
-        i += 1;
+fn print_list() {
+    let registry = backend_registry();
+    println!("backends:");
+    for spec in registry.specs() {
+        println!("  {:<16} {}", spec.name(), spec.summary());
     }
-    if threads.is_empty() || threads.contains(&0) {
-        eprintln!("--threads needs at least one nonzero count; try --help");
-        std::process::exit(2);
-    }
-    // Mix::paper requires composed <= 20 (updates are 20% of all ops).
-    if composed.iter().any(|&pct| pct > 20) {
-        eprintln!("--composed percentages must be <= 20 (updates are 20% of all operations)");
-        std::process::exit(2);
-    }
-    if what.is_empty() {
-        what.push("all".to_string());
-    }
-    Args {
-        what,
-        threads,
-        duration,
-        composed,
+    println!("\nscenarios:");
+    for s in scenarios() {
+        println!("  {:<16} {}", s.name(), s.summary());
     }
 }
 
-fn figure(structure: Structure, fig_no: u32, args: &Args, summaries: bool) {
-    for &pct in &args.composed {
-        let rows = run_figure(structure, &args.threads, args.duration, pct);
-        print_figure(
+/// Backends to run: the `--stm` subset, or `default` (the figure targets
+/// default to the paper's four systems; `summary` to everything
+/// registered, including the E-STM ablation mode).
+fn chosen_backends(opts: &Options, default: &[&str]) -> Vec<String> {
+    opts.stm
+        .clone()
+        .unwrap_or_else(|| default.iter().map(ToString::to_string).collect())
+}
+
+fn figure_rows(r: &BenchRow) -> Row {
+    Row {
+        system: r.system.clone(),
+        threads: r.threads,
+        m: r.m,
+    }
+}
+
+/// Run one figure target and print its per-composed-pct tables.
+fn figure(structure: Structure, fig_no: u32, opts: &Options, all_rows: &mut Vec<BenchRow>) {
+    let plan = MatrixPlan {
+        scenarios: vec![structure.scenario_name().to_string()],
+        backends: chosen_backends(opts, &FIGURE_BACKENDS),
+        threads: opts.threads.clone(),
+        duration: opts.duration,
+        composed: opts.composed.clone(),
+        seed: opts.seed,
+        include_sequential: true,
+    };
+    let rows = run_matrix(&plan).unwrap_or_else(|e| die(&e));
+    for &pct in &opts.composed {
+        let block: Vec<Row> = rows
+            .iter()
+            .filter(|r| r.composed_pct == pct)
+            .map(figure_rows)
+            .collect();
+        bench::report::print_figure(
             &format!(
                 "Fig. {fig_no}: {} — {pct}% addAll/removeAll (duration {:?}/point)",
                 structure.name(),
-                args.duration
+                opts.duration
             ),
-            &rows,
+            &block,
         );
-        if summaries {
-            print_summary(structure, &rows);
+        print_summary(structure, &block);
+    }
+    all_rows.extend(rows);
+}
+
+/// Run the full scenario × backend matrix and print compact tables plus
+/// the headline speedups.
+fn summary(opts: &Options, all_rows: &mut Vec<BenchRow>) {
+    let plan = MatrixPlan {
+        scenarios: opts
+            .scenario
+            .clone()
+            .unwrap_or_else(|| scenarios().iter().map(|s| s.name().to_string()).collect()),
+        backends: chosen_backends(opts, &backend_registry().names()),
+        threads: opts.threads.clone(),
+        duration: opts.duration,
+        // The paper's headline numbers use the 15% composed mix.
+        composed: vec![opts.composed.last().copied().unwrap_or(15)],
+        seed: opts.seed,
+        include_sequential: true,
+    };
+    let rows = run_matrix(&plan).unwrap_or_else(|e| die(&e));
+    print_bench_rows(&rows);
+    for s in [
+        Structure::LinkedList,
+        Structure::SkipList,
+        Structure::HashSet,
+    ] {
+        let block: Vec<Row> = rows
+            .iter()
+            .filter(|r| r.scenario == s.scenario_name())
+            .map(figure_rows)
+            .collect();
+        if !block.is_empty() {
+            print_summary(s, &block);
         }
     }
+    all_rows.extend(rows);
+}
+
+/// `repro validate-json <path>`: schema-check a benchmark artifact.
+fn validate_json(opts: &Options) -> ! {
+    let Some(path) = opts.targets.get(1) else {
+        die("validate-json needs a path; try --help");
+    };
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    let ids =
+        bench::json::validate(&text).unwrap_or_else(|e| die(&format!("{path}: INVALID: {e}")));
+    if opts.require_full_coverage {
+        let mut missing = Vec::new();
+        for backend in backend_registry().names() {
+            if !ids.iter().any(|(_, b)| b == backend) {
+                missing.push(format!("backend {backend}"));
+            }
+        }
+        for s in scenarios() {
+            if !ids.iter().any(|(sc, _)| sc == s.name()) {
+                missing.push(format!("scenario {}", s.name()));
+            }
+        }
+        if !missing.is_empty() {
+            die(&format!(
+                "{path}: INVALID: rows do not cover: {}",
+                missing.join(", ")
+            ));
+        }
+    }
+    println!("{path}: OK ({} rows)", ids.len());
+    std::process::exit(0);
 }
 
 fn main() {
-    let args = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&argv).unwrap_or_else(|e| die(&e));
+    if opts.help {
+        print!("{USAGE}");
+        return;
+    }
+    if opts.list || opts.targets.first().map(String::as_str) == Some("list") {
+        print_list();
+        return;
+    }
+    if opts.targets.first().map(String::as_str) == Some("validate-json") {
+        validate_json(&opts);
+    }
+
+    let mut targets = opts.targets.clone();
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
     println!(
         "Composing Relaxed Transactions (IPDPS 2013) — evaluation reproduction\n\
          workload: 2^12 elements, 2^13 key range, 80% contains (Section VII-A)\n\
+         seed: {}\n\
          host parallelism: {} core(s) — see README.md \"Scaling caveats\" before comparing",
+        opts.seed,
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     );
-    for w in &args.what {
+
+    let mut all_rows: Vec<BenchRow> = Vec::new();
+    for w in &targets {
         match w.as_str() {
-            "fig6" => figure(Structure::LinkedList, 6, &args, true),
-            "fig7" => figure(Structure::SkipList, 7, &args, true),
-            "fig8" => figure(Structure::HashSet, 8, &args, true),
-            "summary" => {
-                for s in [
-                    Structure::LinkedList,
-                    Structure::SkipList,
-                    Structure::HashSet,
-                ] {
-                    let rows = run_figure(s, &args.threads, args.duration, 15);
-                    print_summary(s, &rows);
-                }
-            }
+            "fig6" => figure(Structure::LinkedList, 6, &opts, &mut all_rows),
+            "fig7" => figure(Structure::SkipList, 7, &opts, &mut all_rows),
+            "fig8" => figure(Structure::HashSet, 8, &opts, &mut all_rows),
+            "summary" => summary(&opts, &mut all_rows),
             "all" => {
-                figure(Structure::LinkedList, 6, &args, true);
-                figure(Structure::SkipList, 7, &args, true);
-                figure(Structure::HashSet, 8, &args, true);
+                figure(Structure::LinkedList, 6, &opts, &mut all_rows);
+                figure(Structure::SkipList, 7, &opts, &mut all_rows);
+                figure(Structure::HashSet, 8, &opts, &mut all_rows);
             }
-            other => {
-                eprintln!("unknown target {other}; try --help");
-                std::process::exit(2);
-            }
+            other => die(&format!("unknown target {other}; try --help")),
         }
+    }
+
+    if let Some(path) = &opts.json {
+        let text = bench::json::render(&all_rows, opts.seed);
+        std::fs::write(path, &text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        println!("\nwrote {} rows to {path}", all_rows.len());
     }
 }

@@ -6,44 +6,19 @@
 //! binary remains the faithful timed reproduction (the paper measures
 //! ops/second over 10-second runs); these benches are the `cargo bench`
 //! entry point with statistics courtesy of Criterion.
+//!
+//! The backends come from the runtime registry, so a backend crate added
+//! to [`crate::scenario::backend_registry`] shows up in every figure
+//! bench with no changes here.
 
-use crate::harness::{prefill, run_fixed};
-use crate::report::{paper_hash_buckets, Structure};
-use crate::workload::{Mix, DEFAULT_INITIAL_SIZE};
-use cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
+use crate::report::Structure;
+use crate::scenario::{backend_registry, build_set_workload, run_fixed_dyn, FIGURE_BACKENDS};
+use crate::workload::{Mix, DEFAULT_SEED};
 use criterion::{BenchmarkId, Criterion};
-use oe_stm::OeStm;
 use std::time::Duration;
-use stm_core::Stm;
-use stm_lsa::Lsa;
-use stm_swiss::Swiss;
-use stm_tl2::Tl2;
 
 /// Operations per thread per measured batch.
 const OPS_PER_BATCH: u64 = 300;
-
-fn bench_system<S: Stm, C: TxSet<S>>(
-    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
-    name: &str,
-    stm: &S,
-    set: &C,
-    mix: Mix,
-    threads: usize,
-) {
-    prefill(set, stm, mix, DEFAULT_INITIAL_SIZE);
-    group.throughput(criterion::Throughput::Elements(
-        OPS_PER_BATCH * threads as u64,
-    ));
-    group.bench_function(BenchmarkId::new(name, threads), |b| {
-        b.iter_custom(|iters| {
-            let mut total = Duration::ZERO;
-            for _ in 0..iters {
-                total += run_fixed(stm, set, threads, OPS_PER_BATCH, mix);
-            }
-            total
-        });
-    });
-}
 
 /// Run one figure's benchmark group.
 pub fn figure_bench(c: &mut Criterion, structure: Structure, composed_pct: u32) {
@@ -58,30 +33,33 @@ pub fn figure_bench(c: &mut Criterion, structure: Structure, composed_pct: u32) 
     group.measurement_time(Duration::from_millis(800));
 
     let threads_list: &[usize] = &[1, 2, 4];
-    macro_rules! one {
-        ($name:expr, $stm:expr) => {{
-            let stm = $stm;
-            for &threads in threads_list {
-                match structure {
-                    Structure::LinkedList => {
-                        let set = LinkedListSet::new();
-                        bench_system(&mut group, $name, &stm, &set, mix, threads);
+    let registry = backend_registry();
+    for key in FIGURE_BACKENDS {
+        let backend = registry
+            .build_default(key)
+            .expect("figure backends are registered");
+        for &threads in threads_list {
+            let workload = build_set_workload(structure, mix);
+            workload.prefill(&backend, DEFAULT_SEED);
+            group.throughput(criterion::Throughput::Elements(
+                OPS_PER_BATCH * threads as u64,
+            ));
+            group.bench_function(BenchmarkId::new(backend.name(), threads), |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += run_fixed_dyn(
+                            &backend,
+                            &*workload,
+                            threads,
+                            OPS_PER_BATCH,
+                            DEFAULT_SEED,
+                        );
                     }
-                    Structure::SkipList => {
-                        let set = SkipListSet::new();
-                        bench_system(&mut group, $name, &stm, &set, mix, threads);
-                    }
-                    Structure::HashSet => {
-                        let set = HashSet::new(paper_hash_buckets());
-                        bench_system(&mut group, $name, &stm, &set, mix, threads);
-                    }
-                }
-            }
-        }};
+                    total
+                });
+            });
+        }
     }
-    one!("OE-STM", OeStm::new());
-    one!("LSA", Lsa::new());
-    one!("TL2", Tl2::new());
-    one!("SwissTM", Swiss::new());
     group.finish();
 }

@@ -1,7 +1,7 @@
 //! The measurement harness: timed multi-threaded runs producing the
 //! throughput (ops/ms) and abort-rate (%) series of Figs. 6–8.
 
-use crate::workload::{Mix, OpGen, WorkOp, DEFAULT_INITIAL_SIZE};
+use crate::workload::{thread_seed, Mix, OpGen, WorkOp, DEFAULT_INITIAL_SIZE};
 use cec::seq::SeqSet;
 use cec::TxSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,8 +24,28 @@ pub struct Measurement {
     pub aborts: u64,
     /// Elastic cuts taken (OE-STM only; 0 elsewhere).
     pub elastic_cuts: u64,
+    /// `outherit()` invocations — child protected sets passed to parents
+    /// (OE-STM only; 0 elsewhere).
+    pub outherits: u64,
     /// Wall-clock duration measured.
     pub elapsed: Duration,
+}
+
+impl Measurement {
+    /// Build a measurement from raw op counts and a stats snapshot.
+    #[must_use]
+    pub fn from_run(ops: u64, elapsed: Duration, snap: &stm_core::StatsSnapshot) -> Self {
+        Self {
+            throughput: ops as f64 / elapsed.as_secs_f64() / 1e3,
+            abort_rate: snap.abort_rate(),
+            ops,
+            commits: snap.commits,
+            aborts: snap.aborts(),
+            elastic_cuts: snap.elastic_cuts,
+            outherits: snap.outherits,
+            elapsed,
+        }
+    }
 }
 
 /// Execute one sampled operation against a transactional set.
@@ -49,9 +69,10 @@ pub fn apply_op<S: Stm, C: TxSet<S> + ?Sized>(set: &C, stm: &S, op: &WorkOp) {
     }
 }
 
-/// Pre-fill `set` to `target` elements with keys from the mix's range.
-pub fn prefill<S: Stm, C: TxSet<S> + ?Sized>(set: &C, stm: &S, mix: Mix, target: usize) {
-    let mut gen = OpGen::new(mix, 0xF111);
+/// Pre-fill `set` to `target` elements with keys from the mix's range,
+/// deterministically per `seed`.
+pub fn prefill<S: Stm, C: TxSet<S> + ?Sized>(set: &C, stm: &S, mix: Mix, target: usize, seed: u64) {
+    let mut gen = OpGen::new(mix, seed);
     let mut inserted = 0usize;
     while inserted < target {
         if set.add(stm, gen.next_key()) {
@@ -69,6 +90,7 @@ pub fn run_timed<S: Stm, C: TxSet<S>>(
     threads: usize,
     duration: Duration,
     mix: Mix,
+    seed: u64,
 ) -> Measurement {
     stm.reset_stats();
     let stop = AtomicBool::new(false);
@@ -81,7 +103,7 @@ pub fn run_timed<S: Stm, C: TxSet<S>>(
             let stm = &*stm;
             let set = &*set;
             scope.spawn(move || {
-                let mut gen = OpGen::new(mix, 0x9E3779B9 ^ (t as u64 + 1));
+                let mut gen = OpGen::new(mix, thread_seed(seed, t));
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let op = gen.next_op();
@@ -97,15 +119,7 @@ pub fn run_timed<S: Stm, C: TxSet<S>>(
     let elapsed = started.elapsed();
     let snap = stm.stats();
     let ops = total_ops.load(Ordering::Relaxed);
-    Measurement {
-        throughput: ops as f64 / elapsed.as_secs_f64() / 1e3,
-        abort_rate: snap.abort_rate(),
-        ops,
-        commits: snap.commits,
-        aborts: snap.aborts(),
-        elastic_cuts: snap.elastic_cuts,
-        elapsed,
-    }
+    Measurement::from_run(ops, elapsed, &snap)
 }
 
 /// Fixed-work run for Criterion benches: every worker performs exactly
@@ -117,6 +131,7 @@ pub fn run_fixed<S: Stm, C: TxSet<S>>(
     threads: usize,
     ops_per_thread: u64,
     mix: Mix,
+    seed: u64,
 ) -> Duration {
     let started = Instant::now();
     std::thread::scope(|scope| {
@@ -124,7 +139,7 @@ pub fn run_fixed<S: Stm, C: TxSet<S>>(
             let stm = &*stm;
             let set = &*set;
             scope.spawn(move || {
-                let mut gen = OpGen::new(mix, 0xABCD ^ (t as u64 + 1));
+                let mut gen = OpGen::new(mix, thread_seed(seed, t));
                 for _ in 0..ops_per_thread {
                     let op = gen.next_op();
                     apply_op(set, stm, &op);
@@ -136,8 +151,13 @@ pub fn run_fixed<S: Stm, C: TxSet<S>>(
 }
 
 /// Timed single-threaded run of the uninstrumented sequential baseline.
-pub fn run_sequential(set: &mut dyn SeqSet, duration: Duration, mix: Mix) -> Measurement {
-    let mut gen = OpGen::new(mix, 0x5EC_u64);
+pub fn run_sequential(
+    set: &mut dyn SeqSet,
+    duration: Duration,
+    mix: Mix,
+    seed: u64,
+) -> Measurement {
+    let mut gen = OpGen::new(mix, thread_seed(seed, 0));
     let started = Instant::now();
     let mut ops = 0u64;
     while started.elapsed() < duration {
@@ -170,13 +190,14 @@ pub fn run_sequential(set: &mut dyn SeqSet, duration: Duration, mix: Mix) -> Mea
         commits: ops,
         aborts: 0,
         elastic_cuts: 0,
+        outherits: 0,
         elapsed,
     }
 }
 
-/// Pre-fill a sequential set.
-pub fn prefill_sequential(set: &mut dyn SeqSet, mix: Mix, target: usize) {
-    let mut gen = OpGen::new(mix, 0xF111);
+/// Pre-fill a sequential set, deterministically per `seed`.
+pub fn prefill_sequential(set: &mut dyn SeqSet, mix: Mix, target: usize, seed: u64) {
+    let mut gen = OpGen::new(mix, seed);
     let mut inserted = 0usize;
     while inserted < target {
         if set.add(gen.next_key()) {

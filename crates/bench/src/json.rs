@@ -1,0 +1,544 @@
+//! Schema-stable JSON for the benchmark pipeline — hand-rolled writer,
+//! minimal parser, and the `BENCH.json` validator CI gates on.
+//!
+//! The build environment is offline (no serde), so this module implements
+//! exactly the JSON subset the pipeline needs. The schema is a contract:
+//! every future PR's perf run must stay machine-comparable against older
+//! artifacts, so **fields may be added but never renamed, retyped or
+//! removed**, and `schema_version` bumps on any incompatible change.
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "seed": 61713,
+//!   "host_parallelism": 8,
+//!   "rows": [
+//!     {
+//!       "scenario": "fig6", "backend": "oe", "structure": "LinkedListSet",
+//!       "threads": 2, "composed_pct": 5, "ops": 12345,
+//!       "throughput": 123.4, "abort_rate": 0.01,
+//!       "elastic_cuts": 17, "outherits": 42, "elapsed_ms": 500.2
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::scenario::BenchRow;
+use std::collections::BTreeMap;
+
+/// Current schema version of the emitted document.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Fields every row must carry, with `true` when the value is a number.
+/// (`scenario`/`backend`/`structure` are strings; the rest are numbers.)
+pub const ROW_FIELDS: [(&str, bool); 11] = [
+    ("scenario", false),
+    ("backend", false),
+    ("structure", false),
+    ("threads", true),
+    ("composed_pct", true),
+    ("ops", true),
+    ("throughput", true),
+    ("abort_rate", true),
+    ("elastic_cuts", true),
+    ("outherits", true),
+    ("elapsed_ms", true),
+];
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` so it round-trips as a JSON number (never NaN/inf —
+/// callers only pass rates and millisecond durations).
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Serialize a full benchmark document.
+#[must_use]
+pub fn render(rows: &[BenchRow], seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"structure\": \"{}\", \
+             \"threads\": {}, \"composed_pct\": {}, \"ops\": {}, \"throughput\": {}, \
+             \"abort_rate\": {}, \"elastic_cuts\": {}, \"outherits\": {}, \"elapsed_ms\": {}}}{}\n",
+            escape(&r.scenario),
+            escape(&r.backend),
+            escape(&r.structure),
+            r.threads,
+            r.composed_pct,
+            r.m.ops,
+            num(r.m.throughput),
+            num(r.m.abort_rate),
+            r.m.elastic_cuts,
+            r.m.outherits,
+            num(r.m.elapsed.as_secs_f64() * 1e3),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A parsed JSON value (the subset this pipeline emits).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. `BTreeMap` keeps iteration deterministic.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object map, if this is an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    #[must_use]
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Nesting bound for the recursive-descent parser: deeper inputs get a
+/// clean error instead of a stack overflow. The pipeline's own documents
+/// nest 3 levels; 128 leaves generous headroom.
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("JSON parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {lit:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.eat_lit("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_lit("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.eat_lit("null").map(|()| Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn nested(&mut self, f: fn(&mut Self) -> Result<Value, String>) -> Result<Value, String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let s = core::str::from_utf8(hex)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(s, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        core::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        core::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+/// Parse a JSON document.
+///
+/// # Errors
+/// Returns a positioned message on malformed input.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// A validated row's identity: `(scenario, backend)`.
+pub type RowId = (String, String);
+
+/// Validate a benchmark document against the schema: the envelope fields,
+/// at least one row, and every row carrying all [`ROW_FIELDS`] with the
+/// right types. Returns the `(scenario, backend)` pair of every row so
+/// callers can check coverage.
+///
+/// # Errors
+/// Returns a message describing the first schema violation.
+pub fn validate(text: &str) -> Result<Vec<RowId>, String> {
+    let doc = parse(text)?;
+    let obj = doc.as_obj().ok_or("top level must be an object")?;
+    let version = obj
+        .get("schema_version")
+        .and_then(Value::as_num)
+        .ok_or("missing numeric \"schema_version\"")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "schema_version {version} != supported {SCHEMA_VERSION}"
+        ));
+    }
+    obj.get("seed")
+        .and_then(Value::as_num)
+        .ok_or("missing numeric \"seed\"")?;
+    obj.get("host_parallelism")
+        .and_then(Value::as_num)
+        .ok_or("missing numeric \"host_parallelism\"")?;
+    let rows = obj
+        .get("rows")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"rows\" array")?;
+    if rows.is_empty() {
+        return Err("\"rows\" is empty — the run produced no measurements".to_string());
+    }
+    let mut ids = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let row = row
+            .as_obj()
+            .ok_or_else(|| format!("row {i} is not an object"))?;
+        for (field, numeric) in ROW_FIELDS {
+            let v = row
+                .get(field)
+                .ok_or_else(|| format!("row {i} is missing \"{field}\""))?;
+            let type_ok = if numeric {
+                v.as_num().is_some()
+            } else {
+                v.as_str().is_some()
+            };
+            if !type_ok {
+                return Err(format!(
+                    "row {i} field \"{field}\" has the wrong type (expected {})",
+                    if numeric { "number" } else { "string" }
+                ));
+            }
+        }
+        let rate = row["abort_rate"].as_num().unwrap_or(-1.0);
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("row {i} abort_rate {rate} outside [0, 1]"));
+        }
+        ids.push((
+            row["scenario"].as_str().unwrap_or_default().to_string(),
+            row["backend"].as_str().unwrap_or_default().to_string(),
+        ));
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Measurement;
+    use std::time::Duration;
+
+    fn sample_row() -> BenchRow {
+        BenchRow {
+            scenario: "fig6".into(),
+            backend: "oe".into(),
+            system: "OE-STM".into(),
+            structure: "LinkedListSet".into(),
+            threads: 2,
+            composed_pct: 5,
+            m: Measurement {
+                throughput: 123.456,
+                abort_rate: 0.25,
+                ops: 1000,
+                commits: 990,
+                aborts: 330,
+                elastic_cuts: 7,
+                outherits: 13,
+                elapsed: Duration::from_millis(50),
+            },
+        }
+    }
+
+    #[test]
+    fn render_then_validate_roundtrips() {
+        let text = render(&[sample_row()], 42);
+        let ids = validate(&text).expect("own output must validate");
+        assert_eq!(ids, vec![("fig6".to_string(), "oe".to_string())]);
+        let doc = parse(&text).unwrap();
+        let row = &doc.as_obj().unwrap()["rows"].as_arr().unwrap()[0];
+        let row = row.as_obj().unwrap();
+        assert_eq!(row["outherits"].as_num(), Some(13.0));
+        assert_eq!(row["elastic_cuts"].as_num(), Some(7.0));
+        assert!((row["elapsed_ms"].as_num().unwrap() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_rows_fail_validation() {
+        let text = render(&[], 1);
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate("{\"schema_version\": 1}").is_err());
+        assert!(validate("[1, 2, 3]").is_err());
+        // Wrong version.
+        assert!(validate(
+            "{\"schema_version\": 99, \"seed\": 0, \"host_parallelism\": 1, \"rows\": [{}]}"
+        )
+        .unwrap_err()
+        .contains("schema_version"));
+    }
+
+    #[test]
+    fn missing_row_field_is_named() {
+        let mut text = render(&[sample_row()], 1);
+        text = text.replace("\"outherits\": 13, ", "");
+        let err = validate(&text).unwrap_err();
+        assert!(err.contains("outherits"), "{err}");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = parse("\"a\\n\\\"b\\\\c\\u0041\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\n\"b\\cA"));
+    }
+
+    #[test]
+    fn parser_handles_nested_structures() {
+        let v = parse("{\"a\": [1, {\"b\": true}, null, -2.5e1]}").unwrap();
+        let a = v.as_obj().unwrap()["a"].as_arr().unwrap();
+        assert_eq!(a[0].as_num(), Some(1.0));
+        assert_eq!(a[1].as_obj().unwrap()["b"], Value::Bool(true));
+        assert_eq!(a[2], Value::Null);
+        assert_eq!(a[3].as_num(), Some(-25.0));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("{} x").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let evil = "[".repeat(100_000);
+        let err = parse(&evil).unwrap_err();
+        assert!(err.contains("nesting too deep"), "{err}");
+        // Reasonable nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&ok).is_ok());
+    }
+}

@@ -17,14 +17,24 @@
 //!
 //! Run `cargo run --release -p bench --bin repro -- all` for the full
 //! sweep; see `repro --help` for knobs.
+//!
+//! Beyond the paper's figures, the [`scenario`] registry drives arbitrary
+//! workloads (bank transfers, queue snapshots, …) over every backend in
+//! the runtime [`BackendRegistry`](stm_core::dynstm::BackendRegistry) and
+//! emits the schema-stable `BENCH.json` (see [`json`]) that makes perf
+//! machine-comparable across PRs.
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod figures;
 pub mod harness;
+pub mod json;
 pub mod report;
+pub mod scenario;
 pub mod workload;
 
 pub use harness::{apply_op, prefill, run_timed, Measurement};
 pub use report::{print_figure, print_summary, run_figure, Row, Structure};
+pub use scenario::{backend_registry, run_matrix, scenarios, BenchRow, MatrixPlan, Workload};
 pub use workload::{Mix, OpGen, WorkOp};

@@ -1,16 +1,15 @@
 //! Figure regeneration: sweeps and table printing for Figs. 6–8 plus the
 //! summary comparisons the paper's abstract quotes.
+//!
+//! The sweeps themselves are one call into the scenario registry
+//! ([`crate::scenario`]); this module owns the figure-shaped views: the
+//! `Structure` axis, the paper's table format, and the headline speedup
+//! summaries.
 
-use crate::harness::{prefill, prefill_sequential, run_sequential, run_timed, Measurement};
-use crate::workload::{Mix, DEFAULT_INITIAL_SIZE};
-use cec::seq::{SeqHashSet, SeqLinkedListSet, SeqSet, SeqSkipListSet};
-use cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
-use oe_stm::OeStm;
+use crate::harness::Measurement;
+use crate::scenario::{run_matrix, BenchRow, MatrixPlan, FIGURE_BACKENDS};
+use crate::workload::{DEFAULT_INITIAL_SIZE, DEFAULT_SEED};
 use std::time::Duration;
-use stm_core::Stm;
-use stm_lsa::Lsa;
-use stm_swiss::Swiss;
-use stm_tl2::Tl2;
 
 /// Which figure's data structure to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +30,16 @@ impl Structure {
             Structure::LinkedList => "LinkedListSet",
             Structure::SkipList => "SkipListSet",
             Structure::HashSet => "HashSet",
+        }
+    }
+
+    /// The scenario registry key regenerating this figure.
+    #[must_use]
+    pub fn scenario_name(self) -> &'static str {
+        match self {
+            Structure::LinkedList => "fig6",
+            Structure::SkipList => "fig7",
+            Structure::HashSet => "fig8",
         }
     }
 }
@@ -55,51 +64,6 @@ pub fn paper_hash_buckets() -> usize {
     DEFAULT_INITIAL_SIZE / 512
 }
 
-fn run_one_system<S: Stm, C: TxSet<S>>(
-    name: &str,
-    stm: &S,
-    set: &C,
-    threads: &[usize],
-    duration: Duration,
-    mix: Mix,
-    rows: &mut Vec<Row>,
-) {
-    prefill(set, stm, mix, DEFAULT_INITIAL_SIZE);
-    for &t in threads {
-        let m = run_timed(stm, set, t, duration, mix);
-        rows.push(Row {
-            system: name.to_string(),
-            threads: t,
-            m,
-        });
-    }
-}
-
-fn run_sequential_rows(
-    structure: Structure,
-    threads: &[usize],
-    duration: Duration,
-    mix: Mix,
-    rows: &mut Vec<Row>,
-) {
-    let mut set: Box<dyn SeqSet> = match structure {
-        Structure::LinkedList => Box::new(SeqLinkedListSet::new()),
-        Structure::SkipList => Box::new(SeqSkipListSet::new()),
-        Structure::HashSet => Box::new(SeqHashSet::new(paper_hash_buckets())),
-    };
-    prefill_sequential(set.as_mut(), mix, DEFAULT_INITIAL_SIZE);
-    let m = run_sequential(set.as_mut(), duration, mix);
-    // The paper plots the sequential result as a flat reference across the
-    // thread axis; we record it once per thread count for table symmetry.
-    for &t in threads {
-        rows.push(Row {
-            system: "Sequential".to_string(),
-            threads: t,
-            m,
-        });
-    }
-}
-
 /// Run one figure's full sweep: the four STMs plus the sequential
 /// baseline, over `threads`, with the paper's mix at `composed_pct`.
 #[must_use]
@@ -109,52 +73,87 @@ pub fn run_figure(
     duration: Duration,
     composed_pct: u32,
 ) -> Vec<Row> {
-    let mix = Mix::paper(composed_pct);
-    let mut rows = Vec::new();
-    run_sequential_rows(structure, threads, duration, mix, &mut rows);
-    macro_rules! with_stm {
-        ($name:expr, $stm:expr) => {{
-            let stm = $stm;
-            match structure {
-                Structure::LinkedList => {
-                    let set = LinkedListSet::new();
-                    run_one_system($name, &stm, &set, threads, duration, mix, &mut rows);
-                }
-                Structure::SkipList => {
-                    let set = SkipListSet::new();
-                    run_one_system($name, &stm, &set, threads, duration, mix, &mut rows);
-                }
-                Structure::HashSet => {
-                    let set = HashSet::new(paper_hash_buckets());
-                    run_one_system($name, &stm, &set, threads, duration, mix, &mut rows);
-                }
-            }
-        }};
-    }
-    with_stm!("OE-STM", OeStm::new());
-    with_stm!("LSA", Lsa::new());
-    with_stm!("TL2", Tl2::new());
-    with_stm!("SwissTM", Swiss::new());
-    rows
+    run_figure_rows(structure, threads, duration, composed_pct, DEFAULT_SEED)
+        .into_iter()
+        .map(|r| Row {
+            system: r.system,
+            threads: r.threads,
+            m: r.m,
+        })
+        .collect()
+}
+
+/// Like [`run_figure`] but seeded, returning the machine-comparable
+/// [`BenchRow`]s (what `repro --json` serializes).
+#[must_use]
+pub fn run_figure_rows(
+    structure: Structure,
+    threads: &[usize],
+    duration: Duration,
+    composed_pct: u32,
+    seed: u64,
+) -> Vec<BenchRow> {
+    let plan = MatrixPlan {
+        scenarios: vec![structure.scenario_name().to_string()],
+        backends: FIGURE_BACKENDS.iter().map(ToString::to_string).collect(),
+        threads: threads.to_vec(),
+        duration,
+        composed: vec![composed_pct],
+        seed,
+        include_sequential: true,
+    };
+    run_matrix(&plan).expect("figure scenarios and backends are registered")
 }
 
 /// Print a figure's rows in the paper's two-panel format (throughput and
-/// abort rate per thread count).
+/// abort rate per thread count), plus the relaxation/composition counters.
 pub fn print_figure(title: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
     println!(
-        "{:<12} {:>8} {:>16} {:>12} {:>12} {:>12}",
-        "system", "threads", "ops/ms", "abort-rate", "commits", "aborts"
+        "{:<12} {:>8} {:>16} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "system", "threads", "ops/ms", "abort-rate", "commits", "aborts", "cuts", "outherits"
     );
     for r in rows {
         println!(
-            "{:<12} {:>8} {:>16.1} {:>11.1}% {:>12} {:>12}",
+            "{:<12} {:>8} {:>16.1} {:>11.1}% {:>12} {:>12} {:>12} {:>12}",
             r.system,
             r.threads,
             r.m.throughput,
             r.m.abort_rate * 100.0,
             r.m.commits,
-            r.m.aborts
+            r.m.aborts,
+            r.m.elastic_cuts,
+            r.m.outherits
+        );
+    }
+}
+
+/// Print scenario-registry rows (any scenario, any backend mix) in the
+/// same table format, one block per scenario.
+pub fn print_bench_rows(rows: &[BenchRow]) {
+    let mut seen: Vec<(&str, u32)> = Vec::new();
+    for r in rows {
+        if !seen.contains(&(r.scenario.as_str(), r.composed_pct)) {
+            seen.push((r.scenario.as_str(), r.composed_pct));
+        }
+    }
+    for (scenario, pct) in seen {
+        let block: Vec<Row> = rows
+            .iter()
+            .filter(|r| r.scenario == scenario && r.composed_pct == pct)
+            .map(|r| Row {
+                system: r.system.clone(),
+                threads: r.threads,
+                m: r.m,
+            })
+            .collect();
+        let structure = rows
+            .iter()
+            .find(|r| r.scenario == scenario)
+            .map_or("", |r| r.structure.as_str());
+        print_figure(
+            &format!("{scenario}: {structure} — {pct}% composed"),
+            &block,
         );
     }
 }
@@ -198,12 +197,18 @@ mod tests {
 
     #[test]
     fn tiny_figure_run_produces_all_rows() {
-        // Smoke test: 2 systems' worth of rows exist, measurements sane.
+        // Smoke test: 5 systems' worth of rows exist, measurements sane.
         let rows = run_figure(Structure::HashSet, &[1, 2], Duration::from_millis(40), 5);
         assert_eq!(rows.len(), 5 * 2, "5 systems x 2 thread counts");
         for r in &rows {
             assert!(r.m.throughput > 0.0, "{} produced no ops", r.system);
             assert!((0.0..=1.0).contains(&r.m.abort_rate));
+        }
+        for sys in SYSTEMS {
+            assert!(
+                rows.iter().any(|r| r.system == sys),
+                "system {sys} missing from the figure sweep"
+            );
         }
     }
 }

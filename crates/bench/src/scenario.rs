@@ -1,0 +1,709 @@
+//! The scenario registry: workloads written once, driven over every
+//! registered backend at runtime.
+//!
+//! Before this module existed, every figure sweep enumerated the four
+//! STMs through generics — five near-identical monomorphized copies of the
+//! same harness in `report.rs` and `figures.rs`, and adding a workload or
+//! a backend meant touching each copy. Now a workload is one
+//! [`Workload`] implementation over the erased collection layer
+//! ([`cec::dynset`]), a backend is one [`BackendRegistry`] entry, and the
+//! matrix runner sweeps `scenarios × backends × threads` from runtime
+//! lists — exactly how the elastic-transaction lineage this paper builds
+//! on was itself evaluated: one harness, N pluggable TMs.
+//!
+//! Registered scenarios:
+//!
+//! | name | structure | mix |
+//! |---|---|---|
+//! | `fig6` | `LinkedListSet` | paper §VII-A (80% contains, composed updates) |
+//! | `fig7` | `SkipListSet` | paper §VII-A |
+//! | `fig8` | `HashSet` @ load factor 512 | paper §VII-A |
+//! | `bank-transfer` | 2 × `HashSet` | move-heavy: 30% cross-set `move_entry` |
+//! | `queue-snapshot` | 2 × `TxQueue` | read-mostly: 80% peek/len snapshots |
+
+use crate::harness::Measurement;
+use crate::report::{paper_hash_buckets, Structure};
+use crate::workload::{thread_seed, Mix, WorkOp, DEFAULT_INITIAL_SIZE};
+use cec::dynset::{move_entry_dyn, total_size_dyn, DynSet};
+use cec::queue::{transfer_dyn, TxQueue};
+use cec::seq::{SeqHashSet, SeqLinkedListSet, SeqSet, SeqSkipListSet};
+use cec::{HashSet, LinkedListSet, SkipListSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use stm_core::dynstm::{Backend, BackendRegistry};
+
+/// A benchmark workload instance, bound to its data-structure state but
+/// *not* to any STM: every operation goes through the erased [`Backend`].
+///
+/// One instance must only ever be driven by one backend (transactional
+/// versions are clock-relative), so the matrix runner builds a fresh
+/// instance per backend.
+pub trait Workload: Sync {
+    /// Populate the structure(s) before measuring, deterministically per
+    /// `seed`.
+    fn prefill(&self, backend: &Backend, seed: u64);
+
+    /// Execute one sampled high-level operation.
+    fn step(&self, backend: &Backend, rng: &mut SmallRng);
+}
+
+/// One registered scenario: a stable name, the structure label it runs
+/// over, and a constructor for per-backend workload instances.
+pub struct ScenarioSpec {
+    name: &'static str,
+    summary: &'static str,
+    structure: &'static str,
+    uses_composed_pct: bool,
+    build: fn(Mix) -> Box<dyn Workload + Send + Sync>,
+    /// Uninstrumented single-threaded reference, where one exists (the
+    /// paper's "Sequential" line for the figure scenarios).
+    sequential: Option<fn(Mix, Duration, u64) -> Measurement>,
+}
+
+impl core::fmt::Debug for ScenarioSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ScenarioSpec")
+            .field("name", &self.name)
+            .field("structure", &self.structure)
+            .finish()
+    }
+}
+
+impl ScenarioSpec {
+    /// The registry key ("fig6", "bank-transfer", …).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description for `--list` style output.
+    #[must_use]
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// Label of the structure(s) the scenario exercises.
+    #[must_use]
+    pub fn structure(&self) -> &'static str {
+        self.structure
+    }
+
+    /// Whether the paper's composed-update percentage applies (the figure
+    /// scenarios sweep it; the non-paper scenarios fix their own mixes).
+    #[must_use]
+    pub fn uses_composed_pct(&self) -> bool {
+        self.uses_composed_pct
+    }
+
+    /// Build a fresh workload instance for one backend.
+    #[must_use]
+    pub fn build(&self, mix: Mix) -> Box<dyn Workload + Send + Sync> {
+        (self.build)(mix)
+    }
+
+    /// Run the sequential reference, if the scenario has one.
+    #[must_use]
+    pub fn run_sequential(&self, mix: Mix, duration: Duration, seed: u64) -> Option<Measurement> {
+        self.sequential.map(|f| f(mix, duration, seed))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Paper workload (Figs. 6–8) over an erased set.
+// ---------------------------------------------------------------------
+
+struct SetMixWorkload {
+    set: Box<dyn DynSet + Send + Sync>,
+    mix: Mix,
+}
+
+impl Workload for SetMixWorkload {
+    fn prefill(&self, backend: &Backend, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut inserted = 0usize;
+        while inserted < DEFAULT_INITIAL_SIZE {
+            if self.set.add(backend, rng.gen_range(0..self.mix.key_range)) {
+                inserted += 1;
+            }
+        }
+    }
+
+    fn step(&self, backend: &Backend, rng: &mut SmallRng) {
+        match self.mix.sample(rng) {
+            WorkOp::Contains(k) => {
+                self.set.contains(backend, k);
+            }
+            WorkOp::Add(k) => {
+                self.set.add(backend, k);
+            }
+            WorkOp::Remove(k) => {
+                self.set.remove(backend, k);
+            }
+            WorkOp::AddAll(ks) => {
+                self.set.add_all(backend, &ks);
+            }
+            WorkOp::RemoveAll(ks) => {
+                self.set.remove_all(backend, &ks);
+            }
+        }
+    }
+}
+
+/// The erased paper workload for one figure structure (shared by the
+/// scenario registry, `report::run_figure` and the Criterion benches).
+#[must_use]
+pub fn build_set_workload(structure: Structure, mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    let set: Box<dyn DynSet + Send + Sync> = match structure {
+        Structure::LinkedList => Box::new(LinkedListSet::new()),
+        Structure::SkipList => Box::new(SkipListSet::new()),
+        Structure::HashSet => Box::new(HashSet::new(paper_hash_buckets())),
+    };
+    Box::new(SetMixWorkload { set, mix })
+}
+
+fn build_fig6(mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    build_set_workload(Structure::LinkedList, mix)
+}
+
+fn build_fig7(mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    build_set_workload(Structure::SkipList, mix)
+}
+
+fn build_fig8(mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    build_set_workload(Structure::HashSet, mix)
+}
+
+fn sequential_figure(structure: Structure, mix: Mix, duration: Duration, seed: u64) -> Measurement {
+    let mut set: Box<dyn SeqSet> = match structure {
+        Structure::LinkedList => Box::new(SeqLinkedListSet::new()),
+        Structure::SkipList => Box::new(SeqSkipListSet::new()),
+        Structure::HashSet => Box::new(SeqHashSet::new(paper_hash_buckets())),
+    };
+    crate::harness::prefill_sequential(set.as_mut(), mix, DEFAULT_INITIAL_SIZE, seed);
+    crate::harness::run_sequential(set.as_mut(), duration, mix, seed)
+}
+
+fn sequential_fig6(mix: Mix, duration: Duration, seed: u64) -> Measurement {
+    sequential_figure(Structure::LinkedList, mix, duration, seed)
+}
+
+fn sequential_fig7(mix: Mix, duration: Duration, seed: u64) -> Measurement {
+    sequential_figure(Structure::SkipList, mix, duration, seed)
+}
+
+fn sequential_fig8(mix: Mix, duration: Duration, seed: u64) -> Measurement {
+    sequential_figure(Structure::HashSet, mix, duration, seed)
+}
+
+// ---------------------------------------------------------------------
+// Bank-transfer scenario: move-heavy cross-set composition.
+// ---------------------------------------------------------------------
+
+/// Accounts per bank set (half the paper's initial size in each of the
+/// two sets, so total state matches the figure scenarios).
+const BANK_ACCOUNTS_PER_SET: usize = DEFAULT_INITIAL_SIZE / 2;
+
+struct BankWorkload {
+    checking: HashSet,
+    savings: HashSet,
+    key_range: i64,
+}
+
+impl BankWorkload {
+    fn new(mix: Mix) -> Self {
+        Self {
+            checking: HashSet::new(paper_hash_buckets()),
+            savings: HashSet::new(paper_hash_buckets()),
+            key_range: mix.key_range,
+        }
+    }
+}
+
+impl Workload for BankWorkload {
+    fn prefill(&self, backend: &Backend, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for set in [&self.checking, &self.savings] {
+            let mut inserted = 0usize;
+            while inserted < BANK_ACCOUNTS_PER_SET {
+                if DynSet::add(set, backend, rng.gen_range(0..self.key_range)) {
+                    inserted += 1;
+                }
+            }
+        }
+    }
+
+    fn step(&self, backend: &Backend, rng: &mut SmallRng) {
+        let roll = rng.gen_range(0..100u32);
+        let k = rng.gen_range(0..self.key_range);
+        if roll < 60 {
+            // Balance lookup on either ledger.
+            if roll % 2 == 0 {
+                DynSet::contains(&self.checking, backend, k);
+            } else {
+                DynSet::contains(&self.savings, backend, k);
+            }
+        } else if roll < 90 {
+            // The move-heavy part: an account hops ledgers atomically —
+            // the paper's introduction example, impossible to compose
+            // deadlock-free from a lock-based library.
+            if rng.gen_bool(0.5) {
+                move_entry_dyn(backend, &self.checking, &self.savings, k, k);
+            } else {
+                move_entry_dyn(backend, &self.savings, &self.checking, k, k);
+            }
+        } else if roll < 98 {
+            // Open/close accounts to keep churn on both arenas.
+            if rng.gen_bool(0.5) {
+                DynSet::add(&self.checking, backend, k);
+            } else {
+                DynSet::remove(&self.savings, backend, k);
+            }
+        } else {
+            // Cross-ledger audit: an atomic total no lock-free library
+            // can provide.
+            total_size_dyn(backend, &self.checking, &self.savings);
+        }
+    }
+}
+
+fn build_bank(mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(BankWorkload::new(mix))
+}
+
+// ---------------------------------------------------------------------
+// Queue-snapshot scenario: read-mostly over composable FIFO queues.
+// ---------------------------------------------------------------------
+
+/// Elements prefilled into each queue. Deliberately smaller than the set
+/// scenarios: `len` walks the whole queue in one regular transaction, so
+/// the snapshot cost scales with this.
+const QUEUE_PREFILL: i64 = 256;
+
+struct QueueSnapshotWorkload {
+    hot: TxQueue,
+    archive: TxQueue,
+    key_range: i64,
+}
+
+impl Workload for QueueSnapshotWorkload {
+    fn prefill(&self, backend: &Backend, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for q in [&self.hot, &self.archive] {
+            for _ in 0..QUEUE_PREFILL {
+                q.enqueue_dyn(backend, rng.gen_range(0..self.key_range));
+            }
+        }
+    }
+
+    fn step(&self, backend: &Backend, rng: &mut SmallRng) {
+        // The update flows are balanced in expectation (hot: +6% enqueue,
+        // −6% transfer out; archive: +6% transfer in, −6% dequeue), so
+        // queue length only random-walks around the prefill size instead
+        // of drifting — `len` snapshots cost the same at every point of a
+        // thread sweep and rows stay comparable across the thread axis.
+        let roll = rng.gen_range(0..100u32);
+        if roll < 47 {
+            // Cheap read: front of either queue.
+            if roll % 2 == 0 {
+                self.hot.peek_dyn(backend);
+            } else {
+                self.archive.peek_dyn(backend);
+            }
+        } else if roll < 82 {
+            // The snapshot: a *consistent* atomic count — the operation
+            // the JDK's weakly consistent iterators cannot offer. A long
+            // read-only transaction, which is where elastic reads shine.
+            if roll % 2 == 0 {
+                self.hot.len_dyn(backend);
+            } else {
+                self.archive.len_dyn(backend);
+            }
+        } else if roll < 88 {
+            self.hot
+                .enqueue_dyn(backend, rng.gen_range(0..self.key_range));
+        } else if roll < 94 {
+            self.archive.dequeue_dyn(backend);
+        } else {
+            // Composed cross-queue move: hot → archive.
+            transfer_dyn(backend, &self.hot, &self.archive);
+        }
+    }
+}
+
+fn build_queue_snapshot(mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(QueueSnapshotWorkload {
+        hot: TxQueue::new(),
+        archive: TxQueue::new(),
+        key_range: mix.key_range,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Registries.
+// ---------------------------------------------------------------------
+
+/// Every backend this workspace ships, wired from the individual crates'
+/// `register_backends` hooks.
+#[must_use]
+pub fn backend_registry() -> BackendRegistry {
+    let mut reg = BackendRegistry::new();
+    oe_stm::register_backends(&mut reg);
+    stm_lsa::register_backends(&mut reg);
+    stm_tl2::register_backends(&mut reg);
+    stm_swiss::register_backends(&mut reg);
+    reg
+}
+
+/// The backends the paper's figures compare (everything except the
+/// deliberately broken E-STM compatibility mode).
+pub const FIGURE_BACKENDS: [&str; 4] = ["oe", "lsa", "tl2", "swiss"];
+
+/// Every registered scenario, in display order.
+#[must_use]
+pub fn scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        ScenarioSpec {
+            name: "fig6",
+            summary: "paper Fig. 6: LinkedListSet, §VII-A mix",
+            structure: "LinkedListSet",
+            uses_composed_pct: true,
+            build: build_fig6,
+            sequential: Some(sequential_fig6),
+        },
+        ScenarioSpec {
+            name: "fig7",
+            summary: "paper Fig. 7: SkipListSet, §VII-A mix",
+            structure: "SkipListSet",
+            uses_composed_pct: true,
+            build: build_fig7,
+            sequential: Some(sequential_fig7),
+        },
+        ScenarioSpec {
+            name: "fig8",
+            summary: "paper Fig. 8: HashSet @ load factor 512, §VII-A mix",
+            structure: "HashSet",
+            uses_composed_pct: true,
+            build: build_fig8,
+            sequential: Some(sequential_fig8),
+        },
+        ScenarioSpec {
+            name: "bank-transfer",
+            summary: "move-heavy: 30% atomic cross-set moves between two ledgers",
+            structure: "2xHashSet",
+            uses_composed_pct: false,
+            build: build_bank,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "queue-snapshot",
+            summary: "read-mostly: 80% consistent peeks/counts over two TxQueues",
+            structure: "2xTxQueue",
+            uses_composed_pct: false,
+            build: build_queue_snapshot,
+            sequential: None,
+        },
+    ]
+}
+
+/// Look up a scenario by name.
+#[must_use]
+pub fn scenario(name: &str) -> Option<ScenarioSpec> {
+    scenarios().into_iter().find(|s| s.name() == name)
+}
+
+// ---------------------------------------------------------------------
+// The matrix runner.
+// ---------------------------------------------------------------------
+
+/// One measured data point of the matrix, with everything the machine-
+/// comparable `BENCH.json` row needs.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Scenario registry key ("fig6", "bank-transfer", …).
+    pub scenario: String,
+    /// Backend registry key ("tl2", "oe", …; "sequential" for the
+    /// uninstrumented reference rows).
+    pub backend: String,
+    /// Backend display name ("TL2", "OE-STM", "Sequential", …).
+    pub system: String,
+    /// Structure label ("LinkedListSet", "2xTxQueue", …).
+    pub structure: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Composed-update percentage (0 for scenarios with fixed mixes).
+    pub composed_pct: u32,
+    /// The measurement.
+    pub m: Measurement,
+}
+
+/// Timed erased run: `threads` workers drive `workload` over `backend`
+/// for `duration`; per-thread op streams derive from `seed`.
+pub fn run_timed_dyn(
+    backend: &Backend,
+    workload: &dyn Workload,
+    threads: usize,
+    duration: Duration,
+    seed: u64,
+) -> Measurement {
+    backend.reset_stats();
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let stop = &stop;
+            let total_ops = &total_ops;
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(thread_seed(seed, t));
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    workload.step(backend, &mut rng);
+                    ops += 1;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = started.elapsed();
+    Measurement::from_run(total_ops.load(Ordering::Relaxed), elapsed, &backend.stats())
+}
+
+/// Fixed-work erased run for the Criterion benches: every worker performs
+/// exactly `ops_per_thread` operations.
+pub fn run_fixed_dyn(
+    backend: &Backend,
+    workload: &dyn Workload,
+    threads: usize,
+    ops_per_thread: u64,
+    seed: u64,
+) -> Duration {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(thread_seed(seed, t));
+                for _ in 0..ops_per_thread {
+                    workload.step(backend, &mut rng);
+                }
+            });
+        }
+    });
+    started.elapsed()
+}
+
+/// What to sweep. Construct with [`MatrixPlan::new`] and adjust fields.
+#[derive(Debug, Clone)]
+pub struct MatrixPlan {
+    /// Scenario names to run (must all be registered).
+    pub scenarios: Vec<String>,
+    /// Backend names to run (must all be registered).
+    pub backends: Vec<String>,
+    /// Thread counts per (scenario, backend) cell.
+    pub threads: Vec<usize>,
+    /// Wall-clock duration per data point.
+    pub duration: Duration,
+    /// Composed-update percentages for scenarios that sweep them.
+    pub composed: Vec<u32>,
+    /// Base seed (prefills and per-thread op streams derive from it).
+    pub seed: u64,
+    /// Include the uninstrumented sequential reference rows where a
+    /// scenario has one.
+    pub include_sequential: bool,
+}
+
+impl MatrixPlan {
+    /// A plan over every registered scenario and backend with the given
+    /// sweep axes.
+    #[must_use]
+    pub fn new(threads: Vec<usize>, duration: Duration, composed: Vec<u32>, seed: u64) -> Self {
+        Self {
+            scenarios: scenarios().iter().map(|s| s.name().to_string()).collect(),
+            backends: backend_registry()
+                .names()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+            threads,
+            duration,
+            composed,
+            seed,
+            include_sequential: true,
+        }
+    }
+}
+
+/// Run the full `scenarios × composed × backends × threads` sweep.
+///
+/// Builds a fresh workload instance per (scenario, composed, backend)
+/// cell — transactional state is never shared across backends — prefills
+/// it once, and measures every thread count on the warmed instance.
+///
+/// # Errors
+/// Returns `Err` with a message naming any unknown scenario or backend.
+pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
+    let registry = backend_registry();
+    for name in &plan.backends {
+        if registry.get(name).is_none() {
+            return Err(format!(
+                "unknown backend {name:?}; registered: {}",
+                registry.names().join(", ")
+            ));
+        }
+    }
+    let specs: Vec<ScenarioSpec> = plan
+        .scenarios
+        .iter()
+        .map(|name| {
+            scenario(name).ok_or_else(|| {
+                format!(
+                    "unknown scenario {name:?}; registered: {}",
+                    scenarios()
+                        .iter()
+                        .map(ScenarioSpec::name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut rows = Vec::new();
+    for spec in &specs {
+        let pcts: &[u32] = if spec.uses_composed_pct() {
+            &plan.composed
+        } else {
+            &[0]
+        };
+        for &pct in pcts {
+            let mix = if spec.uses_composed_pct() {
+                Mix::paper(pct)
+            } else {
+                Mix::paper(0)
+            };
+            if plan.include_sequential {
+                if let Some(m) = spec.run_sequential(mix, plan.duration, plan.seed) {
+                    // The paper plots the sequential result as a flat
+                    // reference across the thread axis; record it once per
+                    // thread count for table symmetry.
+                    for &t in &plan.threads {
+                        rows.push(BenchRow {
+                            scenario: spec.name().to_string(),
+                            backend: "sequential".to_string(),
+                            system: "Sequential".to_string(),
+                            structure: spec.structure().to_string(),
+                            threads: t,
+                            composed_pct: pct,
+                            m,
+                        });
+                    }
+                }
+            }
+            for name in &plan.backends {
+                let backend = registry
+                    .build_default(name)
+                    .expect("validated against the registry above");
+                let workload = spec.build(mix);
+                workload.prefill(&backend, plan.seed);
+                for &t in &plan.threads {
+                    let m = run_timed_dyn(&backend, &*workload, t, plan.duration, plan.seed);
+                    rows.push(BenchRow {
+                        scenario: spec.name().to_string(),
+                        backend: backend.key().to_string(),
+                        system: backend.name().to_string(),
+                        structure: spec.structure().to_string(),
+                        threads: t,
+                        composed_pct: pct,
+                        m,
+                    });
+                }
+            }
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_five_backends() {
+        let names = backend_registry().names();
+        for expect in ["oe", "oe-estm-compat", "lsa", "tl2", "swiss"] {
+            assert!(names.contains(&expect), "missing backend {expect}");
+        }
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn scenario_registry_covers_paper_and_new_workloads() {
+        let names: Vec<_> = scenarios().iter().map(ScenarioSpec::name).collect();
+        assert_eq!(
+            names,
+            vec!["fig6", "fig7", "fig8", "bank-transfer", "queue-snapshot"]
+        );
+        assert!(scenario("fig6").unwrap().uses_composed_pct());
+        assert!(!scenario("bank-transfer").unwrap().uses_composed_pct());
+        assert!(scenario("nope").is_none());
+    }
+
+    #[test]
+    fn tiny_matrix_covers_every_cell() {
+        let plan = MatrixPlan {
+            scenarios: vec![
+                "fig8".into(),
+                "bank-transfer".into(),
+                "queue-snapshot".into(),
+            ],
+            backends: vec!["oe".into(), "tl2".into()],
+            threads: vec![1, 2],
+            duration: Duration::from_millis(25),
+            composed: vec![5],
+            seed: 42,
+            include_sequential: true,
+        };
+        let rows = run_matrix(&plan).expect("valid plan");
+        // fig8: sequential + 2 backends; the other two scenarios: 2
+        // backends each; times 2 thread counts.
+        assert_eq!(rows.len(), (3 + 2 + 2) * 2);
+        for r in &rows {
+            assert!(r.m.ops > 0, "{}/{} produced no ops", r.scenario, r.backend);
+            assert!((0.0..=1.0).contains(&r.m.abort_rate));
+        }
+        assert!(rows.iter().any(|r| r.backend == "sequential"));
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let mut plan = MatrixPlan::new(vec![1], Duration::from_millis(5), vec![5], 1);
+        plan.scenarios = vec!["nope".into()];
+        assert!(run_matrix(&plan).unwrap_err().contains("unknown scenario"));
+        let mut plan = MatrixPlan::new(vec![1], Duration::from_millis(5), vec![5], 1);
+        plan.backends = vec!["nope".into()];
+        assert!(run_matrix(&plan).unwrap_err().contains("unknown backend"));
+    }
+
+    #[test]
+    fn outherits_flow_through_to_measurements() {
+        // OE-STM on a composed-heavy mix must report outherits > 0; the
+        // classic STMs always report 0.
+        let plan = MatrixPlan {
+            scenarios: vec!["fig8".into()],
+            backends: vec!["oe".into(), "tl2".into()],
+            threads: vec![2],
+            duration: Duration::from_millis(40),
+            composed: vec![15],
+            seed: 7,
+            include_sequential: false,
+        };
+        let rows = run_matrix(&plan).expect("valid plan");
+        let oe = rows.iter().find(|r| r.backend == "oe").unwrap();
+        let tl2 = rows.iter().find(|r| r.backend == "tl2").unwrap();
+        assert!(oe.m.outherits > 0, "OE-STM must outherit on composed ops");
+        assert_eq!(tl2.m.outherits, 0, "TL2 never outherits");
+    }
+}

@@ -16,6 +16,27 @@ use rand::{Rng, SeedableRng};
 pub const DEFAULT_INITIAL_SIZE: usize = 1 << 12;
 /// Default key range (paper: 2^13).
 pub const DEFAULT_KEY_RANGE: i64 = 1 << 13;
+/// Default base seed. Every run derives its per-thread and prefill seeds
+/// from this unless the `--seed` flag overrides it, so default runs stay
+/// bit-for-bit reproducible while seeded runs explore fresh schedules.
+pub const DEFAULT_SEED: u64 = 0xF111;
+
+/// SplitMix64 finalizer: a cheap, well-distributed `u64 → u64` mix used to
+/// derive independent per-thread seeds from one base seed.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The operation-generator seed for worker `thread` of a run seeded with
+/// `base`. Distinct per thread, deterministic per `(base, thread)`.
+#[must_use]
+pub fn thread_seed(base: u64, thread: usize) -> u64 {
+    splitmix64(base ^ (thread as u64).wrapping_add(1))
+}
 
 /// One sampled operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +86,27 @@ impl Mix {
             key_range: DEFAULT_KEY_RANGE,
         }
     }
+
+    /// Sample one operation from this mix using `rng` (the sampling core
+    /// of [`OpGen`], exposed so scenario workloads that own their RNG can
+    /// draw from a mix directly).
+    pub fn sample(&self, rng: &mut SmallRng) -> WorkOp {
+        let roll = rng.gen_range(0..100u32);
+        let v = rng.gen_range(0..self.key_range);
+        if roll < self.contains_pct {
+            WorkOp::Contains(v)
+        } else if roll < self.contains_pct + self.composed_pct {
+            if rng.gen_bool(0.5) {
+                WorkOp::AddAll([v, half(v)])
+            } else {
+                WorkOp::RemoveAll([v, half(v)])
+            }
+        } else if rng.gen_bool(0.5) {
+            WorkOp::Add(v)
+        } else {
+            WorkOp::Remove(v)
+        }
+    }
 }
 
 /// Per-thread operation generator (deterministic per seed).
@@ -93,21 +135,7 @@ impl OpGen {
 
     /// Sample the next operation.
     pub fn next_op(&mut self) -> WorkOp {
-        let roll = self.rng.gen_range(0..100u32);
-        let v = self.rng.gen_range(0..self.mix.key_range);
-        if roll < self.mix.contains_pct {
-            WorkOp::Contains(v)
-        } else if roll < self.mix.contains_pct + self.mix.composed_pct {
-            if self.rng.gen_bool(0.5) {
-                WorkOp::AddAll([v, half(v)])
-            } else {
-                WorkOp::RemoveAll([v, half(v)])
-            }
-        } else if self.rng.gen_bool(0.5) {
-            WorkOp::Add(v)
-        } else {
-            WorkOp::Remove(v)
-        }
+        self.mix.sample(&mut self.rng)
     }
 
     /// Sample a key (for prefilling).
@@ -174,5 +202,18 @@ mod tests {
     #[should_panic(expected = "20%")]
     fn composed_beyond_updates_rejected() {
         let _ = Mix::paper(25);
+    }
+
+    #[test]
+    fn thread_seeds_are_distinct_and_deterministic() {
+        for base in [DEFAULT_SEED, 0, 42] {
+            let mut seen = std::collections::HashSet::new();
+            for t in 0..64 {
+                assert_eq!(thread_seed(base, t), thread_seed(base, t));
+                assert!(seen.insert(thread_seed(base, t)), "collision at {base}/{t}");
+            }
+        }
+        // Different bases must change every thread's stream.
+        assert_ne!(thread_seed(1, 0), thread_seed(2, 0));
     }
 }

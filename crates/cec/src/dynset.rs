@@ -1,0 +1,313 @@
+//! Erased collection operations over a runtime-selected [`Backend`].
+//!
+//! [`DynSet`] is the object-safe counterpart of [`TxSet`](crate::TxSet):
+//! the same building blocks and composed wrappers, but driven through the
+//! [`dynstm`](stm_core::dynstm) erasure layer instead of a statically
+//! known STM type. Every structure implementing [`SetOps`] gets it for
+//! free via a blanket impl, so a benchmark scenario can hold a
+//! `Box<dyn DynSet>` picked at runtime and run the one and only workload
+//! implementation over every registered backend *and* every structure —
+//! no (backend × structure) monomorphization matrix.
+//!
+//! The memory-management choreography (epoch pinning, recycling of
+//! allocations from aborted attempts, epoch-deferred retirement of
+//! unlinked nodes) mirrors [`TxSet`](crate::TxSet) exactly; see that
+//! trait's docs for the rationale.
+
+use crate::arena::pin;
+use crate::set::{OpScratch, SetOps};
+use crossbeam::epoch::Guard;
+use stm_core::dynstm::{Backend, DynTxn};
+use stm_core::{Abort, Transaction, TxKind};
+
+/// A transactional set of `i64` keys usable through `dyn` dispatch.
+///
+/// The required methods are the erased building blocks; the provided
+/// methods are the user-facing atomic operations, including the paper's
+/// composed ones (`add_all`, `remove_all`, `insert_if_absent`) built from
+/// child transactions. All of them are object-safe: scenario code works
+/// with `&dyn DynSet`.
+pub trait DynSet: Sync {
+    /// Membership test inside an ambient erased transaction.
+    fn contains_in_dyn<'env>(
+        &'env self,
+        tx: &mut DynTxn<'env, '_>,
+        key: i64,
+    ) -> Result<bool, Abort>;
+
+    /// Insert inside an ambient erased transaction; `false` if present.
+    fn add_in_dyn<'env>(
+        &'env self,
+        tx: &mut DynTxn<'env, '_>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort>;
+
+    /// Remove inside an ambient erased transaction; `false` if absent.
+    fn remove_in_dyn<'env>(
+        &'env self,
+        tx: &mut DynTxn<'env, '_>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort>;
+
+    /// Element count inside an ambient erased transaction.
+    fn len_in_dyn<'env>(&'env self, tx: &mut DynTxn<'env, '_>) -> Result<usize, Abort>;
+
+    /// Recycle slots allocated by an aborted attempt (see
+    /// [`SetOps::release_unpublished`]).
+    fn release_unpublished_dyn(&self, allocated: &mut Vec<u64>);
+
+    /// Retire slots unlinked by a committed attempt (see
+    /// [`SetOps::retire_unlinked`]).
+    fn retire_unlinked_dyn(&self, unlinked: &mut Vec<u64>, guard: &Guard);
+
+    // ------------------------------------------------------------------
+    // Atomic wrappers (each its own elastic transaction), mirroring
+    // `TxSet`'s provided methods.
+    // ------------------------------------------------------------------
+
+    /// Atomic membership test.
+    fn contains(&self, backend: &Backend, key: i64) -> bool {
+        let _guard = pin();
+        backend.run(TxKind::Elastic, |tx| self.contains_in_dyn(tx, key))
+    }
+
+    /// Atomic insert; `false` if already present.
+    fn add(&self, backend: &Backend, key: i64) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = backend.run(TxKind::Elastic, |tx| {
+            self.release_unpublished_dyn(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            self.add_in_dyn(tx, key, &mut scratch)
+        });
+        self.retire_unlinked_dyn(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// Atomic remove; `false` if absent.
+    fn remove(&self, backend: &Backend, key: i64) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = backend.run(TxKind::Elastic, |tx| {
+            self.release_unpublished_dyn(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            self.remove_in_dyn(tx, key, &mut scratch)
+        });
+        self.retire_unlinked_dyn(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// Atomic size (a regular read-only transaction).
+    fn size(&self, backend: &Backend) -> usize {
+        let _guard = pin();
+        backend.run(TxKind::Regular, |tx| self.len_in_dyn(tx))
+    }
+
+    /// Atomically insert every key; `true` if the set changed. One child
+    /// transaction per key, exactly like the paper's `addAll`.
+    fn add_all(&self, backend: &Backend, keys: &[i64]) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = backend.run(TxKind::Elastic, |tx| {
+            self.release_unpublished_dyn(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            let mut changed = false;
+            for &k in keys {
+                changed |= tx.child(TxKind::Elastic, |t| self.add_in_dyn(t, k, &mut scratch))?;
+            }
+            Ok(changed)
+        });
+        self.retire_unlinked_dyn(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// Atomically remove every key; `true` if the set changed.
+    fn remove_all(&self, backend: &Backend, keys: &[i64]) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = backend.run(TxKind::Elastic, |tx| {
+            self.release_unpublished_dyn(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            let mut changed = false;
+            for &k in keys {
+                changed |= tx.child(TxKind::Elastic, |t| self.remove_in_dyn(t, k, &mut scratch))?;
+            }
+            Ok(changed)
+        });
+        self.retire_unlinked_dyn(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// The paper's Fig. 1 composition: insert `x` only if `y` is absent.
+    fn insert_if_absent(&self, backend: &Backend, x: i64, y: i64) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = backend.run(TxKind::Elastic, |tx| {
+            self.release_unpublished_dyn(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            let present = tx.child(TxKind::Elastic, |t| self.contains_in_dyn(t, y))?;
+            if present {
+                return Ok(false);
+            }
+            tx.child(TxKind::Elastic, |t| self.add_in_dyn(t, x, &mut scratch))?;
+            Ok(true)
+        });
+        self.retire_unlinked_dyn(&mut scratch.unlinked, &guard);
+        out
+    }
+}
+
+impl<C: SetOps> DynSet for C {
+    fn contains_in_dyn<'env>(
+        &'env self,
+        tx: &mut DynTxn<'env, '_>,
+        key: i64,
+    ) -> Result<bool, Abort> {
+        self.contains_in(tx, key)
+    }
+
+    fn add_in_dyn<'env>(
+        &'env self,
+        tx: &mut DynTxn<'env, '_>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort> {
+        self.add_in(tx, key, scratch)
+    }
+
+    fn remove_in_dyn<'env>(
+        &'env self,
+        tx: &mut DynTxn<'env, '_>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort> {
+        self.remove_in(tx, key, scratch)
+    }
+
+    fn len_in_dyn<'env>(&'env self, tx: &mut DynTxn<'env, '_>) -> Result<usize, Abort> {
+        self.len_in(tx)
+    }
+
+    fn release_unpublished_dyn(&self, allocated: &mut Vec<u64>) {
+        self.release_unpublished(allocated);
+    }
+
+    fn retire_unlinked_dyn(&self, unlinked: &mut Vec<u64>, guard: &Guard) {
+        self.retire_unlinked(unlinked, guard);
+    }
+}
+
+/// Atomically move an element across two erased sets: remove `from_key`
+/// from `from`, and if it was present insert `to_key` into `to` — the
+/// cross-structure composition of [`move_entry`](crate::compose::move_entry),
+/// available over `&dyn DynSet`.
+pub fn move_entry_dyn(
+    backend: &Backend,
+    from: &dyn DynSet,
+    to: &dyn DynSet,
+    from_key: i64,
+    to_key: i64,
+) -> bool {
+    let guard = pin();
+    let mut s_from = OpScratch::default();
+    let mut s_to = OpScratch::default();
+    let out = backend.run(TxKind::Elastic, |tx| {
+        from.release_unpublished_dyn(&mut s_from.allocated);
+        to.release_unpublished_dyn(&mut s_to.allocated);
+        s_from.unlinked.clear();
+        s_to.unlinked.clear();
+        let removed = tx.child(TxKind::Elastic, |t| {
+            from.remove_in_dyn(t, from_key, &mut s_from)
+        })?;
+        if removed {
+            tx.child(TxKind::Elastic, |t| to.add_in_dyn(t, to_key, &mut s_to))?;
+        }
+        Ok(removed)
+    });
+    from.retire_unlinked_dyn(&mut s_from.unlinked, &guard);
+    to.retire_unlinked_dyn(&mut s_to.unlinked, &guard);
+    out
+}
+
+/// Atomic sum of the sizes of two erased sets (two regular read-only
+/// children composed in one parent).
+pub fn total_size_dyn(backend: &Backend, a: &dyn DynSet, b: &dyn DynSet) -> usize {
+    let _guard = pin();
+    backend.run(TxKind::Regular, |tx| {
+        let na = tx.child(TxKind::Regular, |t| a.len_in_dyn(t))?;
+        let nb = tx.child(TxKind::Regular, |t| b.len_in_dyn(t))?;
+        Ok(na + nb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashset::HashSet;
+    use crate::linkedlist::LinkedListSet;
+    use crate::skiplist::SkipListSet;
+    use stm_core::dynstm::Backend;
+
+    fn backends() -> Vec<Backend> {
+        let mut reg = stm_core::dynstm::BackendRegistry::new();
+        stm_tl2::register_backends(&mut reg);
+        oe_stm::register_backends(&mut reg);
+        reg.build_all()
+    }
+
+    fn sets() -> Vec<(&'static str, Box<dyn DynSet>)> {
+        vec![
+            ("LinkedListSet", Box::new(LinkedListSet::new())),
+            ("SkipListSet", Box::new(SkipListSet::new())),
+            ("HashSet", Box::new(HashSet::new(4))),
+        ]
+    }
+
+    #[test]
+    fn erased_basic_ops_over_every_structure_and_backend() {
+        for b in backends() {
+            for (name, set) in sets() {
+                let ctx = format!("{name} under {}", b.key());
+                assert!(!set.contains(&b, 5), "{ctx}");
+                assert!(set.add(&b, 5), "{ctx}");
+                assert!(!set.add(&b, 5), "{ctx}: duplicate insert");
+                assert!(set.add(&b, 3), "{ctx}");
+                assert!(set.contains(&b, 3), "{ctx}");
+                assert_eq!(set.size(&b), 2, "{ctx}");
+                assert!(set.remove(&b, 5), "{ctx}");
+                assert!(!set.remove(&b, 5), "{ctx}: double remove");
+                assert_eq!(set.size(&b), 1, "{ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn erased_composed_ops() {
+        for b in backends() {
+            let set: Box<dyn DynSet> = Box::new(LinkedListSet::new());
+            assert!(set.add_all(&b, &[4, 2, 9, 2]), "{}", b.key());
+            assert_eq!(set.size(&b), 3);
+            assert!(set.remove_all(&b, &[2, 9, 100]));
+            assert_eq!(set.size(&b), 1);
+            assert!(set.insert_if_absent(&b, 10, 99), "99 absent → insert 10");
+            assert!(!set.insert_if_absent(&b, 20, 4), "4 present → no insert");
+            assert!(!set.contains(&b, 20));
+        }
+    }
+
+    #[test]
+    fn erased_cross_structure_move_and_total_size() {
+        for b in backends() {
+            let list: Box<dyn DynSet> = Box::new(LinkedListSet::new());
+            let hash: Box<dyn DynSet> = Box::new(HashSet::new(4));
+            list.add(&b, 7);
+            assert!(move_entry_dyn(&b, &*list, &*hash, 7, 7), "{}", b.key());
+            assert!(!list.contains(&b, 7));
+            assert!(hash.contains(&b, 7));
+            assert!(!move_entry_dyn(&b, &*list, &*hash, 7, 7), "absent key");
+            assert_eq!(total_size_dyn(&b, &*list, &*hash), 1);
+        }
+    }
+}

@@ -9,9 +9,9 @@
 
 use crate::arena::Arena;
 use crate::listcore::{self, ListNode};
-use crate::set::{OpScratch, TxSet};
+use crate::set::{OpScratch, SetOps};
 use crossbeam::epoch::Guard;
-use stm_core::{Abort, Stm, Transaction, TxKind};
+use stm_core::{Abort, Transaction, TxKind};
 
 /// A transactional hash set of `i64` keys with a fixed bucket count.
 #[derive(Debug)]
@@ -50,15 +50,15 @@ impl HashSet {
     }
 }
 
-impl<S: Stm> TxSet<S> for HashSet {
-    fn contains_in<'e>(&'e self, tx: &mut S::Txn<'e>, key: i64) -> Result<bool, Abort> {
+impl SetOps for HashSet {
+    fn contains_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T, key: i64) -> Result<bool, Abort> {
         listcore::check_key(key);
         listcore::contains_in(&self.arena, self.bucket_of(key), tx, key)
     }
 
-    fn add_in<'e>(
+    fn add_in<'e, T: Transaction<'e>>(
         &'e self,
-        tx: &mut S::Txn<'e>,
+        tx: &mut T,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort> {
@@ -66,9 +66,9 @@ impl<S: Stm> TxSet<S> for HashSet {
         listcore::add_in(&self.arena, self.bucket_of(key), tx, key, scratch)
     }
 
-    fn remove_in<'e>(
+    fn remove_in<'e, T: Transaction<'e>>(
         &'e self,
-        tx: &mut S::Txn<'e>,
+        tx: &mut T,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort> {
@@ -76,7 +76,7 @@ impl<S: Stm> TxSet<S> for HashSet {
         listcore::remove_in(&self.arena, self.bucket_of(key), tx, key, scratch)
     }
 
-    fn len_in<'e>(&'e self, tx: &mut S::Txn<'e>) -> Result<usize, Abort> {
+    fn len_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T) -> Result<usize, Abort> {
         // Composed size: one child per bucket. Under OE-STM every bucket
         // count outherits to the parent, making the total atomic.
         let mut total = 0usize;
@@ -108,7 +108,9 @@ impl<S: Stm> TxSet<S> for HashSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::set::TxSet;
     use oe_stm::OeStm;
+    use stm_core::Stm;
     use stm_lsa::Lsa;
 
     fn basic_ops<S: Stm>(stm: &S) {

@@ -39,6 +39,7 @@
 
 pub mod arena;
 pub mod compose;
+pub mod dynset;
 pub mod hashset;
 pub mod linkedlist;
 pub mod listcore;
@@ -49,9 +50,10 @@ pub mod set;
 pub mod skiplist;
 
 pub use compose::{move_entry, total_size};
+pub use dynset::{move_entry_dyn, total_size_dyn, DynSet};
 pub use hashset::HashSet;
 pub use linkedlist::LinkedListSet;
 pub use noderef::NodeRef;
-pub use queue::{transfer, TxQueue};
-pub use set::{OpScratch, TxSet};
+pub use queue::{transfer, transfer_dyn, TxQueue};
+pub use set::{OpScratch, SetOps, TxSet};
 pub use skiplist::SkipListSet;

@@ -8,9 +8,9 @@
 
 use crate::arena::Arena;
 use crate::listcore::{self, ListNode};
-use crate::set::{OpScratch, TxSet};
+use crate::set::{OpScratch, SetOps};
 use crossbeam::epoch::Guard;
-use stm_core::{Abort, Stm};
+use stm_core::{Abort, Stm, Transaction};
 
 /// A transactional sorted linked-list set of `i64` keys.
 ///
@@ -53,15 +53,15 @@ impl LinkedListSet {
     }
 }
 
-impl<S: Stm> TxSet<S> for LinkedListSet {
-    fn contains_in<'e>(&'e self, tx: &mut S::Txn<'e>, key: i64) -> Result<bool, Abort> {
+impl SetOps for LinkedListSet {
+    fn contains_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T, key: i64) -> Result<bool, Abort> {
         listcore::check_key(key);
         listcore::contains_in(&self.arena, self.head, tx, key)
     }
 
-    fn add_in<'e>(
+    fn add_in<'e, T: Transaction<'e>>(
         &'e self,
-        tx: &mut S::Txn<'e>,
+        tx: &mut T,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort> {
@@ -69,9 +69,9 @@ impl<S: Stm> TxSet<S> for LinkedListSet {
         listcore::add_in(&self.arena, self.head, tx, key, scratch)
     }
 
-    fn remove_in<'e>(
+    fn remove_in<'e, T: Transaction<'e>>(
         &'e self,
-        tx: &mut S::Txn<'e>,
+        tx: &mut T,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort> {
@@ -79,7 +79,7 @@ impl<S: Stm> TxSet<S> for LinkedListSet {
         listcore::remove_in(&self.arena, self.head, tx, key, scratch)
     }
 
-    fn len_in<'e>(&'e self, tx: &mut S::Txn<'e>) -> Result<usize, Abort> {
+    fn len_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T) -> Result<usize, Abort> {
         listcore::len_in(&self.arena, self.head, tx)
     }
 
@@ -105,6 +105,7 @@ impl<S: Stm> TxSet<S> for LinkedListSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::set::TxSet;
     use oe_stm::OeStm;
     use stm_tl2::Tl2;
 

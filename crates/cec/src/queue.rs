@@ -16,6 +16,7 @@
 use crate::arena::{pin, Arena};
 use crate::listcore::ListNode;
 use crate::noderef::NodeRef;
+use stm_core::dynstm::Backend;
 use stm_core::{Abort, AbortReason, Stm, TVar, Transaction, TxKind};
 
 /// A transactional FIFO queue of `i64` values. STM-agnostic.
@@ -180,6 +181,74 @@ impl TxQueue {
     pub fn is_empty<S: Stm>(&self, stm: &S) -> bool {
         self.peek(stm).is_none()
     }
+
+    // -- erased atomic wrappers (runtime-selected backend) --------------
+
+    /// Atomic enqueue over an erased [`Backend`].
+    pub fn enqueue_dyn(&self, backend: &Backend, value: i64) {
+        let _guard = pin();
+        let mut pending: Vec<u64> = Vec::new();
+        backend.run(TxKind::Regular, |tx| {
+            for n in pending.drain(..) {
+                self.arena.free_unpublished(n);
+            }
+            self.enqueue_in(tx, value, &mut pending)
+        });
+    }
+
+    /// Atomic dequeue over an erased [`Backend`]; `None` when empty.
+    pub fn dequeue_dyn(&self, backend: &Backend) -> Option<i64> {
+        let guard = pin();
+        let mut unlinked: Vec<u64> = Vec::new();
+        let out = backend.run(TxKind::Regular, |tx| {
+            unlinked.clear();
+            self.dequeue_in(tx, &mut unlinked)
+        });
+        for idx in unlinked {
+            self.arena.retire(idx, &guard);
+        }
+        out
+    }
+
+    /// Atomic peek over an erased [`Backend`].
+    pub fn peek_dyn(&self, backend: &Backend) -> Option<i64> {
+        let _guard = pin();
+        backend.run(TxKind::Regular, |tx| self.peek_in(tx))
+    }
+
+    /// Atomic length over an erased [`Backend`].
+    pub fn len_dyn(&self, backend: &Backend) -> usize {
+        let _guard = pin();
+        backend.run(TxKind::Regular, |tx| self.len_in(tx))
+    }
+
+    /// True if empty (atomic, erased).
+    pub fn is_empty_dyn(&self, backend: &Backend) -> bool {
+        self.peek_dyn(backend).is_none()
+    }
+}
+
+/// [`transfer`] over an erased [`Backend`]: atomically move the front of
+/// `from` to the back of `to` as two composed child transactions.
+pub fn transfer_dyn(backend: &Backend, from: &TxQueue, to: &TxQueue) -> Option<i64> {
+    let guard = pin();
+    let mut unlinked: Vec<u64> = Vec::new();
+    let mut pending: Vec<u64> = Vec::new();
+    let out = backend.run(TxKind::Regular, |tx| {
+        unlinked.clear();
+        for n in pending.drain(..) {
+            to.arena.free_unpublished(n);
+        }
+        let v = tx.child(TxKind::Regular, |t| from.dequeue_in(t, &mut unlinked))?;
+        if let Some(v) = v {
+            tx.child(TxKind::Regular, |t| to.enqueue_in(t, v, &mut pending))?;
+        }
+        Ok(v)
+    });
+    for idx in unlinked {
+        from.arena.retire(idx, &guard);
+    }
+    out
 }
 
 /// Atomically move the front of `from` to the back of `to` — a

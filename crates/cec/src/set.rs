@@ -39,11 +39,58 @@ pub struct OpScratch {
     pub unlinked: Vec<u64>,
 }
 
-/// A transactional set of `i64` keys with composable operations.
+/// The transaction-generic building blocks of a composable set.
 ///
-/// Implementations provide the four building blocks plus the two
-/// memory-reclamation hooks; all user-facing operations (including the
-/// composed ones) are default methods.
+/// This is the trait the concrete structures (`LinkedListSet`,
+/// `SkipListSet`, `HashSet`) implement: every operation is generic over
+/// *any* [`Transaction`] — a statically monomorphized `S::Txn`, or the
+/// erased [`DynTxn`](stm_core::dynstm::DynTxn) of the runtime backend
+/// registry. [`TxSet`] (the static, per-STM interface) and
+/// [`DynSet`](crate::dynset::DynSet) (the erased interface) are both
+/// derived from it by blanket impls, so a structure is written exactly
+/// once.
+pub trait SetOps: Sync {
+    /// Membership test inside an ambient transaction.
+    fn contains_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T, key: i64) -> Result<bool, Abort>;
+
+    /// Insert inside an ambient transaction; `false` if already present.
+    fn add_in<'e, T: Transaction<'e>>(
+        &'e self,
+        tx: &mut T,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort>;
+
+    /// Remove inside an ambient transaction; `false` if absent.
+    fn remove_in<'e, T: Transaction<'e>>(
+        &'e self,
+        tx: &mut T,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort>;
+
+    /// Element count inside an ambient transaction (atomic only under a
+    /// regular transaction).
+    fn len_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T) -> Result<usize, Abort>;
+
+    /// Recycle slots allocated by an aborted attempt (never published, so
+    /// immediate reuse is safe). Implementations push them back to their
+    /// arena's free list and clear the vector.
+    fn release_unpublished(&self, allocated: &mut Vec<u64>);
+
+    /// Retire slots unlinked by a committed attempt (epoch-deferred
+    /// reuse). Implementations hand them to their arena and clear the
+    /// vector.
+    fn retire_unlinked(&self, unlinked: &mut Vec<u64>, guard: &Guard);
+}
+
+/// A transactional set of `i64` keys with composable operations, bound to
+/// a statically known STM type.
+///
+/// Implemented for every [`SetOps`] structure by a blanket impl; the four
+/// building blocks plus the two memory-reclamation hooks delegate to the
+/// structure, and all user-facing operations (including the composed ones)
+/// are default methods.
 pub trait TxSet<S: Stm>: Sync {
     /// Membership test inside an ambient transaction.
     fn contains_in<'e>(&'e self, tx: &mut S::Txn<'e>, key: i64) -> Result<bool, Abort>;
@@ -179,5 +226,43 @@ pub trait TxSet<S: Stm>: Sync {
         });
         self.retire_unlinked(&mut scratch.unlinked, &guard);
         out
+    }
+}
+
+// Every structure implements its building blocks once, generically over
+// the transaction type; the per-STM interface falls out for free.
+impl<S: Stm, C: SetOps> TxSet<S> for C {
+    fn contains_in<'e>(&'e self, tx: &mut S::Txn<'e>, key: i64) -> Result<bool, Abort> {
+        SetOps::contains_in(self, tx, key)
+    }
+
+    fn add_in<'e>(
+        &'e self,
+        tx: &mut S::Txn<'e>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort> {
+        SetOps::add_in(self, tx, key, scratch)
+    }
+
+    fn remove_in<'e>(
+        &'e self,
+        tx: &mut S::Txn<'e>,
+        key: i64,
+        scratch: &mut OpScratch,
+    ) -> Result<bool, Abort> {
+        SetOps::remove_in(self, tx, key, scratch)
+    }
+
+    fn len_in<'e>(&'e self, tx: &mut S::Txn<'e>) -> Result<usize, Abort> {
+        SetOps::len_in(self, tx)
+    }
+
+    fn release_unpublished(&self, allocated: &mut Vec<u64>) {
+        SetOps::release_unpublished(self, allocated);
+    }
+
+    fn retire_unlinked(&self, unlinked: &mut Vec<u64>, guard: &Guard) {
+        SetOps::retire_unlinked(self, unlinked, guard);
     }
 }

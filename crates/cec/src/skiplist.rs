@@ -21,10 +21,10 @@
 
 use crate::arena::Arena;
 use crate::noderef::NodeRef;
-use crate::set::{OpScratch, TxSet};
+use crate::set::{OpScratch, SetOps};
 use crossbeam::epoch::Guard;
 use std::cell::Cell;
-use stm_core::{Abort, AbortReason, Stm, TVar, Transaction};
+use stm_core::{Abort, AbortReason, TVar, Transaction};
 
 /// Maximum tower height. 2^16 expected elements per level-16 node; plenty
 /// for the paper's 2^12-element workloads and beyond.
@@ -156,16 +156,16 @@ impl SkipListSet {
     }
 }
 
-impl<S: Stm> TxSet<S> for SkipListSet {
-    fn contains_in<'e>(&'e self, tx: &mut S::Txn<'e>, key: i64) -> Result<bool, Abort> {
+impl SetOps for SkipListSet {
+    fn contains_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T, key: i64) -> Result<bool, Abort> {
         crate::listcore::check_key(key);
         let f = self.locate(tx, key)?;
         Ok(f.succ0_key == Some(key))
     }
 
-    fn add_in<'e>(
+    fn add_in<'e, T: Transaction<'e>>(
         &'e self,
-        tx: &mut S::Txn<'e>,
+        tx: &mut T,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort> {
@@ -198,9 +198,9 @@ impl<S: Stm> TxSet<S> for SkipListSet {
         Ok(true)
     }
 
-    fn remove_in<'e>(
+    fn remove_in<'e, T: Transaction<'e>>(
         &'e self,
-        tx: &mut S::Txn<'e>,
+        tx: &mut T,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort> {
@@ -245,7 +245,7 @@ impl<S: Stm> TxSet<S> for SkipListSet {
         Ok(true)
     }
 
-    fn len_in<'e>(&'e self, tx: &mut S::Txn<'e>) -> Result<usize, Abort> {
+    fn len_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T) -> Result<usize, Abort> {
         // Walk level 0.
         let bound = 2 * self.arena.high_water() + 64;
         let mut steps: u64 = 0;
@@ -287,7 +287,9 @@ impl<S: Stm> TxSet<S> for SkipListSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::set::TxSet;
     use oe_stm::OeStm;
+    use stm_core::Stm;
     use stm_swiss::Swiss;
     use stm_tl2::Tl2;
 

@@ -72,10 +72,33 @@ pub mod window;
 pub use txn::OeTxn;
 
 use std::sync::Arc;
+use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::stm::retry_loop;
 use stm_core::ticket::next_ticket;
 use stm_core::trace::TraceSink;
 use stm_core::{Abort, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TxKind};
+
+/// Register this crate's backends: `"oe"` (outheritance on — the paper's
+/// OE-STM) and `"oe-estm-compat"` (outheritance off — the E-STM baseline
+/// that demonstrably breaks composition, kept for ablations).
+pub fn register_backends(registry: &mut BackendRegistry) {
+    fn make_oe(config: StmConfig) -> Box<dyn stm_core::dynstm::DynStm> {
+        Box::new(OeStm::with_config(config))
+    }
+    fn make_estm(config: StmConfig) -> Box<dyn stm_core::dynstm::DynStm> {
+        Box::new(OeStm::estm_compat_with_config(config))
+    }
+    registry.register(BackendSpec::new(
+        "oe",
+        "OE-STM: elastic transactions composed via outheritance (the paper)",
+        make_oe,
+    ));
+    registry.register(BackendSpec::new(
+        "oe-estm-compat",
+        "E-STM compatibility mode: elastic, no outheritance (Fig. 1 bug)",
+        make_estm,
+    ));
+}
 
 /// The OE-STM instance.
 ///

@@ -8,7 +8,7 @@ use stm_core::ticket::next_ticket;
 use stm_core::trace::TraceOp;
 use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::writeset::WriteSet;
-use stm_core::{Abort, AbortReason, Stm, TVar, Transaction, TxKind, Word};
+use stm_core::{Abort, AbortReason, Stm, Transaction, TxKind};
 
 use crate::window::Window;
 
@@ -243,30 +243,19 @@ impl<'env> OeTxn<'env> {
 }
 
 impl<'env> Transaction<'env> for OeTxn<'env> {
-    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort> {
-        self.read_core(var.core()).map(T::from_word)
+    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
+        self.read_core(core)
     }
 
-    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort> {
-        self.write_core(var.core(), value.into_word())
+    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
+        self.write_core(core, word)
     }
 
-    /// Composition. The child runs as its own (sub)transaction of the given
-    /// kind; what happens to its protected set at child commit is the
-    /// paper's crux:
-    ///
-    /// * **Outheritance enabled** (OE-STM, the default): `outherit()` — the
-    ///   child's window remnants join the parent's read set, and its reads
-    ///   and writes stay in the parent's sets, protected until the
-    ///   top-level commit (Fig. 4).
-    /// * **Outheritance disabled** (E-STM compatibility mode): the child's
-    ///   accesses are validated at child commit and then *released* —
-    ///   reproducing the Fig. 1 composition bug that motivates the paper.
-    fn child<R>(
-        &mut self,
-        kind: TxKind,
-        mut f: impl FnMut(&mut Self) -> Result<R, Abort>,
-    ) -> Result<R, Abort> {
+    /// Composition, begin half. The child runs as its own (sub)transaction
+    /// of the given kind against this same object; the parent's mode,
+    /// hardening flag and window are parked in a [`Frame`] until
+    /// [`child_commit`](Transaction::child_commit).
+    fn child_enter(&mut self, kind: TxKind) -> Result<(), Abort> {
         self.frames.push(Frame {
             saved_mode: self.mode,
             saved_hardened: self.hardened,
@@ -278,70 +267,79 @@ impl<'env> Transaction<'env> for OeTxn<'env> {
         if let Some(t) = self.tracer.as_mut() {
             t.begin_child(next_ticket().get());
         }
+        Ok(())
+    }
 
-        let result = f(self);
-        let frame = self.frames.pop().expect("frame pushed above");
-
-        match result {
-            Ok(value) => {
-                if self.stm.outheritance() {
-                    // outherit(): pass the child's protected set to the
-                    // parent. Reads and writes already accumulated in the
-                    // shared sets; the window remnants (the child's
-                    // last-read entries) are folded into the read set so
-                    // they stay protected until the parent commits.
-                    self.window.drain_into(&mut self.reads);
-                    self.stm.counters().record_outherit();
-                    if let Some(t) = self.tracer.as_mut() {
-                        t.commit_child();
-                    }
-                } else if self.mode == TxKind::Regular {
-                    // E-STM with a *regular* child: flat nesting. A classic
-                    // child's accesses stay in the parent's sets until the
-                    // top-level commit — this is the workaround the elastic
-                    // transactions paper recommends ("use regular mode when
-                    // composing"), safe but paying classic-conflict aborts.
-                    if let Some(t) = self.tracer.as_mut() {
-                        t.commit_child();
-                    }
-                } else {
-                    // E-STM child commit: check the child's access sequence
-                    // is atomic as of now, then release its protection
-                    // (the releases follow the child's commit event, as in
-                    // the model).
-                    let ok =
-                        self.reads
-                            .validate_suffix(frame.read_mark, Some(self.ticket), |core| {
-                                self.writes.locked_version_of(core)
-                            })
-                            && self.window.validate();
-                    if !ok {
-                        return Err(Abort::new(AbortReason::ReadValidation));
-                    }
-                    if let Some(t) = self.tracer.as_mut() {
-                        let child_id = t.commit_child();
-                        for e in self.reads.iter().skip(frame.read_mark) {
-                            t.drop_hold_as(child_id, e.core.id());
-                        }
-                        for e in self.window.iter() {
-                            t.drop_hold_as(child_id, e.core.id());
-                        }
-                    }
-                    self.reads.truncate(frame.read_mark);
-                    self.window.clear();
+    /// Composition, commit half. What happens to the child's protected set
+    /// here is the paper's crux:
+    ///
+    /// * **Outheritance enabled** (OE-STM, the default): `outherit()` — the
+    ///   child's window remnants join the parent's read set, and its reads
+    ///   and writes stay in the parent's sets, protected until the
+    ///   top-level commit (Fig. 4).
+    /// * **Outheritance disabled** (E-STM compatibility mode): the child's
+    ///   accesses are validated at child commit and then *released* —
+    ///   reproducing the Fig. 1 composition bug that motivates the paper.
+    fn child_commit(&mut self) -> Result<(), Abort> {
+        let frame = self.frames.pop().expect("child_commit without child_enter");
+        if self.stm.outheritance() {
+            // outherit(): pass the child's protected set to the
+            // parent. Reads and writes already accumulated in the
+            // shared sets; the window remnants (the child's
+            // last-read entries) are folded into the read set so
+            // they stay protected until the parent commits.
+            self.window.drain_into(&mut self.reads);
+            self.stm.counters().record_outherit();
+            if let Some(t) = self.tracer.as_mut() {
+                t.commit_child();
+            }
+        } else if self.mode == TxKind::Regular {
+            // E-STM with a *regular* child: flat nesting. A classic
+            // child's accesses stay in the parent's sets until the
+            // top-level commit — this is the workaround the elastic
+            // transactions paper recommends ("use regular mode when
+            // composing"), safe but paying classic-conflict aborts.
+            if let Some(t) = self.tracer.as_mut() {
+                t.commit_child();
+            }
+        } else {
+            // E-STM child commit: check the child's access sequence
+            // is atomic as of now, then release its protection
+            // (the releases follow the child's commit event, as in
+            // the model).
+            let ok = self
+                .reads
+                .validate_suffix(frame.read_mark, Some(self.ticket), |core| {
+                    self.writes.locked_version_of(core)
+                })
+                && self.window.validate();
+            if !ok {
+                return Err(Abort::new(AbortReason::ReadValidation));
+            }
+            if let Some(t) = self.tracer.as_mut() {
+                let child_id = t.commit_child();
+                for e in self.reads.iter().skip(frame.read_mark) {
+                    t.drop_hold_as(child_id, e.core.id());
                 }
-                self.stm.counters().record_child_commit();
-                self.mode = frame.saved_mode;
-                self.hardened = frame.saved_hardened;
-                self.window.restore_entries(frame.saved_window);
-                Ok(value)
+                for e in self.window.iter() {
+                    t.drop_hold_as(child_id, e.core.id());
+                }
             }
-            Err(abort) => {
-                // Child abort aborts the whole attempt (the retry loop
-                // re-runs the top-level transaction from scratch).
-                Err(abort)
-            }
+            self.reads.truncate(frame.read_mark);
+            self.window.clear();
         }
+        self.stm.counters().record_child_commit();
+        self.mode = frame.saved_mode;
+        self.hardened = frame.saved_hardened;
+        self.window.restore_entries(frame.saved_window);
+        Ok(())
+    }
+
+    /// Composition, abort half: a child abort aborts the whole attempt
+    /// (the retry loop re-runs the top-level transaction from scratch), so
+    /// only the nesting bookkeeping is unwound here.
+    fn child_abort(&mut self) {
+        let _ = self.frames.pop().expect("child_abort without child_enter");
     }
 
     fn kind(&self) -> TxKind {

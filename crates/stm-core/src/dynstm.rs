@@ -1,0 +1,617 @@
+//! Runtime-erased STM backends: `dyn`-compatible twins of the
+//! [`Stm`]/[`Transaction`] traits, plus the name-based backend factory the
+//! benchmark pipeline selects implementations from at runtime.
+//!
+//! ## Why erasure
+//!
+//! The static traits are generic (typed reads via [`Word`](crate::Word), a
+//! GAT transaction type), so every workload written against them is
+//! monomorphized once *per STM*. That is the right call on the hot path,
+//! but it forces harness code to enumerate backends at compile time — the
+//! five-fold duplication this module removes. Here the contract is
+//! flattened to words and object-safe methods:
+//!
+//! * [`DynTransaction`] — the object-safe transaction surface (word reads
+//!   and writes against [`TVarCore`], `child_enter`/`child_commit`/
+//!   `child_abort` composition bookkeeping). Every `T: Transaction`
+//!   implements it via a blanket impl.
+//! * [`DynTxn`] — a sized wrapper around `&mut dyn DynTransaction` that
+//!   implements the full typed [`Transaction`] trait again, so collections
+//!   and workloads written against the static API run unchanged over an
+//!   erased backend (one extra vtable hop per operation).
+//! * [`DynStm`] / [`Backend`] — the erased STM instance and its owning
+//!   handle. Any `S: Stm` erases with [`Backend::from_stm`].
+//! * [`BackendSpec`] / [`BackendRegistry`] — the name → constructor
+//!   factory ("tl2", "lsa", "swiss", "oe", "oe-estm-compat"); each backend
+//!   crate registers its constructors, and callers build instances from
+//!   runtime strings (CLI flags, config files, scenario lists).
+//!
+//! The `'env` lifetime discipline of the static traits carries over
+//! verbatim: every accessed location must outlive the `run` call, enforced
+//! by the borrow checker — erasure does not open a use-after-free hole and
+//! the crate stays `#![forbid(unsafe_code)]`.
+
+use crate::clock::GlobalClock;
+use crate::config::StmConfig;
+use crate::error::Abort;
+use crate::stats::StatsSnapshot;
+use crate::stm::{RunError, Stm, Transaction, TxKind};
+use crate::tvar::TVarCore;
+
+/// Object-safe twin of [`Transaction`]: word-granular access plus the
+/// composition bookkeeping, no type parameters.
+///
+/// Implemented for every `T: Transaction` by a blanket impl; user code
+/// normally sees it only through [`DynTxn`].
+pub trait DynTransaction<'env> {
+    /// Transactionally read the word at `core`.
+    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort>;
+    /// Transactionally write `word` to `core`.
+    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort>;
+    /// Begin a child transaction of `kind` (see [`Transaction::child_enter`]).
+    fn child_enter(&mut self, kind: TxKind) -> Result<(), Abort>;
+    /// Commit the innermost open child (see [`Transaction::child_commit`]).
+    fn child_commit(&mut self) -> Result<(), Abort>;
+    /// Unwind the innermost open child (see [`Transaction::child_abort`]).
+    fn child_abort(&mut self);
+    /// The kind this (sub)transaction currently runs under.
+    fn kind(&self) -> TxKind;
+    /// This attempt's globally unique ticket.
+    fn ticket(&self) -> u64;
+}
+
+impl<'env, T: Transaction<'env>> DynTransaction<'env> for T {
+    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
+        Transaction::read_word(self, core)
+    }
+    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
+        Transaction::write_word(self, core, word)
+    }
+    fn child_enter(&mut self, kind: TxKind) -> Result<(), Abort> {
+        Transaction::child_enter(self, kind)
+    }
+    fn child_commit(&mut self) -> Result<(), Abort> {
+        Transaction::child_commit(self)
+    }
+    fn child_abort(&mut self) {
+        Transaction::child_abort(self);
+    }
+    fn kind(&self) -> TxKind {
+        Transaction::kind(self)
+    }
+    fn ticket(&self) -> u64 {
+        Transaction::ticket(self)
+    }
+}
+
+/// A sized view over an erased in-flight transaction.
+///
+/// `DynTxn` implements [`Transaction`], so the typed API (including
+/// `child`, which needs `Self: Sized`) is available again on top of the
+/// erased backend: collections written once against `Transaction` run
+/// over every registered backend.
+pub struct DynTxn<'env, 'a> {
+    inner: &'a mut (dyn DynTransaction<'env> + 'a),
+}
+
+impl core::fmt::Debug for DynTxn<'_, '_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DynTxn")
+            .field("kind", &self.inner.kind())
+            .field("ticket", &self.inner.ticket())
+            .finish()
+    }
+}
+
+impl<'env, 'a> DynTxn<'env, 'a> {
+    /// Wrap an erased transaction.
+    pub fn new(inner: &'a mut (dyn DynTransaction<'env> + 'a)) -> Self {
+        Self { inner }
+    }
+}
+
+impl<'env, 'a> Transaction<'env> for DynTxn<'env, 'a> {
+    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
+        self.inner.read_word(core)
+    }
+    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
+        self.inner.write_word(core, word)
+    }
+    fn child_enter(&mut self, kind: TxKind) -> Result<(), Abort> {
+        self.inner.child_enter(kind)
+    }
+    fn child_commit(&mut self) -> Result<(), Abort> {
+        self.inner.child_commit()
+    }
+    fn child_abort(&mut self) {
+        self.inner.child_abort();
+    }
+    fn kind(&self) -> TxKind {
+        self.inner.kind()
+    }
+    fn ticket(&self) -> u64 {
+        self.inner.ticket()
+    }
+}
+
+/// The erased transaction body passed across the `dyn DynStm` boundary.
+///
+/// Bodies communicate a single `u64` result word; richer results are
+/// smuggled through the caller's environment (see [`Backend::try_run`]).
+pub type DynBody<'env, 'b> = dyn for<'a> FnMut(&mut DynTxn<'env, 'a>) -> Result<u64, Abort> + 'b;
+
+/// Object-safe twin of [`Stm`]: what a [`Backend`] owns.
+///
+/// Implemented for every `S: Stm` by a blanket impl; user code normally
+/// interacts with the ergonomic [`Backend`] handle instead.
+pub trait DynStm: Send + Sync {
+    /// Human-readable algorithm name ("TL2", "LSA", "SwissTM", "OE-STM",
+    /// "E-STM").
+    fn name(&self) -> &'static str;
+    /// Snapshot of the commit/abort counters.
+    fn stats(&self) -> StatsSnapshot;
+    /// Zero the counters (between benchmark phases).
+    fn reset_stats(&self);
+    /// The instance's global version clock.
+    fn clock(&self) -> &GlobalClock;
+    /// The instance's configuration.
+    fn config(&self) -> &StmConfig;
+    /// Run `body` transactionally with the shared retry loop, erased to
+    /// the word level. Prefer [`Backend::try_run`].
+    fn try_run_dyn<'env>(
+        &'env self,
+        kind: TxKind,
+        body: &mut DynBody<'env, '_>,
+    ) -> Result<u64, RunError>;
+}
+
+impl<S: Stm> DynStm for S {
+    fn name(&self) -> &'static str {
+        Stm::name(self)
+    }
+    fn stats(&self) -> StatsSnapshot {
+        Stm::stats(self)
+    }
+    fn reset_stats(&self) {
+        Stm::reset_stats(self);
+    }
+    fn clock(&self) -> &GlobalClock {
+        Stm::clock(self)
+    }
+    fn config(&self) -> &StmConfig {
+        Stm::config(self)
+    }
+    fn try_run_dyn<'env>(
+        &'env self,
+        kind: TxKind,
+        body: &mut DynBody<'env, '_>,
+    ) -> Result<u64, RunError> {
+        self.try_run(kind, |tx: &mut S::Txn<'env>| {
+            let mut erased = DynTxn::new(tx);
+            body(&mut erased)
+        })
+    }
+}
+
+/// An owned, runtime-selected STM backend.
+///
+/// A `Backend` pairs an erased STM instance with the registry key it was
+/// built from, and offers a typed `run`/`try_run` mirroring [`Stm`] — the
+/// closure receives a [`DynTxn`], which implements [`Transaction`], so all
+/// collection code runs unchanged.
+pub struct Backend {
+    key: String,
+    inner: Box<dyn DynStm>,
+}
+
+impl core::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Backend")
+            .field("key", &self.key)
+            .field("name", &self.inner.name())
+            .finish()
+    }
+}
+
+impl Backend {
+    /// Erase a concrete STM instance. The registry key defaults to the
+    /// instance's display name.
+    pub fn from_stm(stm: impl Stm + 'static) -> Self {
+        let key = DynStm::name(&stm).to_string();
+        Self {
+            key,
+            inner: Box::new(stm),
+        }
+    }
+
+    /// Override the registry key (done by [`BackendRegistry::build`]).
+    #[must_use]
+    pub fn with_key(mut self, key: impl Into<String>) -> Self {
+        self.key = key.into();
+        self
+    }
+
+    /// The registry key this backend was built from ("tl2", "oe", …).
+    #[must_use]
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The algorithm's display name ("TL2", "OE-STM", …).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    /// Snapshot of the commit/abort counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    /// Zero the counters (between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+
+    /// The instance's global version clock.
+    #[must_use]
+    pub fn clock(&self) -> &GlobalClock {
+        self.inner.clock()
+    }
+
+    /// The instance's configuration.
+    #[must_use]
+    pub fn config(&self) -> &StmConfig {
+        self.inner.config()
+    }
+
+    /// Run `f` transactionally, retrying on aborts, until commit or until
+    /// the retry budget is exceeded — the erased [`Stm::try_run`].
+    pub fn try_run<'env, R>(
+        &'env self,
+        kind: TxKind,
+        mut f: impl for<'a> FnMut(&mut DynTxn<'env, 'a>) -> Result<R, Abort>,
+    ) -> Result<R, RunError> {
+        let mut out: Option<R> = None;
+        self.inner.try_run_dyn(kind, &mut |tx| {
+            out = Some(f(tx)?);
+            Ok(0)
+        })?;
+        Ok(out.expect("committed transaction body must have produced a value"))
+    }
+
+    /// Like [`try_run`](Backend::try_run) but panics if the retry budget
+    /// is exhausted (the default, unbounded configuration never panics).
+    pub fn run<'env, R>(
+        &'env self,
+        kind: TxKind,
+        f: impl for<'a> FnMut(&mut DynTxn<'env, 'a>) -> Result<R, Abort>,
+    ) -> R {
+        match self.try_run(kind, f) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// One registered backend: a stable name, a one-line summary, and a
+/// configuration-taking constructor.
+#[derive(Clone)]
+pub struct BackendSpec {
+    name: &'static str,
+    summary: &'static str,
+    build: fn(StmConfig) -> Box<dyn DynStm>,
+}
+
+impl core::fmt::Debug for BackendSpec {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BackendSpec")
+            .field("name", &self.name)
+            .field("summary", &self.summary)
+            .finish()
+    }
+}
+
+impl BackendSpec {
+    /// Describe a backend constructor.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        summary: &'static str,
+        build: fn(StmConfig) -> Box<dyn DynStm>,
+    ) -> Self {
+        Self {
+            name,
+            summary,
+            build,
+        }
+    }
+
+    /// The registry key ("tl2", "oe-estm-compat", …).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description for `--list` style output.
+    #[must_use]
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// Build an instance with `config`.
+    #[must_use]
+    pub fn build(&self, config: StmConfig) -> Backend {
+        Backend {
+            key: self.name.to_string(),
+            inner: (self.build)(config),
+        }
+    }
+}
+
+/// The name → constructor factory runtime callers (the `repro` CLI, the
+/// scenario registry, library users) select backends from.
+///
+/// `stm-core` only defines the registry; the backend crates each export a
+/// `register_backends` function that fills it in, and the umbrella crate /
+/// benchmark harness assemble the full set.
+#[derive(Debug, Default)]
+pub struct BackendRegistry {
+    specs: Vec<BackendSpec>,
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a backend constructor.
+    ///
+    /// # Panics
+    /// Panics on a duplicate name — that is always a wiring bug.
+    pub fn register(&mut self, spec: BackendSpec) {
+        assert!(
+            self.get(spec.name()).is_none(),
+            "backend {:?} registered twice",
+            spec.name()
+        );
+        self.specs.push(spec);
+    }
+
+    /// All registered specs, in registration order.
+    #[must_use]
+    pub fn specs(&self) -> &[BackendSpec] {
+        &self.specs
+    }
+
+    /// All registered names, in registration order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(BackendSpec::name).collect()
+    }
+
+    /// Look up a spec by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&BackendSpec> {
+        self.specs.iter().find(|s| s.name() == name)
+    }
+
+    /// Build `name` with `config`; `None` for an unknown name.
+    #[must_use]
+    pub fn build(&self, name: &str, config: StmConfig) -> Option<Backend> {
+        self.get(name).map(|s| s.build(config))
+    }
+
+    /// Build `name` with the default configuration.
+    #[must_use]
+    pub fn build_default(&self, name: &str) -> Option<Backend> {
+        self.build(name, StmConfig::default())
+    }
+
+    /// Build every registered backend with the default configuration.
+    #[must_use]
+    pub fn build_all(&self) -> Vec<Backend> {
+        self.specs
+            .iter()
+            .map(|s| s.build(StmConfig::default()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::AbortReason;
+    use crate::stats::StmStats;
+    use crate::stm::retry_loop;
+    use crate::ticket::next_ticket;
+    use crate::tvar::TVar;
+
+    /// A deliberately naive single-threaded STM used to unit-test the
+    /// erasure plumbing inside this crate (the real backends live in
+    /// sibling crates). Writes are eager with an undo log; no locking.
+    #[derive(Debug, Default)]
+    struct ToyStm {
+        clock: GlobalClock,
+        stats: StmStats,
+        config: StmConfig,
+    }
+
+    struct ToyTxn<'env> {
+        stm: &'env ToyStm,
+        undo: Vec<(&'env TVarCore, u64)>,
+        ticket: u64,
+        depth: u32,
+    }
+
+    impl<'env> ToyTxn<'env> {
+        fn rollback(&mut self) {
+            for (core, old) in self.undo.drain(..).rev() {
+                core.store_value(old);
+            }
+        }
+    }
+
+    impl<'env> Transaction<'env> for ToyTxn<'env> {
+        fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
+            Ok(core.value_unsync())
+        }
+        fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
+            self.undo.push((core, core.value_unsync()));
+            core.store_value(word);
+            Ok(())
+        }
+        fn child_enter(&mut self, _kind: TxKind) -> Result<(), Abort> {
+            self.depth += 1;
+            Ok(())
+        }
+        fn child_commit(&mut self) -> Result<(), Abort> {
+            self.depth -= 1;
+            self.stm.stats.record_child_commit();
+            Ok(())
+        }
+        fn child_abort(&mut self) {
+            self.depth -= 1;
+        }
+        fn kind(&self) -> TxKind {
+            TxKind::Regular
+        }
+        fn ticket(&self) -> u64 {
+            self.ticket
+        }
+    }
+
+    impl Stm for ToyStm {
+        type Txn<'env> = ToyTxn<'env>;
+        fn name(&self) -> &'static str {
+            "Toy"
+        }
+        fn stats(&self) -> StatsSnapshot {
+            self.stats.snapshot()
+        }
+        fn reset_stats(&self) {
+            self.stats.reset();
+        }
+        fn clock(&self) -> &GlobalClock {
+            &self.clock
+        }
+        fn config(&self) -> &StmConfig {
+            &self.config
+        }
+        fn try_run<'env, R>(
+            &'env self,
+            _kind: TxKind,
+            mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
+        ) -> Result<R, RunError> {
+            retry_loop(&self.config, &self.stats, 1, || {
+                let mut txn = ToyTxn {
+                    stm: self,
+                    undo: Vec::new(),
+                    ticket: next_ticket().get(),
+                    depth: 0,
+                };
+                match f(&mut txn) {
+                    Ok(r) => Ok(r),
+                    Err(abort) => {
+                        txn.rollback();
+                        Err(abort)
+                    }
+                }
+            })
+        }
+    }
+
+    fn toy_backend() -> Backend {
+        Backend::from_stm(ToyStm::default())
+    }
+
+    #[test]
+    fn erased_read_write_roundtrip() {
+        let b = toy_backend();
+        let v = TVar::new(41i64);
+        let out = b.run(TxKind::Regular, |tx| {
+            let x = tx.read(&v)?;
+            tx.write(&v, x + 1)?;
+            tx.read(&v)
+        });
+        assert_eq!(out, 42);
+        assert_eq!(v.load_atomic(), 42);
+        assert_eq!(b.stats().commits, 1);
+    }
+
+    #[test]
+    fn erased_child_composition_counts() {
+        let b = toy_backend();
+        let a = TVar::new(0u64);
+        let c = TVar::new(0u64);
+        b.run(TxKind::Regular, |tx| {
+            tx.child(TxKind::Elastic, |t| t.write(&a, 1))?;
+            tx.child(TxKind::Regular, |t| t.write(&c, 2))
+        });
+        assert_eq!((a.load_atomic(), c.load_atomic()), (1, 2));
+        assert_eq!(b.stats().child_commits, 2);
+    }
+
+    #[test]
+    fn erased_abort_propagates_and_retries() {
+        let b = toy_backend();
+        let v = TVar::new(0u64);
+        let mut failed_once = false;
+        b.run(TxKind::Regular, |tx| {
+            tx.write(&v, 9)?;
+            if !failed_once {
+                failed_once = true;
+                return Err(Abort::new(AbortReason::Explicit));
+            }
+            Ok(())
+        });
+        assert_eq!(v.load_atomic(), 9);
+        assert_eq!(b.stats().aborts(), 1);
+        assert_eq!(b.stats().commits, 1);
+    }
+
+    #[test]
+    fn try_run_surfaces_retry_exhaustion() {
+        let stm = ToyStm {
+            config: StmConfig::default().with_max_retries(1),
+            ..ToyStm::default()
+        };
+        let b = Backend::from_stm(stm);
+        let r: Result<(), _> = b.try_run(TxKind::Regular, |_tx| {
+            Err(Abort::new(AbortReason::LockConflict))
+        });
+        assert!(matches!(r, Err(RunError::RetriesExhausted { .. })));
+    }
+
+    #[test]
+    fn registry_builds_by_name() {
+        fn make(config: StmConfig) -> Box<dyn DynStm> {
+            Box::new(ToyStm {
+                config,
+                ..ToyStm::default()
+            })
+        }
+        let mut reg = BackendRegistry::new();
+        reg.register(BackendSpec::new("toy", "naive single-threaded STM", make));
+        assert_eq!(reg.names(), vec!["toy"]);
+        let b = reg.build_default("toy").expect("registered");
+        assert_eq!(b.key(), "toy");
+        assert_eq!(b.name(), "Toy");
+        assert!(reg.build_default("nope").is_none());
+        assert_eq!(reg.build_all().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        fn make(_: StmConfig) -> Box<dyn DynStm> {
+            Box::new(ToyStm::default())
+        }
+        let mut reg = BackendRegistry::new();
+        reg.register(BackendSpec::new("toy", "", make));
+        reg.register(BackendSpec::new("toy", "", make));
+    }
+}

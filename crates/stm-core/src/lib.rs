@@ -16,6 +16,10 @@
 //!   all four STMs implement, including the `child` entry point used for
 //!   *composition* (the subject of the paper),
 //! * retry machinery with bounded exponential [`backoff`],
+//! * a [`dynstm`] erasure layer (object-safe `DynStm`/`DynTransaction`
+//!   twins of the static traits) and the name-based
+//!   [`BackendRegistry`](dynstm::BackendRegistry) runtime callers select
+//!   backends from,
 //! * per-STM [`stats`] (commits, aborts by cause, elastic cuts, outherits),
 //! * an optional [`trace`] sink so executions can be recorded into the formal
 //!   history model of the `histories` crate and checked for
@@ -34,6 +38,7 @@ pub mod backoff;
 pub mod bloom;
 pub mod clock;
 pub mod config;
+pub mod dynstm;
 pub mod error;
 pub mod parallel;
 pub mod readset;
@@ -48,6 +53,7 @@ pub mod writeset;
 
 pub use clock::GlobalClock;
 pub use config::StmConfig;
+pub use dynstm::{Backend, BackendRegistry, BackendSpec, DynStm, DynTransaction, DynTxn};
 pub use error::{Abort, AbortReason};
 pub use stats::{StatsSnapshot, StmStats};
 pub use stm::{RunError, Stm, Transaction, TxKind};

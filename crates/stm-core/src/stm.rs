@@ -12,7 +12,7 @@ use crate::clock::GlobalClock;
 use crate::config::StmConfig;
 use crate::error::{Abort, AbortReason};
 use crate::stats::{StatsSnapshot, StmStats};
-use crate::tvar::TVar;
+use crate::tvar::{TVar, TVarCore};
 use crate::word::Word;
 
 /// Which transactional model a (sub)transaction runs under.
@@ -60,11 +60,57 @@ impl std::error::Error for RunError {}
 /// transaction runs in: variables must outlive the `run` call, which the
 /// borrow checker enforces — no use-after-free is possible by construction.
 pub trait Transaction<'env> {
+    /// Transactionally read the word stored at `core`.
+    ///
+    /// This is the untyped primitive every STM implements; typed access
+    /// goes through the provided [`read`](Transaction::read) wrapper. The
+    /// split keeps the trait's required surface free of type parameters, so
+    /// the `dynstm` module can erase any transaction behind a
+    /// `dyn`-compatible facade.
+    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort>;
+
+    /// Transactionally write `word` to `core` (deferred or eager, per STM).
+    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort>;
+
+    /// Begin a child transaction of `kind` — bookkeeping only; the child's
+    /// body then runs against the same transaction object. Callers use the
+    /// provided [`child`](Transaction::child) wrapper, which pairs this
+    /// with [`child_commit`](Transaction::child_commit) /
+    /// [`child_abort`](Transaction::child_abort).
+    fn child_enter(&mut self, kind: TxKind) -> Result<(), Abort>;
+
+    /// Commit the innermost open child. What happens to the child's
+    /// protected set here is the crux of the paper: classic STMs keep it in
+    /// the parent's sets (flat nesting), OE-STM `outherit()`s it, and the
+    /// E-STM compatibility mode validates and *releases* it — reproducing
+    /// the Fig. 1 atomicity violation.
+    fn child_commit(&mut self) -> Result<(), Abort>;
+
+    /// Unwind the innermost open child after its body aborted. The whole
+    /// attempt is about to abort; implementations only pop bookkeeping.
+    fn child_abort(&mut self);
+
+    /// The kind this (sub)transaction currently runs under.
+    fn kind(&self) -> TxKind;
+
+    /// This attempt's globally unique ticket (lock-owner identity).
+    fn ticket(&self) -> u64;
+
     /// Transactionally read `var`.
-    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort>;
+    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort>
+    where
+        Self: Sized,
+    {
+        self.read_word(var.core()).map(T::from_word)
+    }
 
     /// Transactionally write `value` to `var` (deferred or eager, per STM).
-    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort>;
+    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort>
+    where
+        Self: Sized,
+    {
+        self.write_word(var.core(), value.into_word())
+    }
 
     /// Run `f` as a *child transaction* of this one — the concurrent
     /// composition operator of the paper. The child sees the parent's
@@ -81,19 +127,29 @@ pub trait Transaction<'env> {
     fn child<R>(
         &mut self,
         kind: TxKind,
-        f: impl FnMut(&mut Self) -> Result<R, Abort>,
+        mut f: impl FnMut(&mut Self) -> Result<R, Abort>,
     ) -> Result<R, Abort>
     where
-        Self: Sized;
-
-    /// The kind this (sub)transaction currently runs under.
-    fn kind(&self) -> TxKind;
-
-    /// This attempt's globally unique ticket (lock-owner identity).
-    fn ticket(&self) -> u64;
+        Self: Sized,
+    {
+        self.child_enter(kind)?;
+        match f(self) {
+            Ok(value) => {
+                self.child_commit()?;
+                Ok(value)
+            }
+            Err(abort) => {
+                self.child_abort();
+                Err(abort)
+            }
+        }
+    }
 
     /// Abort explicitly (retry from scratch).
-    fn retry<T>(&mut self) -> Result<T, Abort> {
+    fn retry<T>(&mut self) -> Result<T, Abort>
+    where
+        Self: Sized,
+    {
         Err(Abort::new(AbortReason::Explicit))
     }
 }

@@ -31,14 +31,27 @@
 #![warn(missing_docs)]
 
 use stm_core::bloom::Bloom;
+use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::readset::ReadSet;
 use stm_core::stm::retry_loop;
 use stm_core::ticket::next_ticket;
 use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::{
-    Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TVar,
-    Transaction, TxKind, Word,
+    Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats,
+    Transaction, TxKind,
 };
+
+/// Register this crate's backend under the name `"lsa"`.
+pub fn register_backends(registry: &mut BackendRegistry) {
+    fn make(config: StmConfig) -> Box<dyn stm_core::dynstm::DynStm> {
+        Box::new(Lsa::with_config(config))
+    }
+    registry.register(BackendSpec::new(
+        "lsa",
+        "LSA (Riegel/Felber/Fetzer): lazy snapshots, eager in-place writes",
+        make,
+    ));
+}
 
 /// One saved pre-write state for the in-place undo log.
 #[derive(Debug, Clone, Copy)]
@@ -214,11 +227,10 @@ impl<'env> LsaTxn<'env> {
 }
 
 impl<'env> Transaction<'env> for LsaTxn<'env> {
-    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort> {
-        let core = var.core();
+    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
         // In-place writes: if we hold the lock, the current word is ours.
         if core.lock().is_locked_by(self.ticket) {
-            return Ok(T::from_word(core.value_unsync()));
+            return Ok(core.value_unsync());
         }
         let mut attempts = 0u32;
         loop {
@@ -241,7 +253,7 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
                         // Location is newer than our snapshot: lazily extend.
                         self.extend()?;
                     }
-                    return Ok(T::from_word(word));
+                    return Ok(word);
                 }
                 Err(ReadConflict::Locked(_)) => {
                     if !self.wait_for_unlock(core) {
@@ -255,10 +267,9 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
         }
     }
 
-    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort> {
-        let core = var.core();
+    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
         if core.lock().is_locked_by(self.ticket) {
-            core.store_value(value.into_word());
+            core.store_value(word);
             return Ok(());
         }
         let mut attempts = 0u32;
@@ -271,7 +282,7 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
                 Ok(old_version) => {
                     let old_value = core.value_unsync();
                     self.undo.record_first_write(core, old_value, old_version);
-                    core.store_value(value.into_word());
+                    core.store_value(word);
                     return Ok(());
                 }
                 Err(_) => {
@@ -283,19 +294,20 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
         }
     }
 
-    fn child<R>(
-        &mut self,
-        _kind: TxKind,
-        mut f: impl FnMut(&mut Self) -> Result<R, Abort>,
-    ) -> Result<R, Abort> {
-        // Flat nesting (see TL2): classic transactions outherit trivially.
+    // Flat nesting (see TL2): classic transactions outherit trivially.
+    fn child_enter(&mut self, _kind: TxKind) -> Result<(), Abort> {
         self.depth += 1;
-        let r = f(self);
+        Ok(())
+    }
+
+    fn child_commit(&mut self) -> Result<(), Abort> {
         self.depth -= 1;
-        if r.is_ok() {
-            self.stm.stats.record_child_commit();
-        }
-        r
+        self.stm.stats.record_child_commit();
+        Ok(())
+    }
+
+    fn child_abort(&mut self) {
+        self.depth -= 1;
     }
 
     fn kind(&self) -> TxKind {
@@ -355,6 +367,7 @@ impl Stm for Lsa {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stm_core::TVar;
 
     #[test]
     fn read_your_own_write_in_place() {

@@ -39,15 +39,28 @@
 
 use core::sync::atomic::{AtomicU64, Ordering};
 use stm_core::bloom::hash_id;
+use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::readset::ReadSet;
 use stm_core::stm::retry_loop;
 use stm_core::ticket::next_ticket;
 use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::writeset::WriteSet;
 use stm_core::{
-    Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TVar,
-    Transaction, TxKind, Word,
+    Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats,
+    Transaction, TxKind,
 };
+
+/// Register this crate's backend under the name `"swiss"`.
+pub fn register_backends(registry: &mut BackendRegistry) {
+    fn make(config: StmConfig) -> Box<dyn stm_core::dynstm::DynStm> {
+        Box::new(Swiss::with_config(config))
+    }
+    registry.register(BackendSpec::new(
+        "swiss",
+        "SwissTM (Dragojevic/Guerraoui/Kapalka): eager W-W, lazy versioning",
+        make,
+    ));
+}
 
 /// Default size (log2) of the write-lock table.
 const DEFAULT_WLOCK_TABLE_BITS: u32 = 16;
@@ -245,10 +258,9 @@ impl<'env> SwissTxn<'env> {
 }
 
 impl<'env> Transaction<'env> for SwissTxn<'env> {
-    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort> {
-        let core = var.core();
+    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
         if let Some(word) = self.writes.lookup(core) {
-            return Ok(T::from_word(word));
+            return Ok(word);
         }
         let mut spins = 0u32;
         loop {
@@ -264,7 +276,7 @@ impl<'env> Transaction<'env> for SwissTxn<'env> {
                     if version > self.ub {
                         self.extend()?;
                     }
-                    return Ok(T::from_word(word));
+                    return Ok(word);
                 }
                 // The versioned lock is only held during a short commit
                 // write-back; wait it out briefly.
@@ -282,28 +294,28 @@ impl<'env> Transaction<'env> for SwissTxn<'env> {
         }
     }
 
-    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort> {
-        let core = var.core();
+    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
         // Eager W-W detection, lazy versioning: take the write lock now,
         // buffer the value until commit.
         self.acquire_wlock(core)?;
-        self.writes.insert(core, value.into_word());
+        self.writes.insert(core, word);
         Ok(())
     }
 
-    fn child<R>(
-        &mut self,
-        _kind: TxKind,
-        mut f: impl FnMut(&mut Self) -> Result<R, Abort>,
-    ) -> Result<R, Abort> {
-        // Flat nesting (see TL2): classic transactions outherit trivially.
+    // Flat nesting (see TL2): classic transactions outherit trivially.
+    fn child_enter(&mut self, _kind: TxKind) -> Result<(), Abort> {
         self.depth += 1;
-        let r = f(self);
+        Ok(())
+    }
+
+    fn child_commit(&mut self) -> Result<(), Abort> {
         self.depth -= 1;
-        if r.is_ok() {
-            self.stm.stats.record_child_commit();
-        }
-        r
+        self.stm.stats.record_child_commit();
+        Ok(())
+    }
+
+    fn child_abort(&mut self) {
+        self.depth -= 1;
     }
 
     fn kind(&self) -> TxKind {
@@ -363,6 +375,7 @@ impl Stm for Swiss {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stm_core::TVar;
 
     #[test]
     fn read_your_own_write() {

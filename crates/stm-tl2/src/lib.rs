@@ -25,15 +25,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::readset::ReadSet;
 use stm_core::stm::retry_loop;
 use stm_core::ticket::next_ticket;
-use stm_core::tvar::ReadConflict;
+use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::writeset::WriteSet;
 use stm_core::{
-    Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TVar,
-    Transaction, TxKind, Word,
+    Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats,
+    Transaction, TxKind,
 };
+
+/// Register this crate's backend under the name `"tl2"`.
+pub fn register_backends(registry: &mut BackendRegistry) {
+    fn make(config: StmConfig) -> Box<dyn stm_core::dynstm::DynStm> {
+        Box::new(Tl2::with_config(config))
+    }
+    registry.register(BackendSpec::new(
+        "tl2",
+        "TL2 (Dice/Shalev/Shavit): lazy versioning, commit-time locking",
+        make,
+    ));
+}
 
 /// A TL2 software-transactional-memory instance.
 ///
@@ -113,10 +126,9 @@ impl<'env> Tl2Txn<'env> {
 }
 
 impl<'env> Transaction<'env> for Tl2Txn<'env> {
-    fn read<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort> {
-        let core = var.core();
+    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
         if let Some(word) = self.writes.lookup(core) {
-            return Ok(T::from_word(word));
+            return Ok(word);
         }
         match core.read_consistent() {
             Ok((word, version)) => {
@@ -125,33 +137,34 @@ impl<'env> Transaction<'env> for Tl2Txn<'env> {
                     return Err(Abort::new(AbortReason::ReadValidation));
                 }
                 self.reads.push(core, version);
-                Ok(T::from_word(word))
+                Ok(word)
             }
             Err(ReadConflict::Locked(_)) => Err(Abort::new(AbortReason::LockConflict)),
             Err(ReadConflict::Unstable) => Err(Abort::new(AbortReason::UnstableRead)),
         }
     }
 
-    fn write<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort> {
-        self.writes.insert(var.core(), value.into_word());
+    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
+        self.writes.insert(core, word);
         Ok(())
     }
 
-    fn child<R>(
-        &mut self,
-        _kind: TxKind,
-        mut f: impl FnMut(&mut Self) -> Result<R, Abort>,
-    ) -> Result<R, Abort> {
-        // Flat nesting: the child's accesses accumulate in the parent's
-        // sets and stay protected until the parent commits — the classic
-        // instantiation of outheritance the paper describes in Section I.
+    // Flat nesting: the child's accesses accumulate in the parent's
+    // sets and stay protected until the parent commits — the classic
+    // instantiation of outheritance the paper describes in Section I.
+    fn child_enter(&mut self, _kind: TxKind) -> Result<(), Abort> {
         self.depth += 1;
-        let r = f(self);
+        Ok(())
+    }
+
+    fn child_commit(&mut self) -> Result<(), Abort> {
         self.depth -= 1;
-        if r.is_ok() {
-            self.stm.stats.record_child_commit();
-        }
-        r
+        self.stm.stats.record_child_commit();
+        Ok(())
+    }
+
+    fn child_abort(&mut self) {
+        self.depth -= 1;
     }
 
     fn kind(&self) -> TxKind {
@@ -204,6 +217,7 @@ impl Stm for Tl2 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stm_core::TVar;
 
     #[test]
     fn read_your_own_write() {

@@ -23,5 +23,35 @@ pub use stm_lsa;
 pub use stm_swiss;
 pub use stm_tl2;
 
+use stm_core::dynstm::BackendRegistry;
+
 /// The paper this repository reproduces.
 pub const PAPER: &str = "Gramoli, Guerraoui, Letia: Composing Relaxed Transactions (IPDPS 2013)";
+
+/// Every STM backend this workspace ships, assembled into the runtime
+/// name → constructor registry ("tl2", "lsa", "swiss", "oe",
+/// "oe-estm-compat"). Library users select backends from strings —
+/// config files, CLI flags — without naming a concrete STM type:
+///
+/// ```
+/// use composing_relaxed_transactions::backend_registry;
+/// use composing_relaxed_transactions::stm_core::{TVar, Transaction, TxKind};
+///
+/// let backend = backend_registry().build_default("tl2").unwrap();
+/// let v = TVar::new(1i64);
+/// let out = backend.run(TxKind::Regular, |tx| {
+///     let x = tx.read(&v)?;
+///     tx.write(&v, x + 1)?;
+///     tx.read(&v)
+/// });
+/// assert_eq!(out, 2);
+/// ```
+#[must_use]
+pub fn backend_registry() -> BackendRegistry {
+    let mut registry = BackendRegistry::new();
+    oe_stm::register_backends(&mut registry);
+    stm_lsa::register_backends(&mut registry);
+    stm_tl2::register_backends(&mut registry);
+    stm_swiss::register_backends(&mut registry);
+    registry
+}
