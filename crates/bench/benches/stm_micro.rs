@@ -5,6 +5,13 @@
 //! the way they do (e.g. TL2's read path is the cheapest per access, LSA
 //! pays for eager locking, OE-STM's elastic window bookkeeping costs a
 //! couple of nanoseconds per read and buys the Fig. 6 abort-rate gap).
+//!
+//! The `write_heavy` and `retry_storm` cases target the allocation-free
+//! hot path specifically: `write_heavy` crosses the write set's
+//! linear-scan threshold (exercising the open-addressed spill index and
+//! the incremental lock order), and `retry_storm` forces a fixed number of
+//! aborts per transaction so the cost of an *attempt* — which must be
+//! allocation-free once warm — dominates the measurement.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oe_stm::OeStm;
@@ -49,6 +56,55 @@ fn bench_stm<S: Stm>(
                 })
             });
         });
+    }
+
+    // Write-heavy: a read-modify-write over enough distinct locations to
+    // spill the write set past its linear-scan threshold (16), so lookups
+    // go through the hash index and commit locks a long, sorted order.
+    for writes in [32usize, 64] {
+        group.bench_function(
+            BenchmarkId::new(format!("{name}/write_heavy"), writes),
+            |b| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    stm.run(kind, |tx| {
+                        for v in &vars[..writes] {
+                            let old = tx.read(v)?;
+                            tx.write(v, old.wrapping_add(i))?;
+                        }
+                        Ok(())
+                    })
+                });
+            },
+        );
+    }
+
+    // Retry storm: every transaction explicitly aborts `aborts` times
+    // before committing, so the per-attempt cost (begin, reads, writes,
+    // abort cleanup, backoff) dominates. This is the path the reusable
+    // scratch makes allocation-free.
+    for aborts in [4u32, 16] {
+        group.bench_function(
+            BenchmarkId::new(format!("{name}/retry_storm"), aborts),
+            |b| {
+                b.iter(|| {
+                    let mut left = aborts;
+                    stm.run(kind, |tx| {
+                        let mut acc = 0u64;
+                        for v in &vars[..8] {
+                            acc = acc.wrapping_add(tx.read(v)?);
+                        }
+                        tx.write(&vars[0], acc)?;
+                        if left > 0 {
+                            left -= 1;
+                            return tx.retry();
+                        }
+                        Ok(())
+                    })
+                });
+            },
+        );
     }
 }
 

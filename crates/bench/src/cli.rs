@@ -12,6 +12,8 @@ use std::time::Duration;
 pub const USAGE: &str = "\
 usage: repro [TARGET]... [FLAGS]
        repro validate-json <path> [--require-full-coverage]
+       repro compare-json <baseline> <candidate> [--threshold-pct N] [--report-only]
+       repro merge-json <out> <in>... (per-row medians of same-config runs)
 
 targets:
   fig6 | fig7 | fig8   regenerate one figure's tables
@@ -27,6 +29,10 @@ flags:
   --composed 5,15      composed-update percentages (paper: 5 and 15)
   --seed N             base seed for prefills and op streams (default: 61713)
   --json PATH          write every measured row as schema-stable JSON
+  --threshold-pct N    compare-json: flag rows whose throughput drops more
+                       than N percent below the baseline (default: 10)
+  --report-only        compare-json: print the delta table but exit 0 even
+                       on regressions (schema errors still fail)
   --list               alias for the `list` target
   -h, --help           this text
 ";
@@ -54,6 +60,11 @@ pub struct Options {
     pub list: bool,
     /// `--require-full-coverage` (for `validate-json`).
     pub require_full_coverage: bool,
+    /// `--threshold-pct` (for `compare-json`): regression threshold in
+    /// percent of baseline throughput.
+    pub threshold_pct: f64,
+    /// `--report-only` (for `compare-json`): never fail on regressions.
+    pub report_only: bool,
     /// `-h` / `--help`.
     pub help: bool,
 }
@@ -71,6 +82,8 @@ impl Default for Options {
             json: None,
             list: false,
             require_full_coverage: false,
+            threshold_pct: crate::compare::DEFAULT_THRESHOLD_PCT,
+            report_only: false,
             help: false,
         }
     }
@@ -147,6 +160,17 @@ pub fn parse_args(argv: &[String]) -> Result<Options, String> {
                 opts.json = Some(flag_value(argv, i, "--json")?.to_string());
                 i += 1;
             }
+            "--threshold-pct" => {
+                let raw = flag_value(argv, i, "--threshold-pct")?;
+                opts.threshold_pct = raw
+                    .parse()
+                    .map_err(|_| format!("bad threshold {raw:?}; try --help"))?;
+                if !opts.threshold_pct.is_finite() || opts.threshold_pct < 0.0 {
+                    return Err(format!("bad threshold {raw:?}; try --help"));
+                }
+                i += 1;
+            }
+            "--report-only" => opts.report_only = true,
             "--list" => opts.list = true,
             "--require-full-coverage" => opts.require_full_coverage = true,
             "--help" | "-h" => opts.help = true,
@@ -217,6 +241,36 @@ mod tests {
     }
 
     #[test]
+    fn compare_json_subcommand_shape() {
+        let o = parse_args(&args(
+            "compare-json base.json cand.json --threshold-pct 5.5 --report-only",
+        ))
+        .unwrap();
+        assert_eq!(o.targets, vec!["compare-json", "base.json", "cand.json"]);
+        assert!((o.threshold_pct - 5.5).abs() < 1e-9);
+        assert!(o.report_only);
+    }
+
+    #[test]
+    fn compare_json_defaults() {
+        let o = parse_args(&args("compare-json a b")).unwrap();
+        assert_eq!(o.threshold_pct, crate::compare::DEFAULT_THRESHOLD_PCT);
+        assert!(!o.report_only);
+    }
+
+    #[test]
+    fn bad_threshold_is_a_usage_error() {
+        for bad in ["banana", "-3", "inf", "NaN"] {
+            let err =
+                parse_args(&args(&format!("compare-json a b --threshold-pct {bad}"))).unwrap_err();
+            assert!(err.contains("threshold"), "{bad}: {err}");
+        }
+        assert!(parse_args(&args("--threshold-pct"))
+            .unwrap_err()
+            .contains("--threshold-pct"));
+    }
+
+    #[test]
     fn bad_values_are_usage_errors() {
         assert!(parse_args(&args("--threads"))
             .unwrap_err()
@@ -258,7 +312,11 @@ mod tests {
             "--json",
             "--list",
             "--require-full-coverage",
+            "--threshold-pct",
+            "--report-only",
             "validate-json",
+            "compare-json",
+            "merge-json",
             "summary",
         ] {
             assert!(USAGE.contains(flag), "usage text is missing {flag}");

@@ -45,7 +45,7 @@ pub const ROW_FIELDS: [(&str, bool); 11] = [
     ("elapsed_ms", true),
 ];
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {

@@ -22,11 +22,13 @@
 //! workloads (bank transfers, queue snapshots, …) over every backend in
 //! the runtime [`BackendRegistry`](stm_core::dynstm::BackendRegistry) and
 //! emits the schema-stable `BENCH.json` (see [`json`]) that makes perf
-//! machine-comparable across PRs.
+//! machine-comparable across PRs; [`compare`] diffs two such artifacts and
+//! gates on throughput regressions (`repro compare-json`).
 
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod compare;
 pub mod figures;
 pub mod harness;
 pub mod json;

@@ -225,8 +225,12 @@ impl Stm for OeStm {
         mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
     ) -> Result<R, RunError> {
         let seed = next_ticket().get();
+        // One transaction object (and one scratch) per run call: every
+        // attempt restarts it in place, so the read/write sets and the
+        // nesting-frame stack keep their capacity across attempts.
+        let mut txn = OeTxn::begin(self, kind, txn::OeScratch::acquire());
         retry_loop(&self.config, &self.stats, seed, || {
-            let mut txn = OeTxn::begin(self, kind);
+            txn.restart();
             match f(&mut txn) {
                 Ok(r) => match txn.commit() {
                     Ok(()) => Ok(r),

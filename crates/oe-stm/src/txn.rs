@@ -3,24 +3,50 @@
 
 use crate::tracer::Tracer;
 use crate::OeStm;
-use stm_core::readset::ReadSet;
+use stm_core::scratch::TxScratch;
 use stm_core::ticket::next_ticket;
 use stm_core::trace::TraceOp;
 use stm_core::tvar::{ReadConflict, TVarCore};
-use stm_core::writeset::WriteSet;
 use stm_core::{Abort, AbortReason, Stm, Transaction, TxKind};
 
 use crate::window::Window;
 
 /// Saved parent state across a child transaction (one nesting frame).
+///
+/// The parent's window is parked here *by value*: [`Window`] is a
+/// fixed-capacity inline ring, so saving and restoring it moves a couple
+/// hundred bytes on the stack instead of allocating a `Vec` per child —
+/// composition stays on the allocation-free hot path.
 #[derive(Debug)]
 struct Frame<'env> {
     saved_mode: TxKind,
     saved_hardened: bool,
-    saved_window: Vec<stm_core::readset::ReadEntry<'env>>,
+    saved_window: Window<'env>,
     /// Parent's read-set length at child begin; the child's reads are the
     /// suffix past this mark.
     read_mark: usize,
+}
+
+/// The per-run reusable buffers of an OE-STM transaction: the shared
+/// [`TxScratch`] (read set, write set) plus the nesting-frame stack.
+#[derive(Debug)]
+pub(crate) struct OeScratch<'env> {
+    base: TxScratch<'env>,
+    frames: Vec<Frame<'env>>,
+}
+
+impl OeScratch<'_> {
+    pub(crate) fn acquire() -> Self {
+        Self {
+            base: TxScratch::acquire(),
+            frames: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.base.reset();
+        self.frames.clear();
+    }
 }
 
 /// Bound on snapshot-advance attempts within a single read (prevents
@@ -44,34 +70,48 @@ pub struct OeTxn<'env> {
     /// Snapshot time: all protected reads are consistent at `rv`.
     rv: u64,
     ticket: u64,
-    reads: ReadSet<'env>,
-    writes: WriteSet<'env>,
+    scratch: OeScratch<'env>,
     window: Window<'env>,
+    /// The kind the top-level transaction was begun with (restored by
+    /// `restart` after attempts that left child modes behind).
+    top_kind: TxKind,
     mode: TxKind,
     /// True once the current (sub)transaction has written (elastic
     /// transactions "harden" into classic behaviour at their first write).
     hardened: bool,
-    frames: Vec<Frame<'env>>,
     pub(crate) tracer: Option<Box<Tracer>>,
 }
 
 impl<'env> OeTxn<'env> {
-    pub(crate) fn begin(stm: &'env OeStm, kind: TxKind) -> Self {
-        let tracer = stm
-            .sink()
-            .map(|sink| Box::new(Tracer::begin_top(sink, next_ticket().get())));
+    pub(crate) fn begin(stm: &'env OeStm, kind: TxKind, scratch: OeScratch<'env>) -> Self {
         Self {
             stm,
-            rv: stm.clock().now(),
-            ticket: next_ticket().get(),
-            reads: ReadSet::new(),
-            writes: WriteSet::new(),
+            rv: 0,
+            ticket: 0,
+            scratch,
             window: Window::new(stm.config().elastic_window),
+            top_kind: kind,
             mode: kind,
             hardened: kind == TxKind::Regular,
-            frames: Vec::new(),
-            tracer,
+            tracer: None,
         }
+    }
+
+    /// Reset for a fresh attempt (see the classic backends' `restart`):
+    /// clear the scratch and nesting frames keeping capacity, empty the
+    /// window, resample the clock, take a new ticket, and re-arm the
+    /// tracer if tracing is on.
+    pub(crate) fn restart(&mut self) {
+        self.scratch.reset();
+        self.window = Window::new(self.stm.config().elastic_window);
+        self.mode = self.top_kind;
+        self.hardened = self.top_kind == TxKind::Regular;
+        self.rv = self.stm.clock().now();
+        self.ticket = next_ticket().get();
+        self.tracer = self
+            .stm
+            .sink()
+            .map(|sink| Box::new(Tracer::begin_top(sink, next_ticket().get())));
     }
 
     /// The snapshot time of this attempt (diagnostics/tests).
@@ -84,23 +124,27 @@ impl<'env> OeTxn<'env> {
     /// the size of the transaction's protected set minus its writes.
     #[must_use]
     pub fn protected_reads(&self) -> usize {
-        self.reads.len() + self.window.len()
+        self.scratch.base.reads.len() + self.window.len()
     }
 
     fn validate_all_reads(&self) -> bool {
-        self.reads.validate(Some(self.ticket), |core| {
-            self.writes.locked_version_of(core)
+        self.scratch.base.reads.validate(Some(self.ticket), |core| {
+            self.scratch.base.writes.locked_version_of(core)
         }) && self.window.validate()
     }
 
-    /// Move the snapshot forward to "now", requiring every currently
+    /// Move the snapshot forward to cover `target` (the observed version of
+    /// the location that triggered the advance), requiring every currently
     /// protected read to still be valid. In elastic (non-hardened) mode
     /// this is the *elastic cut*: earlier prefix reads already slid out of
     /// the window, so their conflicts are ignored — the defining relaxation
     /// of the model. In hardened/regular mode it is a classic lazy
     /// snapshot extension.
-    fn advance_snapshot(&mut self) -> Result<(), Abort> {
-        let now = self.stm.clock().now();
+    ///
+    /// Validating now proves consistency up to at least `target` (that
+    /// version is already published), so the advance never re-reads the
+    /// contended global clock line.
+    fn advance_snapshot(&mut self, target: u64) -> Result<(), Abort> {
         if !self.validate_all_reads() {
             let reason = if self.hardened {
                 AbortReason::ExtensionFailed
@@ -109,7 +153,7 @@ impl<'env> OeTxn<'env> {
             };
             return Err(Abort::new(reason));
         }
-        self.rv = now;
+        self.rv = target;
         if self.hardened {
             self.stm.counters().record_extension();
         } else {
@@ -126,8 +170,8 @@ impl<'env> OeTxn<'env> {
 
     /// Top-level commit.
     pub(crate) fn commit(&mut self) -> Result<(), Abort> {
-        debug_assert!(self.frames.is_empty(), "commit with live children");
-        if self.writes.is_empty() {
+        debug_assert!(self.scratch.frames.is_empty(), "commit with live children");
+        if self.scratch.base.writes.is_empty() {
             // Read-only: elastic reads were validated pairwise at each cut,
             // classic reads against rv — the snapshot is consistent.
             if let Some(t) = self.tracer.as_mut() {
@@ -138,19 +182,21 @@ impl<'env> OeTxn<'env> {
         // The last elastic reads (r_k..r_n of Section V) are part of the
         // minimal protected set: fold them into the read set and validate
         // everything together.
-        self.window.drain_into(&mut self.reads);
-        self.writes.lock_all(self.ticket)?;
+        self.window.drain_into(&mut self.scratch.base.reads);
+        self.scratch.base.writes.lock_all(self.ticket)?;
         let wv = self.stm.clock().tick();
         if wv != self.rv + 1 {
-            let ok = self.reads.validate(Some(self.ticket), |core| {
-                self.writes.locked_version_of(core)
+            // Validation-skip fast path (see TL2): wv == rv + 1 means no
+            // other update committed since the snapshot time.
+            let ok = self.scratch.base.reads.validate(Some(self.ticket), |core| {
+                self.scratch.base.writes.locked_version_of(core)
             });
             if !ok {
-                self.writes.release_locks();
+                self.scratch.base.writes.release_locks();
                 return Err(Abort::new(AbortReason::ReadValidation));
             }
         }
-        self.writes.write_back_and_release(wv);
+        self.scratch.base.writes.write_back_and_release(wv);
         if let Some(t) = self.tracer.as_mut() {
             t.commit_top();
         }
@@ -158,7 +204,7 @@ impl<'env> OeTxn<'env> {
     }
 
     fn read_core(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
-        if let Some(word) = self.writes.lookup(core) {
+        if let Some(word) = self.scratch.base.writes.lookup(core) {
             if let Some(t) = self.tracer.as_mut() {
                 t.op_held(core.id(), TraceOp::Read(word));
             }
@@ -174,13 +220,13 @@ impl<'env> OeTxn<'env> {
                         if advances > MAX_ADVANCE_ATTEMPTS {
                             return Err(Abort::new(AbortReason::ReadValidation));
                         }
-                        self.advance_snapshot()?;
+                        self.advance_snapshot(version)?;
                         // Re-read: the location may have changed between the
                         // consistent read and the snapshot advance.
                         continue;
                     }
                     if self.hardened {
-                        self.reads.push(core, version);
+                        self.scratch.base.reads.push(core, version);
                     } else {
                         // Elastic read-only prefix: protect through the
                         // sliding window; the evicted read is released.
@@ -227,10 +273,10 @@ impl<'env> OeTxn<'env> {
             // reads (the window) become permanently tracked — they are the
             // r_k..r_n prefix boundary of the minimal protected set.
             self.hardened = true;
-            self.window.drain_into(&mut self.reads);
+            self.window.drain_into(&mut self.scratch.base.reads);
         }
-        let first_touch = self.writes.lookup(core).is_none();
-        self.writes.insert(core, word);
+        let first_touch = self.scratch.base.writes.lookup(core).is_none();
+        self.scratch.base.writes.insert(core, word);
         if let Some(t) = self.tracer.as_mut() {
             if first_touch {
                 t.op(core.id(), TraceOp::Write(word));
@@ -256,11 +302,12 @@ impl<'env> Transaction<'env> for OeTxn<'env> {
     /// hardening flag and window are parked in a [`Frame`] until
     /// [`child_commit`](Transaction::child_commit).
     fn child_enter(&mut self, kind: TxKind) -> Result<(), Abort> {
-        self.frames.push(Frame {
+        let fresh = Window::new(self.stm.config().elastic_window);
+        self.scratch.frames.push(Frame {
             saved_mode: self.mode,
             saved_hardened: self.hardened,
-            saved_window: self.window.take_entries(),
-            read_mark: self.reads.len(),
+            saved_window: core::mem::replace(&mut self.window, fresh),
+            read_mark: self.scratch.base.reads.len(),
         });
         self.mode = kind;
         self.hardened = kind == TxKind::Regular;
@@ -281,14 +328,18 @@ impl<'env> Transaction<'env> for OeTxn<'env> {
     ///   accesses are validated at child commit and then *released* —
     ///   reproducing the Fig. 1 composition bug that motivates the paper.
     fn child_commit(&mut self) -> Result<(), Abort> {
-        let frame = self.frames.pop().expect("child_commit without child_enter");
+        let frame = self
+            .scratch
+            .frames
+            .pop()
+            .expect("child_commit without child_enter");
         if self.stm.outheritance() {
             // outherit(): pass the child's protected set to the
             // parent. Reads and writes already accumulated in the
             // shared sets; the window remnants (the child's
             // last-read entries) are folded into the read set so
             // they stay protected until the parent commits.
-            self.window.drain_into(&mut self.reads);
+            self.window.drain_into(&mut self.scratch.base.reads);
             self.stm.counters().record_outherit();
             if let Some(t) = self.tracer.as_mut() {
                 t.commit_child();
@@ -307,31 +358,30 @@ impl<'env> Transaction<'env> for OeTxn<'env> {
             // is atomic as of now, then release its protection
             // (the releases follow the child's commit event, as in
             // the model).
-            let ok = self
-                .reads
-                .validate_suffix(frame.read_mark, Some(self.ticket), |core| {
-                    self.writes.locked_version_of(core)
-                })
-                && self.window.validate();
+            let ok = self.scratch.base.reads.validate_suffix(
+                frame.read_mark,
+                Some(self.ticket),
+                |core| self.scratch.base.writes.locked_version_of(core),
+            ) && self.window.validate();
             if !ok {
                 return Err(Abort::new(AbortReason::ReadValidation));
             }
             if let Some(t) = self.tracer.as_mut() {
                 let child_id = t.commit_child();
-                for e in self.reads.iter().skip(frame.read_mark) {
+                for e in self.scratch.base.reads.iter().skip(frame.read_mark) {
                     t.drop_hold_as(child_id, e.core.id());
                 }
                 for e in self.window.iter() {
                     t.drop_hold_as(child_id, e.core.id());
                 }
             }
-            self.reads.truncate(frame.read_mark);
+            self.scratch.base.reads.truncate(frame.read_mark);
             self.window.clear();
         }
         self.stm.counters().record_child_commit();
         self.mode = frame.saved_mode;
         self.hardened = frame.saved_hardened;
-        self.window.restore_entries(frame.saved_window);
+        self.window = frame.saved_window;
         Ok(())
     }
 
@@ -339,7 +389,11 @@ impl<'env> Transaction<'env> for OeTxn<'env> {
     /// (the retry loop re-runs the top-level transaction from scratch), so
     /// only the nesting bookkeeping is unwound here.
     fn child_abort(&mut self) {
-        let _ = self.frames.pop().expect("child_abort without child_enter");
+        let _ = self
+            .scratch
+            .frames
+            .pop()
+            .expect("child_abort without child_enter");
     }
 
     fn kind(&self) -> TxKind {

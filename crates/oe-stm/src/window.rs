@@ -126,29 +126,6 @@ impl<'env> Window<'env> {
         self.next = 0;
     }
 
-    /// Take the contents (oldest first), leaving the window empty
-    /// (child-frame save).
-    pub fn take_entries(&mut self) -> Vec<ReadEntry<'env>> {
-        let start = (self.next + self.cap - self.len) % self.cap;
-        let mut out = Vec::with_capacity(self.len);
-        for k in 0..self.len {
-            if let Some(e) = self.slots[(start + k) % self.cap].take() {
-                out.push(e);
-            }
-        }
-        self.len = 0;
-        self.next = 0;
-        out
-    }
-
-    /// Restore previously taken contents (child-frame restore).
-    pub fn restore_entries(&mut self, entries: Vec<ReadEntry<'env>>) {
-        debug_assert!(self.len == 0);
-        for e in entries {
-            self.push(e.core, e.version);
-        }
-    }
-
     /// Number of protected reads currently windowed.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -249,17 +226,19 @@ mod tests {
     }
 
     #[test]
-    fn take_and_restore_roundtrip() {
+    fn moved_window_keeps_contents() {
+        // Child frames park the parent's window by value (no allocation);
+        // moving a window must preserve order and versions.
         let a = TVar::new(1u64);
         let b = TVar::new(2u64);
         let mut w = Window::new(2);
         w.push(a.core(), 0);
         w.push(b.core(), 3);
-        let saved = w.take_entries();
-        assert!(w.is_empty());
+        let saved = w; // move, as Frame::saved_window does
+        let mut w = Window::new(2);
         w.push(b.core(), 9);
         w.clear();
-        w.restore_entries(saved);
+        let w = saved;
         assert_eq!(w.len(), 2);
         let versions: Vec<u64> = w.iter().map(|e| e.version).collect();
         assert_eq!(versions, vec![0, 3]);

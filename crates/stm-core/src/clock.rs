@@ -15,7 +15,15 @@ use core::sync::atomic::{AtomicU64, Ordering};
 ///
 /// The clock starts at 0; [`TVar`](crate::TVar)s are born with version 0, so
 /// a freshly created variable is readable by every transaction.
+///
+/// The counter is the single most contended word in the system — every
+/// update commit ticks it — so the struct is aligned to a cache line to
+/// keep the neighbouring STM-instance fields (stats, config) from
+/// false-sharing with it. Read paths sample it once at begin; snapshot
+/// extensions re-validate against the *observed location version* instead
+/// of re-reading this line (see DESIGN.md, "The allocation-free hot path").
 #[derive(Debug, Default)]
+#[repr(align(64))]
 pub struct GlobalClock {
     now: AtomicU64,
 }

@@ -12,6 +12,10 @@
 //!   protocol so that no torn reads are possible,
 //! * read/write sets ([`readset`], [`writeset`]) with a small-set fast path
 //!   and a bloom-filter-accelerated lookup,
+//! * reusable transaction [`scratch`] state (read/write sets, spill index,
+//!   lock order) retained across retry attempts and — for the lifetime-free
+//!   buffers — pooled per thread across transactions, so the steady-state
+//!   hot path performs no heap allocation,
 //! * the [`Stm`](stm::Stm) / [`Transaction`](stm::Transaction) traits that
 //!   all four STMs implement, including the `child` entry point used for
 //!   *composition* (the subject of the paper),
@@ -42,6 +46,7 @@ pub mod dynstm;
 pub mod error;
 pub mod parallel;
 pub mod readset;
+pub mod scratch;
 pub mod stats;
 pub mod stm;
 pub mod ticket;
@@ -55,6 +60,7 @@ pub use clock::GlobalClock;
 pub use config::StmConfig;
 pub use dynstm::{Backend, BackendRegistry, BackendSpec, DynStm, DynTransaction, DynTxn};
 pub use error::{Abort, AbortReason};
+pub use scratch::TxScratch;
 pub use stats::{StatsSnapshot, StmStats};
 pub use stm::{RunError, Stm, Transaction, TxKind};
 pub use tvar::{TVar, TVarCore};

@@ -41,6 +41,23 @@ impl<'env> ReadSet<'env> {
         }
     }
 
+    /// An empty read set with room for `cap` entries. The scratch pool uses
+    /// this to pre-size a fresh run's read set to the thread's recent
+    /// high-water mark, replacing a cascade of growth reallocations with
+    /// one up-front reservation.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current capacity (used by the scratch pool's sizing hint).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
     /// Record a read of `core` at `version`.
     #[inline]
     pub fn push(&mut self, core: &'env TVarCore, version: u64) {

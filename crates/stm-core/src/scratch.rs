@@ -1,0 +1,421 @@
+//! Reusable per-transaction scratch state — the allocation-free hot path.
+//!
+//! Every transaction attempt needs a read set, a write set and the write
+//! set's commit bookkeeping (spill index, lock-acquisition order). Creating
+//! these fresh per attempt puts a handful of heap allocations on the hot
+//! path of every retry; TL2-style STMs instead *retain* the buffers and
+//! clear them between attempts.
+//!
+//! Two layers of reuse:
+//!
+//! 1. **Across attempts** (same `Stm::run` call): the backend acquires one
+//!    [`TxScratch`] per run and threads it through the retry loop; every
+//!    buffer keeps its capacity, so a warmed-up retry performs zero heap
+//!    allocations per attempt.
+//! 2. **Across transactions** (same thread): the lifetime-free buffers —
+//!    the open-addressed [`IndexTable`] and the `u32` order/aux vectors —
+//!    return to a thread-local pool when the scratch drops and are recycled
+//!    by the next `run` call. The entry vectors hold `&'env TVarCore`
+//!    borrows and therefore cannot be pooled across environments without
+//!    `unsafe` (this crate is `#![forbid(unsafe_code)]`); they warm up
+//!    within each run instead.
+//!
+//! The index replaces the old `std::collections::HashMap<usize, usize>`
+//! spill index: open addressing with linear probing, a multiplicative hash
+//! ([`bloom::hash_id`](crate::bloom::hash_id) — no SipHash), and
+//! generation-stamped slots so clearing is O(1) and never frees.
+
+use crate::bloom::hash_id;
+use crate::readset::ReadSet;
+use crate::writeset::WriteSet;
+use std::cell::Cell;
+
+/// One slot of the open-addressed index. `gen` stamps which clear-epoch the
+/// slot was written in; a stale stamp means "empty".
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    gen: u64,
+    id: usize,
+    pos: u32,
+}
+
+/// An open-addressed `location id -> entry position` map for write-set
+/// spill lookups. Insert-only between clears (write sets never remove
+/// entries), linear probing, multiplicative hashing, O(1) clear.
+#[derive(Debug)]
+pub struct IndexTable {
+    slots: Vec<Slot>,
+    mask: usize,
+    gen: u64,
+    len: usize,
+}
+
+/// Initial slot count on first use (power of two).
+const INDEX_MIN_SLOTS: usize = 64;
+
+impl Default for IndexTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexTable {
+    /// An empty table. Allocates nothing until the first insert.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            mask: 0,
+            gen: 1,
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop every entry in O(1) by bumping the generation stamp; capacity
+    /// is retained.
+    pub fn clear(&mut self) {
+        self.gen += 1;
+        self.len = 0;
+    }
+
+    /// Map `id` to `pos`, overwriting any previous mapping for `id`.
+    pub fn insert(&mut self, id: usize, pos: u32) {
+        if self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let mut h = hash_id(id) as usize & self.mask;
+        loop {
+            let slot = &mut self.slots[h];
+            if slot.gen != self.gen {
+                *slot = Slot {
+                    gen: self.gen,
+                    id,
+                    pos,
+                };
+                self.len += 1;
+                return;
+            }
+            if slot.id == id {
+                slot.pos = pos;
+                return;
+            }
+            h = (h + 1) & self.mask;
+        }
+    }
+
+    /// The position mapped to `id`, if any.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, id: usize) -> Option<u32> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut h = hash_id(id) as usize & self.mask;
+        loop {
+            let slot = &self.slots[h];
+            if slot.gen != self.gen {
+                return None;
+            }
+            if slot.id == id {
+                return Some(slot.pos);
+            }
+            h = (h + 1) & self.mask;
+        }
+    }
+
+    /// Double the slot array (or create it) and re-insert the live entries.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(INDEX_MIN_SLOTS);
+        let old = core::mem::replace(&mut self.slots, vec![Slot::default(); new_cap]);
+        let old_gen = self.gen;
+        self.mask = new_cap - 1;
+        // Fresh array: every slot has gen 0, so bump to a stamp that marks
+        // them all empty and re-insert under it.
+        self.gen += 1;
+        self.len = 0;
+        for s in old {
+            if s.gen == old_gen {
+                self.insert(s.id, s.pos);
+            }
+        }
+    }
+}
+
+/// Lifetime-free buffers recycled across transactions through the
+/// thread-local pool, plus capacity *hints* for the entry vectors: those
+/// hold `&'env` borrows and cannot themselves be pooled, but remembering
+/// their high-water capacity lets the next run reserve once up front
+/// instead of re-growing through a cascade of doublings (a long list
+/// traversal pushes thousands of read entries).
+#[derive(Debug, Default)]
+struct ScratchParts {
+    index: IndexTable,
+    lock_order: Vec<u32>,
+    aux: Vec<usize>,
+    reads_hint: usize,
+    writes_hint: usize,
+}
+
+/// Cap on the remembered entry-vector capacities, bounding pooled memory
+/// (a `ReadEntry` is ~24 bytes, so 8192 entries ≈ 192 KiB per pooled
+/// scratch).
+const HINT_MAX: usize = 8192;
+
+/// Cap on the pooled index table's slot count (~24 bytes/slot, so 32 Ki
+/// slots ≈ 768 KiB). A table grown past this by one outlier transaction is
+/// dropped instead of pinned in thread-local storage forever.
+const INDEX_SLOTS_MAX: usize = 1 << 15;
+
+impl ScratchParts {
+    /// Drop any buffer an outlier transaction grew past the pool bounds,
+    /// so the thread-local slot stays a bounded cache rather than a
+    /// high-water-mark pin.
+    fn enforce_bounds(&mut self) {
+        if self.index.slots.len() > INDEX_SLOTS_MAX {
+            self.index = IndexTable::new();
+        }
+        if self.lock_order.capacity() > HINT_MAX {
+            self.lock_order = Vec::new();
+        }
+        if self.aux.capacity() > HINT_MAX {
+            self.aux = Vec::new();
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread single-slot pool. `acquire`/`drop` sit on the hot path of
+    /// *every* transaction, so the pool is a bare `Cell` holding one boxed
+    /// parts bundle: taking and restoring it is pointer-sized TLS traffic
+    /// with no `RefCell` bookkeeping and no re-boxing (the box itself is
+    /// recycled). One slot suffices — a thread runs one transaction at a
+    /// time; the rare nested `run` call simply starts cold.
+    static POOL: Cell<Option<Box<ScratchParts>>> = const { Cell::new(None) };
+}
+
+/// The reusable per-run transaction scratch: a read set, a write set and a
+/// general-purpose `usize` buffer (used e.g. for SwissTM's held write-lock
+/// slots). Acquire once per `Stm::try_run`, [`reset`](TxScratch::reset)
+/// between attempts; dropping it returns the lifetime-free buffers to the
+/// thread-local pool.
+#[derive(Debug)]
+pub struct TxScratch<'env> {
+    /// The attempt's read set.
+    pub reads: ReadSet<'env>,
+    /// The attempt's write set (owns the pooled index and lock order).
+    pub writes: WriteSet<'env>,
+    /// Backend-specific `usize` buffer (pooled).
+    pub aux: Vec<usize>,
+    /// The recycled pool box, kept so `drop` can refill it without
+    /// allocating. `None` when this scratch started cold (nested run).
+    pool_box: Option<Box<ScratchParts>>,
+}
+
+impl<'env> TxScratch<'env> {
+    /// Take a scratch from the thread-local pool (or create a fresh one).
+    /// The entry vectors are pre-sized to the thread's recent high-water
+    /// marks.
+    #[must_use]
+    pub fn acquire() -> Self {
+        let mut pool_box = POOL.with(Cell::take);
+        let parts = pool_box
+            .as_mut()
+            .map(|b| core::mem::take(&mut **b))
+            .unwrap_or_default();
+        let mut aux = parts.aux;
+        aux.clear();
+        Self {
+            reads: ReadSet::with_capacity(parts.reads_hint),
+            writes: WriteSet::from_parts(parts.index, parts.lock_order, parts.writes_hint),
+            aux,
+            pool_box,
+        }
+    }
+
+    /// Clear every buffer, retaining capacity. Call at attempt begin.
+    pub fn reset(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.aux.clear();
+    }
+}
+
+impl Drop for TxScratch<'_> {
+    fn drop(&mut self) {
+        let reads_hint = self.reads.capacity().min(HINT_MAX);
+        let (index, lock_order, writes_cap) = self.writes.take_parts();
+        let mut parts = ScratchParts {
+            index,
+            lock_order,
+            aux: core::mem::take(&mut self.aux),
+            reads_hint,
+            writes_hint: writes_cap.min(HINT_MAX),
+        };
+        parts.enforce_bounds();
+        match self.pool_box.take() {
+            Some(mut b) => {
+                *b = parts;
+                POOL.with(|pool| pool.set(Some(b)));
+            }
+            None => {
+                // Cold (nested) scratch: only adopt the slot if it is
+                // still empty, so an outer transaction's warmer parts are
+                // not displaced.
+                POOL.with(|pool| {
+                    let current = pool.take();
+                    pool.set(Some(current.unwrap_or_else(|| Box::new(parts))));
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tvar::TVar;
+
+    #[test]
+    fn index_roundtrips_many_ids() {
+        let mut t = IndexTable::new();
+        for i in 0..1000usize {
+            t.insert(0x1000 + i * 16, i as u32);
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000usize {
+            assert_eq!(t.get(0x1000 + i * 16), Some(i as u32));
+        }
+        assert_eq!(t.get(0x1000 + 1000 * 16), None);
+    }
+
+    #[test]
+    fn index_insert_overwrites() {
+        let mut t = IndexTable::new();
+        t.insert(0x40, 1);
+        t.insert(0x40, 2);
+        assert_eq!(t.get(0x40), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn index_clear_is_cheap_and_keeps_capacity() {
+        let mut t = IndexTable::new();
+        for i in 0..100usize {
+            t.insert(i * 16, i as u32);
+        }
+        let slots = t.slots.len();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.get(16), None);
+        assert_eq!(t.slots.len(), slots, "clear must not free");
+        // Reuse after clear works.
+        t.insert(16, 9);
+        assert_eq!(t.get(16), Some(9));
+    }
+
+    #[test]
+    fn index_survives_many_generations() {
+        let mut t = IndexTable::new();
+        for round in 0..50u32 {
+            for i in 0..40usize {
+                t.insert(i * 16, round);
+            }
+            for i in 0..40usize {
+                assert_eq!(t.get(i * 16), Some(round));
+            }
+            t.clear();
+        }
+    }
+
+    #[test]
+    fn scratch_reset_clears_state() {
+        let a = TVar::new(1u64);
+        let mut s = TxScratch::acquire();
+        s.reads.push(a.core(), 0);
+        s.writes.insert(a.core(), 5);
+        s.aux.push(3);
+        s.reset();
+        assert!(s.reads.is_empty());
+        assert!(s.writes.is_empty());
+        assert!(s.aux.is_empty());
+        assert_eq!(s.writes.lookup(a.core()), None);
+    }
+
+    #[test]
+    fn pool_recycles_lock_order_capacity() {
+        // Fill a scratch with a large write set, drop it, and check the
+        // next acquire on this thread starts with the recycled capacity.
+        let vars: Vec<TVar<u64>> = (0..200).map(TVar::new).collect();
+        {
+            let mut s = TxScratch::acquire();
+            for (i, v) in vars.iter().enumerate() {
+                s.writes.insert(v.core(), i as u64);
+            }
+        }
+        let s = TxScratch::acquire();
+        // The pooled index table has grown past the default minimum.
+        assert!(s.writes.is_empty(), "recycled scratch must start out empty");
+        drop(s);
+    }
+
+    #[test]
+    fn pool_bounds_drop_outlier_buffers() {
+        // Buffers grown past the pool bounds by one outlier transaction
+        // must not be pinned in thread-local storage.
+        let mut parts = ScratchParts::default();
+        for i in 0..(INDEX_SLOTS_MAX + 1) {
+            parts.index.insert(i * 16, 0);
+        }
+        parts.lock_order.reserve(HINT_MAX + 1);
+        parts.aux = Vec::with_capacity(4);
+        parts.enforce_bounds();
+        assert!(parts.index.is_empty() && parts.index.slots.is_empty());
+        assert_eq!(parts.lock_order.capacity(), 0);
+        assert!(parts.aux.capacity() >= 4, "in-bounds buffers survive");
+    }
+
+    #[test]
+    fn pool_remembers_entry_capacity_hints() {
+        // A run with a large read set teaches the pool its high-water
+        // mark; the next acquire on this thread starts pre-sized.
+        let vars: Vec<TVar<u64>> = (0..300).map(TVar::new).collect();
+        {
+            let mut s = TxScratch::acquire();
+            for v in &vars {
+                s.reads.push(v.core(), 0);
+            }
+        }
+        let s = TxScratch::acquire();
+        assert!(
+            s.reads.capacity() >= 300,
+            "read-set capacity hint must survive the pool (got {})",
+            s.reads.capacity()
+        );
+    }
+
+    #[test]
+    fn nested_acquires_are_independent() {
+        let a = TVar::new(1u64);
+        let mut outer = TxScratch::acquire();
+        outer.writes.insert(a.core(), 1);
+        {
+            let mut inner = TxScratch::acquire();
+            assert!(inner.writes.is_empty());
+            inner.writes.insert(a.core(), 2);
+            assert_eq!(inner.writes.lookup(a.core()), Some(2));
+        }
+        assert_eq!(outer.writes.lookup(a.core()), Some(1));
+    }
+}

@@ -4,15 +4,28 @@
 //! The write set deduplicates by location (a second write to the same
 //! location overwrites the buffered value), keeps insertion order for
 //! write-back, and answers read-after-write lookups through a one-word bloom
-//! signature with a linear scan (small sets) or a hash index (large sets).
+//! signature with a linear scan (small sets) or an open-addressed hash index
+//! (large sets — see [`IndexTable`](crate::scratch::IndexTable)).
+//!
+//! Hot-path invariants (see DESIGN.md, "The allocation-free hot path"):
+//!
+//! * the **lock order** (`lock_order`) is maintained *incrementally sorted*
+//!   by location id at insert time, so [`lock_all`](WriteSet::lock_all)
+//!   never allocates or sorts at commit;
+//! * the spill **index** uses a multiplicative hash and generation-stamped
+//!   slots, so [`clear`](WriteSet::clear) is O(1) and a cleared table keeps
+//!   its capacity for the next attempt (and, via the
+//!   [`scratch`](crate::scratch) pool, the next transaction);
+//! * `clear` never frees: a warmed-up write set performs zero heap
+//!   allocations per transaction attempt.
 
 use crate::bloom::Bloom;
 use crate::error::{Abort, AbortReason};
+use crate::scratch::IndexTable;
 use crate::tvar::TVarCore;
 use crate::vlock::LockState;
-use std::collections::HashMap;
 
-/// Above this size, lookups go through a hash index instead of scanning.
+/// Above this size, lookups go through the hash index instead of scanning.
 const LINEAR_SCAN_MAX: usize = 16;
 
 /// One buffered write.
@@ -33,9 +46,13 @@ pub struct WriteEntry<'env> {
 pub struct WriteSet<'env> {
     entries: Vec<WriteEntry<'env>>,
     bloom: Bloom,
-    /// Lazily built once the set outgrows the linear-scan threshold.
-    /// Maps location id -> index in `entries`.
-    index: Option<HashMap<usize, usize>>,
+    /// Spill index, populated once the set outgrows the linear-scan
+    /// threshold. Maps location id -> index in `entries`. Cleared in O(1)
+    /// (generation bump), so its capacity survives across attempts.
+    index: IndexTable,
+    /// Entry indices sorted ascending by location id, maintained
+    /// incrementally at insert time. Commit iterates this directly.
+    lock_order: Vec<u32>,
 }
 
 impl<'env> WriteSet<'env> {
@@ -43,6 +60,39 @@ impl<'env> WriteSet<'env> {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Build a write set around previously pooled buffers (the buffers are
+    /// cleared defensively; their capacity is what is being recycled) with
+    /// room for `entries_hint` entries.
+    #[must_use]
+    pub(crate) fn from_parts(
+        mut index: IndexTable,
+        mut lock_order: Vec<u32>,
+        entries_hint: usize,
+    ) -> Self {
+        index.clear();
+        lock_order.clear();
+        Self {
+            entries: Vec::with_capacity(entries_hint),
+            bloom: Bloom::new(),
+            index,
+            lock_order,
+        }
+    }
+
+    /// Extract the lifetime-free buffers for pooling plus the entry
+    /// vector's high-water capacity (the set must not be used afterwards;
+    /// `self` is left empty).
+    pub(crate) fn take_parts(&mut self) -> (IndexTable, Vec<u32>, usize) {
+        let cap = self.entries.capacity();
+        self.entries.clear();
+        self.bloom.clear();
+        (
+            core::mem::take(&mut self.index),
+            core::mem::take(&mut self.lock_order),
+            cap,
+        )
     }
 
     /// Number of distinct locations to be written.
@@ -64,8 +114,8 @@ impl<'env> WriteSet<'env> {
     }
 
     fn position(&self, id: usize) -> Option<usize> {
-        if let Some(index) = &self.index {
-            index.get(&id).copied()
+        if self.entries.len() > LINEAR_SCAN_MAX {
+            self.index.get(id).map(|p| p as usize)
         } else {
             self.entries.iter().rposition(|e| e.core.id() == id)
         }
@@ -88,16 +138,23 @@ impl<'env> WriteSet<'env> {
             value,
             locked_at: None,
         });
-        if let Some(index) = &mut self.index {
-            index.insert(id, i);
-        } else if self.entries.len() > LINEAR_SCAN_MAX {
-            self.index = Some(
-                self.entries
-                    .iter()
-                    .enumerate()
-                    .map(|(i, e)| (e.core.id(), i))
-                    .collect(),
-            );
+        // Keep the lock order sorted by id: binary search the insertion
+        // point, then shift. The shift is a memmove of u32s — cheap for the
+        // write-set sizes transactional workloads produce, and it makes
+        // `lock_all` a straight iteration with no commit-time setup.
+        let at = self
+            .lock_order
+            .partition_point(|&o| self.entries[o as usize].core.id() < id);
+        self.lock_order.insert(at, i as u32);
+        if self.entries.len() > LINEAR_SCAN_MAX {
+            if self.entries.len() == LINEAR_SCAN_MAX + 1 {
+                // Just crossed the threshold: index everything so far.
+                for (k, e) in self.entries.iter().enumerate() {
+                    self.index.insert(e.core.id(), k as u32);
+                }
+            } else {
+                self.index.insert(id, i as u32);
+            }
         }
         i
     }
@@ -133,14 +190,14 @@ impl<'env> WriteSet<'env> {
     /// order so that concurrent committers cannot deadlock. On failure,
     /// releases everything acquired and reports a lock conflict.
     ///
+    /// The acquisition order is the incrementally maintained `lock_order`,
+    /// so this performs no allocation and no sorting.
+    ///
     /// Entries already locked by `owner` (eager STMs, or a retryable commit)
     /// are skipped.
     pub fn lock_all(&mut self, owner: u64) -> Result<(), Abort> {
-        // Sort indices by id; the entries vector itself keeps insertion
-        // order because write-back wants program order.
-        let mut order: Vec<usize> = (0..self.entries.len()).collect();
-        order.sort_unstable_by_key(|&i| self.entries[i].core.id());
-        for (k, &i) in order.iter().enumerate() {
+        for k in 0..self.lock_order.len() {
+            let i = self.lock_order[k] as usize;
             let e = &mut self.entries[i];
             if e.locked_at.is_some() {
                 continue;
@@ -159,7 +216,8 @@ impl<'env> WriteSet<'env> {
                 LockState::Locked { .. } => {}
             }
             // Conflict: roll back the locks acquired in this call.
-            for &j in &order[..k] {
+            for k2 in 0..k {
+                let j = self.lock_order[k2] as usize;
                 let e = &mut self.entries[j];
                 if let Some(v) = e.locked_at.take() {
                     e.core.lock().unlock_to(v);
@@ -202,11 +260,14 @@ impl<'env> WriteSet<'env> {
         self.entries[i].locked_at = Some(version);
     }
 
-    /// Forget everything (abort path, after `release_locks`).
+    /// Forget everything (abort path, after `release_locks`). Keeps every
+    /// buffer's capacity: clearing is O(len) for the entry vector and O(1)
+    /// for the index, so a retry performs no fresh allocations.
     pub fn clear(&mut self) {
         self.entries.clear();
         self.bloom.clear();
-        self.index = None;
+        self.index.clear();
+        self.lock_order.clear();
     }
 }
 
@@ -249,6 +310,26 @@ mod tests {
         ws.insert(vars[7].core(), 999);
         assert_eq!(ws.len(), 100);
         assert_eq!(ws.lookup(vars[7].core()), Some(999));
+    }
+
+    #[test]
+    fn lock_order_is_sorted_by_id() {
+        // Insert in (likely) unsorted address order and check the invariant
+        // the deadlock-freedom argument rests on.
+        let vars: Vec<TVar<u64>> = (0..40).map(TVar::new).collect();
+        let mut ws = WriteSet::new();
+        for v in vars.iter().rev() {
+            ws.insert(v.core(), 0);
+        }
+        let ids: Vec<usize> = ws
+            .lock_order
+            .iter()
+            .map(|&o| ws.entries[o as usize].core.id())
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "lock order must be ascending by id");
+        assert_eq!(ids.len(), 40);
     }
 
     #[test]
@@ -314,5 +395,43 @@ mod tests {
         assert!(ws.is_empty());
         assert_eq!(ws.lookup(a.core()), None);
         assert!(ws.bloom().is_empty());
+        assert!(ws.lock_order.is_empty());
+    }
+
+    #[test]
+    fn clear_then_refill_crosses_threshold_again() {
+        // The spill index is cleared by generation bump; a refill past the
+        // threshold must rebuild it correctly with the recycled capacity.
+        let vars: Vec<TVar<u64>> = (0..64).map(TVar::new).collect();
+        let mut ws = WriteSet::new();
+        for round in 0..3u64 {
+            for (i, v) in vars.iter().enumerate() {
+                ws.insert(v.core(), round * 100 + i as u64);
+            }
+            for (i, v) in vars.iter().enumerate() {
+                assert_eq!(ws.lookup(v.core()), Some(round * 100 + i as u64));
+            }
+            ws.clear();
+            assert_eq!(ws.lookup(vars[0].core()), None);
+        }
+    }
+
+    #[test]
+    fn parts_roundtrip_recycles_capacity() {
+        let vars: Vec<TVar<u64>> = (0..50).map(TVar::new).collect();
+        let mut ws = WriteSet::new();
+        for (i, v) in vars.iter().enumerate() {
+            ws.insert(v.core(), i as u64);
+        }
+        let (index, order, entries_cap) = ws.take_parts();
+        assert!(entries_cap >= 50, "high-water capacity must be reported");
+        let cap_before = order.capacity();
+        let mut ws2 = WriteSet::from_parts(index, order, entries_cap);
+        assert!(ws2.is_empty());
+        assert!(ws2.entries.capacity() >= 50, "hint must pre-size entries");
+        assert_eq!(ws2.lock_order.capacity(), cap_before);
+        ws2.insert(vars[3].core(), 7);
+        assert_eq!(ws2.lookup(vars[3].core()), Some(7));
+        assert_eq!(ws2.lookup(vars[4].core()), None);
     }
 }

@@ -10,9 +10,12 @@
 //! * The transaction maintains a **validity interval** `[rv, ub]` of
 //!   global-clock times at which its snapshot is known consistent.
 //! * **Read**: if the location's version is within the interval, record and
-//!   return it. If it is newer than `ub`, *extend* the snapshot: re-sample
-//!   the clock and revalidate the whole read set; on success the interval
-//!   grows and the read proceeds, otherwise abort.
+//!   return it. If it is newer than `ub`, *extend* the snapshot: revalidate
+//!   the whole read set and, on success, grow the interval to the observed
+//!   location version; otherwise abort. (Extending to the observed version
+//!   rather than a fresh clock sample keeps the read path off the global
+//!   clock line — the clock is touched once at begin and once per update
+//!   commit, never on reads.)
 //! * **Write**: acquire the location's versioned lock at encounter time
 //!   (eager), save the old `(value, version)` in an undo log, and write the
 //!   new value **in place**. Readers that hit the locked word conflict
@@ -70,6 +73,13 @@ struct UndoLog<'env> {
 }
 
 impl<'env> UndoLog<'env> {
+    /// Clear without freeing (attempt-to-attempt reuse). The log is empty
+    /// after every commit/rollback already; this is defensive.
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.bloom.clear();
+    }
+
     fn record_first_write(&mut self, core: &'env TVarCore, old_value: u64, old_version: u64) {
         self.bloom.insert(core.id());
         self.entries.push(UndoEntry {
@@ -140,6 +150,21 @@ impl Lsa {
     }
 }
 
+/// The per-run reusable buffers of an LSA transaction: the read set and
+/// the undo log (both keep their capacity across retry attempts).
+#[derive(Debug, Default)]
+struct LsaScratch<'env> {
+    reads: ReadSet<'env>,
+    undo: UndoLog<'env>,
+}
+
+impl LsaScratch<'_> {
+    fn reset(&mut self) {
+        self.reads.clear();
+        self.undo.reset();
+    }
+}
+
 /// One LSA transaction attempt.
 #[derive(Debug)]
 pub struct LsaTxn<'env> {
@@ -149,23 +174,31 @@ pub struct LsaTxn<'env> {
     /// Upper bound: the snapshot is consistent for all times in `[rv, ub]`.
     ub: u64,
     ticket: u64,
-    reads: ReadSet<'env>,
-    undo: UndoLog<'env>,
+    scratch: LsaScratch<'env>,
     depth: u32,
 }
 
 impl<'env> LsaTxn<'env> {
-    fn begin(stm: &'env Lsa) -> Self {
-        let now = stm.clock.now();
+    fn begin(stm: &'env Lsa, scratch: LsaScratch<'env>) -> Self {
         Self {
             stm,
-            rv: now,
-            ub: now,
-            ticket: next_ticket().get(),
-            reads: ReadSet::new(),
-            undo: UndoLog::default(),
+            rv: 0,
+            ub: 0,
+            ticket: 0,
+            scratch,
             depth: 0,
         }
+    }
+
+    /// Reset for a fresh attempt (see `Tl2Txn::restart`): clear the
+    /// scratch keeping capacity, resample the clock, take a new ticket.
+    fn restart(&mut self) {
+        self.scratch.reset();
+        let now = self.stm.clock.now();
+        self.rv = now;
+        self.ub = now;
+        self.ticket = next_ticket().get();
+        self.depth = 0;
     }
 
     /// The current validity interval `[rv, ub]`: the snapshot this
@@ -176,14 +209,20 @@ impl<'env> LsaTxn<'env> {
         (self.rv, self.ub)
     }
 
-    /// Try to extend the validity interval to the current clock time.
-    fn extend(&mut self) -> Result<(), Abort> {
-        let new_ub = self.stm.clock.now();
-        let ok = self
-            .reads
-            .validate(Some(self.ticket), |core| self.undo.old_version_of(core));
+    /// Try to extend the validity interval to cover `target` (the observed
+    /// version of the location that triggered the extension).
+    ///
+    /// Revalidating the read set *now* proves the snapshot consistent at
+    /// every time up to the validation instant, which is at least `target`
+    /// (that version has already been published). Extending to `target`
+    /// instead of a fresh clock sample keeps the extension path — and with
+    /// it the whole read path — off the contended global clock line.
+    fn extend(&mut self, target: u64) -> Result<(), Abort> {
+        let ok = self.scratch.reads.validate(Some(self.ticket), |core| {
+            self.scratch.undo.old_version_of(core)
+        });
         if ok {
-            self.ub = new_ub;
+            self.ub = target;
             self.stm.stats.record_extension();
             Ok(())
         } else {
@@ -192,24 +231,24 @@ impl<'env> LsaTxn<'env> {
     }
 
     fn on_abort(&mut self) {
-        self.undo.rollback();
+        self.scratch.undo.rollback();
     }
 
     fn commit(&mut self) -> Result<(), Abort> {
-        if self.undo.is_empty() {
+        if self.scratch.undo.is_empty() {
             return Ok(());
         }
         let wv = self.stm.clock.tick();
         if wv != self.ub + 1 {
-            let ok = self
-                .reads
-                .validate(Some(self.ticket), |core| self.undo.old_version_of(core));
+            let ok = self.scratch.reads.validate(Some(self.ticket), |core| {
+                self.scratch.undo.old_version_of(core)
+            });
             if !ok {
                 self.on_abort();
                 return Err(Abort::new(AbortReason::ReadValidation));
             }
         }
-        self.undo.release_at(wv);
+        self.scratch.undo.release_at(wv);
         Ok(())
     }
 
@@ -244,14 +283,14 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
                 Ok((word, version)) => {
                     // Record the read BEFORE any extension so the
                     // revalidation covers this location too: if it changes
-                    // between the consistent read and the extension sample,
+                    // between the consistent read and the extension check,
                     // the extension fails instead of the snapshot silently
                     // going stale (matters for read-only transactions,
                     // which are never validated again).
-                    self.reads.push(core, version);
+                    self.scratch.reads.push(core, version);
                     if version > self.ub {
                         // Location is newer than our snapshot: lazily extend.
-                        self.extend()?;
+                        self.extend(version)?;
                     }
                     return Ok(word);
                 }
@@ -281,7 +320,9 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
             match core.lock().try_lock_any(self.ticket) {
                 Ok(old_version) => {
                     let old_value = core.value_unsync();
-                    self.undo.record_first_write(core, old_value, old_version);
+                    self.scratch
+                        .undo
+                        .record_first_write(core, old_value, old_version);
                     core.store_value(word);
                     return Ok(());
                 }
@@ -348,8 +389,12 @@ impl Stm for Lsa {
         mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
     ) -> Result<R, RunError> {
         let seed = next_ticket().get();
+        // One transaction object per run call: every attempt restarts it
+        // in place, so the read set and undo log keep their capacity
+        // across attempts.
+        let mut txn = LsaTxn::begin(self, LsaScratch::default());
         retry_loop(&self.config, &self.stats, seed, || {
-            let mut txn = LsaTxn::begin(self);
+            txn.restart();
             match f(&mut txn) {
                 Ok(r) => {
                     txn.commit()?;
@@ -417,6 +462,42 @@ mod tests {
         assert_eq!(out, (42, 0));
         assert!(stm.stats().extensions >= 1);
         assert_eq!(stm.stats().aborts(), 0);
+    }
+
+    #[test]
+    fn extension_grows_to_observed_version_not_clock() {
+        // The extension must not re-read the global clock: after reading a
+        // location at version 3 while the clock already stands at 5, the
+        // validity upper bound becomes 3 (the observed version), proving
+        // the read path stayed off the clock line.
+        let stm = Lsa::new();
+        let v = TVar::new(0u64);
+        v.store_atomic(42, 3);
+        for _ in 0..5 {
+            let _ = stm.clock().tick();
+        }
+        stm.run(TxKind::Regular, |tx| {
+            assert_eq!(tx.validity_interval(), (5, 5));
+            let r = tx.read(&v)?; // version 3 < ub? no: 3 <= 5, no extension
+            assert_eq!(r, 42);
+            Ok(())
+        });
+        // Force an extension: begin at clock 5, then publish version 9.
+        let stm2 = Lsa::new();
+        let w = TVar::new(0u64);
+        stm2.run(TxKind::Regular, |tx| {
+            assert_eq!(tx.validity_interval(), (0, 0));
+            w.store_atomic(7, 9); // out-of-band publish, clock still 0
+            let r = tx.read(&w)?; // needs extension to version 9
+            assert_eq!(r, 7);
+            assert_eq!(
+                tx.validity_interval(),
+                (0, 9),
+                "ub must be the observed version, not a clock sample"
+            );
+            Ok(())
+        });
+        assert!(stm2.stats().extensions >= 1);
     }
 
     #[test]

@@ -40,11 +40,10 @@
 use core::sync::atomic::{AtomicU64, Ordering};
 use stm_core::bloom::hash_id;
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
-use stm_core::readset::ReadSet;
+use stm_core::scratch::TxScratch;
 use stm_core::stm::retry_loop;
 use stm_core::ticket::next_ticket;
 use stm_core::tvar::{ReadConflict, TVarCore};
-use stm_core::writeset::WriteSet;
 use stm_core::{
     Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats,
     Transaction, TxKind,
@@ -134,6 +133,11 @@ impl Swiss {
 }
 
 /// One SwissTM transaction attempt.
+///
+/// The read/write sets and the held write-lock list live in a
+/// [`TxScratch`] threaded through the retry loop (the write-lock indices
+/// use the scratch's pooled `aux` buffer), so a warmed-up attempt performs
+/// no heap allocation.
 #[derive(Debug)]
 pub struct SwissTxn<'env> {
     stm: &'env Swiss,
@@ -142,26 +146,32 @@ pub struct SwissTxn<'env> {
     /// Validity interval upper bound (grows by extension).
     ub: u64,
     ticket: u64,
-    reads: ReadSet<'env>,
-    writes: WriteSet<'env>,
-    /// Indices into the write-lock table held by this attempt.
-    held_wlocks: Vec<usize>,
+    /// Reads, writes, and (in `aux`) the write-lock table slots held.
+    scratch: TxScratch<'env>,
     depth: u32,
 }
 
 impl<'env> SwissTxn<'env> {
-    fn begin(stm: &'env Swiss) -> Self {
-        let now = stm.clock.now();
+    fn begin(stm: &'env Swiss, scratch: TxScratch<'env>) -> Self {
         Self {
             stm,
-            rv: now,
-            ub: now,
-            ticket: next_ticket().get(),
-            reads: ReadSet::new(),
-            writes: WriteSet::new(),
-            held_wlocks: Vec::new(),
+            rv: 0,
+            ub: 0,
+            ticket: 0,
+            scratch,
             depth: 0,
         }
+    }
+
+    /// Reset for a fresh attempt (see `Tl2Txn::restart`): clear the
+    /// scratch keeping capacity, resample the clock, take a new ticket.
+    fn restart(&mut self) {
+        self.scratch.reset();
+        let now = self.stm.clock.now();
+        self.rv = now;
+        self.ub = now;
+        self.ticket = next_ticket().get();
+        self.depth = 0;
     }
 
     /// The current validity interval `[rv, ub]`.
@@ -170,13 +180,17 @@ impl<'env> SwissTxn<'env> {
         (self.rv, self.ub)
     }
 
-    fn extend(&mut self) -> Result<(), Abort> {
-        let new_ub = self.stm.clock.now();
-        let ok = self.reads.validate(Some(self.ticket), |core| {
-            self.writes.locked_version_of(core)
+    /// Try to extend the validity interval to cover `target` (the observed
+    /// version of the location that triggered the extension). As in LSA,
+    /// revalidating the read set now proves consistency up to at least
+    /// `target`, so the extension path never re-reads the contended global
+    /// clock line.
+    fn extend(&mut self, target: u64) -> Result<(), Abort> {
+        let ok = self.scratch.reads.validate(Some(self.ticket), |core| {
+            self.scratch.writes.locked_version_of(core)
         });
         if ok {
-            self.ub = new_ub;
+            self.ub = target;
             self.stm.stats.record_extension();
             Ok(())
         } else {
@@ -185,7 +199,7 @@ impl<'env> SwissTxn<'env> {
     }
 
     fn release_wlocks(&mut self) {
-        for i in self.held_wlocks.drain(..) {
+        for i in self.scratch.aux.drain(..) {
             let slot = &self.stm.wlocks.slots[i];
             // Only we can hold it; a plain store would also be correct but
             // the CAS documents the invariant.
@@ -194,7 +208,7 @@ impl<'env> SwissTxn<'env> {
     }
 
     fn on_abort(&mut self) {
-        self.writes.release_locks();
+        self.scratch.writes.release_locks();
         self.release_wlocks();
     }
 
@@ -207,13 +221,13 @@ impl<'env> SwissTxn<'env> {
         loop {
             match slot.compare_exchange(0, self.ticket, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
-                    self.held_wlocks.push(idx);
+                    self.scratch.aux.push(idx);
                     return Ok(());
                 }
                 Err(owner) if owner == self.ticket => return Ok(()),
                 Err(owner) => {
                     // Phase 1 (timid): short transactions yield immediately.
-                    if self.writes.len() < self.stm.config.cm_write_threshold {
+                    if self.scratch.writes.len() < self.stm.config.cm_write_threshold {
                         return Err(Abort::new(AbortReason::ContentionManager));
                     }
                     // Phase 2 (greedy): older attempt (smaller ticket) may
@@ -233,25 +247,27 @@ impl<'env> SwissTxn<'env> {
     }
 
     fn commit(&mut self) -> Result<(), Abort> {
-        if self.writes.is_empty() {
+        if self.scratch.writes.is_empty() {
             return Ok(());
         }
-        if let Err(abort) = self.writes.lock_all(self.ticket) {
+        if let Err(abort) = self.scratch.writes.lock_all(self.ticket) {
             self.release_wlocks();
             return Err(abort);
         }
         let wv = self.stm.clock.tick();
         if wv != self.ub + 1 {
-            let ok = self.reads.validate(Some(self.ticket), |core| {
-                self.writes.locked_version_of(core)
+            // Validation-skip fast path (see TL2): wv == ub + 1 means no
+            // other update committed since the snapshot was last validated.
+            let ok = self.scratch.reads.validate(Some(self.ticket), |core| {
+                self.scratch.writes.locked_version_of(core)
             });
             if !ok {
-                self.writes.release_locks();
+                self.scratch.writes.release_locks();
                 self.release_wlocks();
                 return Err(Abort::new(AbortReason::ReadValidation));
             }
         }
-        self.writes.write_back_and_release(wv);
+        self.scratch.writes.write_back_and_release(wv);
         self.release_wlocks();
         Ok(())
     }
@@ -259,7 +275,7 @@ impl<'env> SwissTxn<'env> {
 
 impl<'env> Transaction<'env> for SwissTxn<'env> {
     fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
-        if let Some(word) = self.writes.lookup(core) {
+        if let Some(word) = self.scratch.writes.lookup(core) {
             return Ok(word);
         }
         let mut spins = 0u32;
@@ -272,9 +288,9 @@ impl<'env> Transaction<'env> for SwissTxn<'env> {
                     // sample, the extension fails instead of the snapshot
                     // silently going stale (matters for read-only
                     // transactions, which are never validated again).
-                    self.reads.push(core, version);
+                    self.scratch.reads.push(core, version);
                     if version > self.ub {
-                        self.extend()?;
+                        self.extend(version)?;
                     }
                     return Ok(word);
                 }
@@ -298,7 +314,7 @@ impl<'env> Transaction<'env> for SwissTxn<'env> {
         // Eager W-W detection, lazy versioning: take the write lock now,
         // buffer the value until commit.
         self.acquire_wlock(core)?;
-        self.writes.insert(core, word);
+        self.scratch.writes.insert(core, word);
         Ok(())
     }
 
@@ -356,8 +372,11 @@ impl Stm for Swiss {
         mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
     ) -> Result<R, RunError> {
         let seed = next_ticket().get();
+        // One transaction object (and one scratch) per run call: every
+        // attempt restarts it in place.
+        let mut txn = SwissTxn::begin(self, TxScratch::acquire());
         retry_loop(&self.config, &self.stats, seed, || {
-            let mut txn = SwissTxn::begin(self);
+            txn.restart();
             match f(&mut txn) {
                 Ok(r) => {
                     txn.commit()?;
@@ -493,7 +512,7 @@ mod tests {
         stm.run(TxKind::Regular, |tx| {
             tx.write(&v, 1)?;
             tx.write(&v, 2)?; // same slot; must not double-push
-            assert_eq!(tx.held_wlocks.len(), 1);
+            assert_eq!(tx.scratch.aux.len(), 1);
             Ok(())
         });
         assert_eq!(v.load_atomic(), 2);

@@ -26,11 +26,10 @@
 #![warn(missing_docs)]
 
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
-use stm_core::readset::ReadSet;
+use stm_core::scratch::TxScratch;
 use stm_core::stm::retry_loop;
 use stm_core::ticket::next_ticket;
 use stm_core::tvar::{ReadConflict, TVarCore};
-use stm_core::writeset::WriteSet;
 use stm_core::{
     Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats,
     Transaction, TxKind,
@@ -79,55 +78,73 @@ impl Tl2 {
 }
 
 /// One TL2 transaction attempt.
+///
+/// The read/write sets live in a [`TxScratch`] that the retry loop threads
+/// from attempt to attempt (and, for the lifetime-free buffers, from
+/// transaction to transaction via the per-thread pool), so a warmed-up
+/// attempt performs no heap allocation.
 #[derive(Debug)]
 pub struct Tl2Txn<'env> {
     stm: &'env Tl2,
     rv: u64,
     ticket: u64,
-    reads: ReadSet<'env>,
-    writes: WriteSet<'env>,
+    scratch: TxScratch<'env>,
     depth: u32,
 }
 
 impl<'env> Tl2Txn<'env> {
-    fn begin(stm: &'env Tl2) -> Self {
+    fn begin(stm: &'env Tl2, scratch: TxScratch<'env>) -> Self {
         Self {
             stm,
-            rv: stm.clock.now(),
-            ticket: next_ticket().get(),
-            reads: ReadSet::new(),
-            writes: WriteSet::new(),
+            rv: 0,
+            ticket: 0,
+            scratch,
             depth: 0,
         }
+    }
+
+    /// Reset for a fresh attempt: clear the scratch (keeping capacity),
+    /// resample the clock, take a new ticket. Called by the retry loop
+    /// before every attempt, so the transaction object itself — and its
+    /// buffers — live for the whole run.
+    fn restart(&mut self) {
+        self.scratch.reset();
+        self.rv = self.stm.clock.now();
+        self.ticket = next_ticket().get();
+        self.depth = 0;
     }
 
     /// Commit the attempt. On `Err` the caller retries with a fresh
     /// transaction; all locks have been released.
     fn commit(&mut self) -> Result<(), Abort> {
-        if self.writes.is_empty() {
+        if self.scratch.writes.is_empty() {
             // Read-only fast path: every read was validated against rv at
-            // read time, so the snapshot is consistent as of rv.
+            // read time, so the snapshot is consistent as of rv. The clock
+            // is not ticked.
             return Ok(());
         }
-        self.writes.lock_all(self.ticket)?;
+        self.scratch.writes.lock_all(self.ticket)?;
         let wv = self.stm.clock.tick();
         if wv != self.rv + 1 {
-            let ok = self.reads.validate(Some(self.ticket), |core| {
-                self.writes.locked_version_of(core)
+            // Someone committed after we sampled rv: re-validate the reads.
+            // When wv == rv + 1 no transaction can have invalidated them
+            // (TL2's validation-skip fast path).
+            let ok = self.scratch.reads.validate(Some(self.ticket), |core| {
+                self.scratch.writes.locked_version_of(core)
             });
             if !ok {
-                self.writes.release_locks();
+                self.scratch.writes.release_locks();
                 return Err(Abort::new(AbortReason::ReadValidation));
             }
         }
-        self.writes.write_back_and_release(wv);
+        self.scratch.writes.write_back_and_release(wv);
         Ok(())
     }
 }
 
 impl<'env> Transaction<'env> for Tl2Txn<'env> {
     fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
-        if let Some(word) = self.writes.lookup(core) {
+        if let Some(word) = self.scratch.writes.lookup(core) {
             return Ok(word);
         }
         match core.read_consistent() {
@@ -136,7 +153,7 @@ impl<'env> Transaction<'env> for Tl2Txn<'env> {
                     // Written after we started; TL2 aborts (no extension).
                     return Err(Abort::new(AbortReason::ReadValidation));
                 }
-                self.reads.push(core, version);
+                self.scratch.reads.push(core, version);
                 Ok(word)
             }
             Err(ReadConflict::Locked(_)) => Err(Abort::new(AbortReason::LockConflict)),
@@ -145,7 +162,7 @@ impl<'env> Transaction<'env> for Tl2Txn<'env> {
     }
 
     fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
-        self.writes.insert(core, word);
+        self.scratch.writes.insert(core, word);
         Ok(())
     }
 
@@ -205,8 +222,12 @@ impl Stm for Tl2 {
         mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
     ) -> Result<R, RunError> {
         let seed = next_ticket().get();
+        // One transaction object (and one scratch) per run call: every
+        // attempt restarts it in place, so aborted attempts hand their
+        // warmed buffers to the next one with no per-attempt moves.
+        let mut txn = Tl2Txn::begin(self, TxScratch::acquire());
         retry_loop(&self.config, &self.stats, seed, || {
-            let mut txn = Tl2Txn::begin(self);
+            txn.restart();
             let r = f(&mut txn)?;
             txn.commit()?;
             Ok(r)
@@ -283,6 +304,51 @@ mod tests {
         let out = stm.run(TxKind::Regular, |tx| tx.read(&v));
         assert_eq!(out, 3);
         assert_eq!(stm.clock().now(), before, "read-only commit must not tick");
+    }
+
+    #[test]
+    fn wv_equals_rv_plus_one_skips_read_validation() {
+        // If the commit's write version is exactly rv + 1, no other
+        // transaction committed since we sampled rv, so the read set cannot
+        // have been invalidated and TL2 skips validation entirely. To
+        // observe the skip, corrupt a read's version *without ticking the
+        // clock* (store_atomic with a doctored version — something no legal
+        // committer can do): validation would fail, but must never run.
+        let stm = Tl2::with_config(StmConfig::default().with_max_retries(0));
+        let a = TVar::new(1u64);
+        let b = TVar::new(0u64);
+        let r = stm.try_run(TxKind::Regular, |tx| {
+            let ra = tx.read(&a)?; // recorded at version 0
+            a.store_atomic(9, 999); // version jump, clock NOT ticked
+            tx.write(&b, ra)
+        });
+        assert!(r.is_ok(), "wv == rv + 1 must commit without validating");
+        assert_eq!(b.load_atomic(), 1);
+        assert_eq!(stm.stats().aborts(), 0);
+    }
+
+    #[test]
+    fn wv_not_rv_plus_one_validates_and_aborts() {
+        // The counterpart: when another commit advanced the clock, the skip
+        // does not apply and the doctored read is caught by validation.
+        let stm = Tl2::new();
+        let a = TVar::new(1u64);
+        let b = TVar::new(0u64);
+        let mut sabotage = true;
+        stm.run(TxKind::Regular, |tx| {
+            let ra = tx.read(&a)?;
+            if sabotage {
+                sabotage = false;
+                let nv = stm.clock().tick(); // wv != rv + 1 now
+                a.store_atomic(9, nv);
+            }
+            tx.write(&b, ra)
+        });
+        assert_eq!(b.load_atomic(), 9, "retry must observe the new value");
+        assert_eq!(
+            stm.stats().aborts_by_cause[AbortReason::ReadValidation.index()],
+            1
+        );
     }
 
     #[test]
