@@ -19,6 +19,7 @@ use cec::LinkedListSet;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oe_stm::OeStm;
 use std::time::Duration;
+use stm_core::api::Atomic;
 use stm_core::StmConfig;
 
 const OPS: u64 = 300;
@@ -27,16 +28,16 @@ const THREADS: usize = 4;
 fn bench_case(
     group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
     id: BenchmarkId,
-    stm: &OeStm,
+    at: &Atomic<OeStm>,
     mix: Mix,
 ) {
     let set = LinkedListSet::new();
-    prefill(&set, stm, mix, DEFAULT_INITIAL_SIZE, DEFAULT_SEED);
+    prefill(&set, at, mix, DEFAULT_INITIAL_SIZE, DEFAULT_SEED);
     group.bench_function(id, |b| {
         b.iter_custom(|iters| {
             let mut total = Duration::ZERO;
             for _ in 0..iters {
-                total += run_fixed(stm, &set, THREADS, OPS, mix, DEFAULT_SEED);
+                total += run_fixed(at, &set, THREADS, OPS, mix, DEFAULT_SEED);
             }
             total
         });
@@ -54,13 +55,13 @@ fn ablation(c: &mut Criterion) {
     bench_case(
         &mut group,
         BenchmarkId::new("composed15", "OE-STM"),
-        &OeStm::new(),
+        &Atomic::new(OeStm::new()),
         composed,
     );
     bench_case(
         &mut group,
         BenchmarkId::new("composed15", "E-STM(no-outherit)"),
-        &OeStm::estm_compat(),
+        &Atomic::new(OeStm::estm_compat()),
         composed,
     );
 
@@ -69,19 +70,21 @@ fn ablation(c: &mut Criterion) {
     bench_case(
         &mut group,
         BenchmarkId::new("composed0", "OE-STM"),
-        &OeStm::new(),
+        &Atomic::new(OeStm::new()),
         flat,
     );
     bench_case(
         &mut group,
         BenchmarkId::new("composed0", "E-STM(no-outherit)"),
-        &OeStm::estm_compat(),
+        &Atomic::new(OeStm::estm_compat()),
         flat,
     );
 
     // 3. Elastic window sweep.
     for window in [2usize, 4, 8] {
-        let stm = OeStm::with_config(StmConfig::default().with_elastic_window(window));
+        let stm = Atomic::new(OeStm::with_config(
+            StmConfig::default().with_elastic_window(window),
+        ));
         bench_case(
             &mut group,
             BenchmarkId::new("window", window),

@@ -1,5 +1,7 @@
 //! Microbenchmarks: raw per-transaction costs of the four STMs
-//! (uncontended read-only and write transactions of various sizes).
+//! (uncontended read-only and write transactions of various sizes),
+//! measured through the `atomic` facade — i.e. exactly the path user code
+//! pays, including the facade's one `&mut dyn` indirection per access.
 //!
 //! These are not in the paper; they explain *why* the figure results look
 //! the way they do (e.g. TL2's read path is the cheapest per access, LSA
@@ -16,26 +18,27 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oe_stm::OeStm;
 use std::time::Duration;
-use stm_core::{Stm, TVar, Transaction, TxKind};
+use stm_core::api::{Atomic, AtomicBackend, Policy};
+use stm_core::TVar;
 use stm_lsa::Lsa;
 use stm_swiss::Swiss;
 use stm_tl2::Tl2;
 
-fn bench_stm<S: Stm>(
+fn bench_stm<B: AtomicBackend>(
     group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
     name: &str,
-    stm: &S,
-    kind: TxKind,
+    stm: &Atomic<B>,
+    policy: Policy,
 ) {
     let vars: Vec<TVar<u64>> = (0..64u64).map(TVar::new).collect();
 
     for reads in [4usize, 32] {
         group.bench_function(BenchmarkId::new(format!("{name}/read_only"), reads), |b| {
             b.iter(|| {
-                stm.run(kind, |tx| {
+                stm.run(policy, |tx| {
                     let mut acc = 0u64;
                     for v in &vars[..reads] {
-                        acc = acc.wrapping_add(tx.read(v)?);
+                        acc = acc.wrapping_add(tx.get(v)?);
                     }
                     Ok(acc)
                 })
@@ -48,9 +51,9 @@ fn bench_stm<S: Stm>(
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                stm.run(kind, |tx| {
+                stm.run(policy, |tx| {
                     for v in &vars[..writes] {
-                        tx.write(v, i)?;
+                        tx.set(v, i)?;
                     }
                     Ok(())
                 })
@@ -68,10 +71,10 @@ fn bench_stm<S: Stm>(
                 let mut i = 0u64;
                 b.iter(|| {
                     i += 1;
-                    stm.run(kind, |tx| {
+                    stm.run(policy, |tx| {
                         for v in &vars[..writes] {
-                            let old = tx.read(v)?;
-                            tx.write(v, old.wrapping_add(i))?;
+                            let old = tx.get(v)?;
+                            tx.set(v, old.wrapping_add(i))?;
                         }
                         Ok(())
                     })
@@ -90,12 +93,12 @@ fn bench_stm<S: Stm>(
             |b| {
                 b.iter(|| {
                     let mut left = aborts;
-                    stm.run(kind, |tx| {
+                    stm.run(policy, |tx| {
                         let mut acc = 0u64;
                         for v in &vars[..8] {
-                            acc = acc.wrapping_add(tx.read(v)?);
+                            acc = acc.wrapping_add(tx.get(v)?);
                         }
-                        tx.write(&vars[0], acc)?;
+                        tx.set(&vars[0], acc)?;
                         if left > 0 {
                             left -= 1;
                             return tx.retry();
@@ -113,11 +116,26 @@ fn micro(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(Duration::from_millis(200));
     group.measurement_time(Duration::from_millis(600));
-    bench_stm(&mut group, "TL2", &Tl2::new(), TxKind::Regular);
-    bench_stm(&mut group, "LSA", &Lsa::new(), TxKind::Regular);
-    bench_stm(&mut group, "SwissTM", &Swiss::new(), TxKind::Regular);
-    bench_stm(&mut group, "OE-STM/elastic", &OeStm::new(), TxKind::Elastic);
-    bench_stm(&mut group, "OE-STM/regular", &OeStm::new(), TxKind::Regular);
+    bench_stm(&mut group, "TL2", &Atomic::new(Tl2::new()), Policy::Regular);
+    bench_stm(&mut group, "LSA", &Atomic::new(Lsa::new()), Policy::Regular);
+    bench_stm(
+        &mut group,
+        "SwissTM",
+        &Atomic::new(Swiss::new()),
+        Policy::Regular,
+    );
+    bench_stm(
+        &mut group,
+        "OE-STM/elastic",
+        &Atomic::new(OeStm::new()),
+        Policy::Elastic,
+    );
+    bench_stm(
+        &mut group,
+        "OE-STM/regular",
+        &Atomic::new(OeStm::new()),
+        Policy::Regular,
+    );
     group.finish();
 }
 

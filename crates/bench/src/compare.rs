@@ -74,12 +74,15 @@ pub fn parse_rows(text: &str) -> Result<BTreeMap<RowKey, f64>, String> {
 }
 
 /// The numeric per-row fields that `merge` medians over, in schema order.
-const MERGE_FIELDS: [&str; 6] = [
+/// `explicit_retries` is optional in the schema (older artifacts predate
+/// it) and defaults to 0 when absent.
+const MERGE_FIELDS: [&str; 7] = [
     "ops",
     "throughput",
     "abort_rate",
     "elastic_cuts",
     "outherits",
+    "explicit_retries",
     "elapsed_ms",
 ];
 
@@ -158,7 +161,7 @@ pub fn merge(texts: &[&str]) -> Result<String, String> {
              \"structure\": \"{}\", \"threads\": {threads}, \
              \"composed_pct\": {composed}, \"ops\": {}, \"throughput\": {:.6}, \
              \"abort_rate\": {:.6}, \"elastic_cuts\": {}, \"outherits\": {}, \
-             \"elapsed_ms\": {:.6}}}{}\n",
+             \"explicit_retries\": {}, \"elapsed_ms\": {:.6}}}{}\n",
             json::escape(scenario),
             json::escape(backend),
             json::escape(structure),
@@ -167,7 +170,8 @@ pub fn merge(texts: &[&str]) -> Result<String, String> {
             med(2),
             med(3) as u64,
             med(4) as u64,
-            med(5),
+            med(5) as u64,
+            med(6),
             if i + 1 == total { "" } else { "," }
         ));
     }
@@ -187,8 +191,15 @@ fn parse_full_rows(text: &str) -> Result<BTreeMap<RowKey, Vec<f64>>, String> {
     let mut out = BTreeMap::new();
     for row in rows.unwrap_or_default() {
         let row = row.as_obj().expect("validated row is an object");
-        let s = |f: &str| row[f].as_str().unwrap_or_default().to_string();
-        let n = |f: &str| row[f].as_num().unwrap_or_default();
+        let s = |f: &str| {
+            row.get(f)
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        // Missing numeric fields default to 0 — that is how the optional
+        // `explicit_retries` reads from pre-facade artifacts.
+        let n = |f: &str| row.get(f).and_then(Value::as_num).unwrap_or_default();
         let key = (
             s("scenario"),
             s("backend"),
@@ -311,6 +322,7 @@ mod tests {
                 ops: 1000,
                 commits: 900,
                 aborts: 100,
+                explicit_retries: 0,
                 elastic_cuts: 0,
                 outherits: 0,
                 elapsed: Duration::from_millis(100),

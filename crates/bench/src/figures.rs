@@ -16,6 +16,7 @@ use crate::scenario::{backend_registry, build_set_workload, run_fixed_dyn, FIGUR
 use crate::workload::{Mix, DEFAULT_SEED};
 use criterion::{BenchmarkId, Criterion};
 use std::time::Duration;
+use stm_core::api::Atomic;
 
 /// Operations per thread per measured batch.
 const OPS_PER_BATCH: u64 = 300;
@@ -35,26 +36,23 @@ pub fn figure_bench(c: &mut Criterion, structure: Structure, composed_pct: u32) 
     let threads_list: &[usize] = &[1, 2, 4];
     let registry = backend_registry();
     for key in FIGURE_BACKENDS {
-        let backend = registry
-            .build_default(key)
-            .expect("figure backends are registered");
+        let at = Atomic::new(
+            registry
+                .build_default(key)
+                .expect("figure backends are registered"),
+        );
         for &threads in threads_list {
             let workload = build_set_workload(structure, mix);
-            workload.prefill(&backend, DEFAULT_SEED);
+            workload.prefill(&at, DEFAULT_SEED);
             group.throughput(criterion::Throughput::Elements(
                 OPS_PER_BATCH * threads as u64,
             ));
-            group.bench_function(BenchmarkId::new(backend.name(), threads), |b| {
+            group.bench_function(BenchmarkId::new(at.name(), threads), |b| {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for _ in 0..iters {
-                        total += run_fixed_dyn(
-                            &backend,
-                            &*workload,
-                            threads,
-                            OPS_PER_BATCH,
-                            DEFAULT_SEED,
-                        );
+                        total +=
+                            run_fixed_dyn(&at, &*workload, threads, OPS_PER_BATCH, DEFAULT_SEED);
                     }
                     total
                 });

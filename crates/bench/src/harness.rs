@@ -1,12 +1,13 @@
 //! The measurement harness: timed multi-threaded runs producing the
-//! throughput (ops/ms) and abort-rate (%) series of Figs. 6–8.
+//! throughput (ops/ms) and abort-rate (%) series of Figs. 6–8, driven
+//! through the `atomic` facade.
 
 use crate::workload::{thread_seed, Mix, OpGen, WorkOp, DEFAULT_INITIAL_SIZE};
 use cec::seq::SeqSet;
-use cec::TxSet;
+use cec::{SetExt, TxSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-use stm_core::Stm;
+use stm_core::api::{Atomic, AtomicBackend};
 
 /// One measured data point.
 #[derive(Debug, Clone, Copy)]
@@ -20,8 +21,12 @@ pub struct Measurement {
     pub ops: u64,
     /// Transaction commits.
     pub commits: u64,
-    /// Transaction aborts.
+    /// Transaction conflict aborts (user-level explicit retries are
+    /// counted separately, in [`explicit_retries`](Self::explicit_retries)).
     pub aborts: u64,
+    /// User-level explicit retries (`tx.retry()` / `or_else` branch
+    /// switches) — a control-flow category, not conflicts.
+    pub explicit_retries: u64,
     /// Elastic cuts taken (OE-STM only; 0 elsewhere).
     pub elastic_cuts: u64,
     /// `outherit()` invocations — child protected sets passed to parents
@@ -41,6 +46,7 @@ impl Measurement {
             ops,
             commits: snap.commits,
             aborts: snap.aborts(),
+            explicit_retries: snap.explicit_retries(),
             elastic_cuts: snap.elastic_cuts,
             outherits: snap.outherits,
             elapsed,
@@ -49,50 +55,56 @@ impl Measurement {
 }
 
 /// Execute one sampled operation against a transactional set.
-pub fn apply_op<S: Stm, C: TxSet<S> + ?Sized>(set: &C, stm: &S, op: &WorkOp) {
+pub fn apply_op<B: AtomicBackend, C: TxSet + ?Sized>(set: &C, at: &Atomic<B>, op: &WorkOp) {
     match *op {
         WorkOp::Contains(k) => {
-            set.contains(stm, k);
+            set.contains(at, k);
         }
         WorkOp::Add(k) => {
-            set.add(stm, k);
+            set.add(at, k);
         }
         WorkOp::Remove(k) => {
-            set.remove(stm, k);
+            set.remove(at, k);
         }
         WorkOp::AddAll(ref ks) => {
-            set.add_all(stm, ks);
+            set.add_all(at, ks);
         }
         WorkOp::RemoveAll(ref ks) => {
-            set.remove_all(stm, ks);
+            set.remove_all(at, ks);
         }
     }
 }
 
 /// Pre-fill `set` to `target` elements with keys from the mix's range,
 /// deterministically per `seed`.
-pub fn prefill<S: Stm, C: TxSet<S> + ?Sized>(set: &C, stm: &S, mix: Mix, target: usize, seed: u64) {
+pub fn prefill<B: AtomicBackend, C: TxSet + ?Sized>(
+    set: &C,
+    at: &Atomic<B>,
+    mix: Mix,
+    target: usize,
+    seed: u64,
+) {
     let mut gen = OpGen::new(mix, seed);
     let mut inserted = 0usize;
     while inserted < target {
-        if set.add(stm, gen.next_key()) {
+        if set.add(at, gen.next_key()) {
             inserted += 1;
         }
     }
 }
 
-/// Timed run: `threads` workers apply the mix to `set` under `stm` for
-/// `duration`; returns aggregate throughput and the STM's abort rate over
-/// the run.
-pub fn run_timed<S: Stm, C: TxSet<S>>(
-    stm: &S,
+/// Timed run: `threads` workers apply the mix to `set` through `at` for
+/// `duration`; returns aggregate throughput and the backend's abort rate
+/// over the run.
+pub fn run_timed<B: AtomicBackend, C: TxSet>(
+    at: &Atomic<B>,
     set: &C,
     threads: usize,
     duration: Duration,
     mix: Mix,
     seed: u64,
 ) -> Measurement {
-    stm.reset_stats();
+    at.reset_stats();
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
     let started = Instant::now();
@@ -100,14 +112,14 @@ pub fn run_timed<S: Stm, C: TxSet<S>>(
         for t in 0..threads {
             let stop = &stop;
             let total_ops = &total_ops;
-            let stm = &*stm;
+            let at = &*at;
             let set = &*set;
             scope.spawn(move || {
                 let mut gen = OpGen::new(mix, thread_seed(seed, t));
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let op = gen.next_op();
-                    apply_op(set, stm, &op);
+                    apply_op(set, at, &op);
                     ops += 1;
                 }
                 total_ops.fetch_add(ops, Ordering::Relaxed);
@@ -117,7 +129,7 @@ pub fn run_timed<S: Stm, C: TxSet<S>>(
         stop.store(true, Ordering::Relaxed);
     });
     let elapsed = started.elapsed();
-    let snap = stm.stats();
+    let snap = at.stats();
     let ops = total_ops.load(Ordering::Relaxed);
     Measurement::from_run(ops, elapsed, &snap)
 }
@@ -125,8 +137,8 @@ pub fn run_timed<S: Stm, C: TxSet<S>>(
 /// Fixed-work run for Criterion benches: every worker performs exactly
 /// `ops_per_thread` operations; returns the wall-clock duration of the
 /// parallel phase.
-pub fn run_fixed<S: Stm, C: TxSet<S>>(
-    stm: &S,
+pub fn run_fixed<B: AtomicBackend, C: TxSet>(
+    at: &Atomic<B>,
     set: &C,
     threads: usize,
     ops_per_thread: u64,
@@ -136,13 +148,13 @@ pub fn run_fixed<S: Stm, C: TxSet<S>>(
     let started = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
-            let stm = &*stm;
+            let at = &*at;
             let set = &*set;
             scope.spawn(move || {
                 let mut gen = OpGen::new(mix, thread_seed(seed, t));
                 for _ in 0..ops_per_thread {
                     let op = gen.next_op();
-                    apply_op(set, stm, &op);
+                    apply_op(set, at, &op);
                 }
             });
         }
@@ -189,6 +201,7 @@ pub fn run_sequential(
         ops,
         commits: ops,
         aborts: 0,
+        explicit_retries: 0,
         elastic_cuts: 0,
         outherits: 0,
         elapsed,

@@ -17,7 +17,8 @@
 //!       "scenario": "fig6", "backend": "oe", "structure": "LinkedListSet",
 //!       "threads": 2, "composed_pct": 5, "ops": 12345,
 //!       "throughput": 123.4, "abort_rate": 0.01,
-//!       "elastic_cuts": 17, "outherits": 42, "elapsed_ms": 500.2
+//!       "elastic_cuts": 17, "outherits": 42, "explicit_retries": 3,
+//!       "elapsed_ms": 500.2
 //!     }
 //!   ]
 //! }
@@ -44,6 +45,12 @@ pub const ROW_FIELDS: [(&str, bool); 11] = [
     ("outherits", true),
     ("elapsed_ms", true),
 ];
+
+/// Fields added after the first committed baselines: always emitted by
+/// [`render`], type-checked when present, but **not** required — older
+/// artifacts (e.g. `BENCH_seed.json`) must keep validating so perf stays
+/// machine-comparable across PRs. Readers default a missing field to 0.
+pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 1] = [("explicit_retries", true)];
 
 pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -87,7 +94,8 @@ pub fn render(rows: &[BenchRow], seed: u64) -> String {
         out.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"structure\": \"{}\", \
              \"threads\": {}, \"composed_pct\": {}, \"ops\": {}, \"throughput\": {}, \
-             \"abort_rate\": {}, \"elastic_cuts\": {}, \"outherits\": {}, \"elapsed_ms\": {}}}{}\n",
+             \"abort_rate\": {}, \"elastic_cuts\": {}, \"outherits\": {}, \
+             \"explicit_retries\": {}, \"elapsed_ms\": {}}}{}\n",
             escape(&r.scenario),
             escape(&r.backend),
             escape(&r.structure),
@@ -98,6 +106,7 @@ pub fn render(rows: &[BenchRow], seed: u64) -> String {
             num(r.m.abort_rate),
             r.m.elastic_cuts,
             r.m.outherits,
+            r.m.explicit_retries,
             num(r.m.elapsed.as_secs_f64() * 1e3),
             if i + 1 == rows.len() { "" } else { "," }
         ));
@@ -430,6 +439,23 @@ pub fn validate(text: &str) -> Result<Vec<RowId>, String> {
                 ));
             }
         }
+        for (field, numeric) in OPTIONAL_ROW_FIELDS {
+            // Absence is fine (pre-existing artifacts); a present field
+            // must still be well-typed.
+            if let Some(v) = row.get(field) {
+                let type_ok = if numeric {
+                    v.as_num().is_some()
+                } else {
+                    v.as_str().is_some()
+                };
+                if !type_ok {
+                    return Err(format!(
+                        "row {i} optional field \"{field}\" has the wrong type (expected {})",
+                        if numeric { "number" } else { "string" }
+                    ));
+                }
+            }
+        }
         let rate = row["abort_rate"].as_num().unwrap_or(-1.0);
         if !(0.0..=1.0).contains(&rate) {
             return Err(format!("row {i} abort_rate {rate} outside [0, 1]"));
@@ -462,6 +488,7 @@ mod tests {
                 ops: 1000,
                 commits: 990,
                 aborts: 330,
+                explicit_retries: 3,
                 elastic_cuts: 7,
                 outherits: 13,
                 elapsed: Duration::from_millis(50),
@@ -479,7 +506,21 @@ mod tests {
         let row = row.as_obj().unwrap();
         assert_eq!(row["outherits"].as_num(), Some(13.0));
         assert_eq!(row["elastic_cuts"].as_num(), Some(7.0));
+        assert_eq!(row["explicit_retries"].as_num(), Some(3.0));
         assert!((row["elapsed_ms"].as_num().unwrap() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optional_fields_may_be_absent_but_must_be_well_typed() {
+        // Pre-existing artifacts (the committed baselines) predate
+        // `explicit_retries`; they must keep validating.
+        let without = render(&[sample_row()], 1).replace("\"explicit_retries\": 3, ", "");
+        validate(&without).expect("artifacts without optional fields stay valid");
+        // A present-but-mistyped optional field is still an error.
+        let mistyped = render(&[sample_row()], 1)
+            .replace("\"explicit_retries\": 3", "\"explicit_retries\": \"x\"");
+        let err = validate(&mistyped).unwrap_err();
+        assert!(err.contains("explicit_retries"), "{err}");
     }
 
     #[test]

@@ -110,12 +110,20 @@ pub fn run_figure_rows(
 pub fn print_figure(title: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
     println!(
-        "{:<12} {:>8} {:>16} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "system", "threads", "ops/ms", "abort-rate", "commits", "aborts", "cuts", "outherits"
+        "{:<12} {:>8} {:>16} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "system",
+        "threads",
+        "ops/ms",
+        "abort-rate",
+        "commits",
+        "aborts",
+        "cuts",
+        "outherits",
+        "retries"
     );
     for r in rows {
         println!(
-            "{:<12} {:>8} {:>16.1} {:>11.1}% {:>12} {:>12} {:>12} {:>12}",
+            "{:<12} {:>8} {:>16.1} {:>11.1}% {:>12} {:>12} {:>12} {:>12} {:>12}",
             r.system,
             r.threads,
             r.m.throughput,
@@ -123,7 +131,8 @@ pub fn print_figure(title: &str, rows: &[Row]) {
             r.m.commits,
             r.m.aborts,
             r.m.elastic_cuts,
-            r.m.outherits
+            r.m.outherits,
+            r.m.explicit_retries
         );
     }
 }

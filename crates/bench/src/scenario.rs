@@ -1,15 +1,15 @@
-//! The scenario registry: workloads written once, driven over every
-//! registered backend at runtime.
+//! The scenario registry: workloads written once against the `atomic`
+//! facade, driven over every registered backend at runtime.
 //!
 //! Before this module existed, every figure sweep enumerated the four
 //! STMs through generics — five near-identical monomorphized copies of the
 //! same harness in `report.rs` and `figures.rs`, and adding a workload or
 //! a backend meant touching each copy. Now a workload is one
-//! [`Workload`] implementation over the erased collection layer
-//! ([`cec::dynset`]), a backend is one [`BackendRegistry`] entry, and the
-//! matrix runner sweeps `scenarios × backends × threads` from runtime
-//! lists — exactly how the elastic-transaction lineage this paper builds
-//! on was itself evaluated: one harness, N pluggable TMs.
+//! [`Workload`] implementation over the facade-level collection layer
+//! (`Box<dyn TxSet>` + [`Atomic`]), a backend is one [`BackendRegistry`]
+//! entry, and the matrix runner sweeps `scenarios × backends × threads`
+//! from runtime lists — exactly how the elastic-transaction lineage this
+//! paper builds on was itself evaluated: one harness, N pluggable TMs.
 //!
 //! Registered scenarios:
 //!
@@ -20,22 +20,24 @@
 //! | `fig8` | `HashSet` @ load factor 512 | paper §VII-A |
 //! | `bank-transfer` | 2 × `HashSet` | move-heavy: 30% cross-set `move_entry` |
 //! | `queue-snapshot` | 2 × `TxQueue` | read-mostly: 80% peek/len snapshots |
+//! | `or-else-fallback` | 2 × `TxQueue` | `or_else` drain: primary retries on empty, fallback serves |
 
 use crate::harness::Measurement;
 use crate::report::{paper_hash_buckets, Structure};
 use crate::workload::{thread_seed, Mix, WorkOp, DEFAULT_INITIAL_SIZE};
-use cec::dynset::{move_entry_dyn, total_size_dyn, DynSet};
-use cec::queue::{transfer_dyn, TxQueue};
+use cec::queue::{dequeue_or_else, transfer, TxQueue};
 use cec::seq::{SeqHashSet, SeqLinkedListSet, SeqSet, SeqSkipListSet};
-use cec::{HashSet, LinkedListSet, SkipListSet};
+use cec::{move_entry, total_size, HashSet, LinkedListSet, SetExt, SkipListSet, TxSet};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+use stm_core::api::Atomic;
 use stm_core::dynstm::{Backend, BackendRegistry};
 
 /// A benchmark workload instance, bound to its data-structure state but
-/// *not* to any STM: every operation goes through the erased [`Backend`].
+/// *not* to any STM: every operation goes through the `atomic` facade
+/// over an erased [`Backend`].
 ///
 /// One instance must only ever be driven by one backend (transactional
 /// versions are clock-relative), so the matrix runner builds a fresh
@@ -43,10 +45,10 @@ use stm_core::dynstm::{Backend, BackendRegistry};
 pub trait Workload: Sync {
     /// Populate the structure(s) before measuring, deterministically per
     /// `seed`.
-    fn prefill(&self, backend: &Backend, seed: u64);
+    fn prefill(&self, at: &Atomic<Backend>, seed: u64);
 
     /// Execute one sampled high-level operation.
-    fn step(&self, backend: &Backend, rng: &mut SmallRng);
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng);
 }
 
 /// One registered scenario: a stable name, the structure label it runs
@@ -111,51 +113,51 @@ impl ScenarioSpec {
 }
 
 // ---------------------------------------------------------------------
-// Paper workload (Figs. 6–8) over an erased set.
+// Paper workload (Figs. 6–8) over a facade-erased set.
 // ---------------------------------------------------------------------
 
 struct SetMixWorkload {
-    set: Box<dyn DynSet + Send + Sync>,
+    set: Box<dyn TxSet + Send + Sync>,
     mix: Mix,
 }
 
 impl Workload for SetMixWorkload {
-    fn prefill(&self, backend: &Backend, seed: u64) {
+    fn prefill(&self, at: &Atomic<Backend>, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut inserted = 0usize;
         while inserted < DEFAULT_INITIAL_SIZE {
-            if self.set.add(backend, rng.gen_range(0..self.mix.key_range)) {
+            if self.set.add(at, rng.gen_range(0..self.mix.key_range)) {
                 inserted += 1;
             }
         }
     }
 
-    fn step(&self, backend: &Backend, rng: &mut SmallRng) {
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng) {
         match self.mix.sample(rng) {
             WorkOp::Contains(k) => {
-                self.set.contains(backend, k);
+                self.set.contains(at, k);
             }
             WorkOp::Add(k) => {
-                self.set.add(backend, k);
+                self.set.add(at, k);
             }
             WorkOp::Remove(k) => {
-                self.set.remove(backend, k);
+                self.set.remove(at, k);
             }
             WorkOp::AddAll(ks) => {
-                self.set.add_all(backend, &ks);
+                self.set.add_all(at, &ks);
             }
             WorkOp::RemoveAll(ks) => {
-                self.set.remove_all(backend, &ks);
+                self.set.remove_all(at, &ks);
             }
         }
     }
 }
 
-/// The erased paper workload for one figure structure (shared by the
-/// scenario registry, `report::run_figure` and the Criterion benches).
+/// The facade-erased paper workload for one figure structure (shared by
+/// the scenario registry, `report::run_figure` and the Criterion benches).
 #[must_use]
 pub fn build_set_workload(structure: Structure, mix: Mix) -> Box<dyn Workload + Send + Sync> {
-    let set: Box<dyn DynSet + Send + Sync> = match structure {
+    let set: Box<dyn TxSet + Send + Sync> = match structure {
         Structure::LinkedList => Box::new(LinkedListSet::new()),
         Structure::SkipList => Box::new(SkipListSet::new()),
         Structure::HashSet => Box::new(HashSet::new(paper_hash_buckets())),
@@ -222,48 +224,48 @@ impl BankWorkload {
 }
 
 impl Workload for BankWorkload {
-    fn prefill(&self, backend: &Backend, seed: u64) {
+    fn prefill(&self, at: &Atomic<Backend>, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed);
         for set in [&self.checking, &self.savings] {
             let mut inserted = 0usize;
             while inserted < BANK_ACCOUNTS_PER_SET {
-                if DynSet::add(set, backend, rng.gen_range(0..self.key_range)) {
+                if set.add(at, rng.gen_range(0..self.key_range)) {
                     inserted += 1;
                 }
             }
         }
     }
 
-    fn step(&self, backend: &Backend, rng: &mut SmallRng) {
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng) {
         let roll = rng.gen_range(0..100u32);
         let k = rng.gen_range(0..self.key_range);
         if roll < 60 {
             // Balance lookup on either ledger.
             if roll % 2 == 0 {
-                DynSet::contains(&self.checking, backend, k);
+                self.checking.contains(at, k);
             } else {
-                DynSet::contains(&self.savings, backend, k);
+                self.savings.contains(at, k);
             }
         } else if roll < 90 {
             // The move-heavy part: an account hops ledgers atomically —
             // the paper's introduction example, impossible to compose
             // deadlock-free from a lock-based library.
             if rng.gen_bool(0.5) {
-                move_entry_dyn(backend, &self.checking, &self.savings, k, k);
+                move_entry(at, &self.checking, &self.savings, k, k);
             } else {
-                move_entry_dyn(backend, &self.savings, &self.checking, k, k);
+                move_entry(at, &self.savings, &self.checking, k, k);
             }
         } else if roll < 98 {
             // Open/close accounts to keep churn on both arenas.
             if rng.gen_bool(0.5) {
-                DynSet::add(&self.checking, backend, k);
+                self.checking.add(at, k);
             } else {
-                DynSet::remove(&self.savings, backend, k);
+                self.savings.remove(at, k);
             }
         } else {
             // Cross-ledger audit: an atomic total no lock-free library
             // can provide.
-            total_size_dyn(backend, &self.checking, &self.savings);
+            total_size(at, &self.checking, &self.savings);
         }
     }
 }
@@ -288,16 +290,16 @@ struct QueueSnapshotWorkload {
 }
 
 impl Workload for QueueSnapshotWorkload {
-    fn prefill(&self, backend: &Backend, seed: u64) {
+    fn prefill(&self, at: &Atomic<Backend>, seed: u64) {
         let mut rng = SmallRng::seed_from_u64(seed);
         for q in [&self.hot, &self.archive] {
             for _ in 0..QUEUE_PREFILL {
-                q.enqueue_dyn(backend, rng.gen_range(0..self.key_range));
+                q.enqueue(at, rng.gen_range(0..self.key_range));
             }
         }
     }
 
-    fn step(&self, backend: &Backend, rng: &mut SmallRng) {
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng) {
         // The update flows are balanced in expectation (hot: +6% enqueue,
         // −6% transfer out; archive: +6% transfer in, −6% dequeue), so
         // queue length only random-walks around the prefill size instead
@@ -307,27 +309,26 @@ impl Workload for QueueSnapshotWorkload {
         if roll < 47 {
             // Cheap read: front of either queue.
             if roll % 2 == 0 {
-                self.hot.peek_dyn(backend);
+                self.hot.peek(at);
             } else {
-                self.archive.peek_dyn(backend);
+                self.archive.peek(at);
             }
         } else if roll < 82 {
             // The snapshot: a *consistent* atomic count — the operation
             // the JDK's weakly consistent iterators cannot offer. A long
             // read-only transaction, which is where elastic reads shine.
             if roll % 2 == 0 {
-                self.hot.len_dyn(backend);
+                self.hot.len(at);
             } else {
-                self.archive.len_dyn(backend);
+                self.archive.len(at);
             }
         } else if roll < 88 {
-            self.hot
-                .enqueue_dyn(backend, rng.gen_range(0..self.key_range));
+            self.hot.enqueue(at, rng.gen_range(0..self.key_range));
         } else if roll < 94 {
-            self.archive.dequeue_dyn(backend);
+            self.archive.dequeue(at);
         } else {
             // Composed cross-queue move: hot → archive.
-            transfer_dyn(backend, &self.hot, &self.archive);
+            transfer(at, &self.hot, &self.archive);
         }
     }
 }
@@ -336,6 +337,59 @@ fn build_queue_snapshot(mix: Mix) -> Box<dyn Workload + Send + Sync> {
     Box::new(QueueSnapshotWorkload {
         hot: TxQueue::new(),
         archive: TxQueue::new(),
+        key_range: mix.key_range,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Or-else-fallback scenario: the facade's alternative composition under
+// load — the primary path retries (on emptiness), the fallback serves.
+// ---------------------------------------------------------------------
+
+/// Prefill of the (soon-starved) primary queue.
+const ORELSE_PRIMARY_PREFILL: i64 = 64;
+/// Prefill of the fallback queue the drain falls through to.
+const ORELSE_FALLBACK_PREFILL: i64 = 512;
+
+struct OrElseFallbackWorkload {
+    primary: TxQueue,
+    fallback: TxQueue,
+    key_range: i64,
+}
+
+impl Workload for OrElseFallbackWorkload {
+    fn prefill(&self, at: &Atomic<Backend>, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..ORELSE_PRIMARY_PREFILL {
+            self.primary.enqueue(at, rng.gen_range(0..self.key_range));
+        }
+        for _ in 0..ORELSE_FALLBACK_PREFILL {
+            self.fallback.enqueue(at, rng.gen_range(0..self.key_range));
+        }
+    }
+
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng) {
+        // Drains outnumber refills (55% vs 45%), so the primary queue
+        // starves within the warmup: from then on most drains take the
+        // `or_else` path — the primary branch explicit-retries on empty
+        // and the fallback branch serves. This is the scenario's point:
+        // `explicit_retries` shows up in the stats column while the
+        // conflict abort rate stays near zero.
+        let roll = rng.gen_range(0..100u32);
+        if roll < 55 {
+            dequeue_or_else(at, &self.primary, &self.fallback);
+        } else if roll < 75 {
+            self.primary.enqueue(at, rng.gen_range(0..self.key_range));
+        } else {
+            self.fallback.enqueue(at, rng.gen_range(0..self.key_range));
+        }
+    }
+}
+
+fn build_or_else_fallback(mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(OrElseFallbackWorkload {
+        primary: TxQueue::new(),
+        fallback: TxQueue::new(),
         key_range: mix.key_range,
     })
 }
@@ -404,6 +458,14 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             build: build_queue_snapshot,
             sequential: None,
         },
+        ScenarioSpec {
+            name: "or-else-fallback",
+            summary: "or_else drain: starved primary retries, fallback queue serves",
+            structure: "2xTxQueue",
+            uses_composed_pct: false,
+            build: build_or_else_fallback,
+            sequential: None,
+        },
     ]
 }
 
@@ -438,16 +500,16 @@ pub struct BenchRow {
     pub m: Measurement,
 }
 
-/// Timed erased run: `threads` workers drive `workload` over `backend`
-/// for `duration`; per-thread op streams derive from `seed`.
+/// Timed facade run: `threads` workers drive `workload` over `at` for
+/// `duration`; per-thread op streams derive from `seed`.
 pub fn run_timed_dyn(
-    backend: &Backend,
+    at: &Atomic<Backend>,
     workload: &dyn Workload,
     threads: usize,
     duration: Duration,
     seed: u64,
 ) -> Measurement {
-    backend.reset_stats();
+    at.reset_stats();
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
     let started = Instant::now();
@@ -459,7 +521,7 @@ pub fn run_timed_dyn(
                 let mut rng = SmallRng::seed_from_u64(thread_seed(seed, t));
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    workload.step(backend, &mut rng);
+                    workload.step(at, &mut rng);
                     ops += 1;
                 }
                 total_ops.fetch_add(ops, Ordering::Relaxed);
@@ -469,13 +531,13 @@ pub fn run_timed_dyn(
         stop.store(true, Ordering::Relaxed);
     });
     let elapsed = started.elapsed();
-    Measurement::from_run(total_ops.load(Ordering::Relaxed), elapsed, &backend.stats())
+    Measurement::from_run(total_ops.load(Ordering::Relaxed), elapsed, &at.stats())
 }
 
-/// Fixed-work erased run for the Criterion benches: every worker performs
+/// Fixed-work facade run for the Criterion benches: every worker performs
 /// exactly `ops_per_thread` operations.
 pub fn run_fixed_dyn(
-    backend: &Backend,
+    at: &Atomic<Backend>,
     workload: &dyn Workload,
     threads: usize,
     ops_per_thread: u64,
@@ -487,7 +549,7 @@ pub fn run_fixed_dyn(
             scope.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(thread_seed(seed, t));
                 for _ in 0..ops_per_thread {
-                    workload.step(backend, &mut rng);
+                    workload.step(at, &mut rng);
                 }
             });
         }
@@ -543,15 +605,19 @@ impl MatrixPlan {
 /// it once, and measures every thread count on the warmed instance.
 ///
 /// # Errors
-/// Returns `Err` with a message naming any unknown scenario or backend.
+/// Returns `Err` with a message naming any unknown scenario or backend
+/// (and, for backends, the registered names).
 pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
     let registry = backend_registry();
     for name in &plan.backends {
+        // Validate up front so a typo fails before any measurement runs;
+        // the registry error lists the registered names. The spec lookup
+        // is free — an instance is only built to obtain the error.
         if registry.get(name).is_none() {
-            return Err(format!(
-                "unknown backend {name:?}; registered: {}",
-                registry.names().join(", ")
-            ));
+            return Err(registry
+                .build_default(name)
+                .expect_err("get() returned None")
+                .to_string());
         }
     }
     let specs: Vec<ScenarioSpec> = plan
@@ -603,17 +669,19 @@ pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
                 }
             }
             for name in &plan.backends {
-                let backend = registry
-                    .build_default(name)
-                    .expect("validated against the registry above");
+                let at = Atomic::new(
+                    registry
+                        .build_default(name)
+                        .expect("validated against the registry above"),
+                );
                 let workload = spec.build(mix);
-                workload.prefill(&backend, plan.seed);
+                workload.prefill(&at, plan.seed);
                 for &t in &plan.threads {
-                    let m = run_timed_dyn(&backend, &*workload, t, plan.duration, plan.seed);
+                    let m = run_timed_dyn(&at, &*workload, t, plan.duration, plan.seed);
                     rows.push(BenchRow {
                         scenario: spec.name().to_string(),
-                        backend: backend.key().to_string(),
-                        system: backend.name().to_string(),
+                        backend: at.backend().key().to_string(),
+                        system: at.name().to_string(),
                         structure: spec.structure().to_string(),
                         threads: t,
                         composed_pct: pct,
@@ -644,7 +712,14 @@ mod tests {
         let names: Vec<_> = scenarios().iter().map(ScenarioSpec::name).collect();
         assert_eq!(
             names,
-            vec!["fig6", "fig7", "fig8", "bank-transfer", "queue-snapshot"]
+            vec![
+                "fig6",
+                "fig7",
+                "fig8",
+                "bank-transfer",
+                "queue-snapshot",
+                "or-else-fallback"
+            ]
         );
         assert!(scenario("fig6").unwrap().uses_composed_pct());
         assert!(!scenario("bank-transfer").unwrap().uses_composed_pct());
@@ -684,7 +759,12 @@ mod tests {
         assert!(run_matrix(&plan).unwrap_err().contains("unknown scenario"));
         let mut plan = MatrixPlan::new(vec![1], Duration::from_millis(5), vec![5], 1);
         plan.backends = vec!["nope".into()];
-        assert!(run_matrix(&plan).unwrap_err().contains("unknown backend"));
+        let err = run_matrix(&plan).unwrap_err();
+        assert!(err.contains("unknown backend"), "{err}");
+        assert!(
+            err.contains("tl2") && err.contains("oe-estm-compat"),
+            "the error must list the registered backends: {err}"
+        );
     }
 
     #[test]
@@ -705,5 +785,32 @@ mod tests {
         let tl2 = rows.iter().find(|r| r.backend == "tl2").unwrap();
         assert!(oe.m.outherits > 0, "OE-STM must outherit on composed ops");
         assert_eq!(tl2.m.outherits, 0, "TL2 never outherits");
+    }
+
+    #[test]
+    fn or_else_fallback_scenario_reports_explicit_retries() {
+        // Once the primary queue starves, every drain explicit-retries
+        // into the fallback branch — the retries must surface in the
+        // measurement as their own category on every backend tested.
+        let plan = MatrixPlan {
+            scenarios: vec!["or-else-fallback".into()],
+            backends: vec!["oe".into(), "tl2".into()],
+            threads: vec![1],
+            duration: Duration::from_millis(60),
+            composed: vec![5],
+            seed: 3,
+            include_sequential: true,
+        };
+        let rows = run_matrix(&plan).expect("valid plan");
+        assert_eq!(rows.len(), 2, "no sequential reference for this scenario");
+        for r in &rows {
+            assert!(r.m.ops > 0, "{} produced no ops", r.backend);
+            assert!(
+                r.m.explicit_retries > 0,
+                "{}: starved primary must surface explicit retries, got {:?}",
+                r.backend,
+                r.m
+            );
+        }
     }
 }

@@ -1,14 +1,16 @@
 //! Cross-structure compositions — the "Bob reuses Alice's methods"
-//! operations of Section III of the paper.
+//! operations of Section III of the paper, over the `atomic` facade.
 //!
 //! These functions compose building blocks of *different* collections into
 //! one atomic operation, which is exactly what neither lock-based nor
 //! lock-free libraries can offer (the `move` deadlock example and the
 //! hash-table `move`-for-resize impossibility cited in the paper's
-//! introduction).
+//! introduction). They are generic over the [`Atomic`] runner — any
+//! static backend or a registry handle — and over the structures, which
+//! may be concrete types or `dyn TxSet` trait objects.
 
 use crate::set::{OpScratch, TxSet};
-use stm_core::{Stm, Transaction, TxKind};
+use stm_core::api::{Atomic, AtomicBackend, Policy};
 
 /// Atomically move an element: remove `from_key` from `from`, and if it
 /// was present insert `to_key` into `to`. Returns whether the move
@@ -18,25 +20,25 @@ use stm_core::{Stm, Transaction, TxKind};
 /// moving a value from key `k` to `k'` — or rebalancing a hash table), or
 /// different ones. Composing two `move_entry(a→b)` and `move_entry(b→a)`
 /// instances cannot deadlock, unlike the lock-based version.
-pub fn move_entry<S, A, B>(stm: &S, from: &A, to: &B, from_key: i64, to_key: i64) -> bool
+pub fn move_entry<B, F, T>(at: &Atomic<B>, from: &F, to: &T, from_key: i64, to_key: i64) -> bool
 where
-    S: Stm,
-    A: TxSet<S> + ?Sized,
-    B: TxSet<S> + ?Sized,
+    B: AtomicBackend,
+    F: TxSet + ?Sized,
+    T: TxSet + ?Sized,
 {
     let guard = crate::arena::pin();
     let mut s_from = OpScratch::default();
     let mut s_to = OpScratch::default();
-    let out = stm.run(TxKind::Elastic, |tx| {
+    let out = at.run(Policy::Elastic, |tx| {
         from.release_unpublished(&mut s_from.allocated);
         to.release_unpublished(&mut s_to.allocated);
         s_from.unlinked.clear();
         s_to.unlinked.clear();
-        let removed = tx.child(TxKind::Elastic, |t| {
+        let removed = tx.section(Policy::Elastic, |t| {
             from.remove_in(t, from_key, &mut s_from)
         })?;
         if removed {
-            tx.child(TxKind::Elastic, |t| to.add_in(t, to_key, &mut s_to))?;
+            tx.section(Policy::Elastic, |t| to.add_in(t, to_key, &mut s_to))?;
         }
         Ok(removed)
     });
@@ -46,17 +48,17 @@ where
 }
 
 /// Atomic sum of the sizes of two collections (a cross-collection
-/// composition of two regular read-only children).
-pub fn total_size<S, A, B>(stm: &S, a: &A, b: &B) -> usize
+/// composition of two regular read-only sections).
+pub fn total_size<B, A, C>(at: &Atomic<B>, a: &A, b: &C) -> usize
 where
-    S: Stm,
-    A: TxSet<S> + ?Sized,
-    B: TxSet<S> + ?Sized,
+    B: AtomicBackend,
+    A: TxSet + ?Sized,
+    C: TxSet + ?Sized,
 {
     let _guard = crate::arena::pin();
-    stm.run(TxKind::Regular, |tx| {
-        let na = tx.child(TxKind::Regular, |t| a.len_in(t))?;
-        let nb = tx.child(TxKind::Regular, |t| b.len_in(t))?;
+    at.run(Policy::Regular, |tx| {
+        let na = tx.section(Policy::Regular, |t| a.len_in(t))?;
+        let nb = tx.section(Policy::Regular, |t| b.len_in(t))?;
         Ok(na + nb)
     })
 }
@@ -66,29 +68,44 @@ mod tests {
     use super::*;
     use crate::hashset::HashSet;
     use crate::linkedlist::LinkedListSet;
+    use crate::set::SetExt;
     use oe_stm::OeStm;
 
     #[test]
     fn move_between_different_structures() {
-        let stm = OeStm::new();
+        let at = Atomic::new(OeStm::new());
         let list = LinkedListSet::new();
         let hash = HashSet::new(4);
-        list.add(&stm, 7);
-        assert!(move_entry(&stm, &list, &hash, 7, 7));
-        assert!(!list.contains(&stm, 7));
-        assert!(hash.contains(&stm, 7));
+        list.add(&at, 7);
+        assert!(move_entry(&at, &list, &hash, 7, 7));
+        assert!(!list.contains(&at, 7));
+        assert!(hash.contains(&at, 7));
         // Absent key: no move.
-        assert!(!move_entry(&stm, &list, &hash, 7, 7));
+        assert!(!move_entry(&at, &list, &hash, 7, 7));
     }
 
     #[test]
     fn move_within_one_structure_changes_key() {
-        let stm = OeStm::new();
+        let at = Atomic::new(OeStm::new());
         let list = LinkedListSet::new();
-        list.add(&stm, 1);
-        assert!(move_entry(&stm, &list, &list, 1, 2));
-        assert!(!list.contains(&stm, 1));
-        assert!(list.contains(&stm, 2));
+        list.add(&at, 1);
+        assert!(move_entry(&at, &list, &list, 1, 2));
+        assert!(!list.contains(&at, 1));
+        assert!(list.contains(&at, 2));
+    }
+
+    #[test]
+    fn moves_compose_over_trait_objects() {
+        // The erased shape the benchmark scenarios use: both runner and
+        // structures picked at runtime.
+        let at = Atomic::new(OeStm::new());
+        let list: Box<dyn TxSet> = Box::new(LinkedListSet::new());
+        let hash: Box<dyn TxSet> = Box::new(HashSet::new(4));
+        list.add(&at, 7);
+        assert!(move_entry(&at, &*list, &*hash, 7, 7));
+        assert!(!list.contains(&at, 7));
+        assert!(hash.contains(&at, 7));
+        assert_eq!(total_size(&at, &*list, &*hash), 1);
     }
 
     #[test]
@@ -97,22 +114,22 @@ mod tests {
         // locks; with composed transactions both run and exactly one
         // direction wins each round.
         use std::sync::Arc;
-        let stm = Arc::new(OeStm::new());
+        let at = Arc::new(Atomic::new(OeStm::new()));
         let a = Arc::new(LinkedListSet::new());
         let b = Arc::new(LinkedListSet::new());
-        a.add(&*stm, 1);
-        b.add(&*stm, 2);
+        a.add(&*at, 1);
+        b.add(&*at, 2);
         let mut handles = Vec::new();
         for dir in 0..2 {
-            let stm = Arc::clone(&stm);
+            let at = Arc::clone(&at);
             let a = Arc::clone(&a);
             let b = Arc::clone(&b);
             handles.push(std::thread::spawn(move || {
                 for _ in 0..500 {
                     if dir == 0 {
-                        move_entry(&*stm, &*a, &*b, 1, 1);
+                        move_entry(&*at, &*a, &*b, 1, 1);
                     } else {
-                        move_entry(&*stm, &*b, &*a, 1, 1);
+                        move_entry(&*at, &*b, &*a, 1, 1);
                     }
                 }
             }));
@@ -121,10 +138,10 @@ mod tests {
             h.join().unwrap();
         }
         // Key 1 must exist in exactly one of the two sets; key 2 untouched.
-        let in_a = a.contains(&*stm, 1);
-        let in_b = b.contains(&*stm, 1);
+        let in_a = a.contains(&*at, 1);
+        let in_b = b.contains(&*at, 1);
         assert!(in_a ^ in_b, "key 1 must live in exactly one set");
-        assert!(b.contains(&*stm, 2));
-        assert_eq!(total_size(&*stm, &*a, &*b), 2);
+        assert!(b.contains(&*at, 2));
+        assert_eq!(total_size(&*at, &*a, &*b), 2);
     }
 }

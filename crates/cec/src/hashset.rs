@@ -108,12 +108,12 @@ impl SetOps for HashSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::set::TxSet;
+    use crate::set::SetExt;
     use oe_stm::OeStm;
-    use stm_core::Stm;
+    use stm_core::api::{Atomic, AtomicBackend};
     use stm_lsa::Lsa;
 
-    fn basic_ops<S: Stm>(stm: &S) {
+    fn basic_ops<B: AtomicBackend>(stm: &Atomic<B>) {
         let set = HashSet::new(4);
         for k in [-9i64, -1, 0, 1, 5, 8, 12, 13] {
             assert!(set.add(stm, k), "insert {k}");
@@ -131,17 +131,17 @@ mod tests {
 
     #[test]
     fn basic_ops_under_oestm() {
-        basic_ops(&OeStm::new());
+        basic_ops(&Atomic::new(OeStm::new()));
     }
 
     #[test]
     fn basic_ops_under_lsa() {
-        basic_ops(&Lsa::new());
+        basic_ops(&Atomic::new(Lsa::new()));
     }
 
     #[test]
     fn negative_keys_hash_to_valid_buckets() {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let set = HashSet::new(3);
         for k in -50..50 {
             assert!(set.add(&stm, k));
@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn single_bucket_degrades_to_list() {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let set = HashSet::new(1);
         assert!(set.add_all(&stm, &[3, 1, 2]));
         assert_eq!(set.size(&stm), 3);
@@ -166,7 +166,7 @@ mod tests {
         // "halves" — the count stays constant.
         use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::Arc;
-        let stm = Arc::new(OeStm::new());
+        let stm = Arc::new(Atomic::new(OeStm::new()));
         let set = Arc::new(HashSet::new(4));
         // 10 stable keys plus one that oscillates between bucket 0 (key 4)
         // and bucket 1 (key 5) via composed move.

@@ -7,17 +7,26 @@
 //!
 //! ## What "composable" means here
 //!
-//! Every collection exposes its operations twice:
+//! Every collection exposes its operations twice, both through the
+//! workspace's `atomic` facade ([`stm_core::api`]):
 //!
-//! * as plain atomic methods (`contains`, `add`, `remove`, `size`), each a
-//!   single (elastic) transaction;
-//! * as *building blocks* (`contains_in`, `add_in`, …) that run inside an
-//!   ambient transaction — so a user can compose them, via
-//!   [`Transaction::child`](stm_core::Transaction::child), into new atomic
+//! * as plain atomic methods (`contains`, `add`, `remove`, `size` on
+//!   [`SetExt`]), each a single (elastic) transaction over any
+//!   [`Atomic`](stm_core::api::Atomic) runner — a static backend or a
+//!   registry-built handle, same code either way;
+//! * as *building blocks* (`contains_in`, `add_in`, … on [`TxSet`]) that
+//!   run inside an ambient transaction — so a user can compose them, via
+//!   [`Tx::section`](stm_core::api::Tx::section), into new atomic
 //!   operations (`add_all`, `remove_all`, `insert_if_absent`,
 //!   [`compose::move_entry`], atomic `size` across buckets or whole
 //!   collections) without touching the collection's code — the paper's
 //!   Alice-and-Bob scenario.
+//!
+//! Structure authors implement [`SetOps`] once, generically over the SPI
+//! [`Transaction`](stm_core::Transaction) trait; the facade-level
+//! [`TxSet`] (object-safe — `Box<dyn TxSet>` is how the benchmark
+//! scenarios hold a runtime-chosen structure) and the user-facing
+//! [`SetExt`] wrappers fall out of blanket impls.
 //!
 //! Under OE-STM these compositions are atomic *and* fast (elastic children
 //! ignore read-prefix conflicts; outheritance keeps what matters
@@ -29,9 +38,9 @@
 //!
 //! | Type | Paper figure | Notes |
 //! |---|---|---|
-//! | [`LinkedListSet`](linkedlist::LinkedListSet) | Fig. 6 | sorted list, linear traversals — elastic's best case |
-//! | [`SkipListSet`](skiplist::SkipListSet) | Fig. 7 | log-height towers |
-//! | [`HashSet`](hashset::HashSet) | Fig. 8 | fixed buckets (load factor 512 in the paper) |
+//! | [`linkedlist::LinkedListSet`] | Fig. 6 | sorted list, linear traversals — elastic's best case |
+//! | [`skiplist::SkipListSet`] | Fig. 7 | log-height towers |
+//! | [`hashset::HashSet`] | Fig. 8 | fixed buckets (load factor 512 in the paper) |
 //! | [`seq`] | "Sequential" line | uninstrumented baselines |
 
 #![forbid(unsafe_code)]
@@ -39,7 +48,6 @@
 
 pub mod arena;
 pub mod compose;
-pub mod dynset;
 pub mod hashset;
 pub mod linkedlist;
 pub mod listcore;
@@ -50,10 +58,9 @@ pub mod set;
 pub mod skiplist;
 
 pub use compose::{move_entry, total_size};
-pub use dynset::{move_entry_dyn, total_size_dyn, DynSet};
 pub use hashset::HashSet;
 pub use linkedlist::LinkedListSet;
 pub use noderef::NodeRef;
-pub use queue::{transfer, transfer_dyn, TxQueue};
-pub use set::{OpScratch, SetOps, TxSet};
+pub use queue::{dequeue_or_else, transfer, TxQueue};
+pub use set::{OpScratch, SetExt, SetOps, TxSet};
 pub use skiplist::SkipListSet;

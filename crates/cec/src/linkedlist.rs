@@ -10,12 +10,14 @@ use crate::arena::Arena;
 use crate::listcore::{self, ListNode};
 use crate::set::{OpScratch, SetOps};
 use crossbeam::epoch::Guard;
-use stm_core::{Abort, Stm, Transaction};
+use stm_core::api::{Atomic, AtomicBackend, Policy};
+use stm_core::{Abort, Transaction};
 
 /// A transactional sorted linked-list set of `i64` keys.
 ///
 /// STM-agnostic: the same structure runs under TL2, LSA, SwissTM, OE-STM
-/// or E-STM — the `TxSet` implementation is generic over [`Stm`].
+/// or E-STM — the building blocks are generic over the SPI [`Transaction`] and the
+/// atomic wrappers over any [`Atomic`] runner.
 #[derive(Debug)]
 pub struct LinkedListSet {
     arena: Arena<ListNode>,
@@ -47,9 +49,9 @@ impl LinkedListSet {
     }
 
     /// Collect the elements atomically in their own regular transaction.
-    pub fn snapshot<S: Stm>(&self, stm: &S) -> Vec<i64> {
+    pub fn snapshot<B: AtomicBackend>(&self, at: &Atomic<B>) -> Vec<i64> {
         let _guard = crate::arena::pin();
-        stm.run(stm_core::TxKind::Regular, |tx| self.snapshot_in(tx))
+        at.run(Policy::Regular, |tx| self.snapshot_in(tx))
     }
 }
 
@@ -105,11 +107,11 @@ impl SetOps for LinkedListSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::set::TxSet;
+    use crate::set::SetExt;
     use oe_stm::OeStm;
     use stm_tl2::Tl2;
 
-    fn basic_ops<S: Stm>(stm: &S) {
+    fn basic_ops<B: AtomicBackend>(stm: &Atomic<B>) {
         let set = LinkedListSet::new();
         assert!(!set.contains(stm, 5));
         assert!(set.add(stm, 5));
@@ -131,17 +133,17 @@ mod tests {
 
     #[test]
     fn basic_ops_under_tl2() {
-        basic_ops(&Tl2::new());
+        basic_ops(&Atomic::new(Tl2::new()));
     }
 
     #[test]
     fn basic_ops_under_oestm() {
-        basic_ops(&OeStm::new());
+        basic_ops(&Atomic::new(OeStm::new()));
     }
 
     #[test]
     fn add_all_and_remove_all_compose() {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let set = LinkedListSet::new();
         assert!(set.add_all(&stm, &[4, 2, 9, 2]));
         assert_eq!(set.snapshot(&stm), vec![2, 4, 9]);
@@ -153,7 +155,7 @@ mod tests {
 
     #[test]
     fn insert_if_absent_behaviour() {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let set = LinkedListSet::new();
         set.add(&stm, 1);
         assert!(set.insert_if_absent(&stm, 10, 99), "99 absent → insert 10");
@@ -165,14 +167,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "reserved")]
     fn sentinel_key_rejected() {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let set = LinkedListSet::new();
         set.add(&stm, i64::MIN);
     }
 
     #[test]
     fn removed_slot_is_recycled_after_epoch() {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let set = LinkedListSet::new();
         set.add(&stm, 1);
         let hw_before = set.arena.high_water();
@@ -193,7 +195,7 @@ mod tests {
     #[test]
     fn concurrent_disjoint_inserts_all_land() {
         use std::sync::Arc;
-        let stm = Arc::new(OeStm::new());
+        let stm = Arc::new(Atomic::new(OeStm::new()));
         let set = Arc::new(LinkedListSet::new());
         let threads = stm_core::parallel::worker_threads(4) as i64;
         let mut handles = Vec::new();
@@ -220,7 +222,7 @@ mod tests {
     #[test]
     fn concurrent_same_key_add_remove_keeps_invariants() {
         use std::sync::Arc;
-        let stm = Arc::new(OeStm::new());
+        let stm = Arc::new(Atomic::new(OeStm::new()));
         let set = Arc::new(LinkedListSet::new());
         // Adjacent keys force the remove/remove and add/remove races the
         // dead-marker protocol exists for.

@@ -5,7 +5,12 @@
 //! be composed atomically. This queue is the transactional counterpart:
 //! every operation is atomic, and the building blocks (`enqueue_in`,
 //! `dequeue_in`, …) compose — e.g. [`transfer`] moves an element between
-//! two queues in one atomic step.
+//! two queues in one atomic step, and [`dequeue_or_else`] drains a
+//! primary queue with an [`or_else`](stm_core::api::Atomic::or_else)
+//! fallback.
+//!
+//! The atomic wrappers are generic over the [`Atomic`] runner, so the same
+//! queue code runs over a static backend or a registry-built handle.
 //!
 //! Implementation: a singly linked list with a head sentinel and a tail
 //! pointer, all links transactional, nodes in the shared epoch-reclaimed
@@ -16,8 +21,9 @@
 use crate::arena::{pin, Arena};
 use crate::listcore::ListNode;
 use crate::noderef::NodeRef;
-use stm_core::dynstm::Backend;
-use stm_core::{Abort, AbortReason, Stm, TVar, Transaction, TxKind};
+use std::cell::RefCell;
+use stm_core::api::{Atomic, AtomicBackend, Policy};
+use stm_core::{Abort, AbortReason, TVar, Transaction};
 
 /// A transactional FIFO queue of `i64` values. STM-agnostic.
 #[derive(Debug)]
@@ -55,7 +61,11 @@ impl TxQueue {
     }
 
     /// Enqueue inside an ambient transaction. `pending` records the
-    /// allocation for abort recycling (see `TxSet` for the pattern).
+    /// allocation for abort recycling (see the set wrappers for the
+    /// pattern).
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
     pub fn enqueue_in<'e, T: Transaction<'e>>(
         &'e self,
         tx: &mut T,
@@ -75,6 +85,9 @@ impl TxQueue {
 
     /// Dequeue inside an ambient transaction; `None` when empty. The
     /// removed slot index is pushed to `unlinked` for epoch retirement.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
     pub fn dequeue_in<'e, T: Transaction<'e>>(
         &'e self,
         tx: &mut T,
@@ -104,6 +117,9 @@ impl TxQueue {
     }
 
     /// Peek at the front inside an ambient transaction.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
     pub fn peek_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T) -> Result<Option<i64>, Abort> {
         let first = tx.read(&self.node(self.head).next)?;
         if first.is_dead() {
@@ -117,6 +133,9 @@ impl TxQueue {
 
     /// Element count inside an ambient transaction (atomic under a
     /// regular transaction — the JDK queue cannot offer this).
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
     pub fn len_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T) -> Result<usize, Abort> {
         let bound = 2 * self.arena.high_water() + 64;
         let mut steps = 0u64;
@@ -136,13 +155,13 @@ impl TxQueue {
         Ok(n)
     }
 
-    // -- atomic wrappers ------------------------------------------------
+    // -- atomic wrappers (any `Atomic` runner) --------------------------
 
     /// Atomic enqueue.
-    pub fn enqueue<S: Stm>(&self, stm: &S, value: i64) {
+    pub fn enqueue<B: AtomicBackend>(&self, at: &Atomic<B>, value: i64) {
         let _guard = pin();
         let mut pending: Vec<u64> = Vec::new();
-        stm.run(TxKind::Regular, |tx| {
+        at.run(Policy::Regular, |tx| {
             for n in pending.drain(..) {
                 self.arena.free_unpublished(n);
             }
@@ -151,10 +170,10 @@ impl TxQueue {
     }
 
     /// Atomic dequeue; `None` when empty.
-    pub fn dequeue<S: Stm>(&self, stm: &S) -> Option<i64> {
+    pub fn dequeue<B: AtomicBackend>(&self, at: &Atomic<B>) -> Option<i64> {
         let guard = pin();
         let mut unlinked: Vec<u64> = Vec::new();
-        let out = stm.run(TxKind::Regular, |tx| {
+        let out = at.run(Policy::Regular, |tx| {
             unlinked.clear();
             self.dequeue_in(tx, &mut unlinked)
         });
@@ -165,83 +184,39 @@ impl TxQueue {
     }
 
     /// Atomic peek.
-    pub fn peek<S: Stm>(&self, stm: &S) -> Option<i64> {
+    pub fn peek<B: AtomicBackend>(&self, at: &Atomic<B>) -> Option<i64> {
         let _guard = pin();
-        stm.run(TxKind::Regular, |tx| self.peek_in(tx))
+        at.run(Policy::Regular, |tx| self.peek_in(tx))
     }
 
     /// Atomic length — a *consistent* count, unlike weakly consistent
     /// iteration.
-    pub fn len<S: Stm>(&self, stm: &S) -> usize {
+    pub fn len<B: AtomicBackend>(&self, at: &Atomic<B>) -> usize {
         let _guard = pin();
-        stm.run(TxKind::Regular, |tx| self.len_in(tx))
+        at.run(Policy::Regular, |tx| self.len_in(tx))
     }
 
     /// True if empty (atomic).
-    pub fn is_empty<S: Stm>(&self, stm: &S) -> bool {
-        self.peek(stm).is_none()
-    }
-
-    // -- erased atomic wrappers (runtime-selected backend) --------------
-
-    /// Atomic enqueue over an erased [`Backend`].
-    pub fn enqueue_dyn(&self, backend: &Backend, value: i64) {
-        let _guard = pin();
-        let mut pending: Vec<u64> = Vec::new();
-        backend.run(TxKind::Regular, |tx| {
-            for n in pending.drain(..) {
-                self.arena.free_unpublished(n);
-            }
-            self.enqueue_in(tx, value, &mut pending)
-        });
-    }
-
-    /// Atomic dequeue over an erased [`Backend`]; `None` when empty.
-    pub fn dequeue_dyn(&self, backend: &Backend) -> Option<i64> {
-        let guard = pin();
-        let mut unlinked: Vec<u64> = Vec::new();
-        let out = backend.run(TxKind::Regular, |tx| {
-            unlinked.clear();
-            self.dequeue_in(tx, &mut unlinked)
-        });
-        for idx in unlinked {
-            self.arena.retire(idx, &guard);
-        }
-        out
-    }
-
-    /// Atomic peek over an erased [`Backend`].
-    pub fn peek_dyn(&self, backend: &Backend) -> Option<i64> {
-        let _guard = pin();
-        backend.run(TxKind::Regular, |tx| self.peek_in(tx))
-    }
-
-    /// Atomic length over an erased [`Backend`].
-    pub fn len_dyn(&self, backend: &Backend) -> usize {
-        let _guard = pin();
-        backend.run(TxKind::Regular, |tx| self.len_in(tx))
-    }
-
-    /// True if empty (atomic, erased).
-    pub fn is_empty_dyn(&self, backend: &Backend) -> bool {
-        self.peek_dyn(backend).is_none()
+    pub fn is_empty<B: AtomicBackend>(&self, at: &Atomic<B>) -> bool {
+        self.peek(at).is_none()
     }
 }
 
-/// [`transfer`] over an erased [`Backend`]: atomically move the front of
-/// `from` to the back of `to` as two composed child transactions.
-pub fn transfer_dyn(backend: &Backend, from: &TxQueue, to: &TxQueue) -> Option<i64> {
+/// Atomically move the front of `from` to the back of `to` — a
+/// composition of `dequeue` and `enqueue` as two sections of one parent.
+/// Returns the moved value, if any.
+pub fn transfer<B: AtomicBackend>(at: &Atomic<B>, from: &TxQueue, to: &TxQueue) -> Option<i64> {
     let guard = pin();
     let mut unlinked: Vec<u64> = Vec::new();
     let mut pending: Vec<u64> = Vec::new();
-    let out = backend.run(TxKind::Regular, |tx| {
+    let out = at.run(Policy::Regular, |tx| {
         unlinked.clear();
         for n in pending.drain(..) {
             to.arena.free_unpublished(n);
         }
-        let v = tx.child(TxKind::Regular, |t| from.dequeue_in(t, &mut unlinked))?;
+        let v = tx.section(Policy::Regular, |t| from.dequeue_in(t, &mut unlinked))?;
         if let Some(v) = v {
-            tx.child(TxKind::Regular, |t| to.enqueue_in(t, v, &mut pending))?;
+            tx.section(Policy::Regular, |t| to.enqueue_in(t, v, &mut pending))?;
         }
         Ok(v)
     });
@@ -251,26 +226,50 @@ pub fn transfer_dyn(backend: &Backend, from: &TxQueue, to: &TxQueue) -> Option<i
     out
 }
 
-/// Atomically move the front of `from` to the back of `to` — a
-/// composition of `dequeue` and `enqueue` as two child transactions.
-/// Returns the moved value, if any.
-pub fn transfer<S: Stm>(stm: &S, from: &TxQueue, to: &TxQueue) -> Option<i64> {
+/// Dequeue from `primary`; when it is empty, *retry* the primary branch —
+/// which [`Atomic::or_else`] turns into running the fallback branch that
+/// dequeues from `fallback` instead. Returns `None` only when both queues
+/// are empty.
+///
+/// This is the work-stealing shape of the Haskell-STM `orElse` idiom: the
+/// primary path "blocks" (retries) on emptiness and the composition falls
+/// through to the alternative, with each branch an atomic transaction of
+/// its own.
+pub fn dequeue_or_else<B: AtomicBackend>(
+    at: &Atomic<B>,
+    primary: &TxQueue,
+    fallback: &TxQueue,
+) -> Option<i64> {
     let guard = pin();
-    let mut unlinked: Vec<u64> = Vec::new();
-    let mut pending: Vec<u64> = Vec::new();
-    let out = stm.run(TxKind::Regular, |tx| {
-        unlinked.clear();
-        for n in pending.drain(..) {
-            to.arena.free_unpublished(n);
-        }
-        let v = tx.child(TxKind::Regular, |t| from.dequeue_in(t, &mut unlinked))?;
-        if let Some(v) = v {
-            tx.child(TxKind::Regular, |t| to.enqueue_in(t, v, &mut pending))?;
-        }
-        Ok(v)
-    });
-    for idx in unlinked {
-        from.arena.retire(idx, &guard);
+    // Both branch closures need the retirement bookkeeping (only one runs
+    // per attempt, but both captures coexist), hence the RefCells.
+    let unlinked_p: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+    let unlinked_f: RefCell<Vec<u64>> = RefCell::new(Vec::new());
+    let out = at.or_else(
+        Policy::Regular,
+        |tx| {
+            // Either branch may have left bookkeeping from an aborted
+            // attempt; every attempt starts clean.
+            unlinked_p.borrow_mut().clear();
+            unlinked_f.borrow_mut().clear();
+            match primary.dequeue_in(tx, &mut unlinked_p.borrow_mut())? {
+                Some(v) => Ok(Some(v)),
+                None => tx.retry(),
+            }
+        },
+        |tx| {
+            unlinked_p.borrow_mut().clear();
+            unlinked_f.borrow_mut().clear();
+            fallback.dequeue_in(tx, &mut unlinked_f.borrow_mut())
+        },
+    );
+    // Only the committed branch's list is non-empty; each queue retires
+    // into its own arena.
+    for idx in unlinked_p.into_inner() {
+        primary.arena.retire(idx, &guard);
+    }
+    for idx in unlinked_f.into_inner() {
+        fallback.arena.retire(idx, &guard);
     }
     out
 }
@@ -281,60 +280,83 @@ mod tests {
     use oe_stm::OeStm;
     use stm_tl2::Tl2;
 
-    fn fifo_order<S: Stm>(stm: &S) {
+    fn fifo_order<B: AtomicBackend>(at: &Atomic<B>) {
         let q = TxQueue::new();
-        assert!(q.is_empty(stm));
-        assert_eq!(q.dequeue(stm), None);
+        assert!(q.is_empty(at));
+        assert_eq!(q.dequeue(at), None);
         for v in 1..=5 {
-            q.enqueue(stm, v);
+            q.enqueue(at, v);
         }
-        assert_eq!(q.len(stm), 5);
-        assert_eq!(q.peek(stm), Some(1));
+        assert_eq!(q.len(at), 5);
+        assert_eq!(q.peek(at), Some(1));
         for v in 1..=5 {
-            assert_eq!(q.dequeue(stm), Some(v), "FIFO order");
+            assert_eq!(q.dequeue(at), Some(v), "FIFO order");
         }
-        assert!(q.is_empty(stm));
+        assert!(q.is_empty(at));
         // Tail reset: enqueue works again after draining.
-        q.enqueue(stm, 9);
-        assert_eq!(q.dequeue(stm), Some(9));
+        q.enqueue(at, 9);
+        assert_eq!(q.dequeue(at), Some(9));
     }
 
     #[test]
     fn fifo_under_oestm() {
-        fifo_order(&OeStm::new());
+        fifo_order(&Atomic::new(OeStm::new()));
     }
 
     #[test]
     fn fifo_under_tl2() {
-        fifo_order(&Tl2::new());
+        fifo_order(&Atomic::new(Tl2::new()));
     }
 
     #[test]
     fn transfer_is_atomic() {
-        let stm = OeStm::new();
+        let at = Atomic::new(OeStm::new());
         let a = TxQueue::new();
         let b = TxQueue::new();
-        a.enqueue(&stm, 7);
-        assert_eq!(transfer(&stm, &a, &b), Some(7));
-        assert!(a.is_empty(&stm));
-        assert_eq!(b.peek(&stm), Some(7));
-        assert_eq!(transfer(&stm, &a, &b), None, "empty source");
+        a.enqueue(&at, 7);
+        assert_eq!(transfer(&at, &a, &b), Some(7));
+        assert!(a.is_empty(&at));
+        assert_eq!(b.peek(&at), Some(7));
+        assert_eq!(transfer(&at, &a, &b), None, "empty source");
+    }
+
+    #[test]
+    fn dequeue_or_else_prefers_primary_then_falls_back() {
+        let at = Atomic::new(Tl2::new());
+        let primary = TxQueue::new();
+        let fallback = TxQueue::new();
+        primary.enqueue(&at, 1);
+        fallback.enqueue(&at, 100);
+        // Primary non-empty: no retry, primary wins.
+        assert_eq!(dequeue_or_else(&at, &primary, &fallback), Some(1));
+        assert_eq!(at.stats().explicit_retries(), 0);
+        // Primary empty: the branch retries once and the fallback serves.
+        assert_eq!(dequeue_or_else(&at, &primary, &fallback), Some(100));
+        assert_eq!(at.stats().explicit_retries(), 1);
+        // Both empty: the composition settles on None (no livelock).
+        assert_eq!(dequeue_or_else(&at, &primary, &fallback), None);
+        assert_eq!(fallback.len(&at), 0);
+        assert_eq!(
+            at.stats().aborts(),
+            0,
+            "or_else fallbacks must not count as conflict aborts"
+        );
     }
 
     #[test]
     fn concurrent_mpmc_preserves_all_elements() {
         use std::sync::Arc;
-        let stm = Arc::new(OeStm::new());
+        let at = Arc::new(Atomic::new(OeStm::new()));
         let q = Arc::new(TxQueue::new());
         let producers = 2;
         let per_producer = 500i64;
         let mut handles = Vec::new();
         for t in 0..producers {
-            let stm = Arc::clone(&stm);
+            let at = Arc::clone(&at);
             let q = Arc::clone(&q);
             handles.push(std::thread::spawn(move || {
                 for i in 0..per_producer {
-                    q.enqueue(&*stm, t as i64 * 10_000 + i);
+                    q.enqueue(&*at, t as i64 * 10_000 + i);
                 }
             }));
         }
@@ -342,7 +364,7 @@ mod tests {
         let total = (producers as u64) * per_producer as u64;
         let mut consumers = Vec::new();
         for _ in 0..2 {
-            let stm = Arc::clone(&stm);
+            let at = Arc::clone(&at);
             let q = Arc::clone(&q);
             let consumed = Arc::clone(&consumed);
             consumers.push(std::thread::spawn(move || {
@@ -351,7 +373,7 @@ mod tests {
                 // Exit when the GLOBAL count reaches the total (a local
                 // target would hang on uneven splits).
                 while consumed.load(Ordering::SeqCst) < total {
-                    if let Some(v) = q.dequeue(&*stm) {
+                    if let Some(v) = q.dequeue(&*at) {
                         got.push(v);
                         consumed.fetch_add(1, Ordering::SeqCst);
                     } else {
@@ -379,21 +401,21 @@ mod tests {
     #[test]
     fn per_producer_order_is_preserved() {
         use std::sync::Arc;
-        let stm = Arc::new(OeStm::new());
+        let at = Arc::new(Atomic::new(OeStm::new()));
         let q = Arc::new(TxQueue::new());
         let writer = {
-            let stm = Arc::clone(&stm);
+            let at = Arc::clone(&at);
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
                 for i in 0..300 {
-                    q.enqueue(&*stm, i);
+                    q.enqueue(&*at, i);
                 }
             })
         };
         let mut last = -1i64;
         let mut seen = 0;
         while seen < 300 {
-            if let Some(v) = q.dequeue(&*stm) {
+            if let Some(v) = q.dequeue(&*at) {
                 assert!(v > last, "FIFO violated: {v} after {last}");
                 last = v;
                 seen += 1;

@@ -1,16 +1,31 @@
 //! The composable set interface — the paper's `edu.epfl.compositional`
-//! Collection analog.
+//! Collection analog, layered over the `atomic` facade.
 //!
-//! [`TxSet`] separates every operation into a *building block*
-//! (`contains_in`, `add_in`, `remove_in`, `len_in`) usable inside any
-//! transaction, and a *wrapper* (`contains`, `add`, …) that runs the block
-//! as its own (elastic) transaction. Composed operations — `add_all`,
-//! `remove_all`, `insert_if_absent`, `size` — are default methods that
-//! invoke the building blocks as **child transactions** of one parent, the
-//! concurrent composition of Section III of the paper. Their atomicity is
-//! exactly what outheritance guarantees: with OE-STM they are atomic; with
-//! the E-STM compatibility mode they reproduce the paper's Fig. 1
-//! violation (see the `fig1_composition_violation` integration test).
+//! Three layers, matching the workspace's facade/SPI split:
+//!
+//! * [`SetOps`] — the **structure-author SPI**: every concrete structure
+//!   (`LinkedListSet`, `SkipListSet`, `HashSet`) implements its building
+//!   blocks (`contains_in`, `add_in`, `remove_in`, `len_in`) once,
+//!   generically over *any* SPI [`Transaction`] — a statically
+//!   monomorphized backend transaction or the facade's erased
+//!   [`stm_core::api::Tx`].
+//! * [`TxSet`] — the **object-safe facade-level blocks**: the same
+//!   operations bound to [`Tx`], derived from `SetOps` by a blanket impl.
+//!   This is what composition code holds (`&dyn TxSet`, `Box<dyn TxSet>`)
+//!   and what runs inside [`Tx::section`] — one trait for every structure
+//!   *and* every backend, no (backend × structure) monomorphization
+//!   matrix.
+//! * [`SetExt`] — the **user-facing atomic operations**: `contains`,
+//!   `add`, `remove`, `size`, plus the paper's composed operations
+//!   (`add_all`, `remove_all`, `insert_if_absent`) built from sections.
+//!   Every method takes an [`Atomic`] runner — built from a static
+//!   backend or a registry handle — and is available on every `TxSet`
+//!   (including trait objects) through a blanket impl.
+//!
+//! The composed operations' atomicity is exactly what outheritance
+//! guarantees: with OE-STM they are atomic; with the E-STM compatibility
+//! mode they reproduce the paper's Fig. 1 violation (see the
+//! `fig1_composition_violation` integration test).
 //!
 //! The wrappers also own the memory-management choreography:
 //!
@@ -24,7 +39,8 @@
 
 use crate::arena::pin;
 use crossbeam::epoch::Guard;
-use stm_core::{Abort, Stm, Transaction, TxKind};
+use stm_core::api::{Atomic, AtomicBackend, Policy, Tx};
+use stm_core::{Abort, Transaction};
 
 /// Per-operation allocation bookkeeping shared between a wrapper and its
 /// building blocks across retries.
@@ -39,21 +55,26 @@ pub struct OpScratch {
     pub unlinked: Vec<u64>,
 }
 
-/// The transaction-generic building blocks of a composable set.
+/// The transaction-generic building blocks of a composable set — the
+/// structure-author SPI.
 ///
 /// This is the trait the concrete structures (`LinkedListSet`,
 /// `SkipListSet`, `HashSet`) implement: every operation is generic over
-/// *any* [`Transaction`] — a statically monomorphized `S::Txn`, or the
-/// erased [`DynTxn`](stm_core::dynstm::DynTxn) of the runtime backend
-/// registry. [`TxSet`] (the static, per-STM interface) and
-/// [`DynSet`](crate::dynset::DynSet) (the erased interface) are both
-/// derived from it by blanket impls, so a structure is written exactly
-/// once.
+/// *any* SPI [`Transaction`], so a structure is written exactly once and
+/// runs both under a statically monomorphized backend transaction (e.g.
+/// in backend-level tests) and under the facade's [`Tx`]. User code never
+/// calls this directly — it goes through [`TxSet`]/[`SetExt`].
 pub trait SetOps: Sync {
     /// Membership test inside an ambient transaction.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
     fn contains_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T, key: i64) -> Result<bool, Abort>;
 
     /// Insert inside an ambient transaction; `false` if already present.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
     fn add_in<'e, T: Transaction<'e>>(
         &'e self,
         tx: &mut T,
@@ -62,6 +83,9 @@ pub trait SetOps: Sync {
     ) -> Result<bool, Abort>;
 
     /// Remove inside an ambient transaction; `false` if absent.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
     fn remove_in<'e, T: Transaction<'e>>(
         &'e self,
         tx: &mut T,
@@ -71,6 +95,9 @@ pub trait SetOps: Sync {
 
     /// Element count inside an ambient transaction (atomic only under a
     /// regular transaction).
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
     fn len_in<'e, T: Transaction<'e>>(&'e self, tx: &mut T) -> Result<usize, Abort>;
 
     /// Recycle slots allocated by an aborted attempt (never published, so
@@ -84,177 +111,83 @@ pub trait SetOps: Sync {
     fn retire_unlinked(&self, unlinked: &mut Vec<u64>, guard: &Guard);
 }
 
-/// A transactional set of `i64` keys with composable operations, bound to
-/// a statically known STM type.
+/// A transactional set of `i64` keys, as seen from inside a facade
+/// transaction: the object-safe building blocks over [`Tx`].
 ///
-/// Implemented for every [`SetOps`] structure by a blanket impl; the four
-/// building blocks plus the two memory-reclamation hooks delegate to the
-/// structure, and all user-facing operations (including the composed ones)
-/// are default methods.
-pub trait TxSet<S: Stm>: Sync {
-    /// Membership test inside an ambient transaction.
-    fn contains_in<'e>(&'e self, tx: &mut S::Txn<'e>, key: i64) -> Result<bool, Abort>;
+/// Implemented for every [`SetOps`] structure by a blanket impl. Hold it
+/// as `&dyn TxSet`/`Box<dyn TxSet>` to write code that is generic over
+/// the structure *at runtime* (the benchmark scenarios do); the atomic
+/// entry points live on [`SetExt`].
+pub trait TxSet: Sync {
+    /// Membership test inside an ambient facade transaction.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
+    fn contains_in<'env>(&'env self, tx: &mut Tx<'env, '_>, key: i64) -> Result<bool, Abort>;
 
-    /// Insert inside an ambient transaction; `false` if already present.
-    fn add_in<'e>(
-        &'e self,
-        tx: &mut S::Txn<'e>,
+    /// Insert inside an ambient facade transaction; `false` if present.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
+    fn add_in<'env>(
+        &'env self,
+        tx: &mut Tx<'env, '_>,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort>;
 
-    /// Remove inside an ambient transaction; `false` if absent.
-    fn remove_in<'e>(
-        &'e self,
-        tx: &mut S::Txn<'e>,
+    /// Remove inside an ambient facade transaction; `false` if absent.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
+    fn remove_in<'env>(
+        &'env self,
+        tx: &mut Tx<'env, '_>,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort>;
 
-    /// Element count inside an ambient transaction (atomic only under a
-    /// regular transaction).
-    fn len_in<'e>(&'e self, tx: &mut S::Txn<'e>) -> Result<usize, Abort>;
+    /// Element count inside an ambient facade transaction.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
+    fn len_in<'env>(&'env self, tx: &mut Tx<'env, '_>) -> Result<usize, Abort>;
 
-    /// Recycle slots allocated by an aborted attempt (never published, so
-    /// immediate reuse is safe). Implementations push them back to their
-    /// arena's free list and clear the vector.
+    /// Recycle slots allocated by an aborted attempt (see
+    /// [`SetOps::release_unpublished`]).
     fn release_unpublished(&self, allocated: &mut Vec<u64>);
 
-    /// Retire slots unlinked by a committed attempt (epoch-deferred
-    /// reuse). Implementations hand them to their arena and clear the
-    /// vector.
+    /// Retire slots unlinked by a committed attempt (see
+    /// [`SetOps::retire_unlinked`]).
     fn retire_unlinked(&self, unlinked: &mut Vec<u64>, guard: &Guard);
-
-    // ------------------------------------------------------------------
-    // Single-operation wrappers (each its own elastic transaction).
-    // ------------------------------------------------------------------
-
-    /// Atomic membership test.
-    fn contains(&self, stm: &S, key: i64) -> bool {
-        let _guard = pin();
-        stm.run(TxKind::Elastic, |tx| self.contains_in(tx, key))
-    }
-
-    /// Atomic insert; `false` if already present.
-    fn add(&self, stm: &S, key: i64) -> bool {
-        let guard = pin();
-        let mut scratch = OpScratch::default();
-        let out = stm.run(TxKind::Elastic, |tx| {
-            self.release_unpublished(&mut scratch.allocated);
-            scratch.unlinked.clear();
-            self.add_in(tx, key, &mut scratch)
-        });
-        self.retire_unlinked(&mut scratch.unlinked, &guard);
-        out
-    }
-
-    /// Atomic remove; `false` if absent.
-    fn remove(&self, stm: &S, key: i64) -> bool {
-        let guard = pin();
-        let mut scratch = OpScratch::default();
-        let out = stm.run(TxKind::Elastic, |tx| {
-            self.release_unpublished(&mut scratch.allocated);
-            scratch.unlinked.clear();
-            self.remove_in(tx, key, &mut scratch)
-        });
-        self.retire_unlinked(&mut scratch.unlinked, &guard);
-        out
-    }
-
-    /// Atomic size — the operation the JDK's lock-free collections
-    /// famously cannot provide atomically; here it is a regular (classic)
-    /// read-only transaction.
-    fn size(&self, stm: &S) -> usize {
-        let _guard = pin();
-        stm.run(TxKind::Regular, |tx| self.len_in(tx))
-    }
-
-    // ------------------------------------------------------------------
-    // Composed operations (Fig. 5 of the paper): children of one parent.
-    // ------------------------------------------------------------------
-
-    /// Atomically insert every key; `true` if the set changed. Composes
-    /// one `add` child per key, exactly like the paper's `addAll`.
-    fn add_all(&self, stm: &S, keys: &[i64]) -> bool {
-        let guard = pin();
-        let mut scratch = OpScratch::default();
-        let out = stm.run(TxKind::Elastic, |tx| {
-            self.release_unpublished(&mut scratch.allocated);
-            scratch.unlinked.clear();
-            let mut changed = false;
-            for &k in keys {
-                changed |= tx.child(TxKind::Elastic, |t| self.add_in(t, k, &mut scratch))?;
-            }
-            Ok(changed)
-        });
-        self.retire_unlinked(&mut scratch.unlinked, &guard);
-        out
-    }
-
-    /// Atomically remove every key; `true` if the set changed.
-    fn remove_all(&self, stm: &S, keys: &[i64]) -> bool {
-        let guard = pin();
-        let mut scratch = OpScratch::default();
-        let out = stm.run(TxKind::Elastic, |tx| {
-            self.release_unpublished(&mut scratch.allocated);
-            scratch.unlinked.clear();
-            let mut changed = false;
-            for &k in keys {
-                changed |= tx.child(TxKind::Elastic, |t| self.remove_in(t, k, &mut scratch))?;
-            }
-            Ok(changed)
-        });
-        self.retire_unlinked(&mut scratch.unlinked, &guard);
-        out
-    }
-
-    /// The paper's Fig. 1 composition: insert `x` only if `y` is absent;
-    /// `true` if `x` was inserted. Atomic under OE-STM; the motivating
-    /// counterexample under E-STM compatibility mode.
-    fn insert_if_absent(&self, stm: &S, x: i64, y: i64) -> bool {
-        let guard = pin();
-        let mut scratch = OpScratch::default();
-        let out = stm.run(TxKind::Elastic, |tx| {
-            self.release_unpublished(&mut scratch.allocated);
-            scratch.unlinked.clear();
-            let present = tx.child(TxKind::Elastic, |t| self.contains_in(t, y))?;
-            if present {
-                return Ok(false);
-            }
-            tx.child(TxKind::Elastic, |t| self.add_in(t, x, &mut scratch))?;
-            Ok(true)
-        });
-        self.retire_unlinked(&mut scratch.unlinked, &guard);
-        out
-    }
 }
 
 // Every structure implements its building blocks once, generically over
-// the transaction type; the per-STM interface falls out for free.
-impl<S: Stm, C: SetOps> TxSet<S> for C {
-    fn contains_in<'e>(&'e self, tx: &mut S::Txn<'e>, key: i64) -> Result<bool, Abort> {
+// the transaction type; the facade-level interface falls out for free.
+impl<C: SetOps> TxSet for C {
+    fn contains_in<'env>(&'env self, tx: &mut Tx<'env, '_>, key: i64) -> Result<bool, Abort> {
         SetOps::contains_in(self, tx, key)
     }
 
-    fn add_in<'e>(
-        &'e self,
-        tx: &mut S::Txn<'e>,
+    fn add_in<'env>(
+        &'env self,
+        tx: &mut Tx<'env, '_>,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort> {
         SetOps::add_in(self, tx, key, scratch)
     }
 
-    fn remove_in<'e>(
-        &'e self,
-        tx: &mut S::Txn<'e>,
+    fn remove_in<'env>(
+        &'env self,
+        tx: &mut Tx<'env, '_>,
         key: i64,
         scratch: &mut OpScratch,
     ) -> Result<bool, Abort> {
         SetOps::remove_in(self, tx, key, scratch)
     }
 
-    fn len_in<'e>(&'e self, tx: &mut S::Txn<'e>) -> Result<usize, Abort> {
+    fn len_in<'env>(&'env self, tx: &mut Tx<'env, '_>) -> Result<usize, Abort> {
         SetOps::len_in(self, tx)
     }
 
@@ -266,3 +199,111 @@ impl<S: Stm, C: SetOps> TxSet<S> for C {
         SetOps::retire_unlinked(self, unlinked, guard);
     }
 }
+
+/// The user-facing atomic set operations, generic over any [`Atomic`]
+/// runner — static backend or registry handle alike.
+///
+/// Blanket-implemented for every [`TxSet`] **including trait objects**
+/// (`dyn TxSet`), so `Box<dyn TxSet>` offers the full atomic interface.
+pub trait SetExt: TxSet {
+    /// Atomic membership test (its own elastic transaction).
+    fn contains<B: AtomicBackend>(&self, at: &Atomic<B>, key: i64) -> bool {
+        let _guard = pin();
+        at.run(Policy::Elastic, |tx| self.contains_in(tx, key))
+    }
+
+    /// Atomic insert; `false` if already present.
+    fn add<B: AtomicBackend>(&self, at: &Atomic<B>, key: i64) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = at.run(Policy::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            self.add_in(tx, key, &mut scratch)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// Atomic remove; `false` if absent.
+    fn remove<B: AtomicBackend>(&self, at: &Atomic<B>, key: i64) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = at.run(Policy::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            self.remove_in(tx, key, &mut scratch)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// Atomic size — the operation the JDK's lock-free collections
+    /// famously cannot provide atomically; here it is a regular (classic)
+    /// read-only transaction.
+    fn size<B: AtomicBackend>(&self, at: &Atomic<B>) -> usize {
+        let _guard = pin();
+        at.run(Policy::Regular, |tx| self.len_in(tx))
+    }
+
+    // ------------------------------------------------------------------
+    // Composed operations (Fig. 5 of the paper): sections of one parent.
+    // ------------------------------------------------------------------
+
+    /// Atomically insert every key; `true` if the set changed. Composes
+    /// one `add` section per key, exactly like the paper's `addAll`.
+    fn add_all<B: AtomicBackend>(&self, at: &Atomic<B>, keys: &[i64]) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = at.run(Policy::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            let mut changed = false;
+            for &k in keys {
+                changed |= tx.section(Policy::Elastic, |t| self.add_in(t, k, &mut scratch))?;
+            }
+            Ok(changed)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// Atomically remove every key; `true` if the set changed.
+    fn remove_all<B: AtomicBackend>(&self, at: &Atomic<B>, keys: &[i64]) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = at.run(Policy::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            let mut changed = false;
+            for &k in keys {
+                changed |= tx.section(Policy::Elastic, |t| self.remove_in(t, k, &mut scratch))?;
+            }
+            Ok(changed)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+
+    /// The paper's Fig. 1 composition: insert `x` only if `y` is absent;
+    /// `true` if `x` was inserted. Atomic under OE-STM; the motivating
+    /// counterexample under E-STM compatibility mode.
+    fn insert_if_absent<B: AtomicBackend>(&self, at: &Atomic<B>, x: i64, y: i64) -> bool {
+        let guard = pin();
+        let mut scratch = OpScratch::default();
+        let out = at.run(Policy::Elastic, |tx| {
+            self.release_unpublished(&mut scratch.allocated);
+            scratch.unlinked.clear();
+            let present = tx.section(Policy::Elastic, |t| self.contains_in(t, y))?;
+            if present {
+                return Ok(false);
+            }
+            tx.section(Policy::Elastic, |t| self.add_in(t, x, &mut scratch))?;
+            Ok(true)
+        });
+        self.retire_unlinked(&mut scratch.unlinked, &guard);
+        out
+    }
+}
+
+impl<C: TxSet + ?Sized> SetExt for C {}

@@ -287,13 +287,13 @@ impl SetOps for SkipListSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::set::TxSet;
+    use crate::set::SetExt;
     use oe_stm::OeStm;
-    use stm_core::Stm;
+    use stm_core::api::{Atomic, AtomicBackend};
     use stm_swiss::Swiss;
     use stm_tl2::Tl2;
 
-    fn basic_ops<S: Stm>(stm: &S) {
+    fn basic_ops<B: AtomicBackend>(stm: &Atomic<B>) {
         let set = SkipListSet::new();
         assert!(!set.contains(stm, 5));
         for k in [5i64, 3, 8, 1, 9, 7, 2] {
@@ -318,17 +318,17 @@ mod tests {
 
     #[test]
     fn basic_ops_under_oestm() {
-        basic_ops(&OeStm::new());
+        basic_ops(&Atomic::new(OeStm::new()));
     }
 
     #[test]
     fn basic_ops_under_tl2() {
-        basic_ops(&Tl2::new());
+        basic_ops(&Atomic::new(Tl2::new()));
     }
 
     #[test]
     fn basic_ops_under_swiss() {
-        basic_ops(&Swiss::new());
+        basic_ops(&Atomic::new(Swiss::new()));
     }
 
     #[test]
@@ -344,7 +344,7 @@ mod tests {
 
     #[test]
     fn large_ordered_and_reverse_inserts() {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let set = SkipListSet::new();
         for k in 0..500 {
             assert!(set.add(&stm, k));
@@ -360,7 +360,7 @@ mod tests {
 
     #[test]
     fn add_all_remove_all_compose() {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let set = SkipListSet::new();
         assert!(set.add_all(&stm, &[10, 20, 30]));
         assert_eq!(set.size(&stm), 3);
@@ -372,7 +372,7 @@ mod tests {
     #[test]
     fn concurrent_mixed_workload_preserves_balance() {
         use std::sync::Arc;
-        let stm = Arc::new(OeStm::new());
+        let stm = Arc::new(Atomic::new(OeStm::new()));
         let set = Arc::new(SkipListSet::new());
         for k in 0..32 {
             set.add(&*stm, k);
@@ -410,7 +410,7 @@ mod tests {
 
     #[test]
     fn removed_towers_are_recycled() {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let set = SkipListSet::new();
         for k in 0..16 {
             set.add(&stm, k);

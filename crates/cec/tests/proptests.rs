@@ -3,11 +3,11 @@
 //! `BTreeSet` oracle (sequentially — the linearizable concurrent cases are
 //! covered by the stress tests in the workspace `tests/` directory).
 
-use cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
+use cec::{HashSet, LinkedListSet, SetExt, SkipListSet, TxSet};
 use oe_stm::OeStm;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
-use stm_core::Stm;
+use stm_core::api::{Atomic, AtomicBackend};
 use stm_tl2::Tl2;
 
 #[derive(Debug, Clone)]
@@ -32,7 +32,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn check_against_oracle<S: Stm, C: TxSet<S>>(stm: &S, set: &C, ops: &[Op]) {
+fn check_against_oracle<B: AtomicBackend, C: TxSet>(stm: &Atomic<B>, set: &C, ops: &[Op]) {
     let mut oracle: BTreeSet<i64> = BTreeSet::new();
     for op in ops {
         match op {
@@ -79,32 +79,32 @@ proptest! {
 
     #[test]
     fn linked_list_matches_oracle(ops in prop::collection::vec(op_strategy(), 0..80)) {
-        check_against_oracle(&OeStm::new(), &LinkedListSet::new(), &ops);
+        check_against_oracle(&Atomic::new(OeStm::new()), &LinkedListSet::new(), &ops);
     }
 
     #[test]
     fn skiplist_matches_oracle(ops in prop::collection::vec(op_strategy(), 0..80)) {
-        check_against_oracle(&OeStm::new(), &SkipListSet::new(), &ops);
+        check_against_oracle(&Atomic::new(OeStm::new()), &SkipListSet::new(), &ops);
     }
 
     #[test]
     fn hashset_matches_oracle(ops in prop::collection::vec(op_strategy(), 0..80)) {
-        check_against_oracle(&OeStm::new(), &HashSet::new(3), &ops);
+        check_against_oracle(&Atomic::new(OeStm::new()), &HashSet::new(3), &ops);
     }
 
     #[test]
     fn linked_list_matches_oracle_under_tl2(ops in prop::collection::vec(op_strategy(), 0..60)) {
-        check_against_oracle(&Tl2::new(), &LinkedListSet::new(), &ops);
+        check_against_oracle(&Atomic::new(Tl2::new()), &LinkedListSet::new(), &ops);
     }
 
     /// The snapshot helper returns exactly the oracle's sorted contents.
     #[test]
     fn snapshot_is_sorted_oracle(keys in prop::collection::vec(-50i64..50, 0..40)) {
-        let stm = OeStm::new();
+        let stm = Atomic::new(OeStm::new());
         let list = LinkedListSet::new();
         let mut oracle = BTreeSet::new();
         for k in keys {
-            TxSet::<OeStm>::add(&list, &stm, k);
+            list.add(&stm, k);
             oracle.insert(k);
         }
         let expect: Vec<i64> = oracle.into_iter().collect();

@@ -483,4 +483,36 @@ mod tests {
         assert_eq!(OeStm::new().name(), "OE-STM");
         assert_eq!(OeStm::estm_compat().name(), "E-STM");
     }
+
+    #[test]
+    fn explicit_retry_is_not_a_conflict_abort_in_both_modes() {
+        // The facade's user-level retry must propagate through the OE
+        // retry loop — in outheriting mode AND in the E-STM compatibility
+        // mode — and land in its own statistics category, even when the
+        // retry is raised inside an elastic child.
+        for stm in [OeStm::new(), OeStm::estm_compat()] {
+            let v = TVar::new(0u64);
+            let mut retried = false;
+            stm.run(TxKind::Elastic, |tx| {
+                tx.child(TxKind::Elastic, |tx| {
+                    tx.write(&v, 5)?;
+                    if !retried {
+                        retried = true;
+                        return tx.retry();
+                    }
+                    Ok(())
+                })
+            });
+            assert_eq!(v.load_atomic(), 5, "{}", stm.name());
+            let snap = stm.stats();
+            assert_eq!(snap.commits, 1, "{}", stm.name());
+            assert_eq!(snap.explicit_retries(), 1, "{}", stm.name());
+            assert_eq!(
+                snap.aborts(),
+                0,
+                "{}: retry counted as conflict",
+                stm.name()
+            );
+        }
+    }
 }

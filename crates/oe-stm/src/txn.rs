@@ -299,7 +299,7 @@ impl<'env> Transaction<'env> for OeTxn<'env> {
 
     /// Composition, begin half. The child runs as its own (sub)transaction
     /// of the given kind against this same object; the parent's mode,
-    /// hardening flag and window are parked in a [`Frame`] until
+    /// hardening flag and window are parked in a `Frame` until
     /// [`child_commit`](Transaction::child_commit).
     fn child_enter(&mut self, kind: TxKind) -> Result<(), Abort> {
         let fresh = Window::new(self.stm.config().elastic_window);

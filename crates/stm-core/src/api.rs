@@ -1,0 +1,748 @@
+//! The `atomic` facade — the typed, composable *user* API of the stack.
+//!
+//! Everything below this module ([`Stm`]/[`Transaction`], the `dynstm`
+//! erasure layer, the backend crates) is a **backend SPI**: the contract
+//! STM implementors target. User code — collections, workloads, examples —
+//! talks to this facade instead:
+//!
+//! * [`Atomic`] — the runner. Construct it from any static backend
+//!   (`Atomic::new(Tl2::new())`) or from a registry-built
+//!   [`Backend`](crate::dynstm::Backend) handle
+//!   (`Atomic::new(registry.build_default("oe")?)`); the rest of the code
+//!   is identical either way.
+//! * [`Tx`] — the in-transaction handle: typed [`get`](Tx::get) /
+//!   [`set`](Tx::set) / [`modify`](Tx::modify), plus
+//!   [`section`](Tx::section) for the paper's *composition* (a child
+//!   transaction under a chosen [`Policy`]) and [`retry`](Tx::retry) for
+//!   the Haskell-STM style user-level retry.
+//! * [`Atomic::or_else`] — alternative composition: run the first body;
+//!   if it calls [`Tx::retry`], abandon the attempt and run the second
+//!   body instead, alternating (with backoff) until one commits.
+//! * [`Policy`] — which transactional model a transaction or section runs
+//!   under: [`Policy::Regular`] (classic, every access protected to
+//!   commit) or [`Policy::Elastic`] (the paper's relaxed model, read-only
+//!   prefixes may be cut).
+//!
+//! ## Retry semantics
+//!
+//! [`Tx::retry`] aborts the current attempt with
+//! [`AbortReason::ExplicitRetry`]. The shared retry loop treats it like
+//! any abort *mechanically* (the attempt's effects vanish, backoff runs,
+//! `max_retries` still bounds the loop) but the statistics layer files it
+//! in its own category — [`StatsSnapshot::explicit_retries`] — because a
+//! user-level retry is a control-flow decision, not a conflict.
+//!
+//! Under [`Atomic::or_else`], an explicit retry additionally flips which
+//! branch the *next* attempt runs: first ↦ second, second ↦ first. Each
+//! branch executes as a complete transaction attempt of its own, so
+//! whichever branch commits, commits atomically; a branch that retried
+//! left no effects behind (its writes died with the aborted attempt).
+//! This is the lock-free approximation of Haskell-STM's `orElse`: instead
+//! of blocking on the first branch's read set, the runner alternates
+//! branches under the same bounded backoff that paces conflict retries.
+//!
+//! ## Zero-cost discipline
+//!
+//! [`Tx`] borrows the backend's transaction object (one `&mut dyn`
+//! indirection — the same hop the erased benchmark path already paid) and
+//! every [`Atomic::run`] reuses the backend's pooled scratch state, so the
+//! facade adds **no heap allocation** to the steady-state hot path; the
+//! workspace-level `zero_alloc` test pins this down.
+//!
+//! ```text
+//! let at = Atomic::new(backend_registry().build_default("oe")?);
+//! let account = TVar::new(100i64);
+//! let paid = at.run(Policy::Regular, |tx| {
+//!     let balance = tx.get(&account)?;
+//!     if balance < 30 {
+//!         return tx.retry(); // block (with backoff) until funds arrive
+//!     }
+//!     tx.set(&account, balance - 30)?;
+//!     Ok(balance - 30)
+//! });
+//! ```
+//!
+//! (Runnable versions of this example live in the umbrella crate's docs
+//! and `examples/quickstart.rs`; this crate cannot depend on the backend
+//! crates that implement the SPI.)
+
+use crate::clock::GlobalClock;
+use crate::config::StmConfig;
+use crate::dynstm::{Backend, DynTransaction};
+use crate::error::{Abort, AbortReason};
+use crate::stats::StatsSnapshot;
+use crate::stm::{RunError, Stm, Transaction, TxKind};
+use crate::tvar::{TVar, TVarCore};
+use crate::word::Word;
+
+/// Which transactional model a transaction (or a [`Tx::section`]) runs
+/// under — the user-facing face of the SPI's [`TxKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Classic transaction: every access stays protected until commit.
+    Regular,
+    /// Elastic transaction (the paper's Section V relaxation): conflicts
+    /// on the read-only prefix may be ignored.
+    Elastic,
+}
+
+impl Policy {
+    /// The SPI kind this policy maps to.
+    #[must_use]
+    pub fn kind(self) -> TxKind {
+        match self {
+            Policy::Regular => TxKind::Regular,
+            Policy::Elastic => TxKind::Elastic,
+        }
+    }
+
+    /// The policy a SPI kind corresponds to.
+    #[must_use]
+    pub fn from_kind(kind: TxKind) -> Self {
+        match kind {
+            TxKind::Regular => Policy::Regular,
+            TxKind::Elastic => Policy::Elastic,
+        }
+    }
+}
+
+/// The in-transaction handle the [`Atomic`] runner passes to transaction
+/// bodies.
+///
+/// `Tx` wraps the backend's transaction object behind one `&mut dyn`
+/// indirection, which makes the facade a single type regardless of the
+/// backend — static or registry-built. It offers the ergonomic typed API
+/// (`get`/`set`/`modify`, `section`, `retry`) and *also* implements the
+/// SPI [`Transaction`] trait, so building-block code written against the
+/// SPI (e.g. the `cec` collection blocks) composes under it unchanged.
+///
+/// The `'env` lifetime ties every accessed [`TVar`] to the environment
+/// the transaction runs in, exactly as in the SPI: no use-after-free is
+/// possible by construction.
+pub struct Tx<'env, 'a> {
+    inner: &'a mut (dyn DynTransaction<'env> + 'a),
+}
+
+impl core::fmt::Debug for Tx<'_, '_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Tx")
+            .field("policy", &self.policy())
+            .field("ticket", &self.inner.ticket())
+            .finish()
+    }
+}
+
+impl<'env, 'a> Tx<'env, 'a> {
+    /// Wrap an SPI transaction. Public so SPI-level code (backend tests,
+    /// custom runners) can hand their transactions to facade-level
+    /// building blocks.
+    pub fn new(inner: &'a mut (dyn DynTransaction<'env> + 'a)) -> Self {
+        Self { inner }
+    }
+
+    /// Transactionally read `var`.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
+    pub fn get<T: Word>(&mut self, var: &'env TVar<T>) -> Result<T, Abort> {
+        self.inner.read_word(var.core()).map(T::from_word)
+    }
+
+    /// Transactionally write `value` to `var` (deferred or eager, per
+    /// backend).
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
+    pub fn set<T: Word>(&mut self, var: &'env TVar<T>, value: T) -> Result<(), Abort> {
+        self.inner.write_word(var.core(), value.into_word())
+    }
+
+    /// Read-modify-write `var` in place; returns the value written.
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt.
+    pub fn modify<T: Word>(
+        &mut self,
+        var: &'env TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<T, Abort> {
+        let next = f(self.get(var)?);
+        self.set(var, next)?;
+        Ok(next)
+    }
+
+    /// Run `body` as a *section* — a child transaction under `policy`,
+    /// the concurrent composition operator of the paper. The section sees
+    /// this transaction's effects; what happens to its protected set on
+    /// commit is backend-defined (flat nesting for the classic STMs,
+    /// `outherit()` for OE-STM, early release for the deliberately broken
+    /// E-STM compatibility mode).
+    ///
+    /// # Errors
+    /// Propagates the [`Abort`] that ends this attempt (the section's
+    /// abort unwinds the whole attempt — there is no partial rollback).
+    pub fn section<R>(
+        &mut self,
+        policy: Policy,
+        mut body: impl FnMut(&mut Self) -> Result<R, Abort>,
+    ) -> Result<R, Abort> {
+        self.inner.child_enter(policy.kind())?;
+        match body(self) {
+            Ok(value) => {
+                self.inner.child_commit()?;
+                Ok(value)
+            }
+            Err(abort) => {
+                self.inner.child_abort();
+                Err(abort)
+            }
+        }
+    }
+
+    /// User-level retry: abandon this attempt because a precondition does
+    /// not hold yet, and re-run (after backoff) — or, under
+    /// [`Atomic::or_else`], switch to the alternative branch.
+    ///
+    /// # Errors
+    /// Always returns `Err` with [`AbortReason::ExplicitRetry`]; propagate
+    /// it with `?` or `return`.
+    pub fn retry<R>(&mut self) -> Result<R, Abort> {
+        Err(Abort::new(AbortReason::ExplicitRetry))
+    }
+
+    /// The policy this (sub)transaction currently runs under.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        Policy::from_kind(self.inner.kind())
+    }
+
+    /// This attempt's globally unique ticket (lock-owner identity).
+    #[must_use]
+    pub fn ticket(&self) -> u64 {
+        self.inner.ticket()
+    }
+}
+
+// `Tx` is also a full SPI transaction, so SPI-generic building blocks
+// (collection traversals, reusable operation snippets) run under the
+// facade unchanged.
+impl<'env> Transaction<'env> for Tx<'env, '_> {
+    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
+        self.inner.read_word(core)
+    }
+    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
+        self.inner.write_word(core, word)
+    }
+    fn child_enter(&mut self, kind: TxKind) -> Result<(), Abort> {
+        self.inner.child_enter(kind)
+    }
+    fn child_commit(&mut self) -> Result<(), Abort> {
+        self.inner.child_commit()
+    }
+    fn child_abort(&mut self) {
+        self.inner.child_abort();
+    }
+    fn kind(&self) -> TxKind {
+        self.inner.kind()
+    }
+    fn ticket(&self) -> u64 {
+        self.inner.ticket()
+    }
+}
+
+/// What an [`Atomic`] runner can be built from: the bridge between the
+/// facade and the backend SPI.
+///
+/// Implemented for every static backend (blanket impl over [`Stm`]) and
+/// for the registry's erased [`Backend`] handle. User code never calls
+/// [`try_exec`](AtomicBackend::try_exec) directly — it goes through
+/// [`Atomic`].
+pub trait AtomicBackend: Send + Sync {
+    /// Human-readable algorithm name ("TL2", "OE-STM", …).
+    fn name(&self) -> &'static str;
+
+    /// Snapshot of the commit/abort/retry counters.
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Zero the counters (between benchmark phases).
+    fn reset_stats(&self);
+
+    /// The instance's global version clock.
+    fn clock(&self) -> &GlobalClock;
+
+    /// The instance's configuration.
+    fn config(&self) -> &StmConfig;
+
+    /// Run `body` transactionally under `policy` with the backend's retry
+    /// loop, handing it a facade-level [`Tx`].
+    ///
+    /// # Errors
+    /// Returns [`RunError`] when the retry budget is exhausted.
+    fn try_exec<'env, R, F>(&'env self, policy: Policy, body: F) -> Result<R, RunError>
+    where
+        F: for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>;
+}
+
+impl<S: Stm> AtomicBackend for S {
+    fn name(&self) -> &'static str {
+        Stm::name(self)
+    }
+    fn stats(&self) -> StatsSnapshot {
+        Stm::stats(self)
+    }
+    fn reset_stats(&self) {
+        Stm::reset_stats(self);
+    }
+    fn clock(&self) -> &GlobalClock {
+        Stm::clock(self)
+    }
+    fn config(&self) -> &StmConfig {
+        Stm::config(self)
+    }
+    fn try_exec<'env, R, F>(&'env self, policy: Policy, mut body: F) -> Result<R, RunError>
+    where
+        F: for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>,
+    {
+        self.try_run(policy.kind(), |txn: &mut S::Txn<'env>| {
+            let mut tx = Tx::new(txn);
+            body(&mut tx)
+        })
+    }
+}
+
+impl AtomicBackend for Backend {
+    fn name(&self) -> &'static str {
+        Backend::name(self)
+    }
+    fn stats(&self) -> StatsSnapshot {
+        Backend::stats(self)
+    }
+    fn reset_stats(&self) {
+        Backend::reset_stats(self);
+    }
+    fn clock(&self) -> &GlobalClock {
+        Backend::clock(self)
+    }
+    fn config(&self) -> &StmConfig {
+        Backend::config(self)
+    }
+    fn try_exec<'env, R, F>(&'env self, policy: Policy, mut body: F) -> Result<R, RunError>
+    where
+        F: for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>,
+    {
+        // `DynTxn` IS `Tx`, so the facade hands the erased transaction to
+        // the body directly — the same single vtable hop per operation the
+        // erased benchmark path always paid.
+        let mut out: Option<R> = None;
+        self.dyn_stm().try_run_dyn(policy.kind(), &mut |tx| {
+            out = Some(body(tx)?);
+            Ok(0)
+        })?;
+        Ok(out.expect("committed transaction body must have produced a value"))
+    }
+}
+
+/// The transaction runner of the `atomic` facade.
+///
+/// Owns a backend — any static STM or a registry-built
+/// [`Backend`](crate::dynstm::Backend) — and exposes the user-level
+/// execution operators: [`run`](Atomic::run)/[`try_run`](Atomic::try_run)
+/// and the alternative composition
+/// [`or_else`](Atomic::or_else)/[`try_or_else`](Atomic::try_or_else).
+#[derive(Debug)]
+pub struct Atomic<B> {
+    inner: B,
+}
+
+impl<B: AtomicBackend> Atomic<B> {
+    /// Wrap a backend into a runner.
+    pub fn new(inner: B) -> Self {
+        Self { inner }
+    }
+
+    /// The wrapped backend (for SPI-level access: registry key,
+    /// instrumentation hooks, …).
+    #[must_use]
+    pub fn backend(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwrap the runner.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// The backend's algorithm name ("TL2", "OE-STM", …).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    /// Snapshot of the commit/abort/retry counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    /// Zero the counters (between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+
+    /// The backend's global version clock.
+    #[must_use]
+    pub fn clock(&self) -> &GlobalClock {
+        self.inner.clock()
+    }
+
+    /// The backend's configuration.
+    #[must_use]
+    pub fn config(&self) -> &StmConfig {
+        self.inner.config()
+    }
+
+    /// Run `body` transactionally under `policy`, retrying on aborts with
+    /// backoff, until commit or until the configured retry budget is
+    /// exceeded.
+    ///
+    /// # Errors
+    /// Returns [`RunError`] when `config().max_retries` is exhausted (the
+    /// default, unbounded configuration never errors).
+    pub fn try_run<'env, R>(
+        &'env self,
+        policy: Policy,
+        body: impl for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>,
+    ) -> Result<R, RunError> {
+        self.inner.try_exec(policy, body)
+    }
+
+    /// Like [`try_run`](Atomic::try_run) but panics if the retry budget is
+    /// exhausted (the default, unbounded configuration never panics).
+    pub fn run<'env, R>(
+        &'env self,
+        policy: Policy,
+        body: impl for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>,
+    ) -> R {
+        match self.try_run(policy, body) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Alternative composition: run `first`; whenever the executing branch
+    /// calls [`Tx::retry`], abandon that attempt and run the *other*
+    /// branch on the next attempt, until one branch commits.
+    ///
+    /// Each branch executes as a complete transaction attempt, so the
+    /// winning branch commits atomically and a branch that retried left
+    /// no effects behind. Conflict aborts re-run the *same* branch; only
+    /// explicit retries alternate. See the module docs for how this
+    /// relates to Haskell-STM's `orElse`.
+    ///
+    /// # Errors
+    /// Returns [`RunError`] when the retry budget is exhausted — e.g. when
+    /// both branches keep retrying under a bounded `max_retries`.
+    pub fn try_or_else<'env, R>(
+        &'env self,
+        policy: Policy,
+        mut first: impl for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>,
+        mut second: impl for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>,
+    ) -> Result<R, RunError> {
+        let mut alternative = false;
+        self.inner.try_exec(policy, move |tx| {
+            let r = if alternative { second(tx) } else { first(tx) };
+            if let Err(abort) = &r {
+                if abort.reason.is_explicit_retry() {
+                    alternative = !alternative;
+                }
+            }
+            r
+        })
+    }
+
+    /// Like [`try_or_else`](Atomic::try_or_else) but panics if the retry
+    /// budget is exhausted (the default, unbounded configuration never
+    /// panics).
+    pub fn or_else<'env, R>(
+        &'env self,
+        policy: Policy,
+        first: impl for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>,
+        second: impl for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>,
+    ) -> R {
+        match self.try_or_else(policy, first, second) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StmStats;
+    use crate::stm::retry_loop;
+    use crate::ticket::next_ticket;
+
+    /// The same deliberately naive single-threaded STM the dynstm tests
+    /// use: eager writes with an undo log, no locking. The real backends
+    /// live in sibling crates; this exercises the facade plumbing.
+    #[derive(Debug, Default)]
+    struct ToyStm {
+        clock: GlobalClock,
+        stats: StmStats,
+        config: StmConfig,
+    }
+
+    struct ToyTxn<'env> {
+        stm: &'env ToyStm,
+        undo: Vec<(&'env TVarCore, u64)>,
+        ticket: u64,
+        depth: u32,
+    }
+
+    impl<'env> ToyTxn<'env> {
+        fn rollback(&mut self) {
+            for (core, old) in self.undo.drain(..).rev() {
+                core.store_value(old);
+            }
+        }
+    }
+
+    impl<'env> Transaction<'env> for ToyTxn<'env> {
+        fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
+            Ok(core.value_unsync())
+        }
+        fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
+            self.undo.push((core, core.value_unsync()));
+            core.store_value(word);
+            Ok(())
+        }
+        fn child_enter(&mut self, _kind: TxKind) -> Result<(), Abort> {
+            self.depth += 1;
+            Ok(())
+        }
+        fn child_commit(&mut self) -> Result<(), Abort> {
+            self.depth -= 1;
+            self.stm.stats.record_child_commit();
+            Ok(())
+        }
+        fn child_abort(&mut self) {
+            self.depth -= 1;
+        }
+        fn kind(&self) -> TxKind {
+            TxKind::Regular
+        }
+        fn ticket(&self) -> u64 {
+            self.ticket
+        }
+    }
+
+    impl Stm for ToyStm {
+        type Txn<'env> = ToyTxn<'env>;
+        fn name(&self) -> &'static str {
+            "Toy"
+        }
+        fn stats(&self) -> StatsSnapshot {
+            self.stats.snapshot()
+        }
+        fn reset_stats(&self) {
+            self.stats.reset();
+        }
+        fn clock(&self) -> &GlobalClock {
+            &self.clock
+        }
+        fn config(&self) -> &StmConfig {
+            &self.config
+        }
+        fn try_run<'env, R>(
+            &'env self,
+            _kind: TxKind,
+            mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
+        ) -> Result<R, RunError> {
+            retry_loop(&self.config, &self.stats, 1, || {
+                let mut txn = ToyTxn {
+                    stm: self,
+                    undo: Vec::new(),
+                    ticket: next_ticket().get(),
+                    depth: 0,
+                };
+                match f(&mut txn) {
+                    Ok(r) => Ok(r),
+                    Err(abort) => {
+                        txn.rollback();
+                        Err(abort)
+                    }
+                }
+            })
+        }
+    }
+
+    fn static_runner() -> Atomic<ToyStm> {
+        Atomic::new(ToyStm::default())
+    }
+
+    fn erased_runner() -> Atomic<Backend> {
+        Atomic::new(Backend::from_stm(ToyStm::default()))
+    }
+
+    #[test]
+    fn get_set_modify_roundtrip_static_and_erased() {
+        fn check<B: AtomicBackend>(at: &Atomic<B>) {
+            let v = TVar::new(40i64);
+            let out = at.run(Policy::Regular, |tx| {
+                let x = tx.get(&v)?;
+                tx.set(&v, x + 1)?;
+                tx.modify(&v, |x| x + 1)
+            });
+            assert_eq!(out, 42);
+            assert_eq!(v.load_atomic(), 42);
+            assert_eq!(at.stats().commits, 1);
+        }
+        check(&static_runner());
+        check(&erased_runner());
+    }
+
+    #[test]
+    fn sections_count_as_child_commits() {
+        let at = static_runner();
+        let a = TVar::new(0u64);
+        let b = TVar::new(0u64);
+        at.run(Policy::Regular, |tx| {
+            tx.section(Policy::Elastic, |t| t.set(&a, 1))?;
+            tx.section(Policy::Regular, |t| t.set(&b, 2))
+        });
+        assert_eq!((a.load_atomic(), b.load_atomic()), (1, 2));
+        assert_eq!(at.stats().child_commits, 2);
+    }
+
+    #[test]
+    fn retry_reruns_body_and_counts_separately() {
+        let at = erased_runner();
+        let v = TVar::new(0u64);
+        let mut retried = false;
+        at.run(Policy::Regular, |tx| {
+            tx.set(&v, 7)?;
+            if !retried {
+                retried = true;
+                return tx.retry();
+            }
+            Ok(())
+        });
+        assert_eq!(v.load_atomic(), 7);
+        let snap = at.stats();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.explicit_retries(), 1);
+        assert_eq!(snap.aborts(), 0, "a retry is not a conflict abort");
+    }
+
+    #[test]
+    fn or_else_falls_through_to_second_branch() {
+        let at = static_runner();
+        let gate = TVar::new(0u64);
+        let out = at.or_else(
+            Policy::Regular,
+            |tx| {
+                // Primary path: requires the gate to be open.
+                if tx.get(&gate)? == 0 {
+                    return tx.retry();
+                }
+                Ok("primary")
+            },
+            |_tx| Ok("fallback"),
+        );
+        assert_eq!(out, "fallback");
+        assert_eq!(at.stats().explicit_retries(), 1);
+        assert_eq!(at.stats().commits, 1);
+    }
+
+    #[test]
+    fn or_else_prefers_first_branch_when_it_commits() {
+        let at = erased_runner();
+        let mut second_ran = false;
+        let out = at.or_else(
+            Policy::Regular,
+            |_tx| Ok(1),
+            |_tx| {
+                second_ran = true;
+                Ok(2)
+            },
+        );
+        assert_eq!(out, 1);
+        assert!(!second_ran, "the alternative must not run");
+    }
+
+    #[test]
+    fn or_else_alternates_and_discards_retrying_branch_writes() {
+        let at = static_runner();
+        let v = TVar::new(0u64);
+        let mut first_calls = 0u32;
+        let out = at.or_else(
+            Policy::Regular,
+            |tx| {
+                first_calls += 1;
+                tx.set(&v, 99)?; // must never survive: this branch retries
+                if first_calls < 2 {
+                    return tx.retry();
+                }
+                Ok("first-eventually")
+            },
+            |tx| {
+                if tx.get(&v)? == 99 {
+                    // A leaked write from the aborted first branch.
+                    return Ok("leak");
+                }
+                tx.retry()
+            },
+        );
+        // Attempt 1: first retries (write rolled back). Attempt 2: second
+        // sees v == 0 and retries. Attempt 3: first commits.
+        assert_eq!(out, "first-eventually");
+        assert_eq!(first_calls, 2);
+        assert_eq!(v.load_atomic(), 99);
+        assert_eq!(at.stats().explicit_retries(), 2);
+    }
+
+    #[test]
+    fn or_else_exhausts_budget_when_both_branches_retry() {
+        let at = Atomic::new(ToyStm {
+            config: StmConfig::default().with_max_retries(4),
+            ..ToyStm::default()
+        });
+        let r: Result<(), _> = at.try_or_else(
+            Policy::Regular,
+            |tx: &mut Tx<'_, '_>| tx.retry(),
+            |tx: &mut Tx<'_, '_>| tx.retry(),
+        );
+        match r {
+            Err(RunError::RetriesExhausted { last, .. }) => {
+                assert_eq!(last, AbortReason::ExplicitRetry);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spi_building_blocks_run_under_the_facade() {
+        // A block written against the SPI `Transaction` trait…
+        fn bump<'e, T: Transaction<'e>>(tx: &mut T, v: &'e TVar<u64>) -> Result<u64, Abort> {
+            let x = tx.read(v)?;
+            tx.write(v, x + 1)?;
+            Ok(x + 1)
+        }
+        // …composes unchanged inside a facade section.
+        let at = static_runner();
+        let v = TVar::new(10u64);
+        let out = at.run(Policy::Regular, |tx| {
+            tx.section(Policy::Regular, |t| bump(t, &v))
+        });
+        assert_eq!(out, 11);
+        assert_eq!(v.load_atomic(), 11);
+    }
+
+    #[test]
+    fn policy_kind_mapping_roundtrips() {
+        for p in [Policy::Regular, Policy::Elastic] {
+            assert_eq!(Policy::from_kind(p.kind()), p);
+        }
+    }
+}

@@ -15,10 +15,11 @@
 //!   and writes against [`TVarCore`], `child_enter`/`child_commit`/
 //!   `child_abort` composition bookkeeping). Every `T: Transaction`
 //!   implements it via a blanket impl.
-//! * [`DynTxn`] — a sized wrapper around `&mut dyn DynTransaction` that
-//!   implements the full typed [`Transaction`] trait again, so collections
-//!   and workloads written against the static API run unchanged over an
-//!   erased backend (one extra vtable hop per operation).
+//! * [`DynTxn`] — an alias for the facade's [`Tx`](crate::api::Tx): a
+//!   sized wrapper around `&mut dyn DynTransaction` implementing the full
+//!   typed [`Transaction`] trait, so collections and workloads written
+//!   against the static API run unchanged over an erased backend (one
+//!   extra vtable hop per operation).
 //! * [`DynStm`] / [`Backend`] — the erased STM instance and its owning
 //!   handle. Any `S: Stm` erases with [`Backend::from_stm`].
 //! * [`BackendSpec`] / [`BackendRegistry`] — the name → constructor
@@ -86,53 +87,14 @@ impl<'env, T: Transaction<'env>> DynTransaction<'env> for T {
 
 /// A sized view over an erased in-flight transaction.
 ///
-/// `DynTxn` implements [`Transaction`], so the typed API (including
-/// `child`, which needs `Self: Sized`) is available again on top of the
-/// erased backend: collections written once against `Transaction` run
-/// over every registered backend.
-pub struct DynTxn<'env, 'a> {
-    inner: &'a mut (dyn DynTransaction<'env> + 'a),
-}
-
-impl core::fmt::Debug for DynTxn<'_, '_> {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("DynTxn")
-            .field("kind", &self.inner.kind())
-            .field("ticket", &self.inner.ticket())
-            .finish()
-    }
-}
-
-impl<'env, 'a> DynTxn<'env, 'a> {
-    /// Wrap an erased transaction.
-    pub fn new(inner: &'a mut (dyn DynTransaction<'env> + 'a)) -> Self {
-        Self { inner }
-    }
-}
-
-impl<'env, 'a> Transaction<'env> for DynTxn<'env, 'a> {
-    fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
-        self.inner.read_word(core)
-    }
-    fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
-        self.inner.write_word(core, word)
-    }
-    fn child_enter(&mut self, kind: TxKind) -> Result<(), Abort> {
-        self.inner.child_enter(kind)
-    }
-    fn child_commit(&mut self) -> Result<(), Abort> {
-        self.inner.child_commit()
-    }
-    fn child_abort(&mut self) {
-        self.inner.child_abort();
-    }
-    fn kind(&self) -> TxKind {
-        self.inner.kind()
-    }
-    fn ticket(&self) -> u64 {
-        self.inner.ticket()
-    }
-}
+/// This *is* the facade's [`Tx`](crate::api::Tx) handle: `Tx` wraps a
+/// `&mut dyn DynTransaction` and implements the full [`Transaction`]
+/// trait (so the typed API, including `child`, is available again on top
+/// of the erased backend), which is exactly what this layer needs —
+/// collections written once against `Transaction` run over every
+/// registered backend, and there is a single wrapper type to keep in
+/// sync with the trait surface.
+pub type DynTxn<'env, 'a> = crate::api::Tx<'env, 'a>;
 
 /// The erased transaction body passed across the `dyn DynStm` boundary.
 ///
@@ -235,6 +197,11 @@ impl Backend {
     #[must_use]
     pub fn key(&self) -> &str {
         &self.key
+    }
+
+    /// The erased STM instance (for the `api` facade's runner impl).
+    pub(crate) fn dyn_stm(&self) -> &dyn DynStm {
+        &*self.inner
     }
 
     /// The algorithm's display name ("TL2", "OE-STM", …).
@@ -350,6 +317,42 @@ impl BackendSpec {
     }
 }
 
+/// Error returned by [`BackendRegistry::build`] for a name no backend was
+/// registered under. Its `Display` lists the registered names, so the
+/// message is directly actionable from a CLI or a config file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend {
+    name: String,
+    registered: Vec<&'static str>,
+}
+
+impl UnknownBackend {
+    /// The name that failed to resolve.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The names that were registered at lookup time.
+    #[must_use]
+    pub fn registered(&self) -> &[&'static str] {
+        &self.registered
+    }
+}
+
+impl core::fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "unknown backend {:?}; registered backends: {}",
+            self.name,
+            self.registered.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
+
 /// The name → constructor factory runtime callers (the `repro` CLI, the
 /// scenario registry, library users) select backends from.
 ///
@@ -399,15 +402,27 @@ impl BackendRegistry {
         self.specs.iter().find(|s| s.name() == name)
     }
 
-    /// Build `name` with `config`; `None` for an unknown name.
-    #[must_use]
-    pub fn build(&self, name: &str, config: StmConfig) -> Option<Backend> {
-        self.get(name).map(|s| s.build(config))
+    /// Build `name` with `config`.
+    ///
+    /// # Errors
+    /// Returns [`UnknownBackend`] — whose `Display` lists every registered
+    /// name — when `name` is not registered, so CLI flags and config files
+    /// fail with an actionable message.
+    pub fn build(&self, name: &str, config: StmConfig) -> Result<Backend, UnknownBackend> {
+        self.get(name)
+            .map(|s| s.build(config))
+            .ok_or_else(|| UnknownBackend {
+                name: name.to_string(),
+                registered: self.names(),
+            })
     }
 
     /// Build `name` with the default configuration.
-    #[must_use]
-    pub fn build_default(&self, name: &str) -> Option<Backend> {
+    ///
+    /// # Errors
+    /// Returns [`UnknownBackend`] (listing the registered names) when
+    /// `name` is not registered.
+    pub fn build_default(&self, name: &str) -> Result<Backend, UnknownBackend> {
         self.build(name, StmConfig::default())
     }
 
@@ -600,7 +615,13 @@ mod tests {
         let b = reg.build_default("toy").expect("registered");
         assert_eq!(b.key(), "toy");
         assert_eq!(b.name(), "Toy");
-        assert!(reg.build_default("nope").is_none());
+        let err = reg.build_default("nope").unwrap_err();
+        assert_eq!(err.name(), "nope");
+        assert_eq!(err.registered(), ["toy"]);
+        assert!(
+            err.to_string().contains("registered backends: toy"),
+            "error must list the registered names: {err}"
+        );
         assert_eq!(reg.build_all().len(), 1);
     }
 

@@ -18,11 +18,21 @@ pub enum AbortReason {
     /// The elastic cut could not be taken: a location in the elastic window
     /// changed under us.
     ElasticCut,
-    /// The user requested an abort (explicit retry).
+    /// A programmatic abort-and-rerun: code observed a state it cannot
+    /// proceed from (e.g. the collection layer hitting a node another
+    /// transaction retired) and restarts the attempt.
     Explicit,
     /// A defensive traversal bound was exceeded (used by the collection
     /// layer to guarantee termination even under pathological interleaving).
     StepBound,
+    /// A *user-level* retry ([`Tx::retry`](crate::api::Tx::retry) /
+    /// [`Transaction::retry`](crate::stm::Transaction::retry)): the body
+    /// asked to be re-run because a precondition does not hold yet. This is
+    /// the Haskell-STM `retry` of the `atomic` facade — it drives
+    /// [`Atomic::or_else`](crate::api::Atomic::or_else) branch alternation
+    /// and is counted as its own statistics category, **not** as a
+    /// conflict abort.
+    ExplicitRetry,
 }
 
 impl AbortReason {
@@ -38,11 +48,12 @@ impl AbortReason {
             AbortReason::ElasticCut => 5,
             AbortReason::Explicit => 6,
             AbortReason::StepBound => 7,
+            AbortReason::ExplicitRetry => 8,
         }
     }
 
     /// Number of distinct abort causes (size of the counter array).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// All causes, in `index` order.
     pub const ALL: [AbortReason; Self::COUNT] = [
@@ -54,7 +65,15 @@ impl AbortReason {
         AbortReason::ElasticCut,
         AbortReason::Explicit,
         AbortReason::StepBound,
+        AbortReason::ExplicitRetry,
     ];
+
+    /// True for the user-level retry, which the statistics layer reports
+    /// as its own category instead of a conflict abort.
+    #[must_use]
+    pub fn is_explicit_retry(self) -> bool {
+        matches!(self, AbortReason::ExplicitRetry)
+    }
 }
 
 impl core::fmt::Display for AbortReason {
@@ -68,6 +87,7 @@ impl core::fmt::Display for AbortReason {
             AbortReason::ElasticCut => "elastic cut failed",
             AbortReason::Explicit => "explicit",
             AbortReason::StepBound => "step bound exceeded",
+            AbortReason::ExplicitRetry => "explicit retry",
         };
         f.write_str(s)
     }

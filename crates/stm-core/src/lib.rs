@@ -16,9 +16,16 @@
 //!   lock order) retained across retry attempts and — for the lifetime-free
 //!   buffers — pooled per thread across transactions, so the steady-state
 //!   hot path performs no heap allocation,
+//! * the [`api`] module — the **`atomic` facade** user code targets: the
+//!   [`Atomic`](api::Atomic) runner (over any static backend or a registry
+//!   [`Backend`](dynstm::Backend)), the typed [`Tx`](api::Tx) handle with
+//!   `get`/`set`/`modify`, policy-driven [`section`](api::Tx::section)
+//!   composition, the user-level [`retry`](api::Tx::retry), and
+//!   [`or_else`](api::Atomic::or_else) alternative composition,
 //! * the [`Stm`](stm::Stm) / [`Transaction`](stm::Transaction) traits that
-//!   all four STMs implement, including the `child` entry point used for
-//!   *composition* (the subject of the paper),
+//!   all four STMs implement — the **backend SPI** underneath the facade —
+//!   including the `child` entry point used for *composition* (the subject
+//!   of the paper),
 //! * retry machinery with bounded exponential [`backoff`],
 //! * a [`dynstm`] erasure layer (object-safe `DynStm`/`DynTransaction`
 //!   twins of the static traits) and the name-based
@@ -38,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod backoff;
 pub mod bloom;
 pub mod clock;
@@ -56,9 +64,12 @@ pub mod vlock;
 pub mod word;
 pub mod writeset;
 
+pub use api::{Atomic, AtomicBackend, Policy, Tx};
 pub use clock::GlobalClock;
 pub use config::StmConfig;
-pub use dynstm::{Backend, BackendRegistry, BackendSpec, DynStm, DynTransaction, DynTxn};
+pub use dynstm::{
+    Backend, BackendRegistry, BackendSpec, DynStm, DynTransaction, DynTxn, UnknownBackend,
+};
 pub use error::{Abort, AbortReason};
 pub use scratch::TxScratch;
 pub use stats::{StatsSnapshot, StmStats};

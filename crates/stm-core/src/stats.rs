@@ -33,6 +33,11 @@ impl StmStats {
     }
 
     /// Record an abort with its cause.
+    ///
+    /// [`AbortReason::ExplicitRetry`] lands in its own slot of the
+    /// per-cause array but is *excluded* from
+    /// [`StatsSnapshot::aborts`]/[`StatsSnapshot::abort_rate`]: a user-level
+    /// retry is a control-flow decision, not a conflict.
     #[inline]
     pub fn record_abort(&self, reason: AbortReason) {
         self.aborts_by_cause[reason.index()].fetch_add(1, Ordering::Relaxed);
@@ -112,10 +117,25 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    /// Total aborts across all causes.
+    /// Total *conflict* aborts across all causes — everything except
+    /// user-level [`AbortReason::ExplicitRetry`], which is a control-flow
+    /// decision (see [`explicit_retries`](Self::explicit_retries)).
     #[must_use]
     pub fn aborts(&self) -> u64 {
-        self.aborts_by_cause.iter().sum()
+        self.aborts_by_cause
+            .iter()
+            .zip(AbortReason::ALL)
+            .filter(|(_, r)| !r.is_explicit_retry())
+            .map(|(n, _)| n)
+            .sum()
+    }
+
+    /// User-level explicit retries (`tx.retry()` / `or_else` branch
+    /// switches) — reported as their own category, next to `outherits`
+    /// in the benchmark tables.
+    #[must_use]
+    pub fn explicit_retries(&self) -> u64 {
+        self.aborts_by_cause[AbortReason::ExplicitRetry.index()]
     }
 
     /// Abort rate as the paper plots it: aborts / (aborts + commits).
@@ -171,6 +191,19 @@ mod tests {
         assert_eq!(snap.aborts(), 3);
         assert!((snap.abort_rate() - 0.75).abs() < 1e-12);
         assert_eq!(snap.aborts_by_cause[AbortReason::ReadValidation.index()], 2);
+    }
+
+    #[test]
+    fn explicit_retries_are_not_conflict_aborts() {
+        let s = StmStats::new();
+        s.record_commit();
+        s.record_abort(AbortReason::ExplicitRetry);
+        s.record_abort(AbortReason::ExplicitRetry);
+        s.record_abort(AbortReason::LockConflict);
+        let snap = s.snapshot();
+        assert_eq!(snap.explicit_retries(), 2);
+        assert_eq!(snap.aborts(), 1, "retries must not count as aborts");
+        assert!((snap.abort_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -145,12 +145,18 @@ pub trait Transaction<'env> {
         }
     }
 
-    /// Abort explicitly (retry from scratch).
+    /// User-level retry: abandon this attempt and re-run the body from
+    /// scratch (after backoff), because a precondition does not hold yet.
+    ///
+    /// Recorded as [`AbortReason::ExplicitRetry`] — its own statistics
+    /// category, not a conflict abort — and it is what
+    /// [`Atomic::or_else`](crate::api::Atomic::or_else) intercepts to
+    /// switch to the alternative branch.
     fn retry<T>(&mut self) -> Result<T, Abort>
     where
         Self: Sized,
     {
-        Err(Abort::new(AbortReason::Explicit))
+        Err(Abort::new(AbortReason::ExplicitRetry))
     }
 }
 
@@ -204,7 +210,13 @@ pub trait Stm: Send + Sync {
 /// commit/abort statistics and backing off between attempts.
 ///
 /// `attempt` must perform a complete begin → body → commit cycle and map
-/// every failure to an [`Abort`].
+/// every failure to an [`Abort`]. All four backends (and therefore the
+/// `dynstm` erasure layer and the `api` facade on top) funnel every abort
+/// through here, so [`AbortReason::ExplicitRetry`] is handled uniformly:
+/// it goes through the same bounded backoff (a retrying transaction waits
+/// for another thread to change the world) and counts against
+/// `max_retries`, but the statistics layer files it in its own category
+/// instead of the conflict-abort counters.
 pub fn retry_loop<R>(
     cfg: &StmConfig,
     stats: &StmStats,
@@ -269,6 +281,26 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.commits, 1);
         assert_eq!(snap.aborts(), 3);
+    }
+
+    #[test]
+    fn retry_loop_files_explicit_retries_separately() {
+        let cfg = StmConfig::default();
+        let stats = StmStats::new();
+        let mut left = 2;
+        retry_loop(&cfg, &stats, 1, || {
+            if left > 0 {
+                left -= 1;
+                Err(Abort::new(AbortReason::ExplicitRetry))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.explicit_retries(), 2);
+        assert_eq!(snap.aborts(), 0, "retries are not conflict aborts");
     }
 
     #[test]

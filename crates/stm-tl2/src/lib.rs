@@ -412,4 +412,28 @@ mod tests {
         assert_eq!(a.load_atomic(), 999);
         assert_eq!(b.load_atomic(), 999);
     }
+
+    #[test]
+    fn explicit_retry_is_not_a_conflict_abort() {
+        // The facade's user-level retry must propagate through this
+        // backend's retry loop, re-run the body, and land in its own
+        // statistics category — not in the conflict-abort counters.
+        let stm = Tl2::new();
+        let v = TVar::new(0u64);
+        let mut retried = false;
+        stm.run(TxKind::Regular, |tx| {
+            tx.write(&v, 5)?;
+            if !retried {
+                retried = true;
+                return tx.retry();
+            }
+            Ok(())
+        });
+        assert_eq!(v.load_atomic(), 5, "retried writes must not leak");
+        let snap = stm.stats();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.explicit_retries(), 1);
+        assert_eq!(snap.aborts(), 0, "TL2: retry counted as conflict");
+        assert_eq!(snap.abort_rate(), 0.0);
+    }
 }

@@ -7,15 +7,15 @@
 //! cargo run --example collections_tour
 //! ```
 
-use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
+use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, SetExt, SkipListSet};
 use composing_relaxed_transactions::oe_stm::OeStm;
-use composing_relaxed_transactions::stm_core::Stm;
+use composing_relaxed_transactions::stm_core::api::{Atomic, AtomicBackend};
 use composing_relaxed_transactions::stm_lsa::Lsa;
 use composing_relaxed_transactions::stm_swiss::Swiss;
 use composing_relaxed_transactions::stm_tl2::Tl2;
 
-/// The whole tour is generic over the STM — the collections don't care.
-fn tour<S: Stm>(stm: &S) {
+/// The whole tour is generic over the runner — the collections don't care.
+fn tour<B: AtomicBackend>(stm: &Atomic<B>) {
     println!("--- under {} ---", stm.name());
 
     // LinkedListSet: the paper's Fig. 6 structure.
@@ -66,9 +66,9 @@ fn tour<S: Stm>(stm: &S) {
 }
 
 fn main() {
-    tour(&OeStm::new());
-    tour(&Tl2::new());
-    tour(&Lsa::new());
-    tour(&Swiss::new());
+    tour(&Atomic::new(OeStm::new()));
+    tour(&Atomic::new(Tl2::new()));
+    tour(&Atomic::new(Lsa::new()));
+    tour(&Atomic::new(Swiss::new()));
     println!("same collection code, four transactional memories.");
 }

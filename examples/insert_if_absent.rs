@@ -1,5 +1,6 @@
 //! Fig. 1 of the paper, live: composing elastic `contains(y)` and
-//! `insert(x)` into `insertIfAbsent(x, y)`.
+//! `insert(x)` into `insertIfAbsent(x, y)` — entirely on the `atomic`
+//! facade.
 //!
 //! With plain elastic transactions (E-STM, no outheritance) the composed
 //! operation is *not* atomic: an `insert(y)` landing between the
@@ -10,26 +11,22 @@
 //!
 //! The race is reproduced *deterministically*: the adversary's
 //! `insert(y)` runs as a real committed transaction injected exactly
-//! between the two children of the composition's first attempt.
+//! between the two sections of the composition's first attempt — which
+//! the facade expresses directly: a nested `at.run` inside the parent's
+//! body is simply another top-level transaction.
 //!
 //! ```sh
 //! cargo run --example insert_if_absent
 //! ```
 
-use composing_relaxed_transactions::cec::{LinkedListSet, OpScratch, TxSet};
-
-/// Disambiguate the generic `TxSet<S>` impl to OE-STM for this example.
-type Set = LinkedListSet;
-fn as_oe(set: &Set) -> &dyn TxSet<OeStm> {
-    set
-}
+use composing_relaxed_transactions::cec::{LinkedListSet, OpScratch, SetExt, TxSet};
 use composing_relaxed_transactions::oe_stm::OeStm;
-use composing_relaxed_transactions::stm_core::{Stm, Transaction, TxKind};
+use composing_relaxed_transactions::stm_core::api::{Atomic, Policy};
 
 /// insertIfAbsent(x, y) composed from the set's building blocks, with a
-/// hook that fires between the two children on the first attempt only.
+/// hook that fires between the two sections on the first attempt only.
 fn insert_if_absent_with_hook(
-    stm: &OeStm,
+    at: &Atomic<OeStm>,
     set: &LinkedListSet,
     x: i64,
     y: i64,
@@ -38,13 +35,11 @@ fn insert_if_absent_with_hook(
     let mut scratch = OpScratch::default();
     let mut adv_scratch = OpScratch::default();
     let mut first_attempt = true;
-    let out = stm.run(TxKind::Elastic, |tx| {
-        as_oe(set).release_unpublished(&mut scratch.allocated);
+    at.run(Policy::Elastic, |tx| {
+        set.release_unpublished(&mut scratch.allocated);
         scratch.unlinked.clear();
-        // Child 1: the containment check.
-        let present = tx.child(TxKind::Elastic, |t| {
-            <Set as TxSet<OeStm>>::contains_in(set, t, y)
-        })?;
+        // Section 1: the containment check.
+        let present = tx.section(Policy::Elastic, |t| set.contains_in(t, y))?;
         // The adversary strikes: a concurrent transaction inserts y RIGHT
         // HERE (only on the first attempt, so the demonstration is
         // deterministic).
@@ -52,33 +47,31 @@ fn insert_if_absent_with_hook(
             first_attempt = false;
             between();
             // The adversary transaction, committed for real:
-            stm.run(TxKind::Elastic, |t| {
-                as_oe(set).release_unpublished(&mut adv_scratch.allocated);
-                <Set as TxSet<OeStm>>::add_in(set, t, y, &mut adv_scratch)
+            at.run(Policy::Elastic, |t| {
+                set.release_unpublished(&mut adv_scratch.allocated);
+                set.add_in(t, y, &mut adv_scratch)
             });
         }
         if present {
             return Ok(false);
         }
-        // Child 2: the insert that believes y is absent.
-        tx.child(TxKind::Elastic, |t| {
-            <Set as TxSet<OeStm>>::add_in(set, t, x, &mut scratch)
-        })?;
+        // Section 2: the insert that believes y is absent.
+        tx.section(Policy::Elastic, |t| set.add_in(t, x, &mut scratch))?;
         Ok(true)
-    });
-    out
+    })
 }
 
-fn demo(label: &str, stm: &OeStm) {
+fn demo(label: &str, stm: OeStm) {
+    let at = Atomic::new(stm);
     let set = LinkedListSet::new();
     for k in (0..40).step_by(2) {
-        set.add(stm, k);
+        set.add(&at, k);
     }
     let (x, y) = (101, 33);
-    let inserted = insert_if_absent_with_hook(stm, &set, x, y, || {});
-    let x_in = set.contains(stm, x);
-    let y_in = set.contains(stm, y);
-    let aborted = stm.stats().aborts();
+    let inserted = insert_if_absent_with_hook(&at, &set, x, y, || {});
+    let x_in = set.contains(&at, x);
+    let y_in = set.contains(&at, y);
+    let aborted = at.stats().aborts();
     println!("{label}:");
     println!("  insertIfAbsent({x}, {y}) returned {inserted}");
     println!("  final state: x present = {x_in}, y present = {y_in}");
@@ -92,6 +85,6 @@ fn demo(label: &str, stm: &OeStm) {
 
 fn main() {
     println!("The paper's Fig. 1, reproduced deterministically.\n");
-    demo("E-STM (elastic, outheritance OFF)", &OeStm::estm_compat());
-    demo("OE-STM (elastic, outheritance ON)", &OeStm::new());
+    demo("E-STM (elastic, outheritance OFF)", OeStm::estm_compat());
+    demo("OE-STM (elastic, outheritance ON)", OeStm::new());
 }

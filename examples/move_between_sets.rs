@@ -12,16 +12,16 @@
 //! ```
 
 use composing_relaxed_transactions::cec::{
-    move_entry, total_size, LinkedListSet, SkipListSet, TxSet,
+    move_entry, total_size, LinkedListSet, SetExt, SkipListSet,
 };
 use composing_relaxed_transactions::oe_stm::OeStm;
-use composing_relaxed_transactions::stm_core::Stm;
+use composing_relaxed_transactions::stm_core::api::Atomic;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
-    let stm = Arc::new(OeStm::new());
+    let stm = Arc::new(Atomic::new(OeStm::new()));
     // Two different structures on purpose: composition is cross-type.
     let inbox = Arc::new(LinkedListSet::new());
     let archive = Arc::new(SkipListSet::new());

@@ -13,14 +13,14 @@
 
 use composing_relaxed_transactions::cec::queue::{transfer, TxQueue};
 use composing_relaxed_transactions::oe_stm::OeStm;
-use composing_relaxed_transactions::stm_core::{Stm, Transaction, TxKind};
+use composing_relaxed_transactions::stm_core::api::{Atomic, Policy};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 const JOBS: i64 = 400;
 
 fn main() {
-    let stm = Arc::new(OeStm::new());
+    let stm = Arc::new(Atomic::new(OeStm::new()));
     let intake = Arc::new(TxQueue::new());
     let work = Arc::new(TxQueue::new());
 
@@ -49,9 +49,9 @@ fn main() {
                 // intake -> work -> completed, so the snapshot can only
                 // see MORE completed than we read, never less.
                 let completed_before = done.load(Ordering::SeqCst) as usize;
-                let in_queues = stm.run(TxKind::Regular, |tx| {
-                    let a = tx.child(TxKind::Regular, |t| intake.len_in(t))?;
-                    let b = tx.child(TxKind::Regular, |t| work.len_in(t))?;
+                let in_queues = stm.run(Policy::Regular, |tx| {
+                    let a = tx.section(Policy::Regular, |t| intake.len_in(t))?;
+                    let b = tx.section(Policy::Regular, |t| work.len_in(t))?;
                     Ok(a + b)
                 });
                 assert!(

@@ -1,23 +1,21 @@
-//! Quickstart: transactional variables, elastic transactions, and
-//! composition in ~60 lines.
+//! Quickstart for the `atomic` facade: transactional variables, sections,
+//! user-level `retry`, and `or_else` alternative composition in ~80 lines.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
+use composing_relaxed_transactions::backend_registry;
 use composing_relaxed_transactions::oe_stm::OeStm;
-use composing_relaxed_transactions::stm_core::{Abort, Stm, TVar, Transaction, TxKind};
+use composing_relaxed_transactions::stm_core::api::{Atomic, Policy, Tx};
+use composing_relaxed_transactions::stm_core::{Abort, TVar};
 
 /// A reusable building block: withdraw `amount` if the balance allows.
-/// Works inside any transaction of any STM in the workspace.
-fn withdraw<'e, T: Transaction<'e>>(
-    tx: &mut T,
-    var: &'e TVar<i64>,
-    amount: i64,
-) -> Result<bool, Abort> {
-    let v = tx.read(var)?;
+/// Works inside any transaction of any backend in the workspace.
+fn withdraw<'e>(tx: &mut Tx<'e, '_>, var: &'e TVar<i64>, amount: i64) -> Result<bool, Abort> {
+    let v = tx.get(var)?;
     if v >= amount {
-        tx.write(var, v - amount)?;
+        tx.set(var, v - amount)?;
         Ok(true)
     } else {
         Ok(false)
@@ -25,19 +23,21 @@ fn withdraw<'e, T: Transaction<'e>>(
 }
 
 fn main() {
-    // An OE-STM instance: elastic transactions + outheritance.
-    let stm = OeStm::new();
+    // An Atomic runner over OE-STM (elastic transactions + outheritance).
+    // `Atomic::new(backend_registry().build_default("oe").unwrap())` gives
+    // the exact same API over a runtime-selected backend.
+    let at = Atomic::new(OeStm::new());
 
     // Two "bank accounts" as transactional variables.
     let alice = TVar::new(100i64);
     let bob = TVar::new(50i64);
 
-    // 1. A plain atomic transfer.
-    stm.run(TxKind::Regular, |tx| {
-        let a = tx.read(&alice)?;
-        let b = tx.read(&bob)?;
-        tx.write(&alice, a - 30)?;
-        tx.write(&bob, b + 30)
+    // 1. A plain atomic transfer: get/set/modify inside one transaction.
+    at.run(Policy::Regular, |tx| {
+        let a = tx.get(&alice)?;
+        tx.set(&alice, a - 30)?;
+        tx.modify(&bob, |b| b + 30)?;
+        Ok(())
     });
     assert_eq!(alice.load_atomic(), 70);
     assert_eq!(bob.load_atomic(), 80);
@@ -48,14 +48,15 @@ fn main() {
     );
 
     // 2. Composition: two existing operations (a withdrawal and a
-    //    deposit), each written as its own child transaction, composed
-    //    into one atomic operation — no changes to the children needed.
-    let moved = stm.run(TxKind::Elastic, |tx| {
-        let ok = tx.child(TxKind::Elastic, |tx| withdraw(tx, &alice, 25))?;
+    //    deposit), each written as its own *section* under a chosen
+    //    policy, composed into one atomic operation — no changes to the
+    //    building blocks needed.
+    let moved = at.run(Policy::Elastic, |tx| {
+        let ok = tx.section(Policy::Elastic, |tx| withdraw(tx, &alice, 25))?;
         if ok {
-            tx.child(TxKind::Elastic, |tx| {
-                let b = tx.read(&bob)?;
-                tx.write(&bob, b + 25)
+            tx.section(Policy::Elastic, |tx| {
+                tx.modify(&bob, |b| b + 25)?;
+                Ok(())
             })?;
         }
         Ok(ok)
@@ -72,14 +73,48 @@ fn main() {
         "money conserved"
     );
 
-    // 3. Statistics: the STM counts commits, aborts (by cause), elastic
-    //    cuts, and outherit() calls.
-    let stats = stm.stats();
+    // 3. Alternatives: try to debit alice; if her balance is too low the
+    //    branch *retries*, and `or_else` runs the fallback branch that
+    //    debits bob instead. Exactly one branch commits, atomically.
+    let payer = at.or_else(
+        Policy::Regular,
+        |tx| {
+            if !withdraw(tx, &alice, 60)? {
+                return tx.retry(); // insufficient funds -> try the alternative
+            }
+            Ok("alice")
+        },
+        |tx| {
+            if !withdraw(tx, &bob, 60)? {
+                return Ok("nobody");
+            }
+            Ok("bob")
+        },
+    );
     println!(
-        "commits={}, aborts={}, child-commits={}, outherits={}",
+        "or_else: {payer} paid 60 -> alice={}, bob={}",
+        alice.load_atomic(),
+        bob.load_atomic()
+    );
+
+    // 4. Statistics: commits, conflict aborts, explicit retries (their own
+    //    category), child commits and outherit() calls.
+    let stats = at.stats();
+    println!(
+        "commits={}, aborts={}, explicit-retries={}, child-commits={}, outherits={}",
         stats.commits,
         stats.aborts(),
+        stats.explicit_retries(),
         stats.child_commits,
         stats.outherits
     );
+
+    // 5. The same code drives any registry backend.
+    for name in backend_registry().names() {
+        let at = Atomic::new(backend_registry().build_default(name).unwrap());
+        let v = TVar::new(1u64);
+        let out = at.run(Policy::Regular, |tx| tx.modify(&v, |x| x * 2));
+        assert_eq!(out, 2);
+        println!("backend {name:<16} ({}) ran the same closure", at.name());
+    }
 }

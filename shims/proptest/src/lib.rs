@@ -312,7 +312,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::Range;
 
-        /// Length specification for [`vec`]: fixed or ranged.
+        /// Length specification for [`vec()`]: fixed or ranged.
         #[derive(Debug, Clone)]
         pub enum SizeRange {
             /// Exactly this many elements.

@@ -3,7 +3,8 @@
 //! Re-exports the whole stack so examples and integration tests can depend
 //! on a single crate:
 //!
-//! * [`stm_core`] — substrate (clock, versioned locks, `TVar`, traits)
+//! * [`stm_core`] — substrate (clock, versioned locks, `TVar`, traits) and
+//!   the **`atomic` facade** ([`stm_core::api`]) user code targets
 //! * [`stm_tl2`], [`stm_lsa`], [`stm_swiss`] — the baseline STMs
 //! * [`oe_stm`] — the paper's contribution: elastic transactions with
 //!   outheritance
@@ -31,20 +32,55 @@ pub const PAPER: &str = "Gramoli, Guerraoui, Letia: Composing Relaxed Transactio
 /// Every STM backend this workspace ships, assembled into the runtime
 /// name → constructor registry ("tl2", "lsa", "swiss", "oe",
 /// "oe-estm-compat"). Library users select backends from strings —
-/// config files, CLI flags — without naming a concrete STM type:
+/// config files, CLI flags — without naming a concrete STM type, and
+/// drive them through the `atomic` facade:
 ///
 /// ```
 /// use composing_relaxed_transactions::backend_registry;
-/// use composing_relaxed_transactions::stm_core::{TVar, Transaction, TxKind};
+/// use composing_relaxed_transactions::stm_core::api::{Atomic, Policy};
+/// use composing_relaxed_transactions::stm_core::TVar;
 ///
-/// let backend = backend_registry().build_default("tl2").unwrap();
+/// let at = Atomic::new(backend_registry().build_default("tl2").unwrap());
 /// let v = TVar::new(1i64);
-/// let out = backend.run(TxKind::Regular, |tx| {
-///     let x = tx.read(&v)?;
-///     tx.write(&v, x + 1)?;
-///     tx.read(&v)
+/// let out = at.run(Policy::Regular, |tx| {
+///     let x = tx.get(&v)?;
+///     tx.set(&v, x + 1)?;
+///     tx.get(&v)
 /// });
 /// assert_eq!(out, 2);
+/// ```
+///
+/// An unknown name fails with an error listing what *is* registered:
+///
+/// ```
+/// use composing_relaxed_transactions::backend_registry;
+///
+/// let err = backend_registry().build_default("tl3").unwrap_err();
+/// assert!(err.to_string().contains("registered backends: oe, oe-estm-compat, lsa, tl2, swiss"));
+/// ```
+///
+/// The facade's `retry`/`or_else` combinators work over any backend:
+///
+/// ```
+/// use composing_relaxed_transactions::backend_registry;
+/// use composing_relaxed_transactions::stm_core::api::{Atomic, Policy};
+/// use composing_relaxed_transactions::stm_core::TVar;
+///
+/// let at = Atomic::new(backend_registry().build_default("oe").unwrap());
+/// let gate = TVar::new(0u64);
+/// let out = at.or_else(
+///     Policy::Regular,
+///     |tx| {
+///         if tx.get(&gate)? == 0 {
+///             return tx.retry(); // closed -> fall through to the alternative
+///         }
+///         Ok("primary")
+///     },
+///     |_tx| Ok("fallback"),
+/// );
+/// assert_eq!(out, "fallback");
+/// assert_eq!(at.stats().explicit_retries(), 1);
+/// assert_eq!(at.stats().aborts(), 0); // a retry is not a conflict
 /// ```
 #[must_use]
 pub fn backend_registry() -> BackendRegistry {

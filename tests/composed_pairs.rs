@@ -1,19 +1,21 @@
 //! Pair atomicity of composed bulk operations under real concurrency.
 //!
 //! A writer thread alternates `add_all(&[a, b])` / `remove_all(&[a, b])`.
-//! Because the bulk operations are *compositions* (one child per key made
-//! atomic by outheritance / flat nesting), an atomic observer must always
-//! see `a` and `b` together: both present or both absent — never a torn
-//! pair. This is exactly the `removeAll`/`addAll` atomicity that the paper
-//! (Section VI) shows `java.util.concurrent` cannot provide ("may lead to
-//! an inconsistent state where only one of the two integers is present").
+//! Because the bulk operations are *compositions* (one section per key
+//! made atomic by outheritance / flat nesting), an atomic observer must
+//! always see `a` and `b` together: both present or both absent — never a
+//! torn pair. This is exactly the `removeAll`/`addAll` atomicity that the
+//! paper (Section VI) shows `java.util.concurrent` cannot provide ("may
+//! lead to an inconsistent state where only one of the two integers is
+//! present").
 //!
 //! The observer reads both memberships inside ONE regular transaction
-//! composed of two `contains` children.
+//! composed of two `contains` sections — everything through the `atomic`
+//! facade.
 
-use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
+use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, SetExt, SkipListSet, TxSet};
 use composing_relaxed_transactions::oe_stm::OeStm;
-use composing_relaxed_transactions::stm_core::{Stm, Transaction, TxKind};
+use composing_relaxed_transactions::stm_core::api::{Atomic, AtomicBackend, Policy};
 use composing_relaxed_transactions::stm_tl2::Tl2;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -22,41 +24,41 @@ const A: i64 = 10;
 const B: i64 = 20;
 const OBSERVATIONS: usize = 400;
 
-fn run_pair_test<S, C>(stm: S, set: C)
+fn run_pair_test<B2, C>(at: Atomic<B2>, set: C)
 where
-    S: Stm + 'static,
-    C: TxSet<S> + Send + Sync + 'static,
+    B2: AtomicBackend + 'static,
+    C: TxSet + Send + Sync + 'static,
 {
-    let stm = Arc::new(stm);
+    let at = Arc::new(at);
     let set = Arc::new(set);
     // Background noise keys so traversals have something to walk past.
     for k in [1, 5, 15, 25, 30] {
-        set.add(&*stm, k);
+        set.add(&*at, k);
     }
     let stop = Arc::new(AtomicBool::new(false));
     let writer = {
-        let stm = Arc::clone(&stm);
+        let at = Arc::clone(&at);
         let set = Arc::clone(&set);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let mut inserting = true;
             while !stop.load(Ordering::Relaxed) {
                 if inserting {
-                    set.add_all(&*stm, &[A, B]);
+                    set.add_all(&*at, &[A, B]);
                 } else {
-                    set.remove_all(&*stm, &[A, B]);
+                    set.remove_all(&*at, &[A, B]);
                 }
                 inserting = !inserting;
             }
             // Leave the pair present for the final check.
-            set.add_all(&*stm, &[A, B]);
+            set.add_all(&*at, &[A, B]);
         })
     };
 
     for _ in 0..OBSERVATIONS {
-        let (has_a, has_b) = stm.run(TxKind::Regular, |tx| {
-            let a = tx.child(TxKind::Regular, |t| set.contains_in(t, A))?;
-            let b = tx.child(TxKind::Regular, |t| set.contains_in(t, B))?;
+        let (has_a, has_b) = at.run(Policy::Regular, |tx| {
+            let a = tx.section(Policy::Regular, |t| set.contains_in(t, A))?;
+            let b = tx.section(Policy::Regular, |t| set.contains_in(t, B))?;
             Ok((a, b))
         });
         assert_eq!(
@@ -66,31 +68,31 @@ where
     }
     stop.store(true, Ordering::Relaxed);
     writer.join().unwrap();
-    assert!(set.contains(&*stm, A) && set.contains(&*stm, B));
+    assert!(set.contains(&*at, A) && set.contains(&*at, B));
 }
 
 #[test]
 fn pairs_never_tear_linkedlist_oestm() {
-    run_pair_test(OeStm::new(), LinkedListSet::new());
+    run_pair_test(Atomic::new(OeStm::new()), LinkedListSet::new());
 }
 
 #[test]
 fn pairs_never_tear_skiplist_oestm() {
-    run_pair_test(OeStm::new(), SkipListSet::new());
+    run_pair_test(Atomic::new(OeStm::new()), SkipListSet::new());
 }
 
 #[test]
 fn pairs_never_tear_hashset_oestm() {
     // A and B land in different buckets: the composition spans buckets.
-    run_pair_test(OeStm::new(), HashSet::new(4));
+    run_pair_test(Atomic::new(OeStm::new()), HashSet::new(4));
 }
 
 #[test]
 fn pairs_never_tear_linkedlist_tl2() {
-    run_pair_test(Tl2::new(), LinkedListSet::new());
+    run_pair_test(Atomic::new(Tl2::new()), LinkedListSet::new());
 }
 
 #[test]
 fn pairs_never_tear_hashset_tl2() {
-    run_pair_test(Tl2::new(), HashSet::new(4));
+    run_pair_test(Atomic::new(Tl2::new()), HashSet::new(4));
 }

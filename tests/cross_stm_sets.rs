@@ -9,9 +9,9 @@
 //! * **composed ops**: `add_all`/`remove_all` report change consistently
 //!   with the final state.
 
-use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, SkipListSet, TxSet};
+use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, SetExt, SkipListSet, TxSet};
 use composing_relaxed_transactions::oe_stm::OeStm;
-use composing_relaxed_transactions::stm_core::Stm;
+use composing_relaxed_transactions::stm_core::api::{Atomic, AtomicBackend};
 use composing_relaxed_transactions::stm_lsa::Lsa;
 use composing_relaxed_transactions::stm_swiss::Swiss;
 use composing_relaxed_transactions::stm_tl2::Tl2;
@@ -24,10 +24,10 @@ const OPS_PER_THREAD: usize = 800;
 /// Keys per thread (disjoint ranges → per-key sequential histories).
 const KEYS_PER_THREAD: i64 = 16;
 
-fn stress<S, C>(stm: Arc<S>, set: Arc<C>) -> (i64, Vec<(i64, bool)>)
+fn stress<B, C>(stm: Arc<Atomic<B>>, set: Arc<C>) -> (i64, Vec<(i64, bool)>)
 where
-    S: Stm + 'static,
-    C: TxSet<S> + Send + Sync + 'static,
+    B: AtomicBackend + 'static,
+    C: TxSet + Send + Sync + 'static,
 {
     let mut handles = Vec::new();
     for t in 0..worker_threads(MAX_THREADS) {
@@ -115,10 +115,10 @@ where
     (total_net, finals)
 }
 
-fn check_cell<S, C>(stm: S, set: C, name: &str)
+fn check_cell<B, C>(stm: Atomic<B>, set: C, name: &str)
 where
-    S: Stm + 'static,
-    C: TxSet<S> + Send + Sync + 'static,
+    B: AtomicBackend + 'static,
+    C: TxSet + Send + Sync + 'static,
 {
     let stm = Arc::new(stm);
     let set = Arc::new(set);
@@ -147,20 +147,60 @@ macro_rules! cell {
     };
 }
 
-cell!(linkedlist_under_tl2, Tl2::new(), LinkedListSet::new());
-cell!(linkedlist_under_lsa, Lsa::new(), LinkedListSet::new());
-cell!(linkedlist_under_swiss, Swiss::new(), LinkedListSet::new());
-cell!(linkedlist_under_oestm, OeStm::new(), LinkedListSet::new());
+cell!(
+    linkedlist_under_tl2,
+    Atomic::new(Tl2::new()),
+    LinkedListSet::new()
+);
+cell!(
+    linkedlist_under_lsa,
+    Atomic::new(Lsa::new()),
+    LinkedListSet::new()
+);
+cell!(
+    linkedlist_under_swiss,
+    Atomic::new(Swiss::new()),
+    LinkedListSet::new()
+);
+cell!(
+    linkedlist_under_oestm,
+    Atomic::new(OeStm::new()),
+    LinkedListSet::new()
+);
 
-cell!(skiplist_under_tl2, Tl2::new(), SkipListSet::new());
-cell!(skiplist_under_lsa, Lsa::new(), SkipListSet::new());
-cell!(skiplist_under_swiss, Swiss::new(), SkipListSet::new());
-cell!(skiplist_under_oestm, OeStm::new(), SkipListSet::new());
+cell!(
+    skiplist_under_tl2,
+    Atomic::new(Tl2::new()),
+    SkipListSet::new()
+);
+cell!(
+    skiplist_under_lsa,
+    Atomic::new(Lsa::new()),
+    SkipListSet::new()
+);
+cell!(
+    skiplist_under_swiss,
+    Atomic::new(Swiss::new()),
+    SkipListSet::new()
+);
+cell!(
+    skiplist_under_oestm,
+    Atomic::new(OeStm::new()),
+    SkipListSet::new()
+);
 
-cell!(hashset_under_tl2, Tl2::new(), HashSet::new(4));
-cell!(hashset_under_lsa, Lsa::new(), HashSet::new(4));
-cell!(hashset_under_swiss, Swiss::new(), HashSet::new(4));
-cell!(hashset_under_oestm, OeStm::new(), HashSet::new(4));
+cell!(hashset_under_tl2, Atomic::new(Tl2::new()), HashSet::new(4));
+cell!(hashset_under_lsa, Atomic::new(Lsa::new()), HashSet::new(4));
+cell!(
+    hashset_under_swiss,
+    Atomic::new(Swiss::new()),
+    HashSet::new(4)
+);
+cell!(
+    hashset_under_oestm,
+    Atomic::new(OeStm::new()),
+    HashSet::new(4)
+);
 
 // E-STM compatibility mode is safe for UNCOMPOSED single ops (each op is
 // its own transaction; early release only affects children) — and the
@@ -168,6 +208,6 @@ cell!(hashset_under_oestm, OeStm::new(), HashSet::new(4));
 // non-outheriting mode must keep these invariants.
 cell!(
     linkedlist_under_estm,
-    OeStm::estm_compat(),
+    Atomic::new(OeStm::estm_compat()),
     LinkedListSet::new()
 );

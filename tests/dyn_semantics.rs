@@ -4,8 +4,8 @@
 //! dispatch, never semantics.
 
 use composing_relaxed_transactions::backend_registry;
-use composing_relaxed_transactions::cec::dynset::{move_entry_dyn, total_size_dyn, DynSet};
-use composing_relaxed_transactions::cec::LinkedListSet;
+use composing_relaxed_transactions::cec::{move_entry, total_size, LinkedListSet, SetExt};
+use composing_relaxed_transactions::stm_core::api::Atomic;
 use composing_relaxed_transactions::stm_core::dynstm::Backend;
 use composing_relaxed_transactions::stm_core::parallel::worker_threads;
 use composing_relaxed_transactions::stm_core::{
@@ -80,7 +80,14 @@ fn explicit_retry_then_commit_every_backend() {
             Ok(())
         });
         assert_eq!(v.load_atomic(), 9, "{}", b.key());
-        assert!(b.stats().aborts() >= 1, "{}", b.key());
+        let snap = b.stats();
+        assert!(snap.explicit_retries() >= 1, "{}", b.key());
+        assert_eq!(
+            snap.aborts(),
+            0,
+            "{}: a user-level retry must not count as a conflict abort",
+            b.key()
+        );
     }
 }
 
@@ -208,16 +215,17 @@ fn elastic_window_pairwise_consistency_erased() {
 #[test]
 fn composed_set_ops_every_sound_backend() {
     for b in sound_backends() {
-        let set: Box<dyn DynSet> = Box::new(LinkedListSet::new());
-        assert!(set.add_all(&b, &[4, 2, 9]), "{}", b.key());
-        assert!(set.insert_if_absent(&b, 10, 99), "{}", b.key());
-        assert!(!set.insert_if_absent(&b, 20, 4), "{}", b.key());
-        assert!(set.remove_all(&b, &[2, 9]), "{}", b.key());
-        assert_eq!(set.size(&b), 2, "{}", b.key());
+        let key = b.key().to_string();
+        let at = Atomic::new(b);
+        let set = LinkedListSet::new();
+        assert!(set.add_all(&at, &[4, 2, 9]), "{key}");
+        assert!(set.insert_if_absent(&at, 10, 99), "{key}");
+        assert!(!set.insert_if_absent(&at, 20, 4), "{key}");
+        assert!(set.remove_all(&at, &[2, 9]), "{key}");
+        assert_eq!(set.size(&at), 2, "{key}");
         assert!(
-            b.stats().child_commits >= 5,
-            "{}: composition must run as child transactions",
-            b.key()
+            at.stats().child_commits >= 5,
+            "{key}: composition must run as child transactions"
         );
     }
 }
@@ -229,11 +237,11 @@ fn concurrent_opposite_moves_never_deadlock_or_lose_erased() {
     // key 1 survives in exactly one of the two sets.
     for backend in sound_backends() {
         let key = backend.key().to_string();
-        let b = Arc::new(backend);
+        let b = Arc::new(Atomic::new(backend));
         let a: Arc<LinkedListSet> = Arc::new(LinkedListSet::new());
         let c: Arc<LinkedListSet> = Arc::new(LinkedListSet::new());
-        DynSet::add(&*a, &b, 1);
-        DynSet::add(&*c, &b, 2);
+        a.add(&*b, 1);
+        c.add(&*b, 2);
         let mut handles = Vec::new();
         for dir in 0..2 {
             let b = Arc::clone(&b);
@@ -242,9 +250,9 @@ fn concurrent_opposite_moves_never_deadlock_or_lose_erased() {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..200 {
                     if dir == 0 {
-                        move_entry_dyn(&b, &*a, &*c, 1, 1);
+                        move_entry(&*b, &*a, &*c, 1, 1);
                     } else {
-                        move_entry_dyn(&b, &*c, &*a, 1, 1);
+                        move_entry(&*b, &*c, &*a, 1, 1);
                     }
                 }
             }));
@@ -252,11 +260,11 @@ fn concurrent_opposite_moves_never_deadlock_or_lose_erased() {
         for h in handles {
             h.join().unwrap();
         }
-        let in_a = DynSet::contains(&*a, &b, 1);
-        let in_c = DynSet::contains(&*c, &b, 1);
+        let in_a = a.contains(&*b, 1);
+        let in_c = c.contains(&*b, 1);
         assert!(in_a ^ in_c, "{key}: key 1 must live in exactly one set");
-        assert!(DynSet::contains(&*c, &b, 2), "{key}");
-        assert_eq!(total_size_dyn(&b, &*a, &*c), 2, "{key}");
+        assert!(c.contains(&*b, 2), "{key}");
+        assert_eq!(total_size(&*b, &*a, &*c), 2, "{key}");
     }
 }
 
@@ -265,13 +273,15 @@ fn outheritance_counter_only_moves_under_oe() {
     // Parity with the static path's counters: the erased OE-STM outherits
     // on child commits; the erased classic STMs never do.
     for b in sound_backends() {
-        let set: Box<dyn DynSet> = Box::new(LinkedListSet::new());
-        set.add_all(&b, &[1, 2, 3]);
-        let outherits = b.stats().outherits;
-        if b.key() == "oe" {
+        let key = b.key().to_string();
+        let at = Atomic::new(b);
+        let set = LinkedListSet::new();
+        set.add_all(&at, &[1, 2, 3]);
+        let outherits = at.stats().outherits;
+        if key == "oe" {
             assert!(outherits >= 3, "OE-STM must outherit each child");
         } else {
-            assert_eq!(outherits, 0, "{}: classic STMs never outherit", b.key());
+            assert_eq!(outherits, 0, "{key}: classic STMs never outherit");
         }
     }
 }

@@ -11,17 +11,34 @@
 //! * under **E-STM** (outheritance off), the composition must commit `x`
 //!   although `y` was present — the atomicity violation that motivates
 //!   the paper.
+//!
+//! This is an SPI-level suite on purpose: injecting a committed adversary
+//! transaction between two children of one specific attempt needs the raw
+//! [`Stm::run`] hooks underneath the `atomic` facade, so it drives the
+//! [`SetOps`] building blocks directly. (The facade-level twin of the
+//! safe path lives in `tests/api_semantics.rs`.)
 
-use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, OpScratch, SkipListSet, TxSet};
+use composing_relaxed_transactions::cec::{HashSet, LinkedListSet, OpScratch, SetOps, SkipListSet};
 use composing_relaxed_transactions::oe_stm::OeStm;
 use composing_relaxed_transactions::stm_core::{Stm, Transaction, TxKind};
 
+/// SPI-level atomic helpers over the building blocks (what `SetExt` does
+/// through the facade, spelled out against the raw trait).
+fn add<C: SetOps>(stm: &OeStm, set: &C, key: i64) -> bool {
+    let mut scratch = OpScratch::default();
+    stm.run(TxKind::Elastic, |tx| {
+        set.release_unpublished(&mut scratch.allocated);
+        set.add_in(tx, key, &mut scratch)
+    })
+}
+
+fn contains<C: SetOps>(stm: &OeStm, set: &C, key: i64) -> bool {
+    stm.run(TxKind::Elastic, |tx| set.contains_in(tx, key))
+}
+
 /// insertIfAbsent(x, y) with an adversary `add(y)` transaction injected
 /// between the children of the first attempt.
-fn insert_if_absent_with_adversary<C>(stm: &OeStm, set: &C, x: i64, y: i64) -> bool
-where
-    C: TxSet<OeStm>,
-{
+fn insert_if_absent_with_adversary<C: SetOps>(stm: &OeStm, set: &C, x: i64, y: i64) -> bool {
     let mut scratch = OpScratch::default();
     let mut adv_scratch = OpScratch::default();
     let mut first_attempt = true;
@@ -44,13 +61,13 @@ where
     })
 }
 
-fn seed<C: TxSet<OeStm> + ?Sized>(stm: &OeStm, set: &C) {
+fn seed<C: SetOps>(stm: &OeStm, set: &C) {
     for k in (0..60).step_by(2) {
-        set.add(stm, k);
+        add(stm, set, k);
     }
 }
 
-fn check_structure<C: TxSet<OeStm>>(make: impl Fn() -> C, name: &str) {
+fn check_structure<C: SetOps>(make: impl Fn() -> C, name: &str) {
     let (x, y) = (101, 33); // both initially absent (odd / out of range)
 
     // OE-STM: atomic — the race is detected.
@@ -63,10 +80,10 @@ fn check_structure<C: TxSet<OeStm>>(make: impl Fn() -> C, name: &str) {
         "{name}/OE-STM: retry must observe y and skip the insert"
     );
     assert!(
-        !set.contains(&stm, x),
+        !contains(&stm, &set, x),
         "{name}/OE-STM: x must not be present"
     );
-    assert!(set.contains(&stm, y));
+    assert!(contains(&stm, &set, y));
     assert!(
         stm.stats().aborts() >= 1,
         "{name}/OE-STM: the stale composition must abort at least once"
@@ -82,7 +99,7 @@ fn check_structure<C: TxSet<OeStm>>(make: impl Fn() -> C, name: &str) {
         "{name}/E-STM: the stale composition commits (the Fig. 1 bug)"
     );
     assert!(
-        set.contains(&stm, x) && set.contains(&stm, y),
+        contains(&stm, &set, x) && contains(&stm, &set, y),
         "{name}/E-STM: both x and y present — atomicity violated"
     );
 }
@@ -109,9 +126,8 @@ fn fig1_hash_set() {
 #[test]
 fn regular_mode_workaround_is_safe_even_without_outheritance() {
     let stm = OeStm::estm_compat();
-    let list = LinkedListSet::new();
-    let set: &dyn TxSet<OeStm> = &list;
-    seed(&stm, set);
+    let set = LinkedListSet::new();
+    seed(&stm, &set);
     let (x, y) = (101, 33);
     let mut scratch = OpScratch::default();
     let mut adv_scratch = OpScratch::default();
@@ -135,7 +151,7 @@ fn regular_mode_workaround_is_safe_even_without_outheritance() {
         Ok(true)
     });
     assert!(!inserted, "regular composition must detect the intruder");
-    assert!(!set.contains(&stm, x));
+    assert!(!contains(&stm, &set, x));
     assert!(
         stm.stats().aborts() >= 1,
         "correctness recovered at the price of classic-transaction aborts"

@@ -12,7 +12,7 @@
 //!   protected even though the parent relaxes its own;
 //! * both children outherit, so the *composition* is atomic either way.
 
-use composing_relaxed_transactions::cec::{LinkedListSet, OpScratch, TxSet};
+use composing_relaxed_transactions::cec::{LinkedListSet, OpScratch, SetOps};
 use composing_relaxed_transactions::oe_stm::OeStm;
 use composing_relaxed_transactions::stm_core::{AbortReason, Stm, TVar, Transaction, TxKind};
 
@@ -84,37 +84,39 @@ fn mixed_kind_insert_if_absent_is_atomic() {
     let stm = OeStm::new();
     let set = LinkedListSet::new();
     for k in (0..40).step_by(2) {
-        TxSet::<OeStm>::add(&set, &stm, k);
+        // Fresh scratch per operation: `allocated` entries of a COMMITTED
+        // add are published and must never be recycled.
+        let mut seed_scratch = OpScratch::default();
+        stm.run(TxKind::Elastic, |tx| {
+            set.release_unpublished(&mut seed_scratch.allocated);
+            set.add_in(tx, k, &mut seed_scratch)
+        });
     }
     let (x, y) = (101, 33);
     let mut scratch = OpScratch::default();
     let mut adv = OpScratch::default();
     let mut first = true;
     let inserted = stm.run(TxKind::Elastic, |tx| {
-        TxSet::<OeStm>::release_unpublished(&set, &mut scratch.allocated);
+        set.release_unpublished(&mut scratch.allocated);
         scratch.unlinked.clear();
         // Elastic check child + regular insert child.
-        let present = tx.child(TxKind::Elastic, |t| {
-            <LinkedListSet as TxSet<OeStm>>::contains_in(&set, t, y)
-        })?;
+        let present = tx.child(TxKind::Elastic, |t| set.contains_in(t, y))?;
         if first {
             first = false;
             stm.run(TxKind::Elastic, |t| {
-                TxSet::<OeStm>::release_unpublished(&set, &mut adv.allocated);
-                <LinkedListSet as TxSet<OeStm>>::add_in(&set, t, y, &mut adv)
+                set.release_unpublished(&mut adv.allocated);
+                set.add_in(t, y, &mut adv)
             });
         }
         if present {
             return Ok(false);
         }
-        tx.child(TxKind::Regular, |t| {
-            <LinkedListSet as TxSet<OeStm>>::add_in(&set, t, x, &mut scratch)
-        })?;
+        tx.child(TxKind::Regular, |t| set.add_in(t, x, &mut scratch))?;
         Ok(true)
     });
     assert!(!inserted, "the adversary's insert must be detected");
-    assert!(!TxSet::<OeStm>::contains(&set, &stm, x));
-    assert!(TxSet::<OeStm>::contains(&set, &stm, y));
+    assert!(!stm.run(TxKind::Elastic, |tx| set.contains_in(tx, x)));
+    assert!(stm.run(TxKind::Elastic, |tx| set.contains_in(tx, y)));
 }
 
 /// Deep mixed nesting: elastic(regular(elastic(...))) keeps the combined

@@ -60,7 +60,18 @@ fn abort_round_trip<S: Stm>(stm: &S, kind: TxKind) {
         "{}: aborted writes must roll back",
         stm.name()
     );
-    assert!(stm.stats().aborts() >= 1, "{}: abort accounted", stm.name());
+    let snap = stm.stats();
+    assert!(
+        snap.explicit_retries() >= 1,
+        "{}: retry accounted in its own category",
+        stm.name()
+    );
+    assert_eq!(
+        snap.aborts(),
+        0,
+        "{}: a user-level retry must not count as a conflict abort",
+        stm.name()
+    );
 }
 
 fn smoke<S: Stm>(stm: &S, kind: TxKind) {

@@ -1,6 +1,7 @@
 //! The allocation-free hot path, enforced: a warmed-up transaction retry
 //! loop must perform **zero heap allocations per attempt** on every
-//! word-based backend.
+//! word-based backend — both at the SPI level and through the `atomic`
+//! facade (`Atomic`/`Tx`/`or_else`), which must add nothing of its own.
 //!
 //! Method: a `#[global_allocator]` wrapper around the system allocator
 //! counts every `alloc`/`realloc`/`alloc_zeroed` call. For each backend we
@@ -18,7 +19,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use composing_relaxed_transactions::backend_registry;
 use composing_relaxed_transactions::oe_stm::OeStm;
+use composing_relaxed_transactions::stm_core::api::{Atomic, AtomicBackend, Policy};
 use composing_relaxed_transactions::stm_core::{Stm, TVar, Transaction, TxKind};
 use composing_relaxed_transactions::stm_lsa::Lsa;
 use composing_relaxed_transactions::stm_swiss::Swiss;
@@ -117,6 +120,104 @@ fn assert_retries_do_not_allocate<S: Stm>(stm: &S, kind: TxKind, name: &str) {
     );
 }
 
+/// The same body through the `atomic` facade (`get`/`set`, a `section`,
+/// `tx.retry()`): the facade's `Tx` wrapper and the `or_else` runner must
+/// add no allocation of their own.
+fn facade_events_for_run<B: AtomicBackend>(
+    at: &Atomic<B>,
+    policy: Policy,
+    vars: &[TVar<u64>],
+    aborts: u32,
+) -> u64 {
+    let mut left = aborts;
+    let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+    at.run(policy, |tx| {
+        let mut acc = 0u64;
+        for v in &vars[..READS] {
+            acc = acc.wrapping_add(tx.get(v)?);
+        }
+        tx.section(policy, |tx| {
+            let x = tx.get(&vars[0])?;
+            tx.set(&vars[0], x.wrapping_add(1))
+        })?;
+        for (i, v) in vars[..WRITES].iter().enumerate() {
+            tx.set(v, acc.wrapping_add(i as u64))?;
+        }
+        if left > 0 {
+            left -= 1;
+            return tx.retry();
+        }
+        Ok(())
+    });
+    ALLOC_EVENTS.load(Ordering::Relaxed) - before
+}
+
+fn facade_min_events<B: AtomicBackend>(
+    at: &Atomic<B>,
+    policy: Policy,
+    vars: &[TVar<u64>],
+    aborts: u32,
+) -> u64 {
+    (0..8)
+        .map(|_| facade_events_for_run(at, policy, vars, aborts))
+        .min()
+        .expect("at least one trial")
+}
+
+fn assert_facade_retries_do_not_allocate<B: AtomicBackend>(
+    at: &Atomic<B>,
+    policy: Policy,
+    name: &str,
+) {
+    let vars: Vec<TVar<u64>> = (0..WRITES as u64).map(TVar::new).collect();
+    facade_events_for_run(at, policy, &vars, 2); // warm the scratch pool
+    let clean = facade_min_events(at, policy, &vars, 0);
+    let storm = facade_min_events(at, policy, &vars, 32);
+    assert_eq!(
+        storm, clean,
+        "{name}: a 33-attempt facade run allocated {storm} times vs {clean} \
+         for a single-attempt run — the facade must not touch the allocator"
+    );
+}
+
+/// `or_else` with a retrying primary branch: branch alternation happens
+/// across attempts of one run and must be allocation-free too.
+fn assert_or_else_does_not_allocate<B: AtomicBackend>(at: &Atomic<B>, name: &str) {
+    let v = TVar::new(0u64);
+    let one_branch = |at: &Atomic<B>, retries: u32| {
+        // Both branch closures need the countdown; Cell lets them share it.
+        let left = std::cell::Cell::new(retries);
+        let before = ALLOC_EVENTS.load(Ordering::Relaxed);
+        at.or_else(
+            Policy::Regular,
+            |tx| {
+                tx.set(&v, 1)?;
+                if left.get() > 0 {
+                    left.set(left.get() - 1);
+                    return tx.retry();
+                }
+                Ok(())
+            },
+            |tx| {
+                tx.set(&v, 2)?;
+                if left.get() > 0 {
+                    left.set(left.get() - 1);
+                    return tx.retry();
+                }
+                Ok(())
+            },
+        );
+        ALLOC_EVENTS.load(Ordering::Relaxed) - before
+    };
+    one_branch(at, 2); // warm
+    let clean = (0..8).map(|_| one_branch(at, 0)).min().unwrap();
+    let storm = (0..8).map(|_| one_branch(at, 32)).min().unwrap();
+    assert_eq!(
+        storm, clean,
+        "{name}: or_else branch alternation allocated ({storm} vs {clean})"
+    );
+}
+
 /// One sequential test (not five): the allocation counter is
 /// process-global, and libtest's worker threads and result printing would
 /// otherwise allocate concurrently with a measured region and flake the
@@ -128,6 +229,25 @@ fn warmed_retry_loops_do_not_allocate_on_any_backend() {
     assert_retries_do_not_allocate(&Swiss::new(), TxKind::Regular, "SwissTM");
     assert_retries_do_not_allocate(&OeStm::new(), TxKind::Regular, "OE-STM/regular");
     assert_retries_do_not_allocate(&OeStm::new(), TxKind::Elastic, "OE-STM/elastic");
+
+    // The `atomic` facade on top: a static runner and a registry-built
+    // erased runner, plus the `or_else` alternation path. Steady state
+    // must stay allocation-free through the new user layer.
+    assert_facade_retries_do_not_allocate(
+        &Atomic::new(OeStm::new()),
+        Policy::Elastic,
+        "facade/OE-STM",
+    );
+    assert_facade_retries_do_not_allocate(
+        &Atomic::new(backend_registry().build_default("tl2").unwrap()),
+        Policy::Regular,
+        "facade/Backend(tl2)",
+    );
+    assert_or_else_does_not_allocate(&Atomic::new(Tl2::new()), "or_else/TL2");
+    assert_or_else_does_not_allocate(
+        &Atomic::new(backend_registry().build_default("oe").unwrap()),
+        "or_else/Backend(oe)",
+    );
 
     // Cross-transaction reuse: after warmup, back-to-back `run` calls may
     // allocate only the per-run entry vectors (which hold `&TVar` borrows
