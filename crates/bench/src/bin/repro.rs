@@ -4,6 +4,7 @@
 //! ```text
 //! repro [fig6|fig7|fig8|summary|all|list]
 //!       [--stm tl2,lsa,swiss,oe,oe-estm-compat] [--scenario fig6,bank-transfer,...]
+//!       [--cm suicide,backoff,karma,two-phase]
 //!       [--threads 1,2,4] [--duration-ms 500] [--composed 5,15]
 //!       [--seed N] [--json BENCH.json]
 //! repro validate-json BENCH.json [--require-full-coverage]
@@ -12,7 +13,11 @@
 //! ```
 //!
 //! Tables print throughput (ops/ms), abort rate, and the relaxation /
-//! composition counters (elastic cuts, outherits). `--json` additionally
+//! composition counters (elastic cuts, outherits). `--cm` sweeps every
+//! run over the named contention-management policies (the rows are tagged
+//! with the policy in tables and JSON); without it the built-in default
+//! arbitrates and rows stay identical to the committed baselines. `--json`
+//! additionally
 //! writes every measured row as schema-stable JSON (`bench::json`), the
 //! machine-comparable perf artifact CI archives; `validate-json` checks
 //! such a file and, with `--require-full-coverage`, that every registered
@@ -42,6 +47,10 @@ fn print_list() {
     for s in scenarios() {
         println!("  {:<16} {}", s.name(), s.summary());
     }
+    println!("\ncontention managers (--cm):");
+    for p in stm_core::cm::CmPolicy::ALL {
+        println!("  {:<16} {}", p.name(), p.summary());
+    }
 }
 
 /// Backends to run: the `--stm` subset, or `default` (the figure targets
@@ -55,7 +64,7 @@ fn chosen_backends(opts: &Options, default: &[&str]) -> Vec<String> {
 
 fn figure_rows(r: &BenchRow) -> Row {
     Row {
-        system: r.system.clone(),
+        system: r.tagged_system(),
         threads: r.threads,
         m: r.m,
     }
@@ -69,6 +78,7 @@ fn figure(structure: Structure, fig_no: u32, opts: &Options, all_rows: &mut Vec<
         threads: opts.threads.clone(),
         duration: opts.duration,
         composed: opts.composed.clone(),
+        cms: opts.cm_axis(),
         seed: opts.seed,
         include_sequential: true,
     };
@@ -105,6 +115,7 @@ fn summary(opts: &Options, all_rows: &mut Vec<BenchRow>) {
         duration: opts.duration,
         // The paper's headline numbers use the 15% composed mix.
         composed: vec![opts.composed.last().copied().unwrap_or(15)],
+        cms: opts.cm_axis(),
         seed: opts.seed,
         include_sequential: true,
     };

@@ -27,6 +27,10 @@ pub struct Measurement {
     /// User-level explicit retries (`tx.retry()` / `or_else` branch
     /// switches) — a control-flow category, not conflicts.
     pub explicit_retries: u64,
+    /// Contention-manager pacing decisions executed (backoffs + yields) —
+    /// how often conflict losers actually waited before retrying. Zero
+    /// under the `suicide` policy by construction.
+    pub cm_waits: u64,
     /// Elastic cuts taken (OE-STM only; 0 elsewhere).
     pub elastic_cuts: u64,
     /// `outherit()` invocations — child protected sets passed to parents
@@ -47,6 +51,7 @@ impl Measurement {
             commits: snap.commits,
             aborts: snap.aborts(),
             explicit_retries: snap.explicit_retries(),
+            cm_waits: snap.cm_waits(),
             elastic_cuts: snap.elastic_cuts,
             outherits: snap.outherits,
             elapsed,
@@ -202,6 +207,7 @@ pub fn run_sequential(
         commits: ops,
         aborts: 0,
         explicit_retries: 0,
+        cm_waits: 0,
         elastic_cuts: 0,
         outherits: 0,
         elapsed,

@@ -46,11 +46,21 @@ pub const ROW_FIELDS: [(&str, bool); 11] = [
     ("elapsed_ms", true),
 ];
 
-/// Fields added after the first committed baselines: always emitted by
-/// [`render`], type-checked when present, but **not** required — older
-/// artifacts (e.g. `BENCH_seed.json`) must keep validating so perf stays
-/// machine-comparable across PRs. Readers default a missing field to 0.
-pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 1] = [("explicit_retries", true)];
+/// Fields added after the first committed baselines: type-checked when
+/// present, but **not** required — older artifacts (e.g.
+/// `BENCH_seed.json`) must keep validating so perf stays
+/// machine-comparable across PRs. Readers default a missing numeric
+/// field to 0 and a missing string field to "".
+///
+/// `explicit_retries` and `cm_waits` are always emitted by [`render`];
+/// `cm` is emitted only for rows measured under an explicitly selected
+/// contention manager (the `--cm` axis), so default runs stay
+/// row-key-identical to the committed baselines.
+pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 3] = [
+    ("explicit_retries", true),
+    ("cm", false),
+    ("cm_waits", true),
+];
 
 pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -91,11 +101,15 @@ pub fn render(rows: &[BenchRow], seed: u64) -> String {
     ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let cm_field =
+            r.cm.as_ref()
+                .map(|cm| format!("\"cm\": \"{}\", ", escape(cm)))
+                .unwrap_or_default();
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", \"structure\": \"{}\", \
+            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", {cm_field}\"structure\": \"{}\", \
              \"threads\": {}, \"composed_pct\": {}, \"ops\": {}, \"throughput\": {}, \
              \"abort_rate\": {}, \"elastic_cuts\": {}, \"outherits\": {}, \
-             \"explicit_retries\": {}, \"elapsed_ms\": {}}}{}\n",
+             \"explicit_retries\": {}, \"cm_waits\": {}, \"elapsed_ms\": {}}}{}\n",
             escape(&r.scenario),
             escape(&r.backend),
             escape(&r.structure),
@@ -107,6 +121,7 @@ pub fn render(rows: &[BenchRow], seed: u64) -> String {
             r.m.elastic_cuts,
             r.m.outherits,
             r.m.explicit_retries,
+            r.m.cm_waits,
             num(r.m.elapsed.as_secs_f64() * 1e3),
             if i + 1 == rows.len() { "" } else { "," }
         ));
@@ -479,6 +494,7 @@ mod tests {
             scenario: "fig6".into(),
             backend: "oe".into(),
             system: "OE-STM".into(),
+            cm: None,
             structure: "LinkedListSet".into(),
             threads: 2,
             composed_pct: 5,
@@ -489,6 +505,7 @@ mod tests {
                 commits: 990,
                 aborts: 330,
                 explicit_retries: 3,
+                cm_waits: 21,
                 elastic_cuts: 7,
                 outherits: 13,
                 elapsed: Duration::from_millis(50),
@@ -507,7 +524,30 @@ mod tests {
         assert_eq!(row["outherits"].as_num(), Some(13.0));
         assert_eq!(row["elastic_cuts"].as_num(), Some(7.0));
         assert_eq!(row["explicit_retries"].as_num(), Some(3.0));
+        assert_eq!(row["cm_waits"].as_num(), Some(21.0));
+        assert!(
+            !row.contains_key("cm"),
+            "default-policy rows must stay key-compatible with old baselines"
+        );
         assert!((row["elapsed_ms"].as_num().unwrap() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cm_tagged_rows_carry_and_validate_the_cm_field() {
+        let mut r = sample_row();
+        r.cm = Some("karma".into());
+        let text = render(&[r], 7);
+        validate(&text).expect("cm-tagged rows must validate");
+        let doc = parse(&text).unwrap();
+        let row = doc.as_obj().unwrap()["rows"].as_arr().unwrap()[0]
+            .as_obj()
+            .unwrap()
+            .clone();
+        assert_eq!(row["cm"].as_str(), Some("karma"));
+        // A present-but-mistyped cm field is still an error.
+        let mistyped = text.replace("\"cm\": \"karma\"", "\"cm\": 3");
+        let err = validate(&mistyped).unwrap_err();
+        assert!(err.contains("\"cm\""), "{err}");
     }
 
     #[test]

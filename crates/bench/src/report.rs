@@ -99,6 +99,7 @@ pub fn run_figure_rows(
         threads: threads.to_vec(),
         duration,
         composed: vec![composed_pct],
+        cms: vec![None],
         seed,
         include_sequential: true,
     };
@@ -110,7 +111,7 @@ pub fn run_figure_rows(
 pub fn print_figure(title: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
     println!(
-        "{:<12} {:>8} {:>16} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "{:<20} {:>8} {:>16} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "system",
         "threads",
         "ops/ms",
@@ -119,11 +120,12 @@ pub fn print_figure(title: &str, rows: &[Row]) {
         "aborts",
         "cuts",
         "outherits",
-        "retries"
+        "retries",
+        "cm-waits"
     );
     for r in rows {
         println!(
-            "{:<12} {:>8} {:>16.1} {:>11.1}% {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "{:<20} {:>8} {:>16.1} {:>11.1}% {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
             r.system,
             r.threads,
             r.m.throughput,
@@ -132,7 +134,8 @@ pub fn print_figure(title: &str, rows: &[Row]) {
             r.m.aborts,
             r.m.elastic_cuts,
             r.m.outherits,
-            r.m.explicit_retries
+            r.m.explicit_retries,
+            r.m.cm_waits
         );
     }
 }
@@ -151,7 +154,7 @@ pub fn print_bench_rows(rows: &[BenchRow]) {
             .iter()
             .filter(|r| r.scenario == scenario && r.composed_pct == pct)
             .map(|r| Row {
-                system: r.system.clone(),
+                system: r.tagged_system(),
                 threads: r.threads,
                 m: r.m,
             })

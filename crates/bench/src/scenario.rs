@@ -21,6 +21,14 @@
 //! | `bank-transfer` | 2 × `HashSet` | move-heavy: 30% cross-set `move_entry` |
 //! | `queue-snapshot` | 2 × `TxQueue` | read-mostly: 80% peek/len snapshots |
 //! | `or-else-fallback` | 2 × `TxQueue` | `or_else` drain: primary retries on empty, fallback serves |
+//! | `contention-sweep` | 8 hot `TVar`s + gate | retry-storm pressure: hot RMWs + gated `or_else` retries |
+//!
+//! The matrix additionally sweeps a **contention-management axis**
+//! ([`MatrixPlan::cms`], driven by `repro --cm`): each entry builds every
+//! backend with that [`CmPolicy`] and tags the resulting rows, so one run
+//! crosses scenarios × backends × threads × arbitration policies. The
+//! default axis (`[None]`) runs the built-in policy and leaves rows
+//! untagged — byte-compatible with the committed `BENCH_*.json` baselines.
 
 use crate::harness::Measurement;
 use crate::report::{paper_hash_buckets, Structure};
@@ -32,8 +40,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
-use stm_core::api::Atomic;
+use stm_core::api::{Atomic, Policy};
+use stm_core::cm::CmPolicy;
 use stm_core::dynstm::{Backend, BackendRegistry};
+use stm_core::{StmConfig, TVar};
 
 /// A benchmark workload instance, bound to its data-structure state but
 /// *not* to any STM: every operation goes through the `atomic` facade
@@ -395,6 +405,92 @@ fn build_or_else_fallback(mix: Mix) -> Box<dyn Workload + Send + Sync> {
 }
 
 // ---------------------------------------------------------------------
+// Contention-sweep scenario: retry-storm pressure for the CM axis.
+// ---------------------------------------------------------------------
+
+/// Hot read-modify-write targets: few enough that concurrent workers
+/// collide constantly, so every arbitration policy has conflicts to
+/// arbitrate.
+const SWEEP_HOT_VARS: usize = 8;
+
+/// The forced-contention workload crossing retry-storm pressure with the
+/// contention-management axis:
+///
+/// * 50% hot increments — read-modify-write on one of
+///   [`SWEEP_HOT_VARS`] shared counters, the densest write-write
+///   conflict surface the facade can produce;
+/// * 25% gated `or_else` drains — the primary branch explicit-retries
+///   whenever the gate is odd (which the remaining ops keep toggling),
+///   so even a single-threaded run storms the retry path and exercises
+///   CM pacing;
+/// * 25% gate flips.
+///
+/// Unlike the set scenarios there is no structure to traverse: the
+/// transactions are tiny and conflict-dense on purpose, putting the
+/// arbitration policy — not the data structure — on the critical path.
+struct ContentionSweepWorkload {
+    hot: Vec<TVar<u64>>,
+    gate: TVar<u64>,
+}
+
+impl ContentionSweepWorkload {
+    fn new() -> Self {
+        Self {
+            hot: (0..SWEEP_HOT_VARS as u64).map(TVar::new).collect(),
+            gate: TVar::new(0),
+        }
+    }
+}
+
+impl Workload for ContentionSweepWorkload {
+    fn prefill(&self, at: &Atomic<Backend>, seed: u64) {
+        // Start with the gate odd (closed) so the very first drains
+        // already retry; the seed only perturbs the hot counters.
+        at.run(Policy::Regular, |tx| {
+            tx.set(&self.gate, 1)?;
+            for (i, v) in self.hot.iter().enumerate() {
+                tx.set(v, seed.wrapping_add(i as u64))?;
+            }
+            Ok(())
+        });
+    }
+
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng) {
+        let roll = rng.gen_range(0..100u32);
+        if roll < 50 {
+            let i = rng.gen_range(0..SWEEP_HOT_VARS as i64) as usize;
+            at.run(Policy::Regular, |tx| {
+                tx.modify(&self.hot[i], |v| v.wrapping_add(1)).map(|_| ())
+            });
+        } else if roll < 75 {
+            at.or_else(
+                Policy::Regular,
+                |tx| {
+                    if tx.get(&self.gate)? % 2 == 1 {
+                        // Gate closed: storm the retry path.
+                        return tx.retry();
+                    }
+                    let mut acc = 0u64;
+                    for v in &self.hot[..4] {
+                        acc = acc.wrapping_add(tx.get(v)?);
+                    }
+                    Ok(acc)
+                },
+                |tx| tx.modify(&self.gate, |g| g.wrapping_add(1)),
+            );
+        } else {
+            at.run(Policy::Regular, |tx| {
+                tx.modify(&self.gate, |g| g ^ 1).map(|_| ())
+            });
+        }
+    }
+}
+
+fn build_contention_sweep(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(ContentionSweepWorkload::new())
+}
+
+// ---------------------------------------------------------------------
 // Registries.
 // ---------------------------------------------------------------------
 
@@ -466,6 +562,14 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             build: build_or_else_fallback,
             sequential: None,
         },
+        ScenarioSpec {
+            name: "contention-sweep",
+            summary: "retry-storm pressure: hot RMWs + gated or_else (the --cm axis)",
+            structure: "8xTVar+gate",
+            uses_composed_pct: false,
+            build: build_contention_sweep,
+            sequential: None,
+        },
     ]
 }
 
@@ -490,6 +594,12 @@ pub struct BenchRow {
     pub backend: String,
     /// Backend display name ("TL2", "OE-STM", "Sequential", …).
     pub system: String,
+    /// Contention-management policy the backend was built with, when one
+    /// was explicitly selected on the CM axis ("suicide", "karma", …).
+    /// `None` for default-policy rows (and all sequential rows) — such
+    /// rows serialize without a `cm` field, keeping them key-compatible
+    /// with the pre-CM `BENCH_*.json` baselines.
+    pub cm: Option<String>,
     /// Structure label ("LinkedListSet", "2xTxQueue", …).
     pub structure: String,
     /// Worker threads.
@@ -498,6 +608,19 @@ pub struct BenchRow {
     pub composed_pct: u32,
     /// The measurement.
     pub m: Measurement,
+}
+
+impl BenchRow {
+    /// Display name for tables: the system, tagged with the CM policy
+    /// when the row was measured on the `--cm` axis ("OE-STM+karma"),
+    /// so one backend under different arbiters stays tellable apart.
+    #[must_use]
+    pub fn tagged_system(&self) -> String {
+        match &self.cm {
+            Some(cm) => format!("{}+{}", self.system, cm),
+            None => self.system.clone(),
+        }
+    }
 }
 
 /// Timed facade run: `threads` workers drive `workload` over `at` for
@@ -570,6 +693,10 @@ pub struct MatrixPlan {
     pub duration: Duration,
     /// Composed-update percentages for scenarios that sweep them.
     pub composed: Vec<u32>,
+    /// The contention-management axis: one entry per sweep point. `None`
+    /// runs the default policy and leaves rows untagged; `Some(name)`
+    /// builds every backend with that [`CmPolicy`] and tags the rows.
+    pub cms: Vec<Option<String>>,
     /// Base seed (prefills and per-thread op streams derive from it).
     pub seed: u64,
     /// Include the uninstrumented sequential reference rows where a
@@ -592,21 +719,25 @@ impl MatrixPlan {
             threads,
             duration,
             composed,
+            cms: vec![None],
             seed,
             include_sequential: true,
         }
     }
 }
 
-/// Run the full `scenarios × composed × backends × threads` sweep.
+/// Run the full `scenarios × composed × cms × backends × threads` sweep.
 ///
-/// Builds a fresh workload instance per (scenario, composed, backend)
+/// Builds a fresh workload instance per (scenario, composed, cm, backend)
 /// cell — transactional state is never shared across backends — prefills
 /// it once, and measures every thread count on the warmed instance.
+/// Sequential reference rows are measured once per (scenario, composed):
+/// an uninstrumented run has no conflicts to arbitrate, so the CM axis
+/// does not apply to it.
 ///
 /// # Errors
-/// Returns `Err` with a message naming any unknown scenario or backend
-/// (and, for backends, the registered names).
+/// Returns `Err` with a message naming any unknown scenario, backend or
+/// contention-management policy (and the registered names for each).
 pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
     let registry = backend_registry();
     for name in &plan.backends {
@@ -619,6 +750,21 @@ pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
                 .expect_err("get() returned None")
                 .to_string());
         }
+    }
+    // Validate and normalize the CM axis up front too; the parse error
+    // lists the known policies.
+    let cms: Vec<Option<CmPolicy>> = plan
+        .cms
+        .iter()
+        .map(|entry| {
+            entry
+                .as_deref()
+                .map(|name| name.parse::<CmPolicy>().map_err(|e| e.to_string()))
+                .transpose()
+        })
+        .collect::<Result<_, _>>()?;
+    if cms.is_empty() {
+        return Err("the cm axis needs at least one entry (use None for the default)".to_string());
     }
     let specs: Vec<ScenarioSpec> = plan
         .scenarios
@@ -660,6 +806,7 @@ pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
                             scenario: spec.name().to_string(),
                             backend: "sequential".to_string(),
                             system: "Sequential".to_string(),
+                            cm: None,
                             structure: spec.structure().to_string(),
                             threads: t,
                             composed_pct: pct,
@@ -668,25 +815,32 @@ pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
                     }
                 }
             }
-            for name in &plan.backends {
-                let at = Atomic::new(
-                    registry
-                        .build_default(name)
-                        .expect("validated against the registry above"),
-                );
-                let workload = spec.build(mix);
-                workload.prefill(&at, plan.seed);
-                for &t in &plan.threads {
-                    let m = run_timed_dyn(&at, &*workload, t, plan.duration, plan.seed);
-                    rows.push(BenchRow {
-                        scenario: spec.name().to_string(),
-                        backend: at.backend().key().to_string(),
-                        system: at.name().to_string(),
-                        structure: spec.structure().to_string(),
-                        threads: t,
-                        composed_pct: pct,
-                        m,
-                    });
+            for &cm in &cms {
+                let cfg = match cm {
+                    Some(policy) => StmConfig::default().with_cm(policy),
+                    None => StmConfig::default(),
+                };
+                for name in &plan.backends {
+                    let at = Atomic::new(
+                        registry
+                            .build(name, cfg.clone())
+                            .expect("validated against the registry above"),
+                    );
+                    let workload = spec.build(mix);
+                    workload.prefill(&at, plan.seed);
+                    for &t in &plan.threads {
+                        let m = run_timed_dyn(&at, &*workload, t, plan.duration, plan.seed);
+                        rows.push(BenchRow {
+                            scenario: spec.name().to_string(),
+                            backend: at.backend().key().to_string(),
+                            system: at.name().to_string(),
+                            cm: cm.map(|p| p.name().to_string()),
+                            structure: spec.structure().to_string(),
+                            threads: t,
+                            composed_pct: pct,
+                            m,
+                        });
+                    }
                 }
             }
         }
@@ -718,11 +872,13 @@ mod tests {
                 "fig8",
                 "bank-transfer",
                 "queue-snapshot",
-                "or-else-fallback"
+                "or-else-fallback",
+                "contention-sweep"
             ]
         );
         assert!(scenario("fig6").unwrap().uses_composed_pct());
         assert!(!scenario("bank-transfer").unwrap().uses_composed_pct());
+        assert!(!scenario("contention-sweep").unwrap().uses_composed_pct());
         assert!(scenario("nope").is_none());
     }
 
@@ -738,6 +894,7 @@ mod tests {
             threads: vec![1, 2],
             duration: Duration::from_millis(25),
             composed: vec![5],
+            cms: vec![None],
             seed: 42,
             include_sequential: true,
         };
@@ -765,6 +922,52 @@ mod tests {
             err.contains("tl2") && err.contains("oe-estm-compat"),
             "the error must list the registered backends: {err}"
         );
+        let mut plan = MatrixPlan::new(vec![1], Duration::from_millis(5), vec![5], 1);
+        plan.cms = vec![Some("nope".into())];
+        let err = run_matrix(&plan).unwrap_err();
+        assert!(err.contains("unknown contention manager"), "{err}");
+        assert!(err.contains("two-phase"), "must list the policies: {err}");
+    }
+
+    #[test]
+    fn cm_axis_tags_rows_and_multiplies_the_matrix() {
+        let plan = MatrixPlan {
+            scenarios: vec!["contention-sweep".into()],
+            backends: vec!["tl2".into(), "oe".into()],
+            threads: vec![1],
+            duration: Duration::from_millis(30),
+            composed: vec![5],
+            cms: vec![None, Some("suicide".into()), Some("karma".into())],
+            seed: 9,
+            include_sequential: true,
+        };
+        let rows = run_matrix(&plan).expect("valid plan");
+        // No sequential reference for this scenario: 2 backends × 3 cms.
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.m.ops > 0, "{}/{:?} produced no ops", r.backend, r.cm);
+            assert!(
+                r.m.explicit_retries > 0,
+                "{}/{:?}: the gated or_else must storm the retry path, got {:?}",
+                r.backend,
+                r.cm,
+                r.m
+            );
+        }
+        let tags: Vec<Option<&str>> = rows.iter().map(|r| r.cm.as_deref()).collect();
+        assert_eq!(tags.iter().filter(|t| t.is_none()).count(), 2);
+        assert_eq!(
+            tags.iter().filter(|t| **t == Some("suicide")).count(),
+            2,
+            "{tags:?}"
+        );
+        // Suicide never paces; the default (two-phase) paces every retry.
+        for r in &rows {
+            match r.cm.as_deref() {
+                Some("suicide") => assert_eq!(r.m.cm_waits, 0, "{}", r.backend),
+                _ => assert!(r.m.cm_waits > 0, "{}/{:?}: {:?}", r.backend, r.cm, r.m),
+            }
+        }
     }
 
     #[test]
@@ -777,6 +980,7 @@ mod tests {
             threads: vec![2],
             duration: Duration::from_millis(40),
             composed: vec![15],
+            cms: vec![None],
             seed: 7,
             include_sequential: false,
         };
@@ -798,6 +1002,7 @@ mod tests {
             threads: vec![1],
             duration: Duration::from_millis(60),
             composed: vec![5],
+            cms: vec![None],
             seed: 3,
             include_sequential: true,
         };

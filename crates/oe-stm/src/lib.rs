@@ -73,7 +73,7 @@ pub use txn::OeTxn;
 
 use std::sync::Arc;
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
-use stm_core::stm::retry_loop;
+use stm_core::stm::retry_loop_arbitrated;
 use stm_core::ticket::next_ticket;
 use stm_core::trace::TraceSink;
 use stm_core::{Abort, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TxKind};
@@ -225,13 +225,19 @@ impl Stm for OeStm {
         mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
     ) -> Result<R, RunError> {
         let seed = next_ticket().get();
-        // One transaction object (and one scratch) per run call: every
-        // attempt restarts it in place, so the read/write sets and the
-        // nesting-frame stack keep their capacity across attempts.
-        let mut txn = OeTxn::begin(self, kind, txn::OeScratch::acquire());
-        retry_loop(&self.config, &self.stats, seed, || {
-            txn.restart();
-            match f(&mut txn) {
+        // One transaction object (and one scratch, and one contention-
+        // manager state) per run call: every attempt restarts it in
+        // place, so the read/write sets and the nesting-frame stack keep
+        // their capacity across attempts.
+        let mut txn = OeTxn::begin(
+            self,
+            kind,
+            txn::OeScratch::acquire(),
+            self.config.cm.build(&self.config, seed),
+        );
+        retry_loop_arbitrated(&self.config, &self.stats, |attempt| {
+            txn.restart(attempt);
+            let outcome = match f(&mut txn) {
                 Ok(r) => match txn.commit() {
                     Ok(()) => Ok(r),
                     Err(abort) => {
@@ -243,6 +249,13 @@ impl Stm for OeStm {
                     txn.on_abort();
                     Err(abort)
                 }
+            };
+            match outcome {
+                Ok(r) => {
+                    txn.cm_commit();
+                    Ok(r)
+                }
+                Err(abort) => Err((abort, txn.arbitrate(abort))),
             }
         })
     }
@@ -476,6 +489,45 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load_atomic(), threads * per_thread);
+    }
+
+    #[test]
+    fn every_cm_policy_recovers_elastic_window_conflicts() {
+        use stm_core::cm::CmPolicy;
+        // A windowed conflict (not relaxable) must retry to success under
+        // each contention manager, in elastic mode, with the elastic-cut
+        // aborts filed as conflicts and pacing matching the policy.
+        for cm in CmPolicy::ALL {
+            let stm = OeStm::with_config(StmConfig::default().with_cm(cm));
+            let a = TVar::new(1u64);
+            let b = TVar::new(2u64);
+            let d = TVar::new(0u64);
+            let mut sabotage_left = 2;
+            stm.run(TxKind::Elastic, |tx| {
+                let ra = tx.read(&a)?;
+                let rb = tx.read(&b)?; // window = {a, b}
+                if sabotage_left > 0 {
+                    sabotage_left -= 1;
+                    let nv = stm.clock().tick();
+                    b.store_atomic(rb + 10, nv); // b is still windowed
+                }
+                let _ = tx.read(&d)?; // snapshot advance validates the window
+                tx.write(&d, ra + rb)
+            });
+            let snap = stm.stats();
+            assert_eq!(snap.commits, 1, "{cm}");
+            assert_eq!(snap.aborts(), 2, "{cm}");
+            assert!(
+                snap.aborts_by_cause[AbortReason::ElasticCut.index()] >= 1,
+                "{cm}: the windowed conflict must cut"
+            );
+            assert_eq!(snap.explicit_retries(), 0, "{cm}");
+            if cm == CmPolicy::Suicide {
+                assert_eq!(snap.cm_waits(), 0, "{cm}: suicide must not pace");
+            } else {
+                assert_eq!(snap.cm_waits(), 2, "{cm}: every abort is paced");
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::tracer::Tracer;
 use crate::OeStm;
+use stm_core::cm::{Arbitrate, CmState, ConflictCtx, ContentionManager};
 use stm_core::scratch::TxScratch;
 use stm_core::ticket::next_ticket;
 use stm_core::trace::TraceOp;
@@ -70,6 +71,8 @@ pub struct OeTxn<'env> {
     /// Snapshot time: all protected reads are consistent at `rv`.
     rv: u64,
     ticket: u64,
+    attempt: u64,
+    cm: CmState,
     scratch: OeScratch<'env>,
     window: Window<'env>,
     /// The kind the top-level transaction was begun with (restored by
@@ -83,11 +86,18 @@ pub struct OeTxn<'env> {
 }
 
 impl<'env> OeTxn<'env> {
-    pub(crate) fn begin(stm: &'env OeStm, kind: TxKind, scratch: OeScratch<'env>) -> Self {
+    pub(crate) fn begin(
+        stm: &'env OeStm,
+        kind: TxKind,
+        scratch: OeScratch<'env>,
+        cm: CmState,
+    ) -> Self {
         Self {
             stm,
             rv: 0,
             ticket: 0,
+            attempt: 0,
+            cm,
             scratch,
             window: Window::new(stm.config().elastic_window),
             top_kind: kind,
@@ -99,19 +109,45 @@ impl<'env> OeTxn<'env> {
 
     /// Reset for a fresh attempt (see the classic backends' `restart`):
     /// clear the scratch and nesting frames keeping capacity, empty the
-    /// window, resample the clock, take a new ticket, and re-arm the
-    /// tracer if tracing is on.
-    pub(crate) fn restart(&mut self) {
+    /// window, resample the clock, take a new ticket, tell the contention
+    /// manager a new attempt begins, and re-arm the tracer if tracing is
+    /// on.
+    pub(crate) fn restart(&mut self, attempt: u64) {
         self.scratch.reset();
         self.window = Window::new(self.stm.config().elastic_window);
         self.mode = self.top_kind;
         self.hardened = self.top_kind == TxKind::Regular;
         self.rv = self.stm.clock().now();
         self.ticket = next_ticket().get();
+        self.attempt = attempt;
+        self.cm.on_start(attempt);
         self.tracer = self
             .stm
             .sink()
             .map(|sink| Box::new(Tracer::begin_top(sink, next_ticket().get())));
+    }
+
+    /// Ask the run's contention manager how to pace the retry after an
+    /// abort (see the classic backends' `arbitrate`). The protected
+    /// window entries count as work alongside the tracked reads/writes.
+    pub(crate) fn arbitrate(&mut self, abort: stm_core::Abort) -> Arbitrate {
+        let ctx = ConflictCtx {
+            reason: abort.reason,
+            attempt: self.attempt,
+            ticket: self.ticket,
+            owner: 0,
+            writes: self.scratch.base.writes.len(),
+            spins: 0,
+            work: (self.scratch.base.reads.len()
+                + self.scratch.base.writes.len()
+                + self.window.len()) as u64,
+        };
+        self.cm.on_conflict(&ctx)
+    }
+
+    /// Settle the contention manager after a committed run.
+    pub(crate) fn cm_commit(&mut self) {
+        self.cm.on_commit();
     }
 
     /// The snapshot time of this attempt (diagnostics/tests).

@@ -7,7 +7,7 @@
 //!
 //! * [`Atomic`] — the runner. Construct it from any static backend
 //!   (`Atomic::new(Tl2::new())`) or from a registry-built
-//!   [`Backend`](crate::dynstm::Backend) handle
+//!   [`Backend`] handle
 //!   (`Atomic::new(registry.build_default("oe")?)`); the rest of the code
 //!   is identical either way.
 //! * [`Tx`] — the in-transaction handle: typed [`get`](Tx::get) /
@@ -31,6 +31,12 @@
 //! `max_retries` still bounds the loop) but the statistics layer files it
 //! in its own category — [`StatsSnapshot::explicit_retries`] — because a
 //! user-level retry is a control-flow decision, not a conflict.
+//!
+//! How the re-runs are *paced* — and how conflict losers are arbitrated
+//! in general — is the configured contention-management policy
+//! ([`crate::cm::CmPolicy`], selected with [`StmConfig::with_cm`] when the
+//! backend is built and visible through [`Atomic::cm`]); the default
+//! two-phase policy reproduces the classic randomized exponential backoff.
 //!
 //! Under [`Atomic::or_else`], an explicit retry additionally flips which
 //! branch the *next* attempt runs: first ↦ second, second ↦ first. Each
@@ -345,7 +351,7 @@ impl AtomicBackend for Backend {
 /// The transaction runner of the `atomic` facade.
 ///
 /// Owns a backend — any static STM or a registry-built
-/// [`Backend`](crate::dynstm::Backend) — and exposes the user-level
+/// [`Backend`] — and exposes the user-level
 /// execution operators: [`run`](Atomic::run)/[`try_run`](Atomic::try_run)
 /// and the alternative composition
 /// [`or_else`](Atomic::or_else)/[`try_or_else`](Atomic::try_or_else).
@@ -399,6 +405,19 @@ impl<B: AtomicBackend> Atomic<B> {
     #[must_use]
     pub fn config(&self) -> &StmConfig {
         self.inner.config()
+    }
+
+    /// The contention-management policy this runner's backend arbitrates
+    /// conflicts with. Select one at construction time through the
+    /// [`StmConfig::with_cm`] builder:
+    ///
+    /// ```text
+    /// let cfg = StmConfig::default().with_cm(CmPolicy::Karma);
+    /// let at = Atomic::new(registry.build("oe", cfg)?);
+    /// ```
+    #[must_use]
+    pub fn cm(&self) -> crate::cm::CmPolicy {
+        self.inner.config().cm
     }
 
     /// Run `body` transactionally under `policy`, retrying on aborts with
@@ -737,6 +756,41 @@ mod tests {
         });
         assert_eq!(out, 11);
         assert_eq!(v.load_atomic(), 11);
+    }
+
+    #[test]
+    fn facade_semantics_hold_under_every_cm_policy() {
+        use crate::cm::CmPolicy;
+        // retry / or_else / sections must behave identically under every
+        // contention manager — the CM only paces, it never changes results
+        // or statistics filing.
+        for cm in CmPolicy::ALL {
+            let at = Atomic::new(ToyStm {
+                config: StmConfig::default().with_cm(cm),
+                ..ToyStm::default()
+            });
+            assert_eq!(at.cm(), cm);
+            let v = TVar::new(0u64);
+            let out = at.or_else(
+                Policy::Regular,
+                |tx| {
+                    if tx.get(&v)? == 0 {
+                        return tx.retry();
+                    }
+                    Ok("primary")
+                },
+                |tx| {
+                    tx.set(&v, 7)?;
+                    Ok("fallback")
+                },
+            );
+            assert_eq!(out, "fallback", "{cm}");
+            assert_eq!(v.load_atomic(), 7, "{cm}");
+            let snap = at.stats();
+            assert_eq!(snap.commits, 1, "{cm}");
+            assert_eq!(snap.explicit_retries(), 1, "{cm}");
+            assert_eq!(snap.aborts(), 0, "{cm}: retry filed as conflict");
+        }
     }
 
     #[test]

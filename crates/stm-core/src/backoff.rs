@@ -44,10 +44,15 @@ impl Backoff {
         self.attempt
     }
 
-    /// Wait before the next retry. Spins for a random duration in
-    /// `[min, min * 2^attempt]` (capped), then yields the thread once the
-    /// cap is reached so single-core machines make progress.
-    pub fn wait(&mut self) {
+    /// Draw the next step of the schedule without executing it: a random
+    /// spin count in `[min, min * 2^attempt]` (capped at the max), plus
+    /// whether the exponential ceiling has saturated — the signal that
+    /// spinning is no longer productive and the waiter should yield.
+    /// Advances the attempt counter and the RNG exactly like
+    /// [`wait`](Self::wait), which is implemented on top of it; the `cm`
+    /// module's backoff-flavoured policies consume the plan directly and
+    /// let the shared retry loop execute it.
+    pub fn plan(&mut self) -> (u32, bool) {
         let ceiling = self
             .min_spins
             .saturating_mul(1u32.checked_shl(self.attempt.min(20)).unwrap_or(u32::MAX))
@@ -57,14 +62,22 @@ impl Backoff {
         } else {
             self.min_spins + (self.next_rand() % u64::from(ceiling - self.min_spins)) as u32
         };
+        self.attempt = self.attempt.saturating_add(1);
+        (spins, ceiling >= self.max_spins)
+    }
+
+    /// Wait before the next retry. Spins for a random duration in
+    /// `[min, min * 2^attempt]` (capped), then yields the thread once the
+    /// cap is reached so single-core machines make progress.
+    pub fn wait(&mut self) {
+        let (spins, saturated) = self.plan();
         for _ in 0..spins {
             core::hint::spin_loop();
         }
-        if ceiling >= self.max_spins {
+        if saturated {
             // Saturated: we are contending hard; let other threads run.
             std::thread::yield_now();
         }
-        self.attempt = self.attempt.saturating_add(1);
     }
 
     /// Reset after a successful commit (reused loop objects).
@@ -102,6 +115,20 @@ mod tests {
         let ra: Vec<u64> = (0..8).map(|_| a.next_rand()).collect();
         let rb: Vec<u64> = (0..8).map(|_| b.next_rand()).collect();
         assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn plan_reports_saturation_and_stays_in_bounds() {
+        let mut b = Backoff::new(4, 16, 9);
+        let (first, saturated) = b.plan();
+        assert!((4..=16).contains(&first));
+        assert!(!saturated, "attempt 0 ceiling (4) is below the max");
+        // Ceiling doubles per attempt: 4, 8, 16 → saturates on attempt 2.
+        let (_, s1) = b.plan();
+        assert!(!s1);
+        let (spins, s2) = b.plan();
+        assert!(s2, "ceiling must have reached the max");
+        assert!((4..=16).contains(&spins));
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Tunables shared by the STM implementations.
 
+use crate::cm::CmPolicy;
+
 /// Configuration for an STM instance.
 ///
 /// Defaults reproduce the paper's setup; the benchmark harness sweeps some
@@ -16,9 +18,17 @@ pub struct StmConfig {
     /// paper and the original E-STM keep the immediate past read, i.e. a
     /// window of 2 (previous and current).
     pub elastic_window: usize,
-    /// SwissTM two-phase contention manager: transactions that have
-    /// performed fewer writes than this are "timid" and abort themselves on
-    /// any write-write conflict; beyond it they compare greedy priorities.
+    /// The contention-management policy: how conflict losers pace their
+    /// retries, and how encounter-time conflicts (SwissTM's write locks)
+    /// are arbitrated. The default, [`CmPolicy::TwoPhase`], reproduces the
+    /// stack's historical pacing on every backend (see the `cm` module
+    /// docs for the one deliberate divergence at backoff saturation).
+    pub cm: CmPolicy,
+    /// Two-phase contention-manager knob (used by [`CmPolicy::TwoPhase`]):
+    /// transactions that have performed fewer writes than this are "timid"
+    /// and abort themselves on any write-write conflict; beyond it they
+    /// compare greedy priorities. Historically this was a SwissTM-only
+    /// hardcoded rule; it is now one parameter of one pluggable policy.
     pub cm_write_threshold: usize,
     /// Upper bound on commit-time lock-acquisition spin iterations before
     /// declaring a lock conflict.
@@ -34,6 +44,7 @@ impl Default for StmConfig {
             backoff_min_spins: 32,
             backoff_max_spins: 1 << 14,
             elastic_window: 2,
+            cm: CmPolicy::default(),
             cm_write_threshold: 4,
             lock_spin_limit: 64,
             max_retries: None,
@@ -57,6 +68,13 @@ impl StmConfig {
         self.elastic_window = window;
         self
     }
+
+    /// Select the contention-management policy (see [`CmPolicy`]).
+    #[must_use]
+    pub fn with_cm(mut self, cm: CmPolicy) -> Self {
+        self.cm = cm;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -78,8 +96,17 @@ mod tests {
     fn builders_compose() {
         let c = StmConfig::default()
             .with_max_retries(5)
-            .with_elastic_window(4);
+            .with_elastic_window(4)
+            .with_cm(CmPolicy::Karma);
         assert_eq!(c.max_retries, Some(5));
         assert_eq!(c.elastic_window, 4);
+        assert_eq!(c.cm, CmPolicy::Karma);
+    }
+
+    #[test]
+    fn default_cm_is_two_phase() {
+        // The default must reproduce the pre-CM stack: exponential backoff
+        // pacing everywhere plus the SwissTM encounter rule.
+        assert_eq!(StmConfig::default().cm, CmPolicy::TwoPhase);
     }
 }

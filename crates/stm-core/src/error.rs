@@ -74,6 +74,15 @@ impl AbortReason {
     pub fn is_explicit_retry(self) -> bool {
         matches!(self, AbortReason::ExplicitRetry)
     }
+
+    /// True for aborts decided by a contention manager (encounter-time
+    /// self-aborts like SwissTM's timid phase). Always a *conflict* abort
+    /// — disjoint from [`is_explicit_retry`](Self::is_explicit_retry) by
+    /// construction, which the statistics tests pin down.
+    #[must_use]
+    pub fn is_contention(self) -> bool {
+        matches!(self, AbortReason::ContentionManager)
+    }
 }
 
 impl core::fmt::Display for AbortReason {
@@ -135,6 +144,18 @@ mod tests {
             seen[r.index()] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn contention_and_retry_categories_are_disjoint() {
+        for r in AbortReason::ALL {
+            assert!(
+                !(r.is_contention() && r.is_explicit_retry()),
+                "{r:?} claims both categories"
+            );
+        }
+        assert!(AbortReason::ContentionManager.is_contention());
+        assert!(!AbortReason::ContentionManager.is_explicit_retry());
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! This crate contains everything the four STM implementations of this
 //! workspace (TL2, LSA, SwissTM, OE-STM) have in common:
 //!
-//! * a [`GlobalClock`](clock::GlobalClock) — the global version clock that
+//! * a [`GlobalClock`] — the global version clock that
 //!   timestamps committed state,
-//! * [`VLock`](vlock::VLock) — a versioned write-lock word (version when
+//! * [`VLock`] — a versioned write-lock word (version when
 //!   unlocked, owner ticket when locked),
 //! * [`TVar<T>`](tvar::TVar) — a word-sized transactional variable guarded by
 //!   a `VLock`, readable with the load-version / load-value / re-check
@@ -17,19 +17,21 @@
 //!   buffers — pooled per thread across transactions, so the steady-state
 //!   hot path performs no heap allocation,
 //! * the [`api`] module — the **`atomic` facade** user code targets: the
-//!   [`Atomic`](api::Atomic) runner (over any static backend or a registry
-//!   [`Backend`](dynstm::Backend)), the typed [`Tx`](api::Tx) handle with
+//!   [`Atomic`] runner (over any static backend or a registry
+//!   [`Backend`]), the typed [`Tx`] handle with
 //!   `get`/`set`/`modify`, policy-driven [`section`](api::Tx::section)
 //!   composition, the user-level [`retry`](api::Tx::retry), and
 //!   [`or_else`](api::Atomic::or_else) alternative composition,
-//! * the [`Stm`](stm::Stm) / [`Transaction`](stm::Transaction) traits that
+//! * the [`Stm`] / [`Transaction`] traits that
 //!   all four STMs implement — the **backend SPI** underneath the facade —
 //!   including the `child` entry point used for *composition* (the subject
 //!   of the paper),
-//! * retry machinery with bounded exponential [`backoff`],
+//! * retry machinery with bounded exponential [`backoff`] and pluggable
+//!   [`cm`] contention management (suicide / backoff / karma / two-phase
+//!   policies deciding how conflict losers pace their retries),
 //! * a [`dynstm`] erasure layer (object-safe `DynStm`/`DynTransaction`
 //!   twins of the static traits) and the name-based
-//!   [`BackendRegistry`](dynstm::BackendRegistry) runtime callers select
+//!   [`BackendRegistry`] runtime callers select
 //!   backends from,
 //! * per-STM [`stats`] (commits, aborts by cause, elastic cuts, outherits),
 //! * an optional [`trace`] sink so executions can be recorded into the formal
@@ -37,7 +39,7 @@
 //!   relax-serializability.
 //!
 //! The design is *word-based*: every transactional location holds a `u64`
-//! and typed access goes through the [`Word`](word::Word) bijection. This
+//! and typed access goes through the [`Word`] bijection. This
 //! mirrors the paper's experimental setup ("all STMs protect memory
 //! locations at the granularity level of object fields") and keeps the hot
 //! path free of `unsafe`.
@@ -49,6 +51,7 @@ pub mod api;
 pub mod backoff;
 pub mod bloom;
 pub mod clock;
+pub mod cm;
 pub mod config;
 pub mod dynstm;
 pub mod error;
@@ -66,6 +69,7 @@ pub mod writeset;
 
 pub use api::{Atomic, AtomicBackend, Policy, Tx};
 pub use clock::GlobalClock;
+pub use cm::{Arbitrate, CmPolicy, ConflictCtx, ContentionManager};
 pub use config::StmConfig;
 pub use dynstm::{
     Backend, BackendRegistry, BackendSpec, DynStm, DynTransaction, DynTxn, UnknownBackend,

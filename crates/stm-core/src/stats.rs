@@ -17,6 +17,8 @@ pub struct StmStats {
     outherits: AtomicU64,
     elastic_cuts: AtomicU64,
     extensions: AtomicU64,
+    cm_backoffs: AtomicU64,
+    cm_yields: AtomicU64,
 }
 
 impl StmStats {
@@ -68,6 +70,20 @@ impl StmStats {
         self.extensions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a contention-manager `Backoff` pacing decision (the loser
+    /// busy-waited before retrying).
+    #[inline]
+    pub fn record_cm_backoff(&self) {
+        self.cm_backoffs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a contention-manager `Yield` pacing decision (the loser
+    /// ceded the core before retrying).
+    #[inline]
+    pub fn record_cm_yield(&self) {
+        self.cm_yields.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Take a consistent-enough snapshot for reporting (counters are
     /// monotone; exact simultaneity is not required).
     #[must_use]
@@ -83,6 +99,8 @@ impl StmStats {
             outherits: self.outherits.load(Ordering::Relaxed),
             elastic_cuts: self.elastic_cuts.load(Ordering::Relaxed),
             extensions: self.extensions.load(Ordering::Relaxed),
+            cm_backoffs: self.cm_backoffs.load(Ordering::Relaxed),
+            cm_yields: self.cm_yields.load(Ordering::Relaxed),
         }
     }
 
@@ -96,6 +114,8 @@ impl StmStats {
         self.outherits.store(0, Ordering::Relaxed);
         self.elastic_cuts.store(0, Ordering::Relaxed);
         self.extensions.store(0, Ordering::Relaxed);
+        self.cm_backoffs.store(0, Ordering::Relaxed);
+        self.cm_yields.store(0, Ordering::Relaxed);
     }
 }
 
@@ -114,6 +134,10 @@ pub struct StatsSnapshot {
     pub elastic_cuts: u64,
     /// Successful snapshot extensions.
     pub extensions: u64,
+    /// Contention-manager `Backoff` pacing decisions executed.
+    pub cm_backoffs: u64,
+    /// Contention-manager `Yield` pacing decisions executed.
+    pub cm_yields: u64,
 }
 
 impl StatsSnapshot {
@@ -136,6 +160,22 @@ impl StatsSnapshot {
     #[must_use]
     pub fn explicit_retries(&self) -> u64 {
         self.aborts_by_cause[AbortReason::ExplicitRetry.index()]
+    }
+
+    /// Aborts decided by a contention manager (encounter-time self-aborts
+    /// like SwissTM's timid phase) — a subset of [`aborts`](Self::aborts),
+    /// never of [`explicit_retries`](Self::explicit_retries).
+    #[must_use]
+    pub fn cm_aborts(&self) -> u64 {
+        self.aborts_by_cause[AbortReason::ContentionManager.index()]
+    }
+
+    /// Contention-manager pacing decisions executed (`Backoff` + `Yield`)
+    /// — how often conflict losers actually waited before retrying. Zero
+    /// under the `suicide` policy by construction.
+    #[must_use]
+    pub fn cm_waits(&self) -> u64 {
+        self.cm_backoffs + self.cm_yields
     }
 
     /// Abort rate as the paper plots it: aborts / (aborts + commits).
@@ -167,6 +207,8 @@ impl StatsSnapshot {
             outherits: self.outherits - earlier.outherits,
             elastic_cuts: self.elastic_cuts - earlier.elastic_cuts,
             extensions: self.extensions - earlier.extensions,
+            cm_backoffs: self.cm_backoffs - earlier.cm_backoffs,
+            cm_yields: self.cm_yields - earlier.cm_yields,
         }
     }
 }
@@ -229,7 +271,85 @@ mod tests {
         s.record_extension();
         s.record_child_commit();
         s.record_outherit();
+        s.record_cm_backoff();
+        s.record_cm_yield();
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn abort_rate_never_divides_by_zero() {
+        // Empty snapshot: 0 aborts, 0 commits.
+        assert_eq!(StatsSnapshot::default().abort_rate(), 0.0);
+        // Explicit retries only: excluded from the numerator AND the
+        // denominator — the rate must stay a well-defined 0, not NaN.
+        let s = StmStats::new();
+        s.record_abort(AbortReason::ExplicitRetry);
+        s.record_abort(AbortReason::ExplicitRetry);
+        let snap = s.snapshot();
+        assert_eq!(snap.aborts(), 0);
+        assert_eq!(snap.abort_rate(), 0.0);
+        assert!(snap.abort_rate().is_finite());
+        // Aborts without commits: rate is exactly 1, still finite.
+        s.record_abort(AbortReason::ContentionManager);
+        assert_eq!(s.snapshot().abort_rate(), 1.0);
+    }
+
+    #[test]
+    fn every_abort_reason_files_into_exactly_one_category() {
+        // Enumerate ALL variants: each must land either in the conflict
+        // aborts or in the explicit-retry category — never both, never
+        // neither (a new variant that forgets its filing breaks this).
+        for reason in AbortReason::ALL {
+            let s = StmStats::new();
+            s.record_abort(reason);
+            let snap = s.snapshot();
+            let in_aborts = snap.aborts() == 1;
+            let in_retries = snap.explicit_retries() == 1;
+            assert!(
+                in_aborts ^ in_retries,
+                "{reason:?}: filed as abort={in_aborts}, retry={in_retries}"
+            );
+            assert_eq!(
+                in_retries,
+                reason.is_explicit_retry(),
+                "{reason:?}: category disagrees with is_explicit_retry()"
+            );
+            // The CM-abort accessor counts exactly the CM variant.
+            assert_eq!(
+                snap.cm_aborts(),
+                u64::from(reason == AbortReason::ContentionManager),
+                "{reason:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cm_aborts_never_double_count_explicit_retries() {
+        let s = StmStats::new();
+        s.record_abort(AbortReason::ContentionManager);
+        s.record_abort(AbortReason::ExplicitRetry);
+        let snap = s.snapshot();
+        assert_eq!(snap.cm_aborts(), 1);
+        assert_eq!(snap.explicit_retries(), 1);
+        assert_eq!(snap.aborts(), 1, "the retry must not inflate aborts");
+        assert!(snap.cm_aborts() <= snap.aborts(), "cm_aborts ⊆ aborts");
+    }
+
+    #[test]
+    fn cm_wait_counters_accumulate_delta_and_reset() {
+        let s = StmStats::new();
+        s.record_cm_backoff();
+        s.record_cm_backoff();
+        s.record_cm_yield();
+        let before = s.snapshot();
+        assert_eq!((before.cm_backoffs, before.cm_yields), (2, 1));
+        assert_eq!(before.cm_waits(), 3);
+        s.record_cm_yield();
+        let d = s.snapshot().delta_since(&before);
+        assert_eq!((d.cm_backoffs, d.cm_yields), (0, 1));
+        assert_eq!(d.cm_waits(), 1);
+        s.reset();
+        assert_eq!(s.snapshot().cm_waits(), 0);
     }
 }

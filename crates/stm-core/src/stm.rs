@@ -7,8 +7,8 @@
 //! *composition* entry point of Section III — a new operation invoking
 //! existing operations in sequence inside a parent transaction.
 
-use crate::backoff::Backoff;
 use crate::clock::GlobalClock;
+use crate::cm::{Arbitrate, ConflictCtx, ContentionManager};
 use crate::config::StmConfig;
 use crate::error::{Abort, AbortReason};
 use crate::stats::{StatsSnapshot, StmStats};
@@ -206,33 +206,42 @@ pub trait Stm: Send + Sync {
     }
 }
 
-/// The shared retry loop: runs `attempt` until it returns `Ok`, recording
-/// commit/abort statistics and backing off between attempts.
+/// The shared retry loop, contention-management edition: runs `attempt`
+/// until it returns `Ok`, recording commit/abort statistics and executing
+/// the [`Arbitrate`] decision the caller's contention manager attached to
+/// each failure.
 ///
-/// `attempt` must perform a complete begin → body → commit cycle and map
-/// every failure to an [`Abort`]. All four backends (and therefore the
-/// `dynstm` erasure layer and the `api` facade on top) funnel every abort
-/// through here, so [`AbortReason::ExplicitRetry`] is handled uniformly:
-/// it goes through the same bounded backoff (a retrying transaction waits
-/// for another thread to change the world) and counts against
-/// `max_retries`, but the statistics layer files it in its own category
-/// instead of the conflict-abort counters.
-pub fn retry_loop<R>(
+/// `attempt` receives the 1-based attempt number and must perform a
+/// complete begin → body → commit cycle; on failure it returns the
+/// [`Abort`] *paired with* the arbitration decision, which the backend
+/// obtains from the [`ContentionManager`] owned by its transaction object
+/// (the same instance that arbitrates encounter-time conflicts, so
+/// policies like Karma keep one coherent priority). The loop executes the
+/// decision — retry immediately, busy-wait, or yield — and files
+/// `Backoff`/`Yield` pacing events in the statistics so benchmark rows can
+/// report arbitration activity.
+///
+/// All four backends (and therefore the `dynstm` erasure layer and the
+/// `api` facade on top) funnel every abort through here, so
+/// [`AbortReason::ExplicitRetry`] is handled uniformly: it goes through
+/// the same CM pacing (a retrying transaction waits for another thread to
+/// change the world) and counts against `max_retries`, but the statistics
+/// layer files it in its own category instead of the conflict-abort
+/// counters.
+pub fn retry_loop_arbitrated<R>(
     cfg: &StmConfig,
     stats: &StmStats,
-    seed: u64,
-    mut attempt: impl FnMut() -> Result<R, Abort>,
+    mut attempt: impl FnMut(u64) -> Result<R, (Abort, Arbitrate)>,
 ) -> Result<R, RunError> {
-    let mut backoff = Backoff::new(cfg.backoff_min_spins, cfg.backoff_max_spins, seed);
     let mut attempts: u64 = 0;
     loop {
         attempts += 1;
-        match attempt() {
+        match attempt(attempts) {
             Ok(r) => {
                 stats.record_commit();
                 return Ok(r);
             }
-            Err(abort) => {
+            Err((abort, decision)) => {
                 stats.record_abort(abort.reason);
                 if let Some(max) = cfg.max_retries {
                     if attempts > max {
@@ -242,10 +251,52 @@ pub fn retry_loop<R>(
                         });
                     }
                 }
-                backoff.wait();
+                match decision {
+                    Arbitrate::Abort => {}
+                    Arbitrate::Backoff(spins) => {
+                        stats.record_cm_backoff();
+                        for _ in 0..spins {
+                            core::hint::spin_loop();
+                        }
+                    }
+                    Arbitrate::Yield => {
+                        stats.record_cm_yield();
+                        std::thread::yield_now();
+                    }
+                }
             }
         }
     }
+}
+
+/// The classic retry loop: like [`retry_loop_arbitrated`] but with the
+/// contention manager built internally from [`StmConfig::cm`] and consulted
+/// with retry-time-only context (no owner, no work accounting).
+///
+/// The word-based backends use [`retry_loop_arbitrated`] directly so their
+/// transaction-owned CM sees encounter-time conflicts and real work
+/// counts; this wrapper serves simpler STMs (tests, toy backends,
+/// `stm-boost`) that have no per-conflict context to offer.
+pub fn retry_loop<R>(
+    cfg: &StmConfig,
+    stats: &StmStats,
+    seed: u64,
+    mut attempt: impl FnMut() -> Result<R, Abort>,
+) -> Result<R, RunError> {
+    let mut cm = cfg.cm.build(cfg, seed);
+    retry_loop_arbitrated(cfg, stats, |attempts| {
+        cm.on_start(attempts);
+        match attempt() {
+            Ok(r) => {
+                cm.on_commit();
+                Ok(r)
+            }
+            Err(abort) => {
+                let decision = cm.on_conflict(&ConflictCtx::retry(abort.reason, attempts));
+                Err((abort, decision))
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -301,6 +352,80 @@ mod tests {
         assert_eq!(snap.commits, 1);
         assert_eq!(snap.explicit_retries(), 2);
         assert_eq!(snap.aborts(), 0, "retries are not conflict aborts");
+    }
+
+    #[test]
+    fn retry_loop_paces_with_the_configured_cm() {
+        use crate::cm::CmPolicy;
+        // Suicide never backs off or yields; Backoff does. Both must be
+        // visible in the new arbitration counters.
+        for (policy, expect_waits) in [(CmPolicy::Suicide, false), (CmPolicy::Backoff, true)] {
+            let cfg = StmConfig::default().with_cm(policy);
+            let stats = StmStats::new();
+            let mut left = 3;
+            retry_loop(&cfg, &stats, 1, || {
+                if left > 0 {
+                    left -= 1;
+                    Err(Abort::new(AbortReason::LockConflict))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap();
+            let snap = stats.snapshot();
+            assert_eq!(snap.aborts(), 3, "{policy}");
+            assert_eq!(
+                snap.cm_waits() > 0,
+                expect_waits,
+                "{policy}: waits {:?}",
+                (snap.cm_backoffs, snap.cm_yields)
+            );
+        }
+    }
+
+    #[test]
+    fn arbitrated_loop_executes_decisions_and_counts_them() {
+        use crate::cm::Arbitrate;
+        let cfg = StmConfig::default();
+        let stats = StmStats::new();
+        let mut step = 0;
+        let r = retry_loop_arbitrated(&cfg, &stats, |attempt| {
+            assert_eq!(attempt, step + 1, "attempt numbers are 1-based");
+            step += 1;
+            match step {
+                1 => Err((Abort::new(AbortReason::LockConflict), Arbitrate::Abort)),
+                2 => Err((
+                    Abort::new(AbortReason::ReadValidation),
+                    Arbitrate::Backoff(4),
+                )),
+                3 => Err((Abort::new(AbortReason::Explicit), Arbitrate::Yield)),
+                _ => Ok(99),
+            }
+        });
+        assert_eq!(r.unwrap(), 99);
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts(), 3);
+        assert_eq!(snap.cm_backoffs, 1);
+        assert_eq!(snap.cm_yields, 1);
+        assert_eq!(snap.cm_waits(), 2);
+    }
+
+    #[test]
+    fn arbitrated_loop_respects_max_retries_regardless_of_decision() {
+        use crate::cm::Arbitrate;
+        let cfg = StmConfig::default().with_max_retries(2);
+        let stats = StmStats::new();
+        let r: Result<(), _> = retry_loop_arbitrated(&cfg, &stats, |_| {
+            Err((Abort::new(AbortReason::LockConflict), Arbitrate::Abort))
+        });
+        assert_eq!(
+            r.unwrap_err(),
+            RunError::RetriesExhausted {
+                attempts: 3,
+                last: AbortReason::LockConflict
+            }
+        );
     }
 
     #[test]

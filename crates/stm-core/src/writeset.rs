@@ -5,7 +5,7 @@
 //! location overwrites the buffered value), keeps insertion order for
 //! write-back, and answers read-after-write lookups through a one-word bloom
 //! signature with a linear scan (small sets) or an open-addressed hash index
-//! (large sets — see [`IndexTable`](crate::scratch::IndexTable)).
+//! (large sets — see [`IndexTable`]).
 //!
 //! Hot-path invariants (see DESIGN.md, "The allocation-free hot path"):
 //!

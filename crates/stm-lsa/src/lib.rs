@@ -34,9 +34,10 @@
 #![warn(missing_docs)]
 
 use stm_core::bloom::Bloom;
+use stm_core::cm::{Arbitrate, CmState, ConflictCtx, ContentionManager};
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::readset::ReadSet;
-use stm_core::stm::retry_loop;
+use stm_core::stm::retry_loop_arbitrated;
 use stm_core::ticket::next_ticket;
 use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::{
@@ -87,6 +88,11 @@ impl<'env> UndoLog<'env> {
             old_value,
             old_version,
         });
+    }
+
+    /// Number of locations written (the transaction's write-set size).
+    fn len(&self) -> usize {
+        self.entries.len()
     }
 
     /// The pre-lock version of `core` if this transaction wrote it.
@@ -174,31 +180,53 @@ pub struct LsaTxn<'env> {
     /// Upper bound: the snapshot is consistent for all times in `[rv, ub]`.
     ub: u64,
     ticket: u64,
+    attempt: u64,
     scratch: LsaScratch<'env>,
+    cm: CmState,
     depth: u32,
 }
 
 impl<'env> LsaTxn<'env> {
-    fn begin(stm: &'env Lsa, scratch: LsaScratch<'env>) -> Self {
+    fn begin(stm: &'env Lsa, scratch: LsaScratch<'env>, cm: CmState) -> Self {
         Self {
             stm,
             rv: 0,
             ub: 0,
             ticket: 0,
+            attempt: 0,
             scratch,
+            cm,
             depth: 0,
         }
     }
 
     /// Reset for a fresh attempt (see `Tl2Txn::restart`): clear the
-    /// scratch keeping capacity, resample the clock, take a new ticket.
-    fn restart(&mut self) {
+    /// scratch keeping capacity, resample the clock, take a new ticket,
+    /// tell the contention manager a new attempt begins.
+    fn restart(&mut self, attempt: u64) {
         self.scratch.reset();
         let now = self.stm.clock.now();
         self.rv = now;
         self.ub = now;
         self.ticket = next_ticket().get();
+        self.attempt = attempt;
         self.depth = 0;
+        self.cm.on_start(attempt);
+    }
+
+    /// Ask the run's contention manager how to pace the retry after an
+    /// abort (see `Tl2Txn::arbitrate`).
+    fn arbitrate(&mut self, abort: Abort) -> Arbitrate {
+        let ctx = ConflictCtx {
+            reason: abort.reason,
+            attempt: self.attempt,
+            ticket: self.ticket,
+            owner: 0,
+            writes: self.scratch.undo.len(),
+            spins: 0,
+            work: (self.scratch.reads.len() + self.scratch.undo.len()) as u64,
+        };
+        self.cm.on_conflict(&ctx)
     }
 
     /// The current validity interval `[rv, ub]`: the snapshot this
@@ -391,19 +419,28 @@ impl Stm for Lsa {
         let seed = next_ticket().get();
         // One transaction object per run call: every attempt restarts it
         // in place, so the read set and undo log keep their capacity
-        // across attempts.
-        let mut txn = LsaTxn::begin(self, LsaScratch::default());
-        retry_loop(&self.config, &self.stats, seed, || {
-            txn.restart();
-            match f(&mut txn) {
-                Ok(r) => {
-                    txn.commit()?;
-                    Ok(r)
-                }
+        // across attempts, and one contention-manager state arbitrates
+        // the whole run.
+        let mut txn = LsaTxn::begin(
+            self,
+            LsaScratch::default(),
+            self.config.cm.build(&self.config, seed),
+        );
+        retry_loop_arbitrated(&self.config, &self.stats, |attempt| {
+            txn.restart(attempt);
+            let outcome = match f(&mut txn) {
+                Ok(r) => txn.commit().map(|()| r),
                 Err(abort) => {
                     txn.on_abort();
                     Err(abort)
                 }
+            };
+            match outcome {
+                Ok(r) => {
+                    txn.cm.on_commit();
+                    Ok(r)
+                }
+                Err(abort) => Err((abort, txn.arbitrate(abort))),
             }
         })
     }
@@ -413,6 +450,41 @@ impl Stm for Lsa {
 mod tests {
     use super::*;
     use stm_core::TVar;
+
+    #[test]
+    fn every_cm_policy_recovers_from_forced_conflicts() {
+        use stm_core::cm::CmPolicy;
+        // A stale read that fails the snapshot extension must retry to
+        // success under each contention manager, with aborts filed as
+        // conflicts and pacing matching the policy (suicide never waits).
+        for cm in CmPolicy::ALL {
+            let stm = Lsa::with_config(StmConfig::default().with_cm(cm));
+            let a = TVar::new(0u64);
+            let b = TVar::new(0u64);
+            let mut sabotage_left = 3;
+            stm.run(TxKind::Regular, |tx| {
+                let ra = tx.read(&a)?;
+                if sabotage_left > 0 {
+                    sabotage_left -= 1;
+                    let nv = stm.clock().tick();
+                    a.store_atomic(ra + 10, nv);
+                }
+                // Reading b forces an extension past the doctored version
+                // of a; revalidation sees the overwrite and aborts.
+                let rb = tx.read(&b)?;
+                tx.write(&b, ra + rb + 1)
+            });
+            let snap = stm.stats();
+            assert_eq!(snap.commits, 1, "{cm}");
+            assert_eq!(snap.aborts(), 3, "{cm}");
+            assert_eq!(snap.explicit_retries(), 0, "{cm}");
+            if cm == CmPolicy::Suicide {
+                assert_eq!(snap.cm_waits(), 0, "{cm}: suicide must not pace");
+            } else {
+                assert_eq!(snap.cm_waits(), 3, "{cm}: every abort is paced");
+            }
+        }
+    }
 
     #[test]
     fn read_your_own_write_in_place() {

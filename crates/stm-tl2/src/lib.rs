@@ -25,9 +25,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use stm_core::cm::{Arbitrate, CmState, ConflictCtx, ContentionManager};
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::scratch::TxScratch;
-use stm_core::stm::retry_loop;
+use stm_core::stm::retry_loop_arbitrated;
 use stm_core::ticket::next_ticket;
 use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::{
@@ -88,30 +89,53 @@ pub struct Tl2Txn<'env> {
     stm: &'env Tl2,
     rv: u64,
     ticket: u64,
+    attempt: u64,
     scratch: TxScratch<'env>,
+    cm: CmState,
     depth: u32,
 }
 
 impl<'env> Tl2Txn<'env> {
-    fn begin(stm: &'env Tl2, scratch: TxScratch<'env>) -> Self {
+    fn begin(stm: &'env Tl2, scratch: TxScratch<'env>, cm: CmState) -> Self {
         Self {
             stm,
             rv: 0,
             ticket: 0,
+            attempt: 0,
             scratch,
+            cm,
             depth: 0,
         }
     }
 
     /// Reset for a fresh attempt: clear the scratch (keeping capacity),
-    /// resample the clock, take a new ticket. Called by the retry loop
-    /// before every attempt, so the transaction object itself — and its
-    /// buffers — live for the whole run.
-    fn restart(&mut self) {
+    /// resample the clock, take a new ticket, tell the contention manager
+    /// a new attempt begins. Called by the retry loop before every
+    /// attempt, so the transaction object itself — and its buffers — live
+    /// for the whole run.
+    fn restart(&mut self, attempt: u64) {
         self.scratch.reset();
         self.rv = self.stm.clock.now();
         self.ticket = next_ticket().get();
+        self.attempt = attempt;
         self.depth = 0;
+        self.cm.on_start(attempt);
+    }
+
+    /// Ask the run's contention manager how to pace the retry after an
+    /// abort. The failed attempt's access counts feed Karma-style
+    /// policies as "work done".
+    fn arbitrate(&mut self, abort: Abort) -> Arbitrate {
+        let ctx = ConflictCtx {
+            reason: abort.reason,
+            attempt: self.attempt,
+            ticket: self.ticket,
+            owner: 0,
+            writes: self.scratch.writes.len(),
+            spins: 0,
+            work: (self.scratch.reads.len() + self.scratch.writes.len()) as u64,
+        };
+        self.cm.on_conflict(&ctx)
     }
 
     /// Commit the attempt. On `Err` the caller retries with a fresh
@@ -222,15 +246,28 @@ impl Stm for Tl2 {
         mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
     ) -> Result<R, RunError> {
         let seed = next_ticket().get();
-        // One transaction object (and one scratch) per run call: every
-        // attempt restarts it in place, so aborted attempts hand their
-        // warmed buffers to the next one with no per-attempt moves.
-        let mut txn = Tl2Txn::begin(self, TxScratch::acquire());
-        retry_loop(&self.config, &self.stats, seed, || {
-            txn.restart();
-            let r = f(&mut txn)?;
-            txn.commit()?;
-            Ok(r)
+        // One transaction object (and one scratch, and one contention-
+        // manager state) per run call: every attempt restarts it in
+        // place, so aborted attempts hand their warmed buffers to the
+        // next one with no per-attempt moves.
+        let mut txn = Tl2Txn::begin(
+            self,
+            TxScratch::acquire(),
+            self.config.cm.build(&self.config, seed),
+        );
+        retry_loop_arbitrated(&self.config, &self.stats, |attempt| {
+            txn.restart(attempt);
+            let outcome = match f(&mut txn) {
+                Ok(r) => txn.commit().map(|()| r),
+                Err(abort) => Err(abort),
+            };
+            match outcome {
+                Ok(r) => {
+                    txn.cm.on_commit();
+                    Ok(r)
+                }
+                Err(abort) => Err((abort, txn.arbitrate(abort))),
+            }
         })
     }
 }
@@ -411,6 +448,39 @@ mod tests {
         h.join().unwrap();
         assert_eq!(a.load_atomic(), 999);
         assert_eq!(b.load_atomic(), 999);
+    }
+
+    #[test]
+    fn every_cm_policy_recovers_from_forced_conflicts() {
+        use stm_core::cm::CmPolicy;
+        // Under each contention manager, a transaction sabotaged by a
+        // racing commit on its first attempts must still make progress,
+        // with the aborts filed as conflicts (never as explicit retries)
+        // and the pacing counters matching the policy: suicide never
+        // waits, the others do.
+        for cm in CmPolicy::ALL {
+            let stm = Tl2::with_config(StmConfig::default().with_cm(cm));
+            let v = TVar::new(0u64);
+            let mut sabotage_left = 3;
+            stm.run(TxKind::Regular, |tx| {
+                let x = tx.read(&v)?;
+                if sabotage_left > 0 {
+                    sabotage_left -= 1;
+                    let nv = stm.clock().tick();
+                    v.store_atomic(x + 10, nv);
+                }
+                tx.write(&v, x + 1)
+            });
+            let snap = stm.stats();
+            assert_eq!(snap.commits, 1, "{cm}");
+            assert_eq!(snap.aborts(), 3, "{cm}");
+            assert_eq!(snap.explicit_retries(), 0, "{cm}");
+            if cm == CmPolicy::Suicide {
+                assert_eq!(snap.cm_waits(), 0, "{cm}: suicide must not pace");
+            } else {
+                assert_eq!(snap.cm_waits(), 3, "{cm}: every abort is paced");
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,36 @@ pub const PAPER: &str = "Gramoli, Guerraoui, Letia: Composing Relaxed Transactio
 /// assert!(err.to_string().contains("registered backends: oe, oe-estm-compat, lsa, tl2, swiss"));
 /// ```
 ///
+/// Conflict arbitration is a pluggable policy: build any backend with a
+/// [`CmPolicy`](stm_core::cm::CmPolicy) (or sweep them all with
+/// `repro --cm`) and the statistics show the arbitration activity:
+///
+/// ```
+/// use composing_relaxed_transactions::backend_registry;
+/// use composing_relaxed_transactions::stm_core::api::{Atomic, Policy};
+/// use composing_relaxed_transactions::stm_core::cm::CmPolicy;
+/// use composing_relaxed_transactions::stm_core::{StmConfig, TVar};
+///
+/// let at = Atomic::new(
+///     backend_registry()
+///         .build("tl2", StmConfig::default().with_cm(CmPolicy::Karma))
+///         .unwrap(),
+/// );
+/// assert_eq!(at.cm(), CmPolicy::Karma);
+/// let v = TVar::new(0u64);
+/// let mut retried = false;
+/// at.run(Policy::Regular, |tx| {
+///     tx.set(&v, 1)?;
+///     if !retried {
+///         retried = true;
+///         return tx.retry(); // paced by the Karma arbiter
+///     }
+///     Ok(())
+/// });
+/// assert_eq!(at.stats().explicit_retries(), 1);
+/// assert_eq!(at.stats().cm_waits(), 1); // the loss was paced, not hot-spun
+/// ```
+///
 /// The facade's `retry`/`or_else` combinators work over any backend:
 ///
 /// ```
