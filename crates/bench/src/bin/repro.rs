@@ -7,6 +7,7 @@
 //!       [--cm suicide,backoff,karma,two-phase]
 //!       [--threads 1,2,4] [--duration-ms 500] [--composed 5,15]
 //!       [--seed N] [--json BENCH.json]
+//! repro trace [--stm oe] [--scenario bank-transfer] [--cm two-phase] [--steps 3]
 //! repro validate-json BENCH.json [--require-full-coverage]
 //! repro compare-json BENCH_base.json BENCH_new.json [--threshold-pct 10] [--report-only]
 //! repro merge-json BENCH_merged.json run1.json run2.json run3.json
@@ -28,9 +29,17 @@
 
 use bench::cli::{parse_args, Options, USAGE};
 use bench::report::{print_bench_rows, print_summary, Row, Structure};
+use bench::scenario::Workload;
 use bench::scenario::{
     backend_registry, run_matrix, scenarios, BenchRow, MatrixPlan, FIGURE_BACKENDS,
 };
+use bench::workload::{thread_seed, Mix};
+use histories::Recorder;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::mpsc;
+use std::sync::{Arc, Barrier};
+use stm_core::{Atomic, Backend, TVar, Transaction, TxKind};
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -138,6 +147,163 @@ fn summary(opts: &Options, all_rows: &mut Vec<BenchRow>) {
     all_rows.extend(rows);
 }
 
+/// Record one deterministic two-process composition on `backend`: the
+/// composing process runs a single elastic transaction with `steps`
+/// children (child `i` reads then bumps `vars[i]`), and an adversary
+/// thread increments `vars[i + 1]` — the variable the *next* child will
+/// read — exactly once after each child, sequenced with channels so the
+/// recorded interleaving reproduces run to run. Touching only a variable
+/// the composer has not reached yet keeps the handoff deadlock-free even
+/// under eager two-phase locking (boost); snapshot backends instead
+/// observe the adversary's commit as an elastic cut (oe), a snapshot
+/// extension (lsa), or a recorded abort-and-retry (tl2, swiss) — which is
+/// exactly the per-backend contrast the dump is for.
+fn record_composition(backend: &Backend, steps: usize) {
+    let vars: Vec<TVar<u64>> = (0..=steps).map(|_| TVar::new(0u64)).collect();
+    let (to_adversary, adversary_go) = mpsc::channel::<()>();
+    let (to_composer, composer_go) = mpsc::channel::<()>();
+    std::thread::scope(|s| {
+        let vars = &vars;
+        s.spawn(move || {
+            for i in 0..steps {
+                if adversary_go.recv().is_err() {
+                    return;
+                }
+                backend.run(TxKind::Elastic, |tx| {
+                    let v = tx.get(&vars[i + 1])?;
+                    tx.set(&vars[i + 1], v + 1)
+                });
+                to_composer
+                    .send(())
+                    .expect("composer waits for every adversary round");
+            }
+        });
+        // Hand off once per step even if the top transaction retries.
+        let mut handoffs = 0;
+        backend.run(TxKind::Elastic, |tx| {
+            for (step, var) in vars.iter().enumerate().take(steps) {
+                tx.child(TxKind::Elastic, |tx| {
+                    let v = tx.get(var)?;
+                    tx.set(var, v + 100)
+                })?;
+                if step == handoffs {
+                    handoffs += 1;
+                    to_adversary
+                        .send(())
+                        .expect("adversary runs exactly `steps` rounds");
+                    composer_go.recv().expect("adversary answers every handoff");
+                }
+            }
+            Ok(())
+        });
+    });
+}
+
+/// Record `steps` sampled operations of a registered scenario on each of
+/// two racing worker threads. The prefill runs with the recorder already
+/// attached (the backend's clock has advanced past the prefill versions,
+/// so a separately built untraced instance would not see a consistent
+/// structure); it is wiped from the recording before the measured steps
+/// so the dump covers only the sampled window.
+fn record_scenario(
+    at: &Atomic<Backend>,
+    workload: &dyn Workload,
+    steps: usize,
+    seed: u64,
+    recorder: &Recorder,
+) {
+    workload.prefill(at, seed);
+    recorder.clear();
+    let barrier = Barrier::new(2);
+    std::thread::scope(|s| {
+        for t in 0..2 {
+            let barrier = &barrier;
+            let mut rng = SmallRng::seed_from_u64(thread_seed(seed, t));
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..steps {
+                    workload.step(at, &mut rng);
+                }
+            });
+        }
+    });
+}
+
+/// `repro trace`: dump recorded histories in the paper's notation — by
+/// default one deterministic two-process composition per chosen backend;
+/// with `--scenario`, `--steps` racing operations of each named
+/// registered scenario instead.
+fn trace(opts: &Options) -> ! {
+    let registry = backend_registry();
+    let cm = opts
+        .cm
+        .as_ref()
+        .and_then(|names| names.first())
+        .map(|name| {
+            name.parse::<stm_core::cm::CmPolicy>()
+                .unwrap_or_else(|e| die(&format!("{e}; try --help")))
+        });
+    let specs = scenarios();
+    for name in chosen_backends(opts, &["oe"]) {
+        // `None` = the built-in composition; `Some(spec)` = a registered
+        // scenario cell.
+        let cells: Vec<Option<&bench::scenario::ScenarioSpec>> = match &opts.scenario {
+            None => vec![None],
+            Some(names) => names
+                .iter()
+                .map(|want| {
+                    Some(
+                        specs
+                            .iter()
+                            .find(|s| s.name() == want)
+                            .unwrap_or_else(|| die(&format!("unknown scenario {want}; try list"))),
+                    )
+                })
+                .collect(),
+        };
+        for spec in cells {
+            let recorder = Arc::new(Recorder::new());
+            let config = match cm {
+                Some(policy) => stm_core::StmConfig::default().with_cm(policy),
+                None => stm_core::StmConfig::default(),
+            }
+            .with_trace_sink(recorder.clone());
+            let backend = registry
+                .build(&name, config)
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let what = match spec {
+                None => {
+                    record_composition(&backend, opts.steps);
+                    "composition".to_string()
+                }
+                Some(spec) => {
+                    let mix = Mix::paper(opts.composed.last().copied().unwrap_or(15));
+                    let workload = spec.build(mix);
+                    let at = Atomic::new(backend);
+                    record_scenario(&at, &*workload, opts.steps, opts.seed, &recorder);
+                    format!("scenario {}", spec.name())
+                }
+            };
+            let raw = recorder.raw_history();
+            let committed = recorder.history();
+            println!(
+                "== {name} · {what}: {} step(s)/proc{} ==",
+                opts.steps,
+                cm.map(|p| format!(", cm {}", p.name())).unwrap_or_default()
+            );
+            println!("-- raw attempt history ({} events) --", raw.events.len());
+            println!("{raw:#}");
+            println!(
+                "-- committed projection ({} events) --",
+                committed.events.len()
+            );
+            println!("{committed:#}");
+            println!();
+        }
+    }
+    std::process::exit(0);
+}
+
 /// `repro validate-json <path>`: schema-check a benchmark artifact.
 fn validate_json(opts: &Options) -> ! {
     let Some(path) = opts.targets.get(1) else {
@@ -228,6 +394,9 @@ fn main() {
     if opts.list || opts.targets.first().map(String::as_str) == Some("list") {
         print_list();
         return;
+    }
+    if opts.targets.first().map(String::as_str) == Some("trace") {
+        trace(&opts);
     }
     if opts.targets.first().map(String::as_str) == Some("validate-json") {
         validate_json(&opts);

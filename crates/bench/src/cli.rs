@@ -19,11 +19,16 @@ targets:
   fig6 | fig7 | fig8   regenerate one figure's tables
   all                  fig6 + fig7 + fig8 (default)
   summary              full scenario x backend matrix + headline speedups
+  trace                record a deterministic two-process composition per
+                       backend (--stm; default oe) — or --steps racing ops
+                       of each --scenario — and dump the history in the
+                       paper's notation
   list                 list registered backends and scenarios, then exit
 
 flags:
   --stm a,b,...        backends to run (default: all registered; see list)
-  --scenario a,b,...   scenarios for `summary` (default: all registered)
+  --scenario a,b,...   scenarios for `summary` / `trace` (default: all
+                       registered / the built-in composition)
   --cm a,b,...         contention managers to sweep (suicide, backoff,
                        karma, two-phase; default: built-in two-phase,
                        rows untagged for baseline compatibility)
@@ -31,6 +36,8 @@ flags:
   --duration-ms 500    wall-clock milliseconds per data point
   --composed 5,15      composed-update percentages (paper: 5 and 15)
   --seed N             base seed for prefills and op streams (default: 61713)
+  --steps N            trace: composed children per recorded process
+                       (default: 3)
   --json PATH          write every measured row as schema-stable JSON
   --threshold-pct N    compare-json: flag rows whose throughput drops more
                        than N percent below the baseline (default: 10)
@@ -60,6 +67,8 @@ pub struct Options {
     pub cm: Option<Vec<String>>,
     /// Base seed.
     pub seed: u64,
+    /// `--steps` (for `trace`): composed children per recorded process.
+    pub steps: usize,
     /// JSON output path.
     pub json: Option<String>,
     /// `--list` / `list`: print registries and exit.
@@ -86,6 +95,7 @@ impl Default for Options {
             scenario: None,
             cm: None,
             seed: DEFAULT_SEED,
+            steps: 3,
             json: None,
             list: false,
             require_full_coverage: false,
@@ -185,6 +195,16 @@ pub fn parse_args(argv: &[String]) -> Result<Options, String> {
                 opts.seed = raw
                     .parse()
                     .map_err(|_| format!("bad seed {raw:?}; try --help"))?;
+                i += 1;
+            }
+            "--steps" => {
+                let raw = flag_value(argv, i, "--steps")?;
+                opts.steps = raw
+                    .parse()
+                    .map_err(|_| format!("bad steps {raw:?}; try --help"))?;
+                if opts.steps == 0 {
+                    return Err("--steps needs a nonzero count; try --help".to_string());
+                }
                 i += 1;
             }
             "--json" => {
@@ -288,6 +308,21 @@ mod tests {
     }
 
     #[test]
+    fn trace_subcommand_shape() {
+        let o = parse_args(&args("trace --stm tl2 --steps 5")).unwrap();
+        assert_eq!(o.targets, vec!["trace"]);
+        assert_eq!(o.stm.as_deref(), Some(&["tl2".into()][..]));
+        assert_eq!(o.steps, 5);
+        assert_eq!(parse_args(&args("trace")).unwrap().steps, 3);
+        assert!(parse_args(&args("trace --steps 0"))
+            .unwrap_err()
+            .contains("nonzero"));
+        assert!(parse_args(&args("trace --steps banana"))
+            .unwrap_err()
+            .contains("steps"));
+    }
+
+    #[test]
     fn validate_json_subcommand_shape() {
         let o = parse_args(&args("validate-json bench.json --require-full-coverage")).unwrap();
         assert_eq!(o.targets, vec!["validate-json", "bench.json"]);
@@ -364,6 +399,7 @@ mod tests {
             "--duration-ms",
             "--composed",
             "--seed",
+            "--steps",
             "--json",
             "--list",
             "--require-full-coverage",
@@ -373,6 +409,7 @@ mod tests {
             "compare-json",
             "merge-json",
             "summary",
+            "trace",
         ] {
             assert!(USAGE.contains(flag), "usage text is missing {flag}");
         }

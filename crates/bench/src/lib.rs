@@ -25,6 +25,7 @@
 //! machine-comparable across PRs; [`compare`] diffs two such artifacts and
 //! gates on throughput regressions (`repro compare-json`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;

@@ -503,6 +503,7 @@ pub fn backend_registry() -> BackendRegistry {
     stm_lsa::register_backends(&mut reg);
     stm_tl2::register_backends(&mut reg);
     stm_swiss::register_backends(&mut reg);
+    stm_boost::register_backends(&mut reg);
     reg
 }
 
@@ -853,12 +854,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_contains_all_five_backends() {
+    fn registry_contains_all_shipped_backends() {
         let names = backend_registry().names();
-        for expect in ["oe", "oe-estm-compat", "lsa", "tl2", "swiss"] {
+        for expect in ["oe", "oe-estm-compat", "lsa", "tl2", "swiss", "boost"] {
             assert!(names.contains(&expect), "missing backend {expect}");
         }
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 6);
     }
 
     #[test]

@@ -17,11 +17,16 @@
 //!   relax-serializability on small histories;
 //! * [`composition`] — compositions, `Sup(C)`, Definitions 3.1/3.2;
 //! * [`outheritance`] — Definition 4.1;
+//! * [`opacity`] — the classical criterion the baselines promise
+//!   (serializability of the committed transactions under real-time
+//!   order, plus zombie-read detection for aborted ones), used by the
+//!   schedule fuzzer to hold every backend's regular executions to it;
 //! * [`theorems`] — the paper's constructions verbatim (Fig. 3, the
 //!   Section II-B example, the Theorem 4.3 extension), each checked by
 //!   this crate's test suite;
-//! * [`recorder`] — a `TraceSink` recording *live* OE-STM executions into
-//!   the model, closing the loop between implementation and theory.
+//! * [`recorder`] — a `TraceSink` recording live executions of any
+//!   registered backend into the model, closing the loop between
+//!   implementation and theory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +35,7 @@ pub mod composition;
 pub mod display;
 pub mod event;
 pub mod history;
+pub mod opacity;
 pub mod outheritance;
 pub mod recorder;
 pub mod search;
@@ -38,6 +44,7 @@ pub mod theorems;
 pub use composition::{is_strongly_composable, is_weakly_composable, Composition};
 pub use event::{Event, ObjId, ObjKind, OpKind, ProcId, TxId, Val};
 pub use history::History;
+pub use opacity::{check_opacity, OpacityViolation};
 pub use outheritance::satisfies_outheritance;
 pub use recorder::Recorder;
 pub use search::{find_relax_serial_witness, is_relax_serializable, is_serializable};

@@ -65,7 +65,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod tracer;
 mod txn;
 pub mod window;
 
@@ -110,7 +109,6 @@ pub struct OeStm {
     stats: StmStats,
     config: StmConfig,
     outheritance: bool,
-    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl core::fmt::Debug for OeStm {
@@ -118,7 +116,6 @@ impl core::fmt::Debug for OeStm {
         f.debug_struct("OeStm")
             .field("outheritance", &self.outheritance)
             .field("config", &self.config)
-            .field("traced", &self.sink.is_some())
             .finish()
     }
 }
@@ -144,7 +141,6 @@ impl OeStm {
             stats: StmStats::new(),
             config,
             outheritance: true,
-            sink: None,
         }
     }
 
@@ -169,10 +165,13 @@ impl OeStm {
 
     /// Attach a trace sink; subsequent transactions emit the history-model
     /// events (begin / op / acquire / release / commit / abort) so the run
-    /// can be checked by the `histories` crate.
+    /// can be checked by the `histories` crate. Sugar for
+    /// [`StmConfig::with_trace_sink`] — every registry backend accepts a
+    /// sink through its config; this static-dispatch builder predates that
+    /// and is kept for the direct-construction API.
     #[must_use]
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
-        self.sink = Some(sink);
+        self.config.trace = Some(sink);
         self
     }
 
@@ -184,7 +183,7 @@ impl OeStm {
     }
 
     pub(crate) fn sink(&self) -> Option<Arc<dyn TraceSink>> {
-        self.sink.clone()
+        self.config.trace.clone()
     }
 
     pub(crate) fn counters(&self) -> &StmStats {

@@ -1,12 +1,12 @@
+// lint:hot-path
 //! The OE-STM transaction: elastic execution with outheritance-based
 //! composition (Sections V and VI of the paper).
 
-use crate::tracer::Tracer;
 use crate::OeStm;
 use stm_core::cm::{Arbitrate, CmState, ConflictCtx, ContentionManager};
 use stm_core::scratch::TxScratch;
 use stm_core::ticket::next_ticket;
-use stm_core::trace::TraceOp;
+use stm_core::trace::{AttemptTracer, TraceOp};
 use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::{Abort, AbortReason, Stm, Transaction, TxKind};
 
@@ -82,7 +82,7 @@ pub struct OeTxn<'env> {
     /// True once the current (sub)transaction has written (elastic
     /// transactions "harden" into classic behaviour at their first write).
     hardened: bool,
-    pub(crate) tracer: Option<Box<Tracer>>,
+    pub(crate) tracer: Option<Box<AttemptTracer>>,
 }
 
 impl<'env> OeTxn<'env> {
@@ -117,14 +117,17 @@ impl<'env> OeTxn<'env> {
         self.window = Window::new(self.stm.config().elastic_window);
         self.mode = self.top_kind;
         self.hardened = self.top_kind == TxKind::Regular;
+        // The tracer reserves the attempt's begin stamp, so it must be
+        // armed *before* the snapshot is sampled (see stm_core::trace on
+        // event stamping).
+        self.tracer = self
+            .stm
+            .sink()
+            .map(|sink| Box::new(AttemptTracer::begin_top(sink, next_ticket().get()))); // lint:allow — tracing arm, off by default
         self.rv = self.stm.clock().now();
         self.ticket = next_ticket().get();
         self.attempt = attempt;
         self.cm.on_start(attempt);
-        self.tracer = self
-            .stm
-            .sink()
-            .map(|sink| Box::new(Tracer::begin_top(sink, next_ticket().get())));
     }
 
     /// Ask the run's contention manager how to pace the retry after an
@@ -430,6 +433,9 @@ impl<'env> Transaction<'env> for OeTxn<'env> {
             .frames
             .pop()
             .expect("child_abort without child_enter");
+        if let Some(t) = self.tracer.as_mut() {
+            t.abort_child();
+        }
     }
 
     fn kind(&self) -> TxKind {

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! The elastic window: the sliding set of recent reads an elastic
 //! transaction keeps protected before its first write.
 //!

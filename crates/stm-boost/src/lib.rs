@@ -27,7 +27,11 @@
 //!   composition — the parent can still undo the child); with
 //!   **outheritance off** the child releases its locks at child commit,
 //!   reproducing the open-nesting-style composition hazard the paper
-//!   describes for Moss's model.
+//!   describes for Moss's model;
+//! * [`BoostStm`] — the same discipline at word granularity, implementing
+//!   the full [`Stm`](stm_core::Stm) SPI so boosting joins the
+//!   [`BackendRegistry`](stm_core::BackendRegistry) (name `"boost"`) and
+//!   runs every generic workload next to the four native STMs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,7 +39,9 @@
 pub mod base;
 pub mod locks;
 pub mod txn;
+pub mod word;
 
 pub use base::BaseSet;
 pub use locks::AbstractLocks;
 pub use txn::{BoostError, BoostTxn, BoostedSet};
+pub use word::{register_backends, BoostStm, BoostWordTxn};

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! The `atomic` facade — the typed, composable *user* API of the stack.
 //!
 //! Everything below this module ([`Stm`]/[`Transaction`], the `dynstm`

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! Bounded randomized exponential backoff for the retry loop.
 //!
 //! Aborted transactions back off before retrying so that conflicting

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! A 64-bit bloom signature for fast negative write-set lookups.
 //!
 //! Every transactional read must first check whether the transaction itself

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! The global version clock shared by all transactions of one STM instance.
 //!
 //! Every STM in this workspace (TL2, LSA, SwissTM, OE-STM) orders committed

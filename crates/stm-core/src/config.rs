@@ -1,12 +1,14 @@
 //! Tunables shared by the STM implementations.
 
 use crate::cm::CmPolicy;
+use crate::trace::TraceSink;
+use std::sync::Arc;
 
 /// Configuration for an STM instance.
 ///
 /// Defaults reproduce the paper's setup; the benchmark harness sweeps some
 /// of these for the ablation studies.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct StmConfig {
     /// Number of busy-wait spins for the first backoff step after an abort.
     pub backoff_min_spins: u32,
@@ -36,6 +38,27 @@ pub struct StmConfig {
     /// Optional cap on retries per `run` call; `None` retries forever.
     /// `try_run` reports `RunError::RetriesExhausted` when exceeded.
     pub max_retries: Option<u64>,
+    /// Optional execution-trace sink (see [`crate::trace`]): when set,
+    /// the backend emits the begin / op / acquire / release / commit /
+    /// abort events of the paper's history model into it. Every registry
+    /// backend honours this; `None` (the default) keeps the hot path
+    /// entirely trace-free — pinned by the zero-allocation suite.
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl core::fmt::Debug for StmConfig {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StmConfig")
+            .field("backoff_min_spins", &self.backoff_min_spins)
+            .field("backoff_max_spins", &self.backoff_max_spins)
+            .field("elastic_window", &self.elastic_window)
+            .field("cm", &self.cm)
+            .field("cm_write_threshold", &self.cm_write_threshold)
+            .field("lock_spin_limit", &self.lock_spin_limit)
+            .field("max_retries", &self.max_retries)
+            .field("trace", &self.trace.as_ref().map(|_| "Some(<sink>)"))
+            .finish()
+    }
 }
 
 impl Default for StmConfig {
@@ -48,6 +71,7 @@ impl Default for StmConfig {
             cm_write_threshold: 4,
             lock_spin_limit: 64,
             max_retries: None,
+            trace: None,
         }
     }
 }
@@ -73,6 +97,14 @@ impl StmConfig {
     #[must_use]
     pub fn with_cm(mut self, cm: CmPolicy) -> Self {
         self.cm = cm;
+        self
+    }
+
+    /// Attach an execution-trace sink (see [`crate::trace`]): the backend
+    /// built from this config records every run into it.
+    #[must_use]
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 }
@@ -101,6 +133,16 @@ mod tests {
         assert_eq!(c.max_retries, Some(5));
         assert_eq!(c.elastic_window, 4);
         assert_eq!(c.cm, CmPolicy::Karma);
+    }
+
+    #[test]
+    fn trace_defaults_off_and_attaches() {
+        let c = StmConfig::default();
+        assert!(c.trace.is_none(), "tracing must be opt-in");
+        let c = c.with_trace_sink(Arc::new(crate::trace::NoTrace));
+        assert!(c.trace.is_some());
+        // The sink is debug-opaque but the config must stay debuggable.
+        assert!(format!("{c:?}").contains("trace"));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! Read sets: the invisible-read half of a transaction's protected set.
 //!
 //! Each entry records a location and the version at which it was read.

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! Globally unique transaction-attempt tickets.
 //!
 //! Every transaction *attempt* (each retry counts separately) draws a fresh

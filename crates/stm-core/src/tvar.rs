@@ -1,3 +1,4 @@
+// lint:hot-path
 //! Transactional variables.
 //!
 //! A [`TVar<T>`] is one transactional memory location: a value word plus the

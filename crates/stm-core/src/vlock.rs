@@ -1,3 +1,4 @@
+// lint:hot-path
 //! Versioned write-locks — the concrete *protection elements* of the paper.
 //!
 //! Section II of the paper abstracts conflict detection behind "protection

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! The [`Word`] trait: types that fit losslessly in a transactional word.
 //!
 //! All transactional state in this workspace is stored in `u64` words (the

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! Write sets: deferred updates plus the bookkeeping needed to lock,
 //! validate, write back and release at commit time.
 //!

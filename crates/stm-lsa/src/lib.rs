@@ -1,3 +1,4 @@
+// lint:hot-path
 //! # LSA — the Lazy Snapshot Algorithm
 //!
 //! A word-based implementation of the LSA STM (Riegel, Felber, Fetzer;
@@ -39,6 +40,7 @@ use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::readset::ReadSet;
 use stm_core::stm::retry_loop_arbitrated;
 use stm_core::ticket::next_ticket;
+use stm_core::trace::{AttemptTracer, TraceOp};
 use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::{
     Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats,
@@ -48,7 +50,7 @@ use stm_core::{
 /// Register this crate's backend under the name `"lsa"`.
 pub fn register_backends(registry: &mut BackendRegistry) {
     fn make(config: StmConfig) -> Box<dyn stm_core::dynstm::DynStm> {
-        Box::new(Lsa::with_config(config))
+        Box::new(Lsa::with_config(config)) // lint:allow — registration, cold
     }
     registry.register(BackendSpec::new(
         "lsa",
@@ -184,6 +186,7 @@ pub struct LsaTxn<'env> {
     scratch: LsaScratch<'env>,
     cm: CmState,
     depth: u32,
+    tracer: Option<Box<AttemptTracer>>,
 }
 
 impl<'env> LsaTxn<'env> {
@@ -197,6 +200,7 @@ impl<'env> LsaTxn<'env> {
             scratch,
             cm,
             depth: 0,
+            tracer: None,
         }
     }
 
@@ -205,6 +209,14 @@ impl<'env> LsaTxn<'env> {
     /// tell the contention manager a new attempt begins.
     fn restart(&mut self, attempt: u64) {
         self.scratch.reset();
+        // The tracer reserves the attempt's begin stamp, so it must be
+        // armed *before* the snapshot is sampled (see stm_core::trace).
+        self.tracer = self
+            .stm
+            .config
+            .trace
+            .clone()
+            .map(|sink| Box::new(AttemptTracer::begin_top(sink, next_ticket().get()))); // lint:allow — tracing arm, off by default
         let now = self.stm.clock.now();
         self.rv = now;
         self.ub = now;
@@ -260,10 +272,16 @@ impl<'env> LsaTxn<'env> {
 
     fn on_abort(&mut self) {
         self.scratch.undo.rollback();
+        if let Some(t) = self.tracer.as_mut() {
+            t.abort_all();
+        }
     }
 
     fn commit(&mut self) -> Result<(), Abort> {
         if self.scratch.undo.is_empty() {
+            if let Some(t) = self.tracer.as_mut() {
+                t.commit_top();
+            }
             return Ok(());
         }
         let wv = self.stm.clock.tick();
@@ -277,6 +295,11 @@ impl<'env> LsaTxn<'env> {
             }
         }
         self.scratch.undo.release_at(wv);
+        // The commit event is stamped only now, with the in-place values
+        // published and every lock released (see stm_core::trace).
+        if let Some(t) = self.tracer.as_mut() {
+            t.commit_top();
+        }
         Ok(())
     }
 
@@ -297,7 +320,11 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
     fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
         // In-place writes: if we hold the lock, the current word is ours.
         if core.lock().is_locked_by(self.ticket) {
-            return Ok(core.value_unsync());
+            let word = core.value_unsync();
+            if let Some(t) = self.tracer.as_mut() {
+                t.op_held(core.id(), TraceOp::Read(word));
+            }
+            return Ok(word);
         }
         let mut attempts = 0u32;
         loop {
@@ -320,6 +347,9 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
                         // Location is newer than our snapshot: lazily extend.
                         self.extend(version)?;
                     }
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.op(core.id(), TraceOp::Read(word));
+                    }
                     return Ok(word);
                 }
                 Err(ReadConflict::Locked(_)) => {
@@ -337,6 +367,9 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
     fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
         if core.lock().is_locked_by(self.ticket) {
             core.store_value(word);
+            if let Some(t) = self.tracer.as_mut() {
+                t.op_held(core.id(), TraceOp::Write(word));
+            }
             return Ok(());
         }
         let mut attempts = 0u32;
@@ -352,6 +385,9 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
                         .undo
                         .record_first_write(core, old_value, old_version);
                     core.store_value(word);
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.op(core.id(), TraceOp::Write(word));
+                    }
                     return Ok(());
                 }
                 Err(_) => {
@@ -366,17 +402,26 @@ impl<'env> Transaction<'env> for LsaTxn<'env> {
     // Flat nesting (see TL2): classic transactions outherit trivially.
     fn child_enter(&mut self, _kind: TxKind) -> Result<(), Abort> {
         self.depth += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.begin_child(next_ticket().get());
+        }
         Ok(())
     }
 
     fn child_commit(&mut self) -> Result<(), Abort> {
         self.depth -= 1;
         self.stm.stats.record_child_commit();
+        if let Some(t) = self.tracer.as_mut() {
+            t.commit_child();
+        }
         Ok(())
     }
 
     fn child_abort(&mut self) {
         self.depth -= 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.abort_child();
+        }
     }
 
     fn kind(&self) -> TxKind {

@@ -1,3 +1,4 @@
+// lint:hot-path
 //! # SwissTM-style STM
 //!
 //! A word-based implementation of the SwissTM design (Dragojević, Guerraoui,
@@ -49,6 +50,7 @@ use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::scratch::TxScratch;
 use stm_core::stm::retry_loop_arbitrated;
 use stm_core::ticket::next_ticket;
+use stm_core::trace::{AttemptTracer, TraceOp};
 use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::{
     Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats,
@@ -58,7 +60,7 @@ use stm_core::{
 /// Register this crate's backend under the name `"swiss"`.
 pub fn register_backends(registry: &mut BackendRegistry) {
     fn make(config: StmConfig) -> Box<dyn stm_core::dynstm::DynStm> {
-        Box::new(Swiss::with_config(config))
+        Box::new(Swiss::with_config(config)) // lint:allow — registration, cold
     }
     registry.register(BackendSpec::new(
         "swiss",
@@ -157,6 +159,7 @@ pub struct SwissTxn<'env> {
     scratch: TxScratch<'env>,
     cm: CmState,
     depth: u32,
+    tracer: Option<Box<AttemptTracer>>,
 }
 
 impl<'env> SwissTxn<'env> {
@@ -170,6 +173,7 @@ impl<'env> SwissTxn<'env> {
             scratch,
             cm,
             depth: 0,
+            tracer: None,
         }
     }
 
@@ -178,6 +182,14 @@ impl<'env> SwissTxn<'env> {
     /// tell the contention manager a new attempt begins.
     fn restart(&mut self, attempt: u64) {
         self.scratch.reset();
+        // The tracer reserves the attempt's begin stamp, so it must be
+        // armed *before* the snapshot is sampled (see stm_core::trace).
+        self.tracer = self
+            .stm
+            .config
+            .trace
+            .clone()
+            .map(|sink| Box::new(AttemptTracer::begin_top(sink, next_ticket().get()))); // lint:allow — tracing arm, off by default
         let now = self.stm.clock.now();
         self.rv = now;
         self.ub = now;
@@ -185,6 +197,14 @@ impl<'env> SwissTxn<'env> {
         self.attempt = attempt;
         self.depth = 0;
         self.cm.on_start(attempt);
+    }
+
+    /// Emit the attempt-wide abort events (tracing only; lock cleanup is
+    /// handled by `on_abort`/`commit` on their respective failure paths).
+    fn trace_abort(&mut self) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.abort_all();
+        }
     }
 
     /// Ask the run's contention manager how to pace the retry after an
@@ -305,6 +325,9 @@ impl<'env> SwissTxn<'env> {
 
     fn commit(&mut self) -> Result<(), Abort> {
         if self.scratch.writes.is_empty() {
+            if let Some(t) = self.tracer.as_mut() {
+                t.commit_top();
+            }
             return Ok(());
         }
         if let Err(abort) = self.scratch.writes.lock_all(self.ticket) {
@@ -326,6 +349,11 @@ impl<'env> SwissTxn<'env> {
         }
         self.scratch.writes.write_back_and_release(wv);
         self.release_wlocks();
+        // The commit event is stamped only now, with write-back complete
+        // and every lock released (see stm_core::trace on stamping).
+        if let Some(t) = self.tracer.as_mut() {
+            t.commit_top();
+        }
         Ok(())
     }
 }
@@ -333,6 +361,9 @@ impl<'env> SwissTxn<'env> {
 impl<'env> Transaction<'env> for SwissTxn<'env> {
     fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
         if let Some(word) = self.scratch.writes.lookup(core) {
+            if let Some(t) = self.tracer.as_mut() {
+                t.op_held(core.id(), TraceOp::Read(word));
+            }
             return Ok(word);
         }
         let mut spins = 0u32;
@@ -348,6 +379,9 @@ impl<'env> Transaction<'env> for SwissTxn<'env> {
                     self.scratch.reads.push(core, version);
                     if version > self.ub {
                         self.extend(version)?;
+                    }
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.op(core.id(), TraceOp::Read(word));
                     }
                     return Ok(word);
                 }
@@ -371,24 +405,41 @@ impl<'env> Transaction<'env> for SwissTxn<'env> {
         // Eager W-W detection, lazy versioning: take the write lock now,
         // buffer the value until commit.
         self.acquire_wlock(core)?;
+        let first_touch = self.scratch.writes.lookup(core).is_none();
         self.scratch.writes.insert(core, word);
+        if let Some(t) = self.tracer.as_mut() {
+            if first_touch {
+                t.op(core.id(), TraceOp::Write(word));
+            } else {
+                t.op_held(core.id(), TraceOp::Write(word));
+            }
+        }
         Ok(())
     }
 
     // Flat nesting (see TL2): classic transactions outherit trivially.
     fn child_enter(&mut self, _kind: TxKind) -> Result<(), Abort> {
         self.depth += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.begin_child(next_ticket().get());
+        }
         Ok(())
     }
 
     fn child_commit(&mut self) -> Result<(), Abort> {
         self.depth -= 1;
         self.stm.stats.record_child_commit();
+        if let Some(t) = self.tracer.as_mut() {
+            t.commit_child();
+        }
         Ok(())
     }
 
     fn child_abort(&mut self) {
         self.depth -= 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.abort_child();
+        }
     }
 
     fn kind(&self) -> TxKind {
@@ -450,7 +501,10 @@ impl Stm for Swiss {
                     txn.cm.on_commit();
                     Ok(r)
                 }
-                Err(abort) => Err((abort, txn.arbitrate(abort))),
+                Err(abort) => {
+                    txn.trace_abort();
+                    Err((abort, txn.arbitrate(abort)))
+                }
             }
         })
     }

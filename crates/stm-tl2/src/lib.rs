@@ -1,3 +1,4 @@
+// lint:hot-path
 //! # TL2 — Transactional Locking II
 //!
 //! A word-based implementation of TL2 (Dice, Shalev, Shavit; DISC 2006), one
@@ -30,6 +31,7 @@ use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::scratch::TxScratch;
 use stm_core::stm::retry_loop_arbitrated;
 use stm_core::ticket::next_ticket;
+use stm_core::trace::{AttemptTracer, TraceOp};
 use stm_core::tvar::{ReadConflict, TVarCore};
 use stm_core::{
     Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats,
@@ -39,7 +41,7 @@ use stm_core::{
 /// Register this crate's backend under the name `"tl2"`.
 pub fn register_backends(registry: &mut BackendRegistry) {
     fn make(config: StmConfig) -> Box<dyn stm_core::dynstm::DynStm> {
-        Box::new(Tl2::with_config(config))
+        Box::new(Tl2::with_config(config)) // lint:allow — registration, cold
     }
     registry.register(BackendSpec::new(
         "tl2",
@@ -93,6 +95,7 @@ pub struct Tl2Txn<'env> {
     scratch: TxScratch<'env>,
     cm: CmState,
     depth: u32,
+    tracer: Option<Box<AttemptTracer>>,
 }
 
 impl<'env> Tl2Txn<'env> {
@@ -105,6 +108,7 @@ impl<'env> Tl2Txn<'env> {
             scratch,
             cm,
             depth: 0,
+            tracer: None,
         }
     }
 
@@ -115,11 +119,25 @@ impl<'env> Tl2Txn<'env> {
     /// for the whole run.
     fn restart(&mut self, attempt: u64) {
         self.scratch.reset();
+        // The tracer reserves the attempt's begin stamp, so it must be
+        // armed *before* the snapshot is sampled (see stm_core::trace).
+        self.tracer = self
+            .stm
+            .config
+            .trace
+            .clone()
+            .map(|sink| Box::new(AttemptTracer::begin_top(sink, next_ticket().get()))); // lint:allow — tracing arm, off by default
         self.rv = self.stm.clock.now();
         self.ticket = next_ticket().get();
         self.attempt = attempt;
         self.depth = 0;
         self.cm.on_start(attempt);
+    }
+
+    fn on_abort(&mut self) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.abort_all();
+        }
     }
 
     /// Ask the run's contention manager how to pace the retry after an
@@ -145,6 +163,9 @@ impl<'env> Tl2Txn<'env> {
             // Read-only fast path: every read was validated against rv at
             // read time, so the snapshot is consistent as of rv. The clock
             // is not ticked.
+            if let Some(t) = self.tracer.as_mut() {
+                t.commit_top();
+            }
             return Ok(());
         }
         self.scratch.writes.lock_all(self.ticket)?;
@@ -162,6 +183,11 @@ impl<'env> Tl2Txn<'env> {
             }
         }
         self.scratch.writes.write_back_and_release(wv);
+        // The commit event is stamped only now, with write-back complete
+        // and every lock released (see stm_core::trace on stamping).
+        if let Some(t) = self.tracer.as_mut() {
+            t.commit_top();
+        }
         Ok(())
     }
 }
@@ -169,6 +195,9 @@ impl<'env> Tl2Txn<'env> {
 impl<'env> Transaction<'env> for Tl2Txn<'env> {
     fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
         if let Some(word) = self.scratch.writes.lookup(core) {
+            if let Some(t) = self.tracer.as_mut() {
+                t.op_held(core.id(), TraceOp::Read(word));
+            }
             return Ok(word);
         }
         match core.read_consistent() {
@@ -178,6 +207,9 @@ impl<'env> Transaction<'env> for Tl2Txn<'env> {
                     return Err(Abort::new(AbortReason::ReadValidation));
                 }
                 self.scratch.reads.push(core, version);
+                if let Some(t) = self.tracer.as_mut() {
+                    t.op(core.id(), TraceOp::Read(word));
+                }
                 Ok(word)
             }
             Err(ReadConflict::Locked(_)) => Err(Abort::new(AbortReason::LockConflict)),
@@ -186,7 +218,15 @@ impl<'env> Transaction<'env> for Tl2Txn<'env> {
     }
 
     fn write_word(&mut self, core: &'env TVarCore, word: u64) -> Result<(), Abort> {
+        let first_touch = self.scratch.writes.lookup(core).is_none();
         self.scratch.writes.insert(core, word);
+        if let Some(t) = self.tracer.as_mut() {
+            if first_touch {
+                t.op(core.id(), TraceOp::Write(word));
+            } else {
+                t.op_held(core.id(), TraceOp::Write(word));
+            }
+        }
         Ok(())
     }
 
@@ -195,17 +235,26 @@ impl<'env> Transaction<'env> for Tl2Txn<'env> {
     // instantiation of outheritance the paper describes in Section I.
     fn child_enter(&mut self, _kind: TxKind) -> Result<(), Abort> {
         self.depth += 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.begin_child(next_ticket().get());
+        }
         Ok(())
     }
 
     fn child_commit(&mut self) -> Result<(), Abort> {
         self.depth -= 1;
         self.stm.stats.record_child_commit();
+        if let Some(t) = self.tracer.as_mut() {
+            t.commit_child();
+        }
         Ok(())
     }
 
     fn child_abort(&mut self) {
         self.depth -= 1;
+        if let Some(t) = self.tracer.as_mut() {
+            t.abort_child();
+        }
     }
 
     fn kind(&self) -> TxKind {
@@ -266,7 +315,10 @@ impl Stm for Tl2 {
                     txn.cm.on_commit();
                     Ok(r)
                 }
-                Err(abort) => Err((abort, txn.arbitrate(abort))),
+                Err(abort) => {
+                    txn.on_abort();
+                    Err((abort, txn.arbitrate(abort)))
+                }
             }
         })
     }

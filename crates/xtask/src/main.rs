@@ -1,0 +1,51 @@
+//! Thin CLI over the [`xtask`] lint library: `cargo run -p xtask -- lint`.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ → workspace root is two levels up.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next();
+    if cmd.as_deref() != Some("lint") {
+        eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+        return ExitCode::FAILURE;
+    }
+    let mut root = workspace_root();
+    if args.next().as_deref() == Some("--root") {
+        match args.next() {
+            Some(dir) => root = PathBuf::from(dir),
+            None => {
+                eprintln!("--root needs a directory");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match xtask::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: i/o error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded violation: a hot-path-tagged file that times and allocates.
+// lint:hot-path
+
+/// Allocates and samples wall-clock time on the tagged path.
+pub fn slow_read() -> String {
+    let started = std::time::Instant::now();
+    let label = format!("started at {started:?}");
+    let waived = Vec::<u8>::new(); // lint:allow fixture shows waivers are honored
+    drop(waived);
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    // Banned tokens in the test tail are fine: vec![Instant] format!
+}

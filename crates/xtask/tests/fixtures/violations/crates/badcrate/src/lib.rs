@@ -1,0 +1,18 @@
+//! Seeded violation: crate root that dropped the unsafe-forbid attribute.
+
+pub mod hot;
+
+/// Reads the global clock outside the blessed backend modules.
+pub fn sneaky_snapshot(clock: &Clock) -> u64 {
+    clock.now()
+}
+
+/// Stand-in clock type for the fixture.
+pub struct Clock;
+
+impl Clock {
+    /// Fixture stub.
+    pub fn now(&self) -> u64 {
+        0
+    }
+}

@@ -1,0 +1,2 @@
+//! Seeded violation: the shim itself is clean, its manifest is not.
+#![forbid(unsafe_code)]

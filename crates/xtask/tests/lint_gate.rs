@@ -1,0 +1,60 @@
+//! The lint gate, both directions: the seeded violation fixtures MUST
+//! fail (each rule demonstrably fires) and the real workspace MUST pass
+//! (the gate CI runs is green at head).
+
+use std::path::{Path, PathBuf};
+use xtask::lint_workspace;
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/violations")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("two levels up")
+        .to_path_buf()
+}
+
+#[test]
+fn seeded_fixtures_trip_every_rule() {
+    let violations = lint_workspace(&fixture_root()).expect("fixture tree is readable");
+    let rules: Vec<&str> = violations.iter().map(|v| v.rule).collect();
+    for rule in [
+        "unsafe-forbid",
+        "hot-path",
+        "clock-discipline",
+        "shim-isolation",
+    ] {
+        assert!(
+            rules.contains(&rule),
+            "rule {rule} did not fire on its fixture; got: {violations:?}"
+        );
+    }
+    // The dropped forbid(unsafe_code) is reported against the crate root.
+    assert!(violations
+        .iter()
+        .any(|v| v.rule == "unsafe-forbid" && v.file == Path::new("crates/badcrate/src/lib.rs")));
+    // Both the Instant and the format! land; the lint:allow line does not.
+    let hot: Vec<_> = violations.iter().filter(|v| v.rule == "hot-path").collect();
+    assert_eq!(
+        hot.len(),
+        2,
+        "Instant + format!, waived vec stays quiet: {hot:?}"
+    );
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let violations = lint_workspace(&workspace_root()).expect("workspace tree is readable");
+    assert!(
+        violations.is_empty(),
+        "workspace lint must be clean at head:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -15,6 +15,8 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
+#![forbid(unsafe_code)]
+
 pub use cec;
 pub use histories;
 pub use oe_stm;
@@ -31,7 +33,7 @@ pub const PAPER: &str = "Gramoli, Guerraoui, Letia: Composing Relaxed Transactio
 
 /// Every STM backend this workspace ships, assembled into the runtime
 /// name → constructor registry ("tl2", "lsa", "swiss", "oe",
-/// "oe-estm-compat"). Library users select backends from strings —
+/// "oe-estm-compat", "boost"). Library users select backends from strings —
 /// config files, CLI flags — without naming a concrete STM type, and
 /// drive them through the `atomic` facade:
 ///
@@ -56,7 +58,9 @@ pub const PAPER: &str = "Gramoli, Guerraoui, Letia: Composing Relaxed Transactio
 /// use composing_relaxed_transactions::backend_registry;
 ///
 /// let err = backend_registry().build_default("tl3").unwrap_err();
-/// assert!(err.to_string().contains("registered backends: oe, oe-estm-compat, lsa, tl2, swiss"));
+/// assert!(err
+///     .to_string()
+///     .contains("registered backends: oe, oe-estm-compat, lsa, tl2, swiss, boost"));
 /// ```
 ///
 /// Conflict arbitration is a pluggable policy: build any backend with a
@@ -119,5 +123,6 @@ pub fn backend_registry() -> BackendRegistry {
     stm_lsa::register_backends(&mut registry);
     stm_tl2::register_backends(&mut registry);
     stm_swiss::register_backends(&mut registry);
+    stm_boost::register_backends(&mut registry);
     registry
 }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 /// All five registered backends, wrapped in the facade runner.
 fn runners() -> Vec<Atomic<Backend>> {
     let reg = backend_registry();
-    assert_eq!(reg.names().len(), 5, "expected all five backends wired");
+    assert_eq!(reg.names().len(), 6, "expected all six backends wired");
     reg.build_all().into_iter().map(Atomic::new).collect()
 }
 

@@ -18,7 +18,7 @@ use std::sync::Arc;
 /// "oe-estm-compat"), freshly built.
 fn backends() -> Vec<Backend> {
     let reg = backend_registry();
-    assert_eq!(reg.names().len(), 5, "expected all five backends wired");
+    assert_eq!(reg.names().len(), 6, "expected all six backends wired");
     reg.build_all()
 }
 

@@ -1,0 +1,206 @@
+//! Schedule fuzzer: randomized multi-thread op-trees replayed across
+//! every `backend × contention-policy` cell with a [`Recorder`] attached,
+//! holding each recorded execution to the formal checkers of the
+//! `histories` crate.
+//!
+//! Two schedule families:
+//!
+//! * **Regular** — every transaction (and child) runs `TxKind::Regular`.
+//!   The raw recorded history (aborted attempts included) must satisfy
+//!   [`check_opacity`]: committed transactions serialize under real-time
+//!   order and no aborted attempt observed an inconsistent (zombie)
+//!   snapshot. The committed projection must additionally be well-formed
+//!   and relax-serializable (opacity implies it; the checkers must agree).
+//! * **Elastic** — transactions run `TxKind::Elastic`. Elastic cuts may
+//!   legitimately break opacity's single-snapshot reads, so the criterion
+//!   is the paper's: well-formedness + relax-serializability, plus
+//!   outheritance (Definition 4.1) for every multi-transaction process —
+//!   except on `oe-estm-compat`, whose E-STM compatibility mode releases
+//!   child protected sets by design (the Fig. 1 pitfall) and is therefore
+//!   exempt from the outheritance clause only.
+//!
+//! Case count is kept small here (CI smoke); the deflake job reruns the
+//! suite with rotating `PROPTEST_SHIM_SEED` values for depth.
+
+use composing_relaxed_transactions::backend_registry;
+use composing_relaxed_transactions::histories::{
+    check_opacity, is_relax_serializable, satisfies_outheritance, Composition, History, Recorder,
+    TxId,
+};
+use composing_relaxed_transactions::stm_core::{
+    Abort, CmPolicy, StmConfig, TVar, Transaction, Tx, TxKind,
+};
+use proptest::prelude::*;
+use std::sync::{Arc, Barrier};
+
+/// Shared transactional variables per schedule (registers starting at 0,
+/// matching the register specification's initial state).
+const N_VARS: usize = 3;
+
+/// One leaf operation of a plan.
+#[derive(Debug, Clone, Copy)]
+struct SimpleOp {
+    write: bool,
+    var: usize,
+    val: u64,
+}
+
+/// One thread's transaction. The tracer's flat model maps an attempt onto
+/// *sequential* model transactions, so a plan is either a leaf (direct
+/// ops, no children) or a pure composition shell (children only — the
+/// invisible top would otherwise overlap its own children's begins).
+/// Sizes are kept small so the exhaustive relax-serializability search
+/// stays tractable.
+#[derive(Debug, Clone)]
+enum Plan {
+    Leaf(Vec<SimpleOp>),
+    Shell(Vec<Vec<SimpleOp>>),
+}
+
+fn simple_op() -> impl Strategy<Value = SimpleOp> {
+    (any::<bool>(), 0..N_VARS, 1u64..8).prop_map(|(write, var, val)| SimpleOp { write, var, val })
+}
+
+fn plan() -> impl Strategy<Value = Plan> {
+    prop_oneof![
+        prop::collection::vec(simple_op(), 1..5).prop_map(Plan::Leaf),
+        prop::collection::vec(prop::collection::vec(simple_op(), 1..4), 1..3).prop_map(Plan::Shell),
+    ]
+}
+
+/// A whole schedule: one plan per thread.
+fn schedule() -> impl Strategy<Value = Vec<Plan>> {
+    prop::collection::vec(plan(), 2..4)
+}
+
+fn apply<'env>(
+    tx: &mut Tx<'env, '_>,
+    vars: &'env [TVar<u64>],
+    ops: &[SimpleOp],
+) -> Result<(), Abort> {
+    for op in ops {
+        if op.write {
+            tx.set(&vars[op.var], op.val)?;
+        } else {
+            tx.get(&vars[op.var])?;
+        }
+    }
+    Ok(())
+}
+
+/// Run `plans` concurrently (one thread each, released together) against
+/// backend `name` built with `cm` and a fresh recorder; returns the raw
+/// recorded history and its committed projection.
+fn run_cell(name: &str, cm: CmPolicy, kind: TxKind, plans: &[Plan]) -> (History, History) {
+    let rec = Arc::new(Recorder::new());
+    let backend = backend_registry()
+        .build(
+            name,
+            StmConfig::default()
+                .with_cm(cm)
+                .with_trace_sink(rec.clone()),
+        )
+        .expect("fuzzer cell names come from the registry");
+    let vars: Vec<TVar<u64>> = (0..N_VARS).map(|_| TVar::new(0u64)).collect();
+    let barrier = Barrier::new(plans.len());
+    std::thread::scope(|s| {
+        let (backend, vars, barrier) = (&backend, &vars, &barrier);
+        for plan in plans {
+            s.spawn(move || {
+                barrier.wait();
+                backend.run(kind, |tx| match plan {
+                    Plan::Leaf(ops) => apply(tx, vars, ops),
+                    Plan::Shell(children) => {
+                        for body in children {
+                            tx.child(kind, |tx| apply(tx, vars, body))?;
+                        }
+                        Ok(())
+                    }
+                });
+            });
+        }
+    });
+    (rec.raw_history(), rec.history())
+}
+
+/// Committed transactions of process `p` in commit order — the flat-model
+/// composition the tracer recorded for that thread (children first, the
+/// enclosing top level last, i.e. as `Sup`).
+fn composition_of(h: &History, p: u32) -> Vec<TxId> {
+    let committed = h.committed();
+    let mut txs: Vec<TxId> = committed
+        .iter()
+        .copied()
+        .filter(|&t| h.proc_of(t) == Some(p))
+        .collect();
+    txs.sort_by_key(|&t| h.commit_index(t).unwrap_or(usize::MAX));
+    txs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Regular executions of every backend under every CM policy must be
+    // opaque — including their aborted attempts — and the checkers must
+    // agree that the committed projection is relax-serializable.
+    #[test]
+    fn regular_schedules_are_opaque_on_every_cell(plans in schedule()) {
+        for name in backend_registry().names() {
+            for cm in CmPolicy::ALL {
+                let (raw, h) = run_cell(name, cm, TxKind::Regular, &plans);
+                prop_assert_eq!(h.well_formed(), Ok(()), "{} under {:?}", name, cm);
+                if let Err(v) = check_opacity(&raw) {
+                    panic!("backend {name} under {cm:?} is not opaque: {v}\nraw history:\n{raw:#}");
+                }
+                prop_assert!(
+                    is_relax_serializable(&h),
+                    "{} under {:?}: opaque but not relax-serializable?\n{:#}",
+                    name,
+                    cm,
+                    h
+                );
+            }
+        }
+    }
+
+    // Elastic executions stay relax-serializable on every cell, and every
+    // backend that promises outheritance keeps child protected sets
+    // protected until the enclosing commit. `oe-estm-compat` is exempt
+    // from the outheritance clause only: its E-STM mode releases child
+    // protected sets by design (the paper's Fig. 1 pitfall).
+    #[test]
+    fn elastic_schedules_stay_relax_serializable_and_outherited(plans in schedule()) {
+        for name in backend_registry().names() {
+            for cm in CmPolicy::ALL {
+                let (_raw, h) = run_cell(name, cm, TxKind::Elastic, &plans);
+                prop_assert_eq!(h.well_formed(), Ok(()), "{} under {:?}", name, cm);
+                prop_assert!(
+                    is_relax_serializable(&h),
+                    "{} under {:?}: not relax-serializable\n{:#}",
+                    name,
+                    cm,
+                    h
+                );
+                if name == "oe-estm-compat" {
+                    continue;
+                }
+                for p in h.processes() {
+                    let members = composition_of(&h, p);
+                    if members.len() < 2 {
+                        continue;
+                    }
+                    let c = Composition::new(members);
+                    prop_assert!(
+                        satisfies_outheritance(&h, &c),
+                        "{} under {:?}: proc {} composition {:?} lost a protected set\n{:#}",
+                        name,
+                        cm,
+                        p,
+                        c,
+                        h
+                    );
+                }
+            }
+        }
+    }
+}

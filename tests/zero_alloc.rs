@@ -299,6 +299,26 @@ fn warmed_retry_loops_do_not_allocate_on_any_backend() {
         "or_else/Backend(oe)+karma",
     );
 
+    // Tracing is a first-class capability of every registry backend now:
+    // each attempt consults `config.trace_sink` on its begin path. With
+    // no sink installed (the default — `StmConfig::default()` is exactly
+    // the trace-capable configuration with tracing off) that consultation
+    // must stay allocation-free: same 33-attempts-vs-1 exact-equality
+    // bar for every registered word-based backend. `boost` is exempt: it
+    // rebuilds its abstract-lock and compensation logs per attempt by
+    // design (boosting replays inverses; it makes no hot-path claim and
+    // none of its files carry the `lint:hot-path` tag).
+    for name in backend_registry().names() {
+        if name == "boost" {
+            continue;
+        }
+        assert_facade_retries_do_not_allocate(
+            &Atomic::new(backend_registry().build_default(name).unwrap()),
+            Policy::Regular,
+            &format!("tracing-off/Backend({name})"),
+        );
+    }
+
     // Cross-transaction reuse: after warmup, back-to-back `run` calls may
     // allocate only the per-run entry vectors (which hold `&TVar` borrows
     // and cannot be pooled without `unsafe`), never the index table or
