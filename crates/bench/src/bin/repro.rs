@@ -79,6 +79,25 @@ fn figure_rows(r: &BenchRow) -> Row {
     }
 }
 
+/// Run a plan in-process, or — when `--max-run-secs` arms the progress
+/// watchdog — one bounded subprocess per measured row, with killed rows
+/// reported as livelocked instead of hanging the sweep.
+fn run_plan(plan: &MatrixPlan, opts: &Options) -> Vec<BenchRow> {
+    match opts.max_run_secs {
+        None => run_matrix(plan).unwrap_or_else(|e| die(&e)),
+        Some(secs) => {
+            let exe = std::env::current_exe()
+                .unwrap_or_else(|e| die(&format!("cannot locate own binary for --max-run-secs: {e}")));
+            bench::watchdog::run_matrix_watchdogged(
+                plan,
+                std::time::Duration::from_secs(secs),
+                &exe,
+            )
+            .unwrap_or_else(|e| die(&e))
+        }
+    }
+}
+
 /// Run one figure target and print its per-composed-pct tables.
 fn figure(structure: Structure, fig_no: u32, opts: &Options, all_rows: &mut Vec<BenchRow>) {
     let plan = MatrixPlan {
@@ -91,7 +110,7 @@ fn figure(structure: Structure, fig_no: u32, opts: &Options, all_rows: &mut Vec<
         seed: opts.seed,
         include_sequential: true,
     };
-    let rows = run_matrix(&plan).unwrap_or_else(|e| die(&e));
+    let rows = run_plan(&plan, opts);
     for &pct in &opts.composed {
         let block: Vec<Row> = rows
             .iter()
@@ -128,7 +147,7 @@ fn summary(opts: &Options, all_rows: &mut Vec<BenchRow>) {
         seed: opts.seed,
         include_sequential: true,
     };
-    let rows = run_matrix(&plan).unwrap_or_else(|e| die(&e));
+    let rows = run_plan(&plan, opts);
     print_bench_rows(&rows);
     for s in [
         Structure::LinkedList,
@@ -361,6 +380,34 @@ fn compare_json(opts: &Options) -> ! {
     std::process::exit(0);
 }
 
+/// `repro __cell`: the progress watchdog's hidden re-entry point — run
+/// exactly the matrix cell the flags select (no sequential references, no
+/// tables) and hand the measured rows back through the `--json` artifact.
+/// The parent process (`run_plan` with `--max-run-secs`) kills this
+/// process if it exceeds the bound.
+fn cell(opts: &Options) -> ! {
+    let (Some(scenarios), Some(backends), Some(json_path)) =
+        (&opts.scenario, &opts.stm, &opts.json)
+    else {
+        die("__cell needs --scenario, --stm and --json (internal watchdog target)");
+    };
+    let plan = MatrixPlan {
+        scenarios: scenarios.clone(),
+        backends: backends.clone(),
+        threads: opts.threads.clone(),
+        duration: opts.duration,
+        composed: opts.composed.clone(),
+        cms: opts.cm_axis(),
+        seed: opts.seed,
+        include_sequential: false,
+    };
+    let rows = run_matrix(&plan).unwrap_or_else(|e| die(&e));
+    let text = bench::json::render(&rows, opts.seed);
+    std::fs::write(json_path, &text)
+        .unwrap_or_else(|e| die(&format!("cannot write {json_path}: {e}")));
+    std::process::exit(0);
+}
+
 /// `repro merge-json <out> <in>...`: per-row medians of repeated runs.
 fn merge_json(opts: &Options) -> ! {
     let Some(out_path) = opts.targets.get(1) else {
@@ -406,6 +453,9 @@ fn main() {
     }
     if opts.targets.first().map(String::as_str) == Some("merge-json") {
         merge_json(&opts);
+    }
+    if opts.targets.first().map(String::as_str) == Some("__cell") {
+        cell(&opts);
     }
 
     let mut targets = opts.targets.clone();

@@ -39,6 +39,10 @@ flags:
   --steps N            trace: composed children per recorded process
                        (default: 3)
   --json PATH          write every measured row as schema-stable JSON
+  --max-run-secs N     watchdog: measure each matrix row in a subprocess
+                       and kill it after N seconds; killed rows are
+                       reported as LIVELOCK (tables) / livelocked (JSON)
+                       instead of hanging the whole run
   --threshold-pct N    compare-json: flag rows whose throughput drops more
                        than N percent below the baseline (default: 10)
   --report-only        compare-json: print the delta table but exit 0 even
@@ -71,6 +75,11 @@ pub struct Options {
     pub steps: usize,
     /// JSON output path.
     pub json: Option<String>,
+    /// `--max-run-secs`: the progress watchdog's per-row wall-clock bound.
+    /// When set, every measured matrix row runs in its own subprocess and
+    /// is killed (and reported as livelocked) if it exceeds the bound.
+    /// `None` (the default) measures in-process with no bound.
+    pub max_run_secs: Option<u64>,
     /// `--list` / `list`: print registries and exit.
     pub list: bool,
     /// `--require-full-coverage` (for `validate-json`).
@@ -97,6 +106,7 @@ impl Default for Options {
             seed: DEFAULT_SEED,
             steps: 3,
             json: None,
+            max_run_secs: None,
             list: false,
             require_full_coverage: false,
             threshold_pct: crate::compare::DEFAULT_THRESHOLD_PCT,
@@ -211,6 +221,17 @@ pub fn parse_args(argv: &[String]) -> Result<Options, String> {
                 opts.json = Some(flag_value(argv, i, "--json")?.to_string());
                 i += 1;
             }
+            "--max-run-secs" => {
+                let raw = flag_value(argv, i, "--max-run-secs")?;
+                let secs: u64 = raw
+                    .parse()
+                    .map_err(|_| format!("bad max-run-secs {raw:?}; try --help"))?;
+                if secs == 0 {
+                    return Err("--max-run-secs needs a nonzero bound; try --help".to_string());
+                }
+                opts.max_run_secs = Some(secs);
+                i += 1;
+            }
             "--threshold-pct" => {
                 let raw = flag_value(argv, i, "--threshold-pct")?;
                 opts.threshold_pct = raw
@@ -308,6 +329,22 @@ mod tests {
     }
 
     #[test]
+    fn max_run_secs_flag_parses_and_rejects_zero() {
+        let o = parse_args(&args("summary --max-run-secs 30")).unwrap();
+        assert_eq!(o.max_run_secs, Some(30));
+        assert_eq!(parse_args(&[]).unwrap().max_run_secs, None);
+        assert!(parse_args(&args("--max-run-secs 0"))
+            .unwrap_err()
+            .contains("nonzero"));
+        assert!(parse_args(&args("--max-run-secs banana"))
+            .unwrap_err()
+            .contains("max-run-secs"));
+        assert!(parse_args(&args("--max-run-secs"))
+            .unwrap_err()
+            .contains("--max-run-secs"));
+    }
+
+    #[test]
     fn trace_subcommand_shape() {
         let o = parse_args(&args("trace --stm tl2 --steps 5")).unwrap();
         assert_eq!(o.targets, vec!["trace"]);
@@ -401,6 +438,7 @@ mod tests {
             "--seed",
             "--steps",
             "--json",
+            "--max-run-secs",
             "--list",
             "--require-full-coverage",
             "--threshold-pct",

@@ -334,6 +334,7 @@ mod tests {
             structure: "LinkedListSet".into(),
             threads,
             composed_pct: 15,
+            livelocked: false,
             m: Measurement {
                 throughput,
                 abort_rate: 0.1,

@@ -52,14 +52,23 @@ pub const ROW_FIELDS: [(&str, bool); 11] = [
 /// machine-comparable across PRs. Readers default a missing numeric
 /// field to 0 and a missing string field to "".
 ///
-/// `explicit_retries` and `cm_waits` are always emitted by [`render`];
-/// `cm` is emitted only for rows measured under an explicitly selected
-/// contention manager (the `--cm` axis), so default runs stay
-/// row-key-identical to the committed baselines.
-pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 3] = [
+/// `explicit_retries`, `cm_waits`, `system`, `commits` and `aborts` are
+/// always emitted by [`render`]; `cm` is emitted only for rows measured
+/// under an explicitly selected contention manager (the `--cm` axis), and
+/// `livelocked` (0/1) only for rows the progress watchdog killed — so
+/// default runs stay row-key-identical to the committed baselines.
+/// `system`/`commits`/`aborts` exist so a row round-trips losslessly
+/// through JSON: the watchdog measures each row in a subprocess and
+/// reassembles the [`BenchRow`] from the child's artifact
+/// ([`parse_rows`]).
+pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 7] = [
     ("explicit_retries", true),
     ("cm", false),
     ("cm_waits", true),
+    ("system", false),
+    ("commits", true),
+    ("aborts", true),
+    ("livelocked", true),
 ];
 
 pub(crate) fn escape(s: &str) -> String {
@@ -105,19 +114,30 @@ pub fn render(rows: &[BenchRow], seed: u64) -> String {
             r.cm.as_ref()
                 .map(|cm| format!("\"cm\": \"{}\", ", escape(cm)))
                 .unwrap_or_default();
+        let livelocked_field = if r.livelocked {
+            "\"livelocked\": 1, "
+        } else {
+            ""
+        };
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", {cm_field}\"structure\": \"{}\", \
-             \"threads\": {}, \"composed_pct\": {}, \"ops\": {}, \"throughput\": {}, \
-             \"abort_rate\": {}, \"elastic_cuts\": {}, \"outherits\": {}, \
+            "    {{\"scenario\": \"{}\", \"backend\": \"{}\", {cm_field}\"system\": \"{}\", \
+             \"structure\": \"{}\", \
+             \"threads\": {}, \"composed_pct\": {}, {livelocked_field}\"ops\": {}, \
+             \"throughput\": {}, \
+             \"abort_rate\": {}, \"commits\": {}, \"aborts\": {}, \
+             \"elastic_cuts\": {}, \"outherits\": {}, \
              \"explicit_retries\": {}, \"cm_waits\": {}, \"elapsed_ms\": {}}}{}\n",
             escape(&r.scenario),
             escape(&r.backend),
+            escape(&r.system),
             escape(&r.structure),
             r.threads,
             r.composed_pct,
             r.m.ops,
             num(r.m.throughput),
             num(r.m.abort_rate),
+            r.m.commits,
+            r.m.aborts,
             r.m.elastic_cuts,
             r.m.outherits,
             r.m.explicit_retries,
@@ -483,6 +503,66 @@ pub fn validate(text: &str) -> Result<Vec<RowId>, String> {
     Ok(ids)
 }
 
+/// Reconstruct the measured [`BenchRow`]s from a validated artifact — the
+/// inverse of [`render`], as far as the schema allows. Optional fields
+/// absent from older artifacts default to zero / empty; a missing
+/// `system` falls back to the backend key (pre-watchdog artifacts never
+/// carried display names).
+///
+/// # Errors
+/// Returns the [`validate`] error on any schema violation.
+pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
+    validate(text)?;
+    let doc = parse(text)?;
+    let rows = doc.as_obj().expect("validated")["rows"]
+        .as_arr()
+        .expect("validated");
+    let get_num = |row: &BTreeMap<String, Value>, field: &str| {
+        row.get(field).and_then(Value::as_num).unwrap_or(0.0)
+    };
+    Ok(rows
+        .iter()
+        .map(|row| {
+            let row = row.as_obj().expect("validated");
+            let str_field = |field: &str| {
+                row.get(field)
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_string()
+            };
+            let backend = str_field("backend");
+            let system = match row.get("system").and_then(Value::as_str) {
+                Some(s) => s.to_string(),
+                None => backend.clone(),
+            };
+            BenchRow {
+                scenario: str_field("scenario"),
+                backend,
+                system,
+                cm: row.get("cm").and_then(Value::as_str).map(ToString::to_string),
+                structure: str_field("structure"),
+                threads: get_num(row, "threads") as usize,
+                composed_pct: get_num(row, "composed_pct") as u32,
+                livelocked: get_num(row, "livelocked") != 0.0,
+                m: crate::harness::Measurement {
+                    throughput: get_num(row, "throughput"),
+                    abort_rate: get_num(row, "abort_rate"),
+                    ops: get_num(row, "ops") as u64,
+                    commits: get_num(row, "commits") as u64,
+                    aborts: get_num(row, "aborts") as u64,
+                    explicit_retries: get_num(row, "explicit_retries") as u64,
+                    cm_waits: get_num(row, "cm_waits") as u64,
+                    elastic_cuts: get_num(row, "elastic_cuts") as u64,
+                    outherits: get_num(row, "outherits") as u64,
+                    elapsed: std::time::Duration::from_secs_f64(
+                        get_num(row, "elapsed_ms").max(0.0) / 1e3,
+                    ),
+                },
+            }
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +578,7 @@ mod tests {
             structure: "LinkedListSet".into(),
             threads: 2,
             composed_pct: 5,
+            livelocked: false,
             m: Measurement {
                 throughput: 123.456,
                 abort_rate: 0.25,
@@ -548,6 +629,73 @@ mod tests {
         let mistyped = text.replace("\"cm\": \"karma\"", "\"cm\": 3");
         let err = validate(&mistyped).unwrap_err();
         assert!(err.contains("\"cm\""), "{err}");
+    }
+
+    #[test]
+    fn parse_rows_inverts_render() {
+        let mut killed = sample_row();
+        killed.backend = "swiss".into();
+        killed.system = "SwissTM".into();
+        killed.cm = Some("karma".into());
+        killed.livelocked = true;
+        killed.m = Measurement {
+            throughput: 0.0,
+            abort_rate: 0.0,
+            ops: 0,
+            commits: 0,
+            aborts: 0,
+            explicit_retries: 0,
+            cm_waits: 0,
+            elastic_cuts: 0,
+            outherits: 0,
+            elapsed: Duration::from_secs(30),
+        };
+        let rows = vec![sample_row(), killed];
+        let back = parse_rows(&render(&rows, 42)).expect("own output parses");
+        assert_eq!(back.len(), 2);
+        for (orig, got) in rows.iter().zip(&back) {
+            assert_eq!(got.scenario, orig.scenario);
+            assert_eq!(got.backend, orig.backend);
+            assert_eq!(got.system, orig.system, "display names must round-trip");
+            assert_eq!(got.cm, orig.cm);
+            assert_eq!(got.structure, orig.structure);
+            assert_eq!(got.threads, orig.threads);
+            assert_eq!(got.composed_pct, orig.composed_pct);
+            assert_eq!(got.livelocked, orig.livelocked);
+            assert_eq!(got.m.ops, orig.m.ops);
+            assert_eq!(got.m.commits, orig.m.commits);
+            assert_eq!(got.m.aborts, orig.m.aborts);
+            assert_eq!(got.m.explicit_retries, orig.m.explicit_retries);
+            assert_eq!(got.m.cm_waits, orig.m.cm_waits);
+            assert_eq!(got.m.elastic_cuts, orig.m.elastic_cuts);
+            assert_eq!(got.m.outherits, orig.m.outherits);
+            assert!((got.m.throughput - orig.m.throughput).abs() < 1e-6);
+            assert!((got.m.abort_rate - orig.m.abort_rate).abs() < 1e-6);
+            assert!(
+                (got.m.elapsed.as_secs_f64() - orig.m.elapsed.as_secs_f64()).abs() < 1e-6,
+                "{:?} vs {:?}",
+                got.m.elapsed,
+                orig.m.elapsed
+            );
+        }
+        // The watchdog marker is emitted only when set: measured rows stay
+        // key-compatible with the committed baselines.
+        let text = render(&rows, 42);
+        assert_eq!(text.matches("\"livelocked\"").count(), 1);
+    }
+
+    #[test]
+    fn parse_rows_defaults_fields_older_artifacts_lack() {
+        // Strip the post-baseline fields as a pre-watchdog artifact.
+        let text = render(&[sample_row()], 1)
+            .replace("\"system\": \"OE-STM\", ", "")
+            .replace("\"commits\": 990, ", "")
+            .replace("\"aborts\": 330, ", "");
+        let rows = parse_rows(&text).expect("older artifacts still parse");
+        assert_eq!(rows[0].system, "oe", "missing system falls back to the key");
+        assert_eq!(rows[0].m.commits, 0);
+        assert_eq!(rows[0].m.aborts, 0);
+        assert!(!rows[0].livelocked);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod harness;
 pub mod json;
 pub mod report;
 pub mod scenario;
+pub mod watchdog;
 pub mod workload;
 
 pub use harness::{apply_op, prefill, run_timed, Measurement};

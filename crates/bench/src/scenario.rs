@@ -607,6 +607,11 @@ pub struct BenchRow {
     pub threads: usize,
     /// Composed-update percentage (0 for scenarios with fixed mixes).
     pub composed_pct: u32,
+    /// `true` when the row's measurement subprocess exceeded the progress
+    /// watchdog's wall-clock bound (`repro --max-run-secs`) and was
+    /// killed: the measurement is zeroed and the row is a *livelock
+    /// report*, not a data point. Always `false` for in-process runs.
+    pub livelocked: bool,
     /// The measurement.
     pub m: Measurement,
 }
@@ -615,11 +620,18 @@ impl BenchRow {
     /// Display name for tables: the system, tagged with the CM policy
     /// when the row was measured on the `--cm` axis ("OE-STM+karma"),
     /// so one backend under different arbiters stays tellable apart.
+    /// Watchdog-killed rows additionally carry a `LIVELOCK!` marker so a
+    /// zeroed row can never be mistaken for a measured one.
     #[must_use]
     pub fn tagged_system(&self) -> String {
-        match &self.cm {
+        let base = match &self.cm {
             Some(cm) => format!("{}+{}", self.system, cm),
             None => self.system.clone(),
+        };
+        if self.livelocked {
+            format!("{base} LIVELOCK!")
+        } else {
+            base
         }
     }
 }
@@ -811,6 +823,7 @@ pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
                             structure: spec.structure().to_string(),
                             threads: t,
                             composed_pct: pct,
+                            livelocked: false,
                             m,
                         });
                     }
@@ -839,6 +852,7 @@ pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
                             structure: spec.structure().to_string(),
                             threads: t,
                             composed_pct: pct,
+                            livelocked: false,
                             m,
                         });
                     }

@@ -16,8 +16,23 @@
 //!   creates the write-write overlap that makes adjacent removals conflict
 //!   (without it, `remove(a)‖remove(b)` on neighbours could both "succeed"
 //!   while leaving `b` linked), and it stops stale elastic traversers from
-//!   silently walking frozen pointer chains through deleted nodes — they
-//!   read `DEAD` and retry instead.
+//!   silently walking frozen pointer chains through deleted nodes.
+//!
+//! A traverser that reads a dead `next` does not blindly retry: it
+//! **repairs**. The marker preserves the successor the node had when it was
+//! unlinked ([`NodeRef::dead`]), so [`find`] re-reads the previous
+//! predecessor's link under full protection, verifies it still points at
+//! the dead node, and redirects it past the corpse in-transaction — the
+//! exact validated pattern `remove` itself uses. Under a correct backend
+//! the verify read fails (the committed removal already redirected the
+//! link) and the traverser falls back to the classic `Explicit` retry, so
+//! nothing changes semantically. The repair path exists for the E-STM
+//! compatibility backend, whose Fig. 1 composition bug can commit a
+//! removal's dead marker *without* its redirect: that leaves a reachable
+//! dead node that every traversal would hit forever — a permanent livelock
+//! no retry policy can break. Repair heals the structure (the semantic
+//! bug itself — lost updates, wrong membership answers — is deliberately
+//! preserved; only termination is restored).
 //!
 //! [`LinkedListSet`]: crate::linkedlist::LinkedListSet
 //! [`HashSet`]: crate::hashset::HashSet
@@ -34,7 +49,8 @@ use stm_core::{Abort, AbortReason, TVar, Transaction};
 pub struct ListNode {
     /// The element stored at this node (head sentinels hold `i64::MIN`).
     pub key: TVar<i64>,
-    /// Link to the successor; [`NodeRef::DEAD`] once the node is removed.
+    /// Link to the successor; a dead marker (still carrying the successor,
+    /// see [`NodeRef::dead`]) once the node is removed.
     pub next: TVar<NodeRef>,
 }
 
@@ -71,10 +87,15 @@ pub(crate) fn check_key(key: i64) {
 /// Traverse the list rooted at the sentinel `head` until the first node
 /// whose key is `>= key`.
 ///
-/// Aborts with [`AbortReason::Explicit`] when standing on a removed node
-/// (dead `next` pointer) and with [`AbortReason::StepBound`] if the
-/// traversal runs longer than any consistent list could be (defensive
-/// termination bound).
+/// A dead `next` pointer means `pred` was removed under us. If the removal
+/// was committed whole (correct backends) the predecessor link has moved on
+/// and we abort with [`AbortReason::Explicit`] to restart from a consistent
+/// position. If the link *still* points at the corpse — only possible when
+/// a relaxed backend committed the dead marker without its redirect — the
+/// traversal repairs it in-transaction (validated write, so a racing
+/// correct commit simply aborts us) and continues through the preserved
+/// successor. Aborts with [`AbortReason::StepBound`] if the walk runs
+/// longer than any consistent list could be (defensive termination bound).
 pub fn find<'e, T: Transaction<'e>>(
     arena: &'e Arena<ListNode>,
     head: u64,
@@ -83,12 +104,39 @@ pub fn find<'e, T: Transaction<'e>>(
 ) -> Result<Find, Abort> {
     let bound = 2 * arena.high_water() + 64;
     let mut steps: u64 = 0;
+    let mut prev: Option<u64> = None;
     let mut pred = head;
+    // `pred`'s key, tracked by value. Keys ascend strictly along `next`
+    // links in every committed state and are immutable while a slot is
+    // published (epoch pinning blocks reuse mid-walk), so observing
+    // `curr.key <= pred.key` proves a relaxed backend committed stale
+    // redirects — the shape that can close a cycle and turn the step
+    // bound into a permanent livelock. Such nodes are unlinked on sight.
+    let mut last_key = i64::MIN;
     let mut curr = tx.read(&arena.get(pred).next)?;
     loop {
         if curr.is_dead() {
-            // `pred` was removed under us (stale elastic position): restart.
-            return Err(Abort::new(AbortReason::Explicit));
+            // `pred` was removed under us. The head sentinel is never
+            // removed, so at the first hop there is no previous link to
+            // repair through — restart.
+            let Some(p0) = prev else {
+                return Err(Abort::new(AbortReason::Explicit));
+            };
+            // Re-read the previous predecessor's link under full
+            // protection; repair only if it still points at the corpse.
+            let pn = tx.read(&arena.get(p0).next)?;
+            if pn != NodeRef::node(pred) {
+                return Err(Abort::new(AbortReason::Explicit));
+            }
+            tx.write(&arena.get(p0).next, curr.successor())?;
+            pred = p0;
+            curr = curr.successor();
+            prev = None;
+            steps += 1;
+            if steps > bound {
+                return Err(Abort::new(AbortReason::StepBound));
+            }
+            continue;
         }
         if curr.is_null() {
             return Ok(Find {
@@ -106,8 +154,34 @@ pub fn find<'e, T: Transaction<'e>>(
                 curr_key: Some(ck),
             });
         }
+        if ck <= last_key {
+            // Key-order inversion: committed corruption (see `last_key`).
+            // Unlink `curr` from `pred` — a validated write on a link we
+            // already read, so a correct backend racing us simply aborts
+            // us — and re-examine pred's new successor. A self-loop has
+            // no sane successor: cut to the terminator.
+            let next = if c == pred {
+                NodeRef::NULL
+            } else {
+                let n = tx.read(&arena.get(c).next)?;
+                if n.is_dead() {
+                    n.successor()
+                } else {
+                    n
+                }
+            };
+            tx.write(&arena.get(pred).next, next)?;
+            curr = next;
+            steps += 1;
+            if steps > bound {
+                return Err(Abort::new(AbortReason::StepBound));
+            }
+            continue;
+        }
         let next = tx.read(&arena.get(c).next)?;
+        prev = Some(pred);
         pred = c;
+        last_key = ck;
         curr = next;
         steps += 1;
         if steps > bound {
@@ -158,8 +232,8 @@ pub fn add_in<'e, T: Transaction<'e>>(
 
 /// Remove `key`; returns `false` if absent.
 ///
-/// Unlinks the node and writes [`NodeRef::DEAD`] into its `next` in the
-/// same transaction; the unlinked slot index is pushed to
+/// Unlinks the node and writes a successor-preserving dead marker into its
+/// `next` in the same transaction; the unlinked slot index is pushed to
 /// `scratch.unlinked` for epoch-based retirement after commit.
 pub fn remove_in<'e, T: Transaction<'e>>(
     arena: &'e Arena<ListNode>,
@@ -179,8 +253,9 @@ pub fn remove_in<'e, T: Transaction<'e>>(
         return Ok(false);
     }
     // Logical delete; hardens the transaction with {curr.key, curr.next}
-    // protected.
-    tx.write(&arena.get(c).next, NodeRef::DEAD)?;
+    // protected. The marker keeps `cnext` recoverable so a traverser stuck
+    // behind a redirect-less commit (relaxed backends) can repair past it.
+    tx.write(&arena.get(c).next, NodeRef::dead(cnext))?;
     // Re-read the predecessor link under full protection (the elastic
     // window may have evicted it during the curr.next read).
     let pn = tx.read(&arena.get(f.pred).next)?;
@@ -204,16 +279,24 @@ pub fn len_in<'e, T: Transaction<'e>>(
     let mut steps: u64 = 0;
     let mut count = 0usize;
     let mut curr = tx.read(&arena.get(head).next)?;
-    while curr.is_node() {
-        count += 1;
-        curr = tx.read(&arena.get(curr.index()).next)?;
+    while !curr.is_null() {
+        if curr.is_dead() {
+            // Reachable corpse (relaxed backends only): read-only walks
+            // skip through the preserved successor instead of wedging.
+            curr = curr.successor();
+        } else {
+            count += 1;
+            curr = tx.read(&arena.get(curr.index()).next)?;
+        }
         steps += 1;
         if steps > bound {
-            return Err(Abort::new(AbortReason::StepBound));
+            // Only a relaxed backend's committed cycle can run a walk
+            // past any consistent list's length: return the truncated
+            // (relaxed) count rather than retrying against corruption
+            // that will never heal. Keeps the audit path to one
+            // transactional read per node — no key reads.
+            break;
         }
-    }
-    if curr.is_dead() {
-        return Err(Abort::new(AbortReason::Explicit));
     }
     Ok(count)
 }
@@ -229,16 +312,20 @@ pub fn snapshot_in<'e, T: Transaction<'e>>(
     let mut steps: u64 = 0;
     let mut out = Vec::new();
     let mut curr = tx.read(&arena.get(head).next)?;
-    while curr.is_node() {
-        out.push(tx.read(&arena.get(curr.index()).key)?);
-        curr = tx.read(&arena.get(curr.index()).next)?;
+    while !curr.is_null() {
+        if curr.is_dead() {
+            // Skip reachable corpses (see `len_in`).
+            curr = curr.successor();
+        } else {
+            out.push(tx.read(&arena.get(curr.index()).key)?);
+            curr = tx.read(&arena.get(curr.index()).next)?;
+        }
         steps += 1;
         if steps > bound {
-            return Err(Abort::new(AbortReason::StepBound));
+            // Committed cycle (relaxed backends only): truncate rather
+            // than wedge (see `len_in`).
+            break;
         }
-    }
-    if curr.is_dead() {
-        return Err(Abort::new(AbortReason::Explicit));
     }
     Ok(out)
 }
@@ -250,4 +337,97 @@ pub fn new_sentinel(arena: &Arena<ListNode>) -> u64 {
     arena.get(head).key.store_atomic(i64::MIN, 0);
     arena.get(head).next.store_atomic(NodeRef::NULL, 0);
     head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oe_stm::OeStm;
+    use stm_core::api::{Atomic, Policy};
+
+    fn build(keys: &[i64]) -> (Arena<ListNode>, u64, Atomic<OeStm>) {
+        let at = Atomic::new(OeStm::new());
+        let arena: Arena<ListNode> = Arena::new();
+        let head = new_sentinel(&arena);
+        for &k in keys {
+            let mut scratch = OpScratch::default();
+            assert!(at.run(Policy::Regular, |tx| add_in(&arena, head, tx, k, &mut scratch)));
+        }
+        (arena, head, at)
+    }
+
+    /// Slot index of the node holding `key` (single-threaded walk).
+    fn slot_of(arena: &Arena<ListNode>, head: u64, at: &Atomic<OeStm>, key: i64) -> u64 {
+        at.run(Policy::Regular, |tx| {
+            let f = find(arena, head, tx, key)?;
+            assert_eq!(f.curr_key, Some(key));
+            Ok(f.curr.index())
+        })
+    }
+
+    /// A redirect-less removal (the compat backend's Fig. 1 shape): the
+    /// victim's dead marker is committed but its predecessor still points
+    /// at the corpse. Traversals must repair and terminate, not retry
+    /// forever.
+    #[test]
+    fn traversal_repairs_a_reachable_corpse() {
+        let (arena, head, at) = build(&[1, 2, 3]);
+        let n2 = slot_of(&arena, head, &at, 2);
+        let n3 = slot_of(&arena, head, &at, 3);
+        // Fabricate the corruption out-of-band: mark 2 dead, successor
+        // preserved, and deliberately skip the predecessor redirect.
+        arena
+            .get(n2)
+            .next
+            .store_atomic(NodeRef::dead(NodeRef::node(n3)), 1);
+        // Any traversal crossing the corpse repairs it in-transaction.
+        let mut scratch = OpScratch::default();
+        assert!(at.run(Policy::Regular, |tx| add_in(&arena, head, tx, 4, &mut scratch)));
+        // The repair committed: 1 now links straight past the corpse.
+        let snap = at.run(Policy::Regular, |tx| snapshot_in(&arena, head, tx));
+        assert_eq!(snap, vec![1, 3, 4]);
+    }
+
+    /// A committed cycle (stale blind redirects can link backwards): the
+    /// key-order inversion is detected and the offending links unlinked,
+    /// so traversals terminate instead of spinning on `StepBound`.
+    #[test]
+    fn traversal_cuts_a_committed_cycle() {
+        let (arena, head, at) = build(&[1, 2, 3]);
+        let n1 = slot_of(&arena, head, &at, 1);
+        let n3 = slot_of(&arena, head, &at, 3);
+        // 3 points back at 1: 1 -> 2 -> 3 -> 1 -> ...
+        arena.get(n3).next.store_atomic(NodeRef::node(n1), 1);
+        // A traversal past 3 hits the inversion, unlinks its way to a
+        // terminator, and completes.
+        let mut scratch = OpScratch::default();
+        assert!(at.run(Policy::Regular, |tx| add_in(&arena, head, tx, 5, &mut scratch)));
+        let snap = at.run(Policy::Regular, |tx| snapshot_in(&arena, head, tx));
+        assert_eq!(snap, vec![1, 2, 3, 5]);
+        // Read-only walks stay bounded too.
+        let n = at.run(Policy::Regular, |tx| len_in(&arena, head, tx));
+        assert_eq!(n, 4);
+    }
+
+    /// Read-only walks cross corpses through the preserved successor
+    /// without writing.
+    #[test]
+    fn readonly_walks_cross_corpses() {
+        // A reachable corpse (dead own-link, predecessor never redirected —
+        // only relaxed backends commit this) must not wedge a read-only
+        // walk: the preserved successor carries it across. The corpse
+        // itself may still be counted — read-only walks stay one read per
+        // node and leave exact repair to the mutating traversals.
+        let (arena, head, at) = build(&[10, 20, 30]);
+        let n2 = slot_of(&arena, head, &at, 20);
+        let n3 = slot_of(&arena, head, &at, 30);
+        arena
+            .get(n2)
+            .next
+            .store_atomic(NodeRef::dead(NodeRef::node(n3)), 1);
+        let n = at.run(Policy::Regular, |tx| len_in(&arena, head, tx));
+        assert_eq!(n, 3, "walk terminates and reaches the tail");
+        let snap = at.run(Policy::Regular, |tx| snapshot_in(&arena, head, tx));
+        assert_eq!(snap, vec![10, 20, 30]);
+    }
 }

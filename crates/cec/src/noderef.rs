@@ -9,11 +9,22 @@
 //! traversals: an elastic transaction forgets the prefix of its traversal,
 //! so it can find itself standing on a node that has since been unlinked.
 //! Because every removal atomically (i) redirects the predecessor and
-//! (ii) writes `DEAD` into the removed node's `next`, a stale traverser
-//! that tries to continue reads `DEAD` and aborts — frozen pointer chains
-//! through deleted nodes cannot be silently followed. (This mirrors the
+//! (ii) writes a dead marker into the removed node's `next`, a stale
+//! traverser that tries to continue reads the marker and cannot silently
+//! follow a frozen pointer chain through deleted nodes. (This mirrors the
 //! "null the next pointer and restart" convention of the original E-STM
 //! integer-set benchmarks.)
+//!
+//! A dead marker additionally **preserves the successor** the node had
+//! when it was unlinked ([`NodeRef::dead`] / [`NodeRef::successor`]): the
+//! mark lives in bit 63, the successor in the low bits — the lazy-list
+//! tombstone layout. Correct backends never need the successor (their
+//! removals atomically unlink, so a dead node is unreachable and any
+//! stale sighting is transient), but it is what lets traversals *repair*
+//! a reachable dead node instead of retrying forever when a relaxed
+//! backend (the E-STM compatibility mode's Fig. 1 composition bug) has
+//! committed a redirect-less removal and permanently corrupted the
+//! structure. See `listcore::find` for the repair protocol.
 
 use stm_core::Word;
 
@@ -28,8 +39,9 @@ impl NodeRef {
     /// The null reference (end of list).
     pub const NULL: NodeRef = NodeRef(0);
 
-    /// The dead marker: written into a removed node's `next` pointers so
-    /// stale traversers cannot cross it.
+    /// The dead marker with a null successor. Equivalent to
+    /// `NodeRef::dead(NodeRef::NULL)`; kept for call sites where the
+    /// successor is genuinely the end of the list.
     pub const DEAD: NodeRef = NodeRef(DEAD_BIT);
 
     /// Reference to the node at `index` (must be a valid non-zero arena
@@ -38,6 +50,24 @@ impl NodeRef {
     pub fn node(index: u64) -> Self {
         debug_assert!(index != 0 && index & DEAD_BIT == 0);
         NodeRef(index)
+    }
+
+    /// The dead marker preserving `succ` as the unlinked node's successor:
+    /// written into a removed node's `next` pointers so stale traversers
+    /// cannot cross it, while still recording where the chain continued.
+    /// `succ` must be null or a node reference (never itself dead).
+    #[must_use]
+    pub fn dead(succ: NodeRef) -> Self {
+        debug_assert!(!succ.is_dead());
+        NodeRef(DEAD_BIT | succ.0)
+    }
+
+    /// The successor preserved in a dead marker (only meaningful when
+    /// [`is_dead`](Self::is_dead)): null or a node reference.
+    #[must_use]
+    pub fn successor(self) -> NodeRef {
+        debug_assert!(self.is_dead());
+        NodeRef(self.0 & !DEAD_BIT)
     }
 
     /// True for the null terminator.
@@ -96,8 +126,24 @@ mod tests {
 
     #[test]
     fn word_roundtrip() {
-        for r in [NodeRef::NULL, NodeRef::DEAD, NodeRef::node(7)] {
+        for r in [
+            NodeRef::NULL,
+            NodeRef::DEAD,
+            NodeRef::node(7),
+            NodeRef::dead(NodeRef::node(7)),
+        ] {
             assert_eq!(NodeRef::from_word(r.into_word()), r);
         }
+    }
+
+    #[test]
+    fn dead_markers_preserve_the_successor() {
+        assert_eq!(NodeRef::dead(NodeRef::NULL), NodeRef::DEAD);
+        assert_eq!(NodeRef::DEAD.successor(), NodeRef::NULL);
+        let d = NodeRef::dead(NodeRef::node(42));
+        assert!(d.is_dead());
+        assert!(!d.is_node());
+        assert!(!d.is_null());
+        assert_eq!(d.successor(), NodeRef::node(42));
     }
 }

@@ -107,7 +107,10 @@ impl TxQueue {
             return Err(Abort::new(AbortReason::Explicit));
         }
         tx.write(&self.node(self.head).next, rest)?;
-        tx.write(&self.node(f).next, NodeRef::DEAD)?;
+        // Successor-preserving marker for protocol uniformity; queue ops
+        // are always regular (fully validated), so unlike the elastic set
+        // traversals nothing ever needs to repair through it.
+        tx.write(&self.node(f).next, NodeRef::dead(rest))?;
         if rest.is_null() {
             // Removed the last element: the tail falls back to the sentinel.
             tx.write(&self.tail, self.head)?;

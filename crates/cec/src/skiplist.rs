@@ -11,13 +11,18 @@
 //!
 //! Removal follows the same dead-marker protocol as the linked list
 //! (`listcore`), applied to every level of the tower: unlinking and
-//! writing [`NodeRef::DEAD`] into all of the victim's `next` pointers is
-//! one atomic transaction, so
+//! writing successor-preserving dead markers ([`NodeRef::dead`]) into all
+//! of the victim's `next` pointers is one atomic transaction, so
 //!
 //! * adjacent removals and insert-after-victim races always overlap on a
 //!   written location and are detected, and
-//! * stale elastic traversers standing on a removed tower read `DEAD` and
-//!   retry instead of wandering a frozen tower.
+//! * stale elastic traversers standing on a removed tower read the marker
+//!   and either retry (correct backends — the tower is unreachable, the
+//!   sighting transient) or **repair** the still-pointing predecessor link
+//!   in-transaction and continue, exactly as `listcore::find` does. The
+//!   repair path is what keeps traversals terminating when the E-STM
+//!   compatibility backend's Fig. 1 bug commits a dead tower without its
+//!   redirects, leaving it permanently reachable.
 
 use crate::arena::Arena;
 use crate::noderef::NodeRef;
@@ -109,8 +114,11 @@ impl SkipListSet {
     }
 
     /// Descend towards `key`, recording the insertion point at every
-    /// level. Aborts (`Explicit`) when crossing a removed tower and
-    /// (`StepBound`) past the defensive traversal bound.
+    /// level. Crossing a removed tower aborts (`Explicit`) when the
+    /// committed removal already redirected the link, or repairs the link
+    /// in place when a relaxed backend left it pointing at the corpse
+    /// (see `listcore::find`). Aborts (`StepBound`) past the defensive
+    /// traversal bound.
     fn locate<'e, T: Transaction<'e>>(&'e self, tx: &mut T, key: i64) -> Result<FindResult, Abort> {
         let bound = 4 * self.arena.high_water() + 4 * MAX_LEVEL as u64 + 64;
         let mut steps: u64 = 0;
@@ -118,12 +126,52 @@ impl SkipListSet {
         let mut succs = [NodeRef::NULL; MAX_LEVEL];
         let mut succ0_key = None;
         let mut pred = self.head;
+        // `pred`'s key, tracked by value across levels. Keys ascend
+        // strictly along every level's links in every committed state
+        // (and are immutable while published; epoch pinning blocks slot
+        // reuse mid-walk), so an observed inversion proves a relaxed
+        // backend committed stale redirects — possibly closing a cycle
+        // that would turn the step bound into a permanent livelock.
+        // Inverted nodes are unlinked on sight, like `listcore::find`.
+        let mut last_key = i64::MIN;
         for l in (0..MAX_LEVEL).rev() {
+            // Predecessor of `pred` at this level, once we have advanced
+            // at least one hop (the inherited entry point has none).
+            let mut prev: Option<u64> = None;
             let mut curr = tx.read(&self.node(pred).next[l])?;
             loop {
                 if curr.is_dead() {
-                    // `pred` was removed under us: restart the operation.
-                    return Err(Abort::new(AbortReason::Explicit));
+                    // `pred` was removed under us. Without a same-level
+                    // previous link in hand to repair through — the dead
+                    // value came straight from the entry point inherited
+                    // from the level above (a corpse with a live upper
+                    // link but a dead link here: a mixed tower, which
+                    // only a relaxed backend's stale redirects can
+                    // commit) — re-enter this level from the head
+                    // sentinel, whose links are never dead.
+                    let Some(p0) = prev else {
+                        pred = self.head;
+                        last_key = i64::MIN;
+                        curr = tx.read(&self.node(pred).next[l])?;
+                        steps += 1;
+                        if steps > bound {
+                            return Err(Abort::new(AbortReason::StepBound));
+                        }
+                        continue;
+                    };
+                    let pn = tx.read(&self.node(p0).next[l])?;
+                    if pn != NodeRef::node(pred) {
+                        return Err(Abort::new(AbortReason::Explicit));
+                    }
+                    tx.write(&self.node(p0).next[l], curr.successor())?;
+                    pred = p0;
+                    curr = curr.successor();
+                    prev = None;
+                    steps += 1;
+                    if steps > bound {
+                        return Err(Abort::new(AbortReason::StepBound));
+                    }
+                    continue;
                 }
                 if !curr.is_node() {
                     break;
@@ -131,8 +179,33 @@ impl SkipListSet {
                 let c = curr.index();
                 let ck = tx.read(&self.node(c).key)?;
                 if ck < key {
+                    if ck <= last_key {
+                        // Key-order inversion: committed corruption (see
+                        // `last_key`). Unlink `curr` at this level with a
+                        // validated write; a self-loop is cut to the
+                        // terminator.
+                        let next = if c == pred {
+                            NodeRef::NULL
+                        } else {
+                            let n = tx.read(&self.node(c).next[l])?;
+                            if n.is_dead() {
+                                n.successor()
+                            } else {
+                                n
+                            }
+                        };
+                        tx.write(&self.node(pred).next[l], next)?;
+                        curr = next;
+                        steps += 1;
+                        if steps > bound {
+                            return Err(Abort::new(AbortReason::StepBound));
+                        }
+                        continue;
+                    }
                     let next = tx.read(&self.node(c).next[l])?;
+                    prev = Some(pred);
                     pred = c;
+                    last_key = ck;
                     curr = next;
                 } else {
                     if l == 0 {
@@ -218,8 +291,10 @@ impl SetOps for SkipListSet {
             return Ok(false);
         }
         // Logical delete: hardens the transaction with {victim.level,
-        // victim.next[0]} protected.
-        tx.write(&victim.next[0], NodeRef::DEAD)?;
+        // victim.next[0]} protected. The marker preserves the successor so
+        // traversals can repair past a corpse left reachable by a relaxed
+        // backend's redirect-less commit.
+        tx.write(&victim.next[0], NodeRef::dead(c0))?;
         for l in 0..level {
             // Current successor at this level (for l = 0 we captured it
             // before overwriting with DEAD).
@@ -228,7 +303,11 @@ impl SetOps for SkipListSet {
             } else {
                 let v = tx.read(&victim.next[l])?;
                 if v.is_dead() {
-                    return Err(Abort::new(AbortReason::Explicit));
+                    // Already marked at this level while level 0 was live:
+                    // a mixed tower, possible only when a relaxed backend's
+                    // stale redirect resurrected a lower link of an earlier
+                    // removal's corpse. Nothing left to unlink here.
+                    continue;
                 }
                 v
             };
@@ -236,10 +315,22 @@ impl SetOps for SkipListSet {
             // verify it still points at the victim.
             let pn = tx.read(&self.node(f.preds[l]).next[l])?;
             if pn != NodeRef::node(c) {
-                return Err(Abort::new(AbortReason::Explicit));
+                if l == 0 {
+                    // Somebody changed the level-0 insertion point under
+                    // us: membership is decided here, so retry.
+                    return Err(Abort::new(AbortReason::Explicit));
+                }
+                // The victim is not linked at this level from the pred we
+                // found (a concurrent insert beat us to it, or a relaxed
+                // backend corrupted the index levels). Level 0 stays
+                // authoritative for membership: mark the level dead so any
+                // remaining in-link repairs on sight, and skip the
+                // redirect.
+                tx.write(&victim.next[l], NodeRef::dead(cl))?;
+                continue;
             }
             tx.write(&self.node(f.preds[l]).next[l], cl)?;
-            tx.write(&victim.next[l], NodeRef::DEAD)?;
+            tx.write(&victim.next[l], NodeRef::dead(cl))?;
         }
         scratch.unlinked.push(c);
         Ok(true)
@@ -251,16 +342,22 @@ impl SetOps for SkipListSet {
         let mut steps: u64 = 0;
         let mut count = 0usize;
         let mut curr = tx.read(&self.node(self.head).next[0])?;
-        while curr.is_node() {
-            count += 1;
-            curr = tx.read(&self.node(curr.index()).next[0])?;
+        while !curr.is_null() {
+            if curr.is_dead() {
+                // Reachable corpse (relaxed backends only): skip through
+                // the preserved successor instead of wedging.
+                curr = curr.successor();
+            } else {
+                count += 1;
+                curr = tx.read(&self.node(curr.index()).next[0])?;
+            }
             steps += 1;
             if steps > bound {
-                return Err(Abort::new(AbortReason::StepBound));
+                // Committed cycle (relaxed backends only): return the
+                // truncated (relaxed) count rather than retrying against
+                // corruption that will never heal.
+                break;
             }
-        }
-        if curr.is_dead() {
-            return Err(Abort::new(AbortReason::Explicit));
         }
         Ok(count)
     }
@@ -406,6 +503,36 @@ mod tests {
         }
         let net: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(set.size(&*stm) as i64, 32 + net, "updates lost or doubled");
+    }
+
+    /// A redirect-less removal (the compat backend's Fig. 1 shape) leaves
+    /// a reachable corpse — possibly a mixed tower, dead at level 0 with
+    /// live upper links. Traversals must repair and terminate.
+    #[test]
+    fn traversal_repairs_a_reachable_corpse() {
+        let at = Atomic::new(OeStm::new());
+        let set = SkipListSet::new();
+        for k in [1i64, 2, 3] {
+            assert!(set.add(&at, k));
+        }
+        // Find the slots for 2 and its level-0 successor 3.
+        let (n2, n3) = at.run(stm_core::api::Policy::Regular, |tx| {
+            let f = set.locate(tx, 2)?;
+            let n2 = f.succs[0].index();
+            let s = tx.read(&set.node(n2).next[0])?;
+            Ok((n2, s.index()))
+        });
+        // Fabricate the corruption out-of-band: mark 2 dead at level 0,
+        // successor preserved, predecessor deliberately not redirected
+        // (upper tower links, if any, stay live — a mixed tower).
+        set.node(n2)
+            .next[0]
+            .store_atomic(NodeRef::dead(NodeRef::node(n3)), 1);
+        // Any level-0 crossing repairs the link and terminates.
+        assert!(set.add(&at, 4));
+        assert!(set.contains(&at, 3));
+        assert!(!set.contains(&at, 2), "corpse is not a member");
+        assert_eq!(set.size(&at), 3);
     }
 
     #[test]

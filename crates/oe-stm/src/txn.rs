@@ -223,10 +223,12 @@ impl<'env> OeTxn<'env> {
         // everything together.
         self.window.drain_into(&mut self.scratch.base.reads);
         self.scratch.base.writes.lock_all(self.ticket)?;
-        let wv = self.stm.clock().tick();
-        if wv != self.rv + 1 {
-            // Validation-skip fast path (see TL2): wv == rv + 1 means no
-            // other update committed since the snapshot time.
+        let stamp = self.stm.clock().stamp();
+        let wv = stamp.wv;
+        if !(stamp.exclusive && wv == self.rv + 1) {
+            // Validation-skip fast path (see TL2): an exclusively won
+            // wv == rv + 1 means no other update committed since the
+            // snapshot time; an adopted stamp means one did.
             let ok = self.scratch.base.reads.validate(Some(self.ticket), |core| {
                 self.scratch.base.writes.locked_version_of(core)
             });

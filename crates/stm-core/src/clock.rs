@@ -9,8 +9,49 @@
 //! was written after the transaction started — reading it requires either an
 //! abort (TL2), a snapshot extension (LSA/SwissTM), or an elastic cut
 //! (OE-STM).
+//!
+//! # The lazy (GV4/GV5-style) tick
+//!
+//! The naive clock advances with `fetch_add`, so N concurrent committers
+//! serialize on N read-modify-writes of the same cache line. This clock
+//! instead ticks with **CAS-or-adopt** (TL2's "GV4" variant): a committer
+//! attempts one `compare_exchange(seen, seen + 1)`, and on failure *adopts*
+//! the newer value another committer just installed instead of retrying.
+//! N concurrent committers then cost one cache-line transfer, not N — the
+//! losers share the winner's timestamp.
+//!
+//! Adoption is safe here because every backend acquires all of its write
+//! locks *before* ticking: any transaction whose read version is ≥ an
+//! adopted write version began after those locks were visible, so it either
+//! observes the locks (and waits/aborts) or the fully written-back values.
+//! Two committers may share a write version only while holding disjoint
+//! write locks, and each of their readers validates against the *observed
+//! location versions*, never the clock, so shared timestamps cannot be told
+//! apart from a single commit.
+//!
+//! The one casualty is the TL2 **validation-skip fast path** (`wv == rv+1`
+//! ⇒ no validation needed): an *adopted* timestamp no longer proves that no
+//! other update committed in between — the adopter's CAS failed precisely
+//! because one did. [`CommitStamp::exclusive`] records whether the CAS was
+//! won outright; backends may skip validation only on an exclusive stamp.
 
 use core::sync::atomic::{AtomicU64, Ordering};
+
+/// A commit timestamp obtained from [`GlobalClock::stamp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitStamp {
+    /// The write version: strictly greater than every version any location
+    /// carried when the committer acquired its write locks.
+    pub wv: u64,
+    /// `true` iff this committer won the clock CAS outright — i.e. the
+    /// clock moved exactly from `wv - 1` to `wv` on its behalf and no other
+    /// update transaction can have committed between the committer's last
+    /// snapshot validation at `wv - 1` and this stamp. Only an exclusive
+    /// stamp may take the TL2 validation-skip fast path; an adopted stamp
+    /// (`false`) proves the opposite — a concurrent commit just happened —
+    /// and the read set must be revalidated.
+    pub exclusive: bool,
+}
 
 /// A monotonically increasing global version clock.
 ///
@@ -18,7 +59,7 @@ use core::sync::atomic::{AtomicU64, Ordering};
 /// a freshly created variable is readable by every transaction.
 ///
 /// The counter is the single most contended word in the system — every
-/// update commit ticks it — so the struct is aligned to a cache line to
+/// update commit touches it — so the struct is aligned to a cache line to
 /// keep the neighbouring STM-instance fields (stats, config) from
 /// false-sharing with it. Read paths sample it once at begin; snapshot
 /// extensions re-validate against the *observed location version* instead
@@ -45,13 +86,49 @@ impl GlobalClock {
         self.now.load(Ordering::Acquire)
     }
 
-    /// Advance the clock and return the *new* time. Used to obtain a commit
-    /// (write) version; the returned value is strictly greater than any
-    /// value `now()` returned before the call.
+    /// Obtain a commit (write) version by CAS-or-adopt: one
+    /// `compare_exchange` attempt; on failure the freshly observed newer
+    /// value is adopted as this committer's write version instead of
+    /// retrying the RMW (see the module docs for why sharing a timestamp
+    /// is safe, and why only [`CommitStamp::exclusive`] stamps may skip
+    /// commit-time validation).
+    ///
+    /// The returned `wv` is always greater than any value `now()` returned
+    /// before the committer acquired its write locks, and the clock reads
+    /// at least `wv` from this call on.
+    #[inline]
+    #[must_use]
+    pub fn stamp(&self) -> CommitStamp {
+        let seen = self.now.load(Ordering::Relaxed);
+        match self
+            .now
+            .compare_exchange(seen, seen + 1, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => CommitStamp {
+                wv: seen + 1,
+                exclusive: true,
+            },
+            Err(newer) => CommitStamp {
+                wv: newer,
+                exclusive: false,
+            },
+        }
+    }
+
+    /// Advance the clock and return the new time — [`stamp`](Self::stamp)
+    /// without the exclusivity information.
+    ///
+    /// The returned value is greater than any value `now()` returned before
+    /// the call, but under concurrency it is **not necessarily unique**: a
+    /// failed CAS adopts the concurrent winner's timestamp. Out-of-band
+    /// version bumps (e.g. [`TVar::store_atomic`](crate::TVar::store_atomic)
+    /// setup paths) use this; commit paths that want the validation-skip
+    /// fast path must use `stamp()` and check
+    /// [`CommitStamp::exclusive`].
     #[inline]
     #[must_use]
     pub fn tick(&self) -> u64 {
-        self.now.fetch_add(1, Ordering::AcqRel) + 1
+        self.stamp().wv
     }
 }
 
@@ -77,30 +154,96 @@ mod tests {
 
     #[test]
     fn tick_returns_new_value() {
+        // Uncontended, every CAS wins: the lazy clock is indistinguishable
+        // from the old fetch_add clock.
         let c = GlobalClock::new();
         assert_eq!(c.tick(), 1);
         assert_eq!(c.tick(), 2);
     }
 
     #[test]
-    fn concurrent_ticks_are_unique() {
+    fn uncontended_stamps_are_exclusive() {
+        let c = GlobalClock::new();
+        let s = c.stamp();
+        assert_eq!(
+            s,
+            CommitStamp {
+                wv: 1,
+                exclusive: true
+            }
+        );
+        assert_eq!(c.now(), 1);
+    }
+
+    #[test]
+    fn concurrent_stamps_keep_the_lazy_clock_invariants() {
+        // The GV4 contract under real contention:
+        //  1. monotonicity — the clock never moves backwards, and every
+        //     stamp's wv is at most the final clock value;
+        //  2. exclusive stamps are globally unique (each won its own CAS);
+        //  3. adopt-on-CAS-failure — a non-exclusive stamp's wv was
+        //     installed by some exclusive winner, never invented;
+        //  4. the final clock value equals the number of exclusive wins
+        //     (adopters don't advance the clock).
         let c = Arc::new(GlobalClock::new());
         let threads = crate::parallel::worker_threads(4);
         let mut handles = Vec::new();
         for _ in 0..threads {
             let c = Arc::clone(&c);
             handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
+                let mut prev = 0u64;
+                (0..1000)
+                    .map(|_| {
+                        let s = c.stamp();
+                        assert!(s.wv > 0, "stamps start after time 0");
+                        assert!(s.wv >= prev, "per-thread stamps never go backwards");
+                        prev = s.wv;
+                        s
+                    })
+                    .collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles
+        let all: Vec<CommitStamp> = handles
             .into_iter()
             .flat_map(|h| h.join().unwrap())
             .collect();
-        all.sort_unstable();
-        all.dedup();
-        let expected = threads as u64 * 1000;
-        assert_eq!(all.len() as u64, expected, "ticks must never be duplicated");
-        assert_eq!(c.now(), expected);
+        let final_now = c.now();
+        let mut exclusive: Vec<u64> = all.iter().filter(|s| s.exclusive).map(|s| s.wv).collect();
+        let wins = exclusive.len() as u64;
+        exclusive.sort_unstable();
+        let deduped = {
+            let mut e = exclusive.clone();
+            e.dedup();
+            e
+        };
+        assert_eq!(
+            deduped.len() as u64,
+            wins,
+            "exclusive stamps must be unique"
+        );
+        assert_eq!(
+            final_now, wins,
+            "only exclusive wins advance the clock (adopters are free)"
+        );
+        for s in &all {
+            assert!(s.wv <= final_now, "no stamp exceeds the clock");
+            if !s.exclusive {
+                assert!(
+                    exclusive.binary_search(&s.wv).is_ok(),
+                    "adopted wv {} must have been installed by a winner",
+                    s.wv
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_threaded_stamps_never_adopt() {
+        let c = GlobalClock::new();
+        for expect in 1..=100u64 {
+            let s = c.stamp();
+            assert!(s.exclusive, "uncontended CAS always wins");
+            assert_eq!(s.wv, expect);
+        }
     }
 }

@@ -35,6 +35,15 @@ pub struct StmConfig {
     /// Upper bound on commit-time lock-acquisition spin iterations before
     /// declaring a lock conflict.
     pub lock_spin_limit: u32,
+    /// Progress backstop: after this many *consecutive* lost attempts of
+    /// one `run` call, the retry loop starts parking the loser between
+    /// retries (escalating bounded sleeps via the parking shim) instead of
+    /// only spinning/yielding. The sleeps guarantee some competitor an
+    /// uncontended window, which bounds livelock under every CM policy —
+    /// see `stm::retry_loop_arbitrated` and DESIGN.md ("Scalable clocks
+    /// and progress"). Low enough to break conflict storms quickly, high
+    /// enough that ordinary contention never sleeps.
+    pub progress_park_after: u32,
     /// Optional cap on retries per `run` call; `None` retries forever.
     /// `try_run` reports `RunError::RetriesExhausted` when exceeded.
     pub max_retries: Option<u64>,
@@ -55,6 +64,7 @@ impl core::fmt::Debug for StmConfig {
             .field("cm", &self.cm)
             .field("cm_write_threshold", &self.cm_write_threshold)
             .field("lock_spin_limit", &self.lock_spin_limit)
+            .field("progress_park_after", &self.progress_park_after)
             .field("max_retries", &self.max_retries)
             .field("trace", &self.trace.as_ref().map(|_| "Some(<sink>)"))
             .finish()
@@ -70,6 +80,7 @@ impl Default for StmConfig {
             cm: CmPolicy::default(),
             cm_write_threshold: 4,
             lock_spin_limit: 64,
+            progress_park_after: 64,
             max_retries: None,
             trace: None,
         }
@@ -97,6 +108,14 @@ impl StmConfig {
     #[must_use]
     pub fn with_cm(mut self, cm: CmPolicy) -> Self {
         self.cm = cm;
+        self
+    }
+
+    /// Override the progress backstop's consecutive-loss threshold (see
+    /// [`progress_park_after`](Self::progress_park_after)).
+    #[must_use]
+    pub fn with_progress_park_after(mut self, losses: u32) -> Self {
+        self.progress_park_after = losses;
         self
     }
 

@@ -68,7 +68,7 @@ pub mod word;
 pub mod writeset;
 
 pub use api::{Atomic, AtomicBackend, Policy, Tx};
-pub use clock::GlobalClock;
+pub use clock::{CommitStamp, GlobalClock};
 pub use cm::{Arbitrate, CmPolicy, ConflictCtx, ContentionManager};
 pub use config::StmConfig;
 pub use dynstm::{

@@ -1,16 +1,50 @@
 //! Commit/abort statistics.
 //!
 //! The paper's evaluation reports throughput *and abort rate* for every STM
-//! (Figs. 6–8); these counters are what the benchmark harness reads. They
-//! are sharded per-STM-instance and updated with relaxed atomics so they add
-//! no synchronization to the hot path beyond the RMW itself.
+//! (Figs. 6–8); these counters are what the benchmark harness reads.
+//!
+//! # Striped layout
+//!
+//! The counters are **striped**: an [`StmStats`] owns a small array of
+//! cache-line-aligned cells, and every recording thread picks one stripe
+//! (round-robin at first use, sticky for the thread's lifetime) so
+//! commit-path bookkeeping from different threads lands on different cache
+//! lines instead of bouncing one shared line between cores. Updates stay
+//! relaxed RMWs; [`snapshot`](StmStats::snapshot) aggregates the stripes
+//! lock-free. The counters are monotone, so a sum of relaxed per-stripe
+//! loads is exactly as "consistent" as the old single-cell snapshot was.
 
 use crate::error::AbortReason;
-use core::sync::atomic::{AtomicU64, Ordering};
+use core::cell::Cell;
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// Live counters owned by an STM instance.
+/// Number of counter stripes (power of two; indexed round-robin by
+/// recording thread). Eight stripes cover the bench sweep's thread counts
+/// without making snapshots scan a large array.
+const STRIPES: usize = 8;
+
+/// The sticky stripe a thread records into: assigned round-robin from a
+/// process-wide counter the first time the thread touches any `StmStats`.
+fn stripe_index() -> usize {
+    static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    STRIPE.with(|s| {
+        let mut i = s.get();
+        if i == usize::MAX {
+            i = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+            s.set(i);
+        }
+        i
+    })
+}
+
+/// One stripe of counters, padded to a cache-line boundary so neighbouring
+/// stripes (and the STM instance's other fields) never false-share with it.
 #[derive(Debug, Default)]
-pub struct StmStats {
+#[repr(align(64))]
+struct StripeCell {
     commits: AtomicU64,
     aborts_by_cause: [AtomicU64; AbortReason::COUNT],
     child_commits: AtomicU64,
@@ -19,93 +53,11 @@ pub struct StmStats {
     extensions: AtomicU64,
     cm_backoffs: AtomicU64,
     cm_yields: AtomicU64,
+    progress_parks: AtomicU64,
 }
 
-impl StmStats {
-    /// Fresh, zeroed counters.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Record a top-level commit.
-    #[inline]
-    pub fn record_commit(&self) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record an abort with its cause.
-    ///
-    /// [`AbortReason::ExplicitRetry`] lands in its own slot of the
-    /// per-cause array but is *excluded* from
-    /// [`StatsSnapshot::aborts`]/[`StatsSnapshot::abort_rate`]: a user-level
-    /// retry is a control-flow decision, not a conflict.
-    #[inline]
-    pub fn record_abort(&self, reason: AbortReason) {
-        self.aborts_by_cause[reason.index()].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record a committed child (composed) transaction.
-    #[inline]
-    pub fn record_child_commit(&self) {
-        self.child_commits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record an `outherit()` — a child passing its protected set up.
-    #[inline]
-    pub fn record_outherit(&self) {
-        self.outherits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record an elastic cut (a read-only prefix entry dropped from the
-    /// window, i.e. a conflict the relaxed model ignored).
-    #[inline]
-    pub fn record_elastic_cut(&self) {
-        self.elastic_cuts.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record a successful snapshot extension (LSA/SwissTM/elastic).
-    #[inline]
-    pub fn record_extension(&self) {
-        self.extensions.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record a contention-manager `Backoff` pacing decision (the loser
-    /// busy-waited before retrying).
-    #[inline]
-    pub fn record_cm_backoff(&self) {
-        self.cm_backoffs.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record a contention-manager `Yield` pacing decision (the loser
-    /// ceded the core before retrying).
-    #[inline]
-    pub fn record_cm_yield(&self) {
-        self.cm_yields.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Take a consistent-enough snapshot for reporting (counters are
-    /// monotone; exact simultaneity is not required).
-    #[must_use]
-    pub fn snapshot(&self) -> StatsSnapshot {
-        let mut aborts_by_cause = [0u64; AbortReason::COUNT];
-        for (slot, counter) in aborts_by_cause.iter_mut().zip(&self.aborts_by_cause) {
-            *slot = counter.load(Ordering::Relaxed);
-        }
-        StatsSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts_by_cause,
-            child_commits: self.child_commits.load(Ordering::Relaxed),
-            outherits: self.outherits.load(Ordering::Relaxed),
-            elastic_cuts: self.elastic_cuts.load(Ordering::Relaxed),
-            extensions: self.extensions.load(Ordering::Relaxed),
-            cm_backoffs: self.cm_backoffs.load(Ordering::Relaxed),
-            cm_yields: self.cm_yields.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Reset all counters to zero (between benchmark phases).
-    pub fn reset(&self) {
+impl StripeCell {
+    fn reset(&self) {
         self.commits.store(0, Ordering::Relaxed);
         for c in &self.aborts_by_cause {
             c.store(0, Ordering::Relaxed);
@@ -116,6 +68,129 @@ impl StmStats {
         self.extensions.store(0, Ordering::Relaxed);
         self.cm_backoffs.store(0, Ordering::Relaxed);
         self.cm_yields.store(0, Ordering::Relaxed);
+        self.progress_parks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Live counters owned by an STM instance (striped; see the module docs).
+#[derive(Debug)]
+pub struct StmStats {
+    stripes: [StripeCell; STRIPES],
+}
+
+impl Default for StmStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StmStats {
+    /// Fresh, zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            stripes: core::array::from_fn(|_| StripeCell::default()),
+        }
+    }
+
+    /// The calling thread's stripe.
+    #[inline]
+    fn cell(&self) -> &StripeCell {
+        &self.stripes[stripe_index()]
+    }
+
+    /// Record a top-level commit.
+    #[inline]
+    pub fn record_commit(&self) {
+        self.cell().commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an abort with its cause.
+    ///
+    /// [`AbortReason::ExplicitRetry`] lands in its own slot of the
+    /// per-cause array but is *excluded* from
+    /// [`StatsSnapshot::aborts`]/[`StatsSnapshot::abort_rate`]: a user-level
+    /// retry is a control-flow decision, not a conflict.
+    #[inline]
+    pub fn record_abort(&self, reason: AbortReason) {
+        self.cell().aborts_by_cause[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a committed child (composed) transaction.
+    #[inline]
+    pub fn record_child_commit(&self) {
+        self.cell().child_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an `outherit()` — a child passing its protected set up.
+    #[inline]
+    pub fn record_outherit(&self) {
+        self.cell().outherits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an elastic cut (a read-only prefix entry dropped from the
+    /// window, i.e. a conflict the relaxed model ignored).
+    #[inline]
+    pub fn record_elastic_cut(&self) {
+        self.cell().elastic_cuts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a successful snapshot extension (LSA/SwissTM/elastic).
+    #[inline]
+    pub fn record_extension(&self) {
+        self.cell().extensions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a contention-manager `Backoff` pacing decision (the loser
+    /// busy-waited before retrying).
+    #[inline]
+    pub fn record_cm_backoff(&self) {
+        self.cell().cm_backoffs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a contention-manager `Yield` pacing decision (the loser
+    /// ceded the core before retrying).
+    #[inline]
+    pub fn record_cm_yield(&self) {
+        self.cell().cm_yields.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a progress-backstop park: a transaction lost so many
+    /// consecutive rounds that the retry loop put it to sleep (see
+    /// `stm::retry_loop_arbitrated`) to guarantee some competitor an
+    /// uncontended window.
+    #[inline]
+    pub fn record_progress_park(&self) {
+        self.cell().progress_parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Take a consistent-enough snapshot for reporting (counters are
+    /// monotone; exact simultaneity is not required). Aggregates every
+    /// stripe lock-free.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut snap = StatsSnapshot::default();
+        for cell in &self.stripes {
+            snap.commits += cell.commits.load(Ordering::Relaxed);
+            for (slot, counter) in snap.aborts_by_cause.iter_mut().zip(&cell.aborts_by_cause) {
+                *slot += counter.load(Ordering::Relaxed);
+            }
+            snap.child_commits += cell.child_commits.load(Ordering::Relaxed);
+            snap.outherits += cell.outherits.load(Ordering::Relaxed);
+            snap.elastic_cuts += cell.elastic_cuts.load(Ordering::Relaxed);
+            snap.extensions += cell.extensions.load(Ordering::Relaxed);
+            snap.cm_backoffs += cell.cm_backoffs.load(Ordering::Relaxed);
+            snap.cm_yields += cell.cm_yields.load(Ordering::Relaxed);
+            snap.progress_parks += cell.progress_parks.load(Ordering::Relaxed);
+        }
+        snap
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        for cell in &self.stripes {
+            cell.reset();
+        }
     }
 }
 
@@ -138,6 +213,9 @@ pub struct StatsSnapshot {
     pub cm_backoffs: u64,
     /// Contention-manager `Yield` pacing decisions executed.
     pub cm_yields: u64,
+    /// Progress-backstop parks executed (escalating sleeps after runs of
+    /// consecutive losses; see `stm::retry_loop_arbitrated`).
+    pub progress_parks: u64,
 }
 
 impl StatsSnapshot {
@@ -209,6 +287,7 @@ impl StatsSnapshot {
             extensions: self.extensions - earlier.extensions,
             cm_backoffs: self.cm_backoffs - earlier.cm_backoffs,
             cm_yields: self.cm_yields - earlier.cm_yields,
+            progress_parks: self.progress_parks - earlier.progress_parks,
         }
     }
 }
@@ -273,6 +352,7 @@ mod tests {
         s.record_outherit();
         s.record_cm_backoff();
         s.record_cm_yield();
+        s.record_progress_park();
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
@@ -351,5 +431,43 @@ mod tests {
         assert_eq!(d.cm_waits(), 1);
         s.reset();
         assert_eq!(s.snapshot().cm_waits(), 0);
+    }
+
+    #[test]
+    fn progress_parks_accumulate_delta_and_reset() {
+        let s = StmStats::new();
+        s.record_progress_park();
+        s.record_progress_park();
+        let before = s.snapshot();
+        assert_eq!(before.progress_parks, 2);
+        s.record_progress_park();
+        assert_eq!(s.snapshot().delta_since(&before).progress_parks, 1);
+        s.reset();
+        assert_eq!(s.snapshot().progress_parks, 0);
+    }
+
+    #[test]
+    fn striped_recording_aggregates_across_threads() {
+        // Several threads record into (likely different) stripes; the
+        // snapshot must sum them all — no count may be lost to striping.
+        let s = std::sync::Arc::new(StmStats::new());
+        let threads = crate::parallel::worker_threads(4);
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    s.record_commit();
+                    s.record_abort(AbortReason::LockConflict);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = s.snapshot();
+        let expect = threads as u64 * 1000;
+        assert_eq!(snap.commits, expect);
+        assert_eq!(snap.aborts(), expect);
     }
 }

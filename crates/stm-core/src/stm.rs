@@ -228,12 +228,41 @@ pub trait Stm: Send + Sync {
 /// change the world) and counts against `max_retries`, but the statistics
 /// layer files it in its own category instead of the conflict-abort
 /// counters.
+///
+/// # The progress backstop
+///
+/// Spin/yield pacing alone cannot *guarantee* forward progress: two
+/// symmetric losers can keep aborting each other forever if their pacing
+/// stays in lockstep (the classic 2-thread livelock — especially on a
+/// single core, where `yield_now` between two runnable threads can
+/// degenerate into a hot hand-off). So on top of whatever the contention
+/// manager decides, the loop counts **consecutive** losses of this `run`
+/// call; past [`StmConfig::progress_park_after`] it additionally *parks*
+/// the loser on an escalating, bounded timeout (doubling from
+/// [`PARK_BASE_MICROS`] up to `PARK_BASE_MICROS << PARK_MAX_STEP`, each
+/// park stretched by a per-thread random factor in `[1, 2)`, via the
+/// parking shim so a future commit path can also wake it early).
+///
+/// Termination argument: once engaged, every loser sleeps for real
+/// wall-clock time, the sleeps *grow* until they exceed the solo running
+/// time of any transaction in the system (the cap is sized for the
+/// longest composed operations), and the per-thread jitter keeps two
+/// symmetric losers from sleeping in lockstep — so some competitor
+/// eventually gets an uncontended window wide enough to finish, and a
+/// transaction running alone commits in a bounded number of steps (every
+/// abort needs a concurrent conflictor). The jitter matters as much as
+/// the escalation: identical timeouts produced synchronized wakeups whose
+/// overlapping attempts re-conflicted forever on a single core. The
+/// sleeps stay bounded, so a loser also resumes promptly once its rivals
+/// commit; throughput degrades gracefully instead of hanging. Parks are
+/// counted in [`StatsSnapshot::progress_parks`].
 pub fn retry_loop_arbitrated<R>(
     cfg: &StmConfig,
     stats: &StmStats,
     mut attempt: impl FnMut(u64) -> Result<R, (Abort, Arbitrate)>,
 ) -> Result<R, RunError> {
     let mut attempts: u64 = 0;
+    let mut losses: u32 = 0;
     loop {
         attempts += 1;
         match attempt(attempts) {
@@ -264,9 +293,81 @@ pub fn retry_loop_arbitrated<R>(
                         std::thread::yield_now();
                     }
                 }
+                losses = losses.saturating_add(1);
+                if losses > cfg.progress_park_after {
+                    stats.record_progress_park();
+                    let step = (losses - cfg.progress_park_after).min(PARK_MAX_STEP);
+                    let base = PARK_BASE_MICROS << step;
+                    // Stretch by a per-thread random factor in [1, 2): two
+                    // symmetric losers at the same step must not sleep the
+                    // same duration, or their wakeups (and the conflicts
+                    // that follow) stay phase-locked.
+                    let park = base + park_jitter(base);
+                    progress_park(core::time::Duration::from_micros(park));
+                }
             }
         }
     }
+}
+
+/// First park of the progress backstop, in microseconds.
+pub const PARK_BASE_MICROS: u64 = 10;
+
+/// The park timeout doubles per further loss up to `PARK_BASE_MICROS <<
+/// PARK_MAX_STEP` (10µs … ~41ms): the ceiling must comfortably exceed the
+/// solo running time of the *longest* transaction in the system (composed
+/// bulk operations included), or a storm of long transactions on an
+/// oversubscribed core never gets a window wide enough for anyone to
+/// finish — the empirically observed failure mode behind the old ~1.3ms
+/// cap. Escalation means well-behaved storms never pay the ceiling; only
+/// a storm that already failed dozens of consecutive windows does.
+pub const PARK_MAX_STEP: u32 = 12;
+
+/// A per-thread pseudo-random jitter in `[0, range)` for park timeouts.
+///
+/// Without it, two symmetric losers reach the same escalation step, sleep
+/// identical durations, wake together, overlap their next attempts and
+/// abort each other again — a stable limit cycle that kept 2-thread
+/// composed workloads livelocked on a single core *despite* the backstop.
+/// A thread-local splitmix64 stream (seeded per thread from a global
+/// counter) breaks the symmetry without any cross-thread coordination.
+fn park_jitter(range: u64) -> u64 {
+    use core::cell::Cell;
+    use core::sync::atomic::{AtomicU64, Ordering};
+    static THREAD_SEED: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+    thread_local! {
+        static STATE: Cell<u64> = Cell::new(
+            THREAD_SEED.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed),
+        );
+    }
+    STATE.with(|s| {
+        // splitmix64 step.
+        let mut z = s.get().wrapping_add(0x9e37_79b9_7f4a_7c15);
+        s.set(z);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        if range == 0 {
+            0
+        } else {
+            z % range
+        }
+    })
+}
+
+/// Park the calling thread for at most `timeout` on its thread-local
+/// [`Parker`](parking_lot::park::Parker). Nothing unparks retry-loop
+/// losers today (commit-driven wakeups are the async-runtime roadmap
+/// item), so this is a sleep — but one routed through the parking shim so
+/// the wake side already exists.
+fn progress_park(timeout: core::time::Duration) {
+    use parking_lot::park::Parker;
+    thread_local! {
+        static PARKER: Parker = Parker::new();
+    }
+    PARKER.with(|p| {
+        let _ = p.park_timeout(timeout);
+    });
 }
 
 /// The classic retry loop: like [`retry_loop_arbitrated`] but with the
@@ -425,6 +526,49 @@ mod tests {
                 attempts: 3,
                 last: AbortReason::LockConflict
             }
+        );
+    }
+
+    #[test]
+    fn progress_backstop_parks_after_consecutive_losses() {
+        use crate::cm::Arbitrate;
+        // Threshold 2: attempts 3.. park (with escalating bounded sleeps).
+        let cfg = StmConfig::default()
+            .with_progress_park_after(2)
+            .with_max_retries(6);
+        let stats = StmStats::new();
+        let r: Result<(), _> = retry_loop_arbitrated(&cfg, &stats, |_| {
+            Err((Abort::new(AbortReason::LockConflict), Arbitrate::Abort))
+        });
+        assert!(r.is_err());
+        let snap = stats.snapshot();
+        assert_eq!(snap.aborts(), 7, "max_retries 6 = 7 attempts");
+        // Losses 3..=6 park; the exhausted final attempt returns without
+        // parking (it will not retry, so there is nothing to pace).
+        assert_eq!(
+            snap.progress_parks, 4,
+            "every loss past the threshold that retries parks"
+        );
+    }
+
+    #[test]
+    fn progress_backstop_stays_out_of_short_conflicts() {
+        let cfg = StmConfig::default(); // threshold 64
+        let stats = StmStats::new();
+        let mut left = 10;
+        retry_loop(&cfg, &stats, 1, || {
+            if left > 0 {
+                left -= 1;
+                Err(Abort::new(AbortReason::LockConflict))
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            stats.snapshot().progress_parks,
+            0,
+            "ordinary contention must never sleep"
         );
     }
 

@@ -284,8 +284,12 @@ impl<'env> LsaTxn<'env> {
             }
             return Ok(());
         }
-        let wv = self.stm.clock.tick();
-        if wv != self.ub + 1 {
+        let stamp = self.stm.clock.stamp();
+        let wv = stamp.wv;
+        if !(stamp.exclusive && wv == self.ub + 1) {
+            // Validation-skip fast path (see TL2): only an exclusively won
+            // wv == ub + 1 proves no concurrent commit; adoption must
+            // revalidate.
             let ok = self.scratch.reads.validate(Some(self.ticket), |core| {
                 self.scratch.undo.old_version_of(core)
             });

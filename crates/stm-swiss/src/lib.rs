@@ -334,10 +334,12 @@ impl<'env> SwissTxn<'env> {
             self.release_wlocks();
             return Err(abort);
         }
-        let wv = self.stm.clock.tick();
-        if wv != self.ub + 1 {
-            // Validation-skip fast path (see TL2): wv == ub + 1 means no
-            // other update committed since the snapshot was last validated.
+        let stamp = self.stm.clock.stamp();
+        let wv = stamp.wv;
+        if !(stamp.exclusive && wv == self.ub + 1) {
+            // Validation-skip fast path (see TL2): an exclusively won
+            // wv == ub + 1 means no other update committed since the
+            // snapshot was last validated; an adopted stamp means one did.
             let ok = self.scratch.reads.validate(Some(self.ticket), |core| {
                 self.scratch.writes.locked_version_of(core)
             });

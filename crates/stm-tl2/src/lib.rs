@@ -169,11 +169,14 @@ impl<'env> Tl2Txn<'env> {
             return Ok(());
         }
         self.scratch.writes.lock_all(self.ticket)?;
-        let wv = self.stm.clock.tick();
-        if wv != self.rv + 1 {
+        let stamp = self.stm.clock.stamp();
+        let wv = stamp.wv;
+        if !(stamp.exclusive && wv == self.rv + 1) {
             // Someone committed after we sampled rv: re-validate the reads.
-            // When wv == rv + 1 no transaction can have invalidated them
-            // (TL2's validation-skip fast path).
+            // Only an *exclusively won* wv == rv + 1 proves nothing can
+            // have invalidated them (TL2's validation-skip fast path); an
+            // adopted stamp proves a concurrent commit just happened, even
+            // when the shared timestamp happens to equal rv + 1.
             let ok = self.scratch.reads.validate(Some(self.ticket), |core| {
                 self.scratch.writes.locked_version_of(core)
             });

@@ -1,0 +1,15 @@
+//! Seeded violations: unblessed call sites of the lazy global clock —
+//! both the legacy `tick()` entry point and the GV4 `stamp()` one must
+//! trip clock-discipline outside the backend modules.
+
+use crate::Clock;
+
+/// Mints a write-version outside the blessed backend commit paths.
+pub fn rogue_tick(clock: &Clock) -> u64 {
+    clock.tick()
+}
+
+/// Mints a commit stamp outside the blessed backend commit paths.
+pub fn rogue_stamp(clock: &Clock) -> u64 {
+    clock.stamp()
+}

@@ -1,5 +1,6 @@
 //! Seeded violation: crate root that dropped the unsafe-forbid attribute.
 
+pub mod clocky;
 pub mod hot;
 
 /// Reads the global clock outside the blessed backend modules.
@@ -14,5 +15,15 @@ impl Clock {
     /// Fixture stub.
     pub fn now(&self) -> u64 {
         0
+    }
+
+    /// Fixture stub.
+    pub fn tick(&self) -> u64 {
+        1
+    }
+
+    /// Fixture stub.
+    pub fn stamp(&self) -> u64 {
+        1
     }
 }

@@ -43,6 +43,22 @@ fn seeded_fixtures_trip_every_rule() {
         2,
         "Instant + format!, waived vec stays quiet: {hot:?}"
     );
+    // All three clock read entry points trip outside the blessed modules:
+    // the legacy `.now()` in lib.rs, plus the `.tick()` and lazy-clock
+    // `.stamp()` call sites seeded in clocky.rs.
+    let clock: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == "clock-discipline")
+        .collect();
+    assert_eq!(clock.len(), 3, "now + tick + stamp: {clock:?}");
+    assert_eq!(
+        clock
+            .iter()
+            .filter(|v| v.file == Path::new("crates/badcrate/src/clocky.rs"))
+            .count(),
+        2,
+        "tick and stamp must each fire: {clock:?}"
+    );
 }
 
 #[test]
