@@ -14,6 +14,8 @@ usage: repro [TARGET]... [FLAGS]
        repro validate-json <path> [--require-full-coverage]
        repro compare-json <baseline> <candidate> [--threshold-pct N] [--report-only]
        repro merge-json <out> <in>... (per-row medians of same-config runs)
+       repro recover <dir> (replay a durable store's snapshot + WAL, print
+                            the recovered image and any repair diagnostics)
 
 targets:
   fig6 | fig7 | fig8   regenerate one figure's tables
@@ -39,6 +41,10 @@ flags:
   --steps N            trace: composed children per recorded process
                        (default: 3)
   --json PATH          write every measured row as schema-stable JSON
+  --durable            measure with durability on: each cell logs every
+                       committed write through a group-committed WAL
+                       (fsync per batch) in a per-cell temp store
+                       (fsync-batch is the showcase scenario)
   --max-run-secs N     watchdog: measure each matrix row in a subprocess
                        and kill it after N seconds; killed rows are
                        reported as LIVELOCK (tables) / livelocked (JSON)
@@ -47,6 +53,10 @@ flags:
                        than N percent below the baseline (default: 10)
   --report-only        compare-json: print the delta table but exit 0 even
                        on regressions (schema errors still fail)
+
+compare-json exit codes: 0 clean pass; 1 regression beyond the threshold;
+2 usage or schema error; 3 pass, but livelocked (watchdog-killed) rows on
+either side were skipped with a warning — they carry no measurement.
   --list               alias for the `list` target
   -h, --help           this text
 ";
@@ -80,6 +90,10 @@ pub struct Options {
     /// is killed (and reported as livelocked) if it exceeds the bound.
     /// `None` (the default) measures in-process with no bound.
     pub max_run_secs: Option<u64>,
+    /// `--durable`: measure with the durability hook installed
+    /// ([`crate::scenario::MatrixPlan::durable`] semantics — per-cell
+    /// WAL + fsync through a temp-directory store).
+    pub durable: bool,
     /// `--list` / `list`: print registries and exit.
     pub list: bool,
     /// `--require-full-coverage` (for `validate-json`).
@@ -107,6 +121,7 @@ impl Default for Options {
             steps: 3,
             json: None,
             max_run_secs: None,
+            durable: false,
             list: false,
             require_full_coverage: false,
             threshold_pct: crate::compare::DEFAULT_THRESHOLD_PCT,
@@ -242,6 +257,7 @@ pub fn parse_args(argv: &[String]) -> Result<Options, String> {
                 }
                 i += 1;
             }
+            "--durable" => opts.durable = true,
             "--report-only" => opts.report_only = true,
             "--list" => opts.list = true,
             "--require-full-coverage" => opts.require_full_coverage = true,
@@ -345,6 +361,19 @@ mod tests {
     }
 
     #[test]
+    fn durable_flag_parses_and_defaults_off() {
+        let o = parse_args(&args("summary --durable --stm tl2")).unwrap();
+        assert!(o.durable);
+        assert!(!parse_args(&[]).unwrap().durable);
+    }
+
+    #[test]
+    fn recover_subcommand_shape() {
+        let o = parse_args(&args("recover /var/lib/app/store")).unwrap();
+        assert_eq!(o.targets, vec!["recover", "/var/lib/app/store"]);
+    }
+
+    #[test]
     fn trace_subcommand_shape() {
         let o = parse_args(&args("trace --stm tl2 --steps 5")).unwrap();
         assert_eq!(o.targets, vec!["trace"]);
@@ -439,6 +468,7 @@ mod tests {
             "--steps",
             "--json",
             "--max-run-secs",
+            "--durable",
             "--list",
             "--require-full-coverage",
             "--threshold-pct",
@@ -446,6 +476,7 @@ mod tests {
             "validate-json",
             "compare-json",
             "merge-json",
+            "recover",
             "summary",
             "trace",
         ] {

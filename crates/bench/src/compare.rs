@@ -11,6 +11,16 @@
 //! are reported but are never an error: thread counts, scenario sets and
 //! CM sweeps legitimately differ between a committed baseline and a CI
 //! smoke run.
+//!
+//! Rows the progress watchdog killed (`livelocked: 1` in the artifact)
+//! are **not data points** — their measurement is zeroed by construction,
+//! so diffing them would manufacture a 100% "regression" (or mask a real
+//! one in the other direction). Any key whose baseline *or* candidate row
+//! is livelocked is excluded from the delta set, reported in
+//! [`Comparison::skipped_livelocked`], and surfaced as a warning by
+//! [`render_table`]; `repro compare-json` signals the skip with its own
+//! exit code so CI can tell "clean pass" from "passed, but some cells
+//! never produced data".
 
 use crate::json::{self, Value};
 use std::collections::BTreeMap;
@@ -53,6 +63,10 @@ pub struct Comparison {
     pub only_in_base: Vec<RowKey>,
     /// Rows only the candidate has.
     pub only_in_cand: Vec<RowKey>,
+    /// Rows excluded because the baseline or candidate side was a
+    /// watchdog-killed livelock report (zeroed measurement, not a data
+    /// point), in key order.
+    pub skipped_livelocked: Vec<RowKey>,
 }
 
 impl Comparison {
@@ -74,7 +88,7 @@ impl Comparison {
 pub fn parse_rows(text: &str) -> Result<BTreeMap<RowKey, f64>, String> {
     Ok(parse_full_rows(text)?
         .into_iter()
-        .map(|(key, fields)| (key, fields[THROUGHPUT_FIELD]))
+        .map(|(key, (fields, _))| (key, fields[THROUGHPUT_FIELD]))
         .collect())
 }
 
@@ -136,7 +150,7 @@ pub fn merge(texts: &[&str]) -> Result<String, String> {
                 samples.len()
             ));
         }
-        for (key, fields) in doc_rows {
+        for (key, (fields, _)) in doc_rows {
             if i == 0 {
                 samples.insert(key, vec![fields]);
             } else {
@@ -192,8 +206,9 @@ pub fn merge(texts: &[&str]) -> Result<String, String> {
     Ok(out)
 }
 
-/// Parse a validated artifact into `key -> [MERGE_FIELDS values]`.
-fn parse_full_rows(text: &str) -> Result<BTreeMap<RowKey, Vec<f64>>, String> {
+/// Parse a validated artifact into `key -> ([MERGE_FIELDS values],
+/// livelocked)`.
+fn parse_full_rows(text: &str) -> Result<BTreeMap<RowKey, (Vec<f64>, bool)>, String> {
     json::validate(text)?;
     let doc = json::parse(text)?;
     let rows = doc
@@ -223,7 +238,8 @@ fn parse_full_rows(text: &str) -> Result<BTreeMap<RowKey, Vec<f64>>, String> {
             n("composed_pct") as u64,
         );
         let fields = MERGE_FIELDS.iter().map(|f| n(f)).collect();
-        if out.insert(key.clone(), fields).is_some() {
+        let livelocked = n("livelocked") != 0.0;
+        if out.insert(key.clone(), (fields, livelocked)).is_some() {
             return Err(format!(
                 "duplicate row {key:?} — artifacts must have one row per identity"
             ));
@@ -237,14 +253,24 @@ fn parse_full_rows(text: &str) -> Result<BTreeMap<RowKey, Vec<f64>>, String> {
 /// # Errors
 /// Returns a message naming the offending artifact on any schema error.
 pub fn compare(base_text: &str, cand_text: &str) -> Result<Comparison, String> {
-    let base = parse_rows(base_text).map_err(|e| format!("baseline: {e}"))?;
-    let cand = parse_rows(cand_text).map_err(|e| format!("candidate: {e}"))?;
+    let base = parse_full_rows(base_text).map_err(|e| format!("baseline: {e}"))?;
+    let cand = parse_full_rows(cand_text).map_err(|e| format!("candidate: {e}"))?;
     let mut deltas = Vec::new();
     let mut only_in_base = Vec::new();
     let mut only_in_cand = Vec::new();
-    for (key, &b) in &base {
+    let mut skipped_livelocked = Vec::new();
+    for (key, (b_fields, b_livelocked)) in &base {
+        let b = b_fields[THROUGHPUT_FIELD];
         match cand.get(key) {
-            Some(&c) => {
+            Some((c_fields, c_livelocked)) => {
+                // A livelock report on either side has a zeroed
+                // measurement by construction — diffing it would
+                // manufacture a ±100% delta out of no data.
+                if *b_livelocked || *c_livelocked {
+                    skipped_livelocked.push(key.clone());
+                    continue;
+                }
+                let c = c_fields[THROUGHPUT_FIELD];
                 let delta_pct = if b > 0.0 { (c - b) / b * 100.0 } else { 0.0 };
                 deltas.push(Delta {
                     key: key.clone(),
@@ -253,18 +279,25 @@ pub fn compare(base_text: &str, cand_text: &str) -> Result<Comparison, String> {
                     delta_pct,
                 });
             }
+            None if *b_livelocked => skipped_livelocked.push(key.clone()),
             None => only_in_base.push(key.clone()),
         }
     }
-    for key in cand.keys() {
+    for (key, (_, c_livelocked)) in &cand {
         if !base.contains_key(key) {
-            only_in_cand.push(key.clone());
+            if *c_livelocked {
+                skipped_livelocked.push(key.clone());
+            } else {
+                only_in_cand.push(key.clone());
+            }
         }
     }
+    skipped_livelocked.sort();
     Ok(Comparison {
         deltas,
         only_in_base,
         only_in_cand,
+        skipped_livelocked,
     })
 }
 
@@ -308,6 +341,19 @@ pub fn render_table(c: &Comparison, threshold_pct: f64) -> String {
             "({} row(s) only in candidate — not compared)\n",
             c.only_in_cand.len()
         ));
+    }
+    if !c.skipped_livelocked.is_empty() {
+        out.push_str(&format!(
+            "WARNING: {} livelocked row(s) skipped — watchdog-killed cells carry no \
+             measurement and are excluded from the deltas:\n",
+            c.skipped_livelocked.len()
+        ));
+        for (scenario, backend, cm, _, threads, composed) in &c.skipped_livelocked {
+            let cm = if cm.is_empty() { "-" } else { cm };
+            out.push_str(&format!(
+                "  {scenario}/{backend} cm={cm} threads={threads} composed={composed}\n"
+            ));
+        }
     }
     let regressions = c.regressions(threshold_pct).len();
     out.push_str(&format!(
@@ -454,7 +500,7 @@ mod tests {
         let merged = merge(&[&doc(&[a_row]), &doc(&[b_row])]).unwrap();
         crate::json::validate(&merged).expect("merged cm rows must validate");
         let rows = parse_full_rows(&merged).unwrap();
-        let (key, fields) = rows.iter().next().unwrap();
+        let (key, (fields, _)) = rows.iter().next().unwrap();
         assert_eq!(key.2, "karma", "the cm tag must survive the merge");
         assert!((fields[1] - 110.0).abs() < 1e-6, "throughput median");
         assert!((fields[6] - 20.0).abs() < 1e-6, "cm_waits median");
@@ -526,6 +572,67 @@ mod tests {
         let text = doc(&[row("fig6", "tl2", 1, 100.0), row("fig6", "tl2", 1, 90.0)]);
         let err = parse_rows(&text).unwrap_err();
         assert!(err.contains("duplicate"), "{err}");
+    }
+
+    fn livelocked_row(scenario: &str, backend: &str, threads: usize) -> BenchRow {
+        let mut r = row(scenario, backend, threads, 0.0);
+        r.livelocked = true;
+        r.m.ops = 0;
+        r
+    }
+
+    #[test]
+    fn livelocked_rows_are_skipped_not_compared() {
+        // Candidate livelocked: without the skip this would read as a
+        // -100% "regression" of a cell that produced no data at all.
+        let base = doc(&[row("fig6", "tl2", 2, 100.0), row("fig6", "oe", 2, 80.0)]);
+        let cand = doc(&[livelocked_row("fig6", "tl2", 2), row("fig6", "oe", 2, 82.0)]);
+        let c = compare(&base, &cand).unwrap();
+        assert_eq!(c.deltas.len(), 1, "only the measured pair is compared");
+        assert_eq!(c.deltas[0].key.1, "oe");
+        assert_eq!(c.skipped_livelocked.len(), 1);
+        assert_eq!(c.skipped_livelocked[0].1, "tl2");
+        assert!(
+            c.regressions(10.0).is_empty(),
+            "a killed cell is not a regression"
+        );
+        assert!(c.only_in_base.is_empty() && c.only_in_cand.is_empty());
+
+        // Baseline livelocked: equally not a data point (and not a free
+        // pass for the candidate either way).
+        let c = compare(&cand, &base).unwrap();
+        assert_eq!(c.deltas.len(), 1);
+        assert_eq!(c.skipped_livelocked.len(), 1);
+    }
+
+    #[test]
+    fn unmatched_livelocked_rows_count_as_skipped_not_unmatched() {
+        let base = doc(&[row("fig6", "tl2", 1, 100.0)]);
+        let cand = doc(&[
+            row("fig6", "tl2", 1, 100.0),
+            livelocked_row("fig7", "oe", 2),
+        ]);
+        let c = compare(&base, &cand).unwrap();
+        assert!(
+            c.only_in_cand.is_empty(),
+            "a killed extra cell is noise, not coverage"
+        );
+        assert_eq!(c.skipped_livelocked.len(), 1);
+        let c = compare(&cand, &base).unwrap();
+        assert!(c.only_in_base.is_empty());
+        assert_eq!(c.skipped_livelocked.len(), 1);
+    }
+
+    #[test]
+    fn render_table_warns_about_skipped_livelocked_rows() {
+        let base = doc(&[row("fig6", "tl2", 2, 100.0)]);
+        let cand = doc(&[livelocked_row("fig6", "tl2", 2)]);
+        let c = compare(&base, &cand).unwrap();
+        let table = render_table(&c, 10.0);
+        assert!(table.contains("WARNING"), "{table}");
+        assert!(table.contains("livelocked row(s) skipped"), "{table}");
+        assert!(table.contains("fig6/tl2"), "{table}");
+        assert!(table.contains("0 regression(s)"), "{table}");
     }
 
     #[test]

@@ -539,7 +539,10 @@ pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
                 scenario: str_field("scenario"),
                 backend,
                 system,
-                cm: row.get("cm").and_then(Value::as_str).map(ToString::to_string),
+                cm: row
+                    .get("cm")
+                    .and_then(Value::as_str)
+                    .map(ToString::to_string),
                 structure: str_field("structure"),
                 threads: get_num(row, "threads") as usize,
                 composed_pct: get_num(row, "composed_pct") as u32,

@@ -102,6 +102,7 @@ pub fn run_figure_rows(
         cms: vec![None],
         seed,
         include_sequential: true,
+        durable: false,
     };
     run_matrix(&plan).expect("figure scenarios and backends are registered")
 }

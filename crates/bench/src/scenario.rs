@@ -22,6 +22,7 @@
 //! | `queue-snapshot` | 2 × `TxQueue` | read-mostly: 80% peek/len snapshots |
 //! | `or-else-fallback` | 2 × `TxQueue` | `or_else` drain: primary retries on empty, fallback serves |
 //! | `contention-sweep` | 8 hot `TVar`s + gate | retry-storm pressure: hot RMWs + gated `or_else` retries |
+//! | `fsync-batch` | 64 `TVar` slots | write-heavy: nearly every op commits an update (the `--durable` axis's group-commit showcase) |
 //!
 //! The matrix additionally sweeps a **contention-management axis**
 //! ([`MatrixPlan::cms`], driven by `repro --cm`): each entry builds every
@@ -39,6 +40,7 @@ use cec::{move_entry, total_size, HashSet, LinkedListSet, SetExt, SkipListSet, T
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use stm_core::api::{Atomic, Policy};
 use stm_core::cm::CmPolicy;
@@ -491,6 +493,81 @@ fn build_contention_sweep(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
 }
 
 // ---------------------------------------------------------------------
+// Fsync-batch scenario: write-heavy commits for the durability axis.
+// ---------------------------------------------------------------------
+
+/// Independent write targets: enough that conflict aborts stay rare, so
+/// nearly every op is a *successful update commit* — the event that costs
+/// an fsync under `--durable`.
+const FSYNC_BATCH_VARS: usize = 64;
+
+/// The `--durable` axis's showcase: almost every operation commits a
+/// small update, so with a commit hook installed every op pays the WAL
+/// append and the group-commit protocol has a steady committer stream to
+/// batch. Single-threaded, each commit tends to buy its own fsync; with
+/// more committers one leader fsync covers a whole batch, which is the
+/// amortization the thread sweep makes visible. Without `--durable` it is
+/// simply a write-heavy low-conflict workload.
+///
+/// * 70% single-slot increments (one-word WAL records);
+/// * 20% two-slot transfers (two-word records, varying the batch shape);
+/// * 10% read-only sums over 8 slots — commits with an empty write set,
+///   which the hook seam must skip for free.
+struct FsyncBatchWorkload {
+    slots: Vec<TVar<u64>>,
+}
+
+impl FsyncBatchWorkload {
+    fn new() -> Self {
+        Self {
+            slots: (0..FSYNC_BATCH_VARS as u64).map(TVar::new).collect(),
+        }
+    }
+}
+
+impl Workload for FsyncBatchWorkload {
+    fn prefill(&self, at: &Atomic<Backend>, seed: u64) {
+        at.run(Policy::Regular, |tx| {
+            for (i, v) in self.slots.iter().enumerate() {
+                tx.set(v, seed.wrapping_add(i as u64))?;
+            }
+            Ok(())
+        });
+    }
+
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng) {
+        let roll = rng.gen_range(0..100u32);
+        let i = rng.gen_range(0..FSYNC_BATCH_VARS as i64) as usize;
+        if roll < 70 {
+            at.run(Policy::Regular, |tx| {
+                tx.modify(&self.slots[i], |v| v.wrapping_add(1)).map(|_| ())
+            });
+        } else if roll < 90 {
+            let j = (i + 1 + rng.gen_range(0..(FSYNC_BATCH_VARS - 1) as i64) as usize)
+                % FSYNC_BATCH_VARS;
+            at.run(Policy::Regular, |tx| {
+                let take = tx.get(&self.slots[i])? & 0xF;
+                tx.modify(&self.slots[i], |v| v.wrapping_sub(take))?;
+                tx.modify(&self.slots[j], |v| v.wrapping_add(take))
+                    .map(|_| ())
+            });
+        } else {
+            at.run(Policy::Regular, |tx| {
+                let mut acc = 0u64;
+                for v in &self.slots[i.min(FSYNC_BATCH_VARS - 8)..][..8] {
+                    acc = acc.wrapping_add(tx.get(v)?);
+                }
+                Ok(acc)
+            });
+        }
+    }
+}
+
+fn build_fsync_batch(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(FsyncBatchWorkload::new())
+}
+
+// ---------------------------------------------------------------------
 // Registries.
 // ---------------------------------------------------------------------
 
@@ -569,6 +646,14 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             structure: "8xTVar+gate",
             uses_composed_pct: false,
             build: build_contention_sweep,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "fsync-batch",
+            summary: "write-heavy update commits: group-commit batching (the --durable axis)",
+            structure: "64xTVar",
+            uses_composed_pct: false,
+            build: build_fsync_batch,
             sequential: None,
         },
     ]
@@ -715,6 +800,12 @@ pub struct MatrixPlan {
     /// Include the uninstrumented sequential reference rows where a
     /// scenario has one.
     pub include_sequential: bool,
+    /// Measure with durability on: every cell gets a fresh
+    /// [`durable::DurableStore`] over a real temp directory (identity-mode
+    /// heap — every committed write is WAL-logged at full fsync cost) and
+    /// its hook installed via `StmConfig::with_commit_hook`. Sequential
+    /// reference rows are unaffected (no STM, no commits to log).
+    pub durable: bool,
 }
 
 impl MatrixPlan {
@@ -735,7 +826,48 @@ impl MatrixPlan {
             cms: vec![None],
             seed,
             include_sequential: true,
+            durable: false,
         }
+    }
+}
+
+/// The per-cell durability rig for [`run_matrix`]'s `--durable` axis: a
+/// [`durable::DurableStore`] over a unique real-filesystem temp directory,
+/// removed (store first, then directory) when the cell ends.
+struct DurableCell {
+    store: durable::DurableStore,
+    dir: std::path::PathBuf,
+}
+
+impl DurableCell {
+    fn open(cell_no: usize) -> Result<Self, String> {
+        let dir =
+            std::env::temp_dir().join(format!("repro-durable-{}-{cell_no}", std::process::id()));
+        let vfs = durable::StdVfs::new(&dir)
+            .map_err(|e| format!("cannot create durable dir {}: {e}", dir.display()))?;
+        // Identity-mode heap: scenario workloads hide their TVars inside
+        // data structures, so per-location registration is impossible —
+        // and unnecessary, since the axis measures commit-time durability
+        // cost, not restart-by-name recovery.
+        let (store, _) = durable::DurableStore::open_identity(Arc::new(vfs))
+            .map_err(|e| format!("cannot open durable store in {}: {e}", dir.display()))?;
+        Ok(Self { store, dir })
+    }
+
+    fn hook(&self) -> Arc<dyn stm_core::hook::CommitHook> {
+        self.store.hook()
+    }
+}
+
+impl Drop for DurableCell {
+    fn drop(&mut self) {
+        if let Some(err) = self.store.io_error() {
+            eprintln!(
+                "warning: durable cell {} lost durability mid-measurement: {err}",
+                self.dir.display()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
     }
 }
 
@@ -797,6 +929,7 @@ pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
         .collect::<Result<_, _>>()?;
 
     let mut rows = Vec::new();
+    let mut cell_no = 0usize;
     for spec in &specs {
         let pcts: &[u32] = if spec.uses_composed_pct() {
             &plan.composed
@@ -835,9 +968,22 @@ pub fn run_matrix(plan: &MatrixPlan) -> Result<Vec<BenchRow>, String> {
                     None => StmConfig::default(),
                 };
                 for name in &plan.backends {
+                    // The durable rig lives exactly as long as the cell:
+                    // a fresh store (and temp dir) per (scenario, cm,
+                    // backend), torn down before the next cell opens.
+                    let durable_cell = if plan.durable {
+                        cell_no += 1;
+                        Some(DurableCell::open(cell_no)?)
+                    } else {
+                        None
+                    };
+                    let cfg = match &durable_cell {
+                        Some(cell) => cfg.clone().with_commit_hook(cell.hook()),
+                        None => cfg.clone(),
+                    };
                     let at = Atomic::new(
                         registry
-                            .build(name, cfg.clone())
+                            .build(name, cfg)
                             .expect("validated against the registry above"),
                     );
                     let workload = spec.build(mix);
@@ -888,12 +1034,14 @@ mod tests {
                 "bank-transfer",
                 "queue-snapshot",
                 "or-else-fallback",
-                "contention-sweep"
+                "contention-sweep",
+                "fsync-batch"
             ]
         );
         assert!(scenario("fig6").unwrap().uses_composed_pct());
         assert!(!scenario("bank-transfer").unwrap().uses_composed_pct());
         assert!(!scenario("contention-sweep").unwrap().uses_composed_pct());
+        assert!(!scenario("fsync-batch").unwrap().uses_composed_pct());
         assert!(scenario("nope").is_none());
     }
 
@@ -912,6 +1060,7 @@ mod tests {
             cms: vec![None],
             seed: 42,
             include_sequential: true,
+            durable: false,
         };
         let rows = run_matrix(&plan).expect("valid plan");
         // fig8: sequential + 2 backends; the other two scenarios: 2
@@ -955,6 +1104,7 @@ mod tests {
             cms: vec![None, Some("suicide".into()), Some("karma".into())],
             seed: 9,
             include_sequential: true,
+            durable: false,
         };
         let rows = run_matrix(&plan).expect("valid plan");
         // No sequential reference for this scenario: 2 backends × 3 cms.
@@ -998,6 +1148,7 @@ mod tests {
             cms: vec![None],
             seed: 7,
             include_sequential: false,
+            durable: false,
         };
         let rows = run_matrix(&plan).expect("valid plan");
         let oe = rows.iter().find(|r| r.backend == "oe").unwrap();
@@ -1020,6 +1171,7 @@ mod tests {
             cms: vec![None],
             seed: 3,
             include_sequential: true,
+            durable: false,
         };
         let rows = run_matrix(&plan).expect("valid plan");
         assert_eq!(rows.len(), 2, "no sequential reference for this scenario");
@@ -1032,5 +1184,40 @@ mod tests {
                 r.m
             );
         }
+    }
+
+    #[test]
+    fn durable_axis_logs_commits_and_cleans_its_temp_dirs_up() {
+        let plan = MatrixPlan {
+            scenarios: vec!["fsync-batch".into()],
+            backends: vec!["tl2".into(), "boost".into()],
+            threads: vec![1, 2],
+            duration: Duration::from_millis(30),
+            composed: vec![5],
+            cms: vec![None],
+            seed: 11,
+            include_sequential: true,
+            durable: true,
+        };
+        let rows = run_matrix(&plan).expect("valid plan");
+        // No sequential reference for fsync-batch: 2 backends × 2 threads.
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.m.ops > 0,
+                "{}/{} produced no ops under --durable",
+                r.scenario,
+                r.backend
+            );
+        }
+        // Every per-cell store directory must be gone again.
+        let pid = std::process::id();
+        let leftovers: Vec<_> = std::fs::read_dir(std::env::temp_dir())
+            .expect("temp dir listable")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&format!("repro-durable-{pid}-")))
+            .collect();
+        assert!(leftovers.is_empty(), "leaked durable dirs: {leftovers:?}");
     }
 }

@@ -67,6 +67,9 @@ impl Cell {
             args.push("--cm".to_string());
             args.push(cm.clone());
         }
+        if plan.durable {
+            args.push("--durable".to_string());
+        }
         args
     }
 
@@ -101,10 +104,7 @@ impl Cell {
 /// A fresh temp-file path for one child's JSON artifact, unique per
 /// parent process and call.
 fn temp_json_path(n: usize) -> PathBuf {
-    std::env::temp_dir().join(format!(
-        "repro-watchdog-{}-{n}.json",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("repro-watchdog-{}-{n}.json", std::process::id()))
 }
 
 /// Spawn `exe` with `args`, wait at most `bound`, and report whether the
@@ -166,7 +166,12 @@ pub fn run_matrix_watchdogged(
     // killed cell's synthesized row still needs its system name.
     let mut systems = Vec::with_capacity(plan.backends.len());
     for name in &plan.backends {
-        systems.push(registry.build_default(name).map_err(|e| e.to_string())?.name());
+        systems.push(
+            registry
+                .build_default(name)
+                .map_err(|e| e.to_string())?
+                .name(),
+        );
     }
     for entry in plan.cms.iter().flatten() {
         entry
@@ -180,8 +185,8 @@ pub fn run_matrix_watchdogged(
     let mut rows = Vec::new();
     let mut cell_no = 0usize;
     for scenario_name in &plan.scenarios {
-        let spec = scenario(scenario_name)
-            .ok_or_else(|| format!("unknown scenario {scenario_name:?}"))?;
+        let spec =
+            scenario(scenario_name).ok_or_else(|| format!("unknown scenario {scenario_name:?}"))?;
         let pcts: &[u32] = if spec.uses_composed_pct() {
             &plan.composed
         } else {
@@ -223,8 +228,7 @@ pub fn run_matrix_watchdogged(
                         };
                         cell_no += 1;
                         let json_path = temp_json_path(cell_no);
-                        let finished =
-                            run_bounded(exe, &cell.child_args(plan, &json_path), bound)?;
+                        let finished = run_bounded(exe, &cell.child_args(plan, &json_path), bound)?;
                         if finished {
                             let text = std::fs::read_to_string(&json_path).map_err(|e| {
                                 format!("cannot read cell artifact {}: {e}", json_path.display())
@@ -268,7 +272,8 @@ mod tests {
             backend: "tl2".into(),
             threads: 4,
         };
-        let plan = MatrixPlan::new(vec![4], Duration::from_millis(250), vec![15], 99);
+        let mut plan = MatrixPlan::new(vec![4], Duration::from_millis(250), vec![15], 99);
+        plan.durable = true;
         let args = cell.child_args(&plan, Path::new("/tmp/x.json"));
         let joined = args.join(" ");
         assert!(joined.starts_with("__cell "), "{joined}");
@@ -281,6 +286,7 @@ mod tests {
             "--seed 99",
             "--json /tmp/x.json",
             "--cm karma",
+            "--durable",
         ] {
             assert!(joined.contains(want), "missing {want} in {joined}");
         }
@@ -288,6 +294,7 @@ mod tests {
         let opts = crate::cli::parse_args(&args).expect("child argv parses");
         assert_eq!(opts.targets, vec!["__cell"]);
         assert_eq!(opts.threads, vec![4]);
+        assert!(opts.durable, "--durable must survive the round trip");
     }
 
     #[test]

@@ -10,7 +10,10 @@ fn repro() -> Command {
 }
 
 fn temp_json(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("repro-watchdog-test-{}-{tag}.json", std::process::id()))
+    std::env::temp_dir().join(format!(
+        "repro-watchdog-test-{}-{tag}.json",
+        std::process::id()
+    ))
 }
 
 #[test]
@@ -51,11 +54,23 @@ fn watchdogged_sweep_completes_and_rows_round_trip() {
     assert!(rows.iter().any(|r| r.backend == "sequential"));
     assert!(rows.iter().any(|r| r.backend == "tl2" && r.threads == 2));
     for r in &rows {
-        assert!(!r.livelocked, "{}/{} must not be livelocked", r.backend, r.threads);
-        assert!(r.m.ops > 0, "{}/{} lost its measurement", r.backend, r.threads);
+        assert!(
+            !r.livelocked,
+            "{}/{} must not be livelocked",
+            r.backend, r.threads
+        );
+        assert!(
+            r.m.ops > 0,
+            "{}/{} lost its measurement",
+            r.backend,
+            r.threads
+        );
     }
     let tl2 = rows.iter().find(|r| r.backend == "tl2").unwrap();
-    assert_eq!(tl2.system, "TL2", "display name must survive the subprocess");
+    assert_eq!(
+        tl2.system, "TL2",
+        "display name must survive the subprocess"
+    );
     assert!(tl2.m.commits > 0, "commits must survive the subprocess");
 }
 
@@ -99,7 +114,10 @@ fn watchdog_kills_overrunning_cells_and_reports_livelock() {
         "the bound must cut the 8s cell short, took {elapsed:?}"
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("LIVELOCK!"), "table must mark the killed row:\n{stdout}");
+    assert!(
+        stdout.contains("LIVELOCK!"),
+        "table must mark the killed row:\n{stdout}"
+    );
     let text = std::fs::read_to_string(&json).expect("artifact written");
     let _ = std::fs::remove_file(&json);
     let rows = bench::json::parse_rows(&text).expect("a livelock report still validates");

@@ -351,7 +351,13 @@ mod tests {
         let head = new_sentinel(&arena);
         for &k in keys {
             let mut scratch = OpScratch::default();
-            assert!(at.run(Policy::Regular, |tx| add_in(&arena, head, tx, k, &mut scratch)));
+            assert!(at.run(Policy::Regular, |tx| add_in(
+                &arena,
+                head,
+                tx,
+                k,
+                &mut scratch
+            )));
         }
         (arena, head, at)
     }
@@ -382,7 +388,13 @@ mod tests {
             .store_atomic(NodeRef::dead(NodeRef::node(n3)), 1);
         // Any traversal crossing the corpse repairs it in-transaction.
         let mut scratch = OpScratch::default();
-        assert!(at.run(Policy::Regular, |tx| add_in(&arena, head, tx, 4, &mut scratch)));
+        assert!(at.run(Policy::Regular, |tx| add_in(
+            &arena,
+            head,
+            tx,
+            4,
+            &mut scratch
+        )));
         // The repair committed: 1 now links straight past the corpse.
         let snap = at.run(Policy::Regular, |tx| snapshot_in(&arena, head, tx));
         assert_eq!(snap, vec![1, 3, 4]);
@@ -401,7 +413,13 @@ mod tests {
         // A traversal past 3 hits the inversion, unlinks its way to a
         // terminator, and completes.
         let mut scratch = OpScratch::default();
-        assert!(at.run(Policy::Regular, |tx| add_in(&arena, head, tx, 5, &mut scratch)));
+        assert!(at.run(Policy::Regular, |tx| add_in(
+            &arena,
+            head,
+            tx,
+            5,
+            &mut scratch
+        )));
         let snap = at.run(Policy::Regular, |tx| snapshot_in(&arena, head, tx));
         assert_eq!(snap, vec![1, 2, 3, 5]);
         // Read-only walks stay bounded too.

@@ -525,9 +525,7 @@ mod tests {
         // Fabricate the corruption out-of-band: mark 2 dead at level 0,
         // successor preserved, predecessor deliberately not redirected
         // (upper tower links, if any, stay live — a mixed tower).
-        set.node(n2)
-            .next[0]
-            .store_atomic(NodeRef::dead(NodeRef::node(n3)), 1);
+        set.node(n2).next[0].store_atomic(NodeRef::dead(NodeRef::node(n3)), 1);
         // Any level-0 crossing repairs the link and terminates.
         assert!(set.add(&at, 4));
         assert!(set.contains(&at, 3));

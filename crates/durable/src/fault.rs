@@ -1,0 +1,199 @@
+//! Deterministic IO fault injection.
+//!
+//! [`FaultVfs`] wraps any [`Vfs`] and converts a scripted [`FaultPlan`]
+//! into concrete failures at exact operation counts: the Nth fsync
+//! errors, the Nth append tears after K bytes, reads of a named file
+//! come back with one bit flipped. Determinism is the point — every
+//! failure the recovery battery exercises is reproducible from a plan
+//! value, no timing or randomness involved, so a failing case is a
+//! one-line repro.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::vfs::Vfs;
+
+/// A scripted failure schedule, counted in operations since the
+/// `FaultVfs` was built. All fields default to "never fault".
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Fail the `n`th call to [`Vfs::sync`] (1-based) and every sync
+    /// after it — a dying disk, not a transient hiccup.
+    pub fail_sync_from: Option<u64>,
+    /// On the `n`th call to [`Vfs::append`] (1-based), persist only the
+    /// first `k` bytes and return an error — a torn write.
+    pub tear_append: Option<TornAppend>,
+    /// Flip the given bit of the byte at `offset` whenever `file` is
+    /// read — latent media corruption.
+    pub flip_on_read: Option<BitFlip>,
+}
+
+/// Tear the `nth` append after `keep` bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct TornAppend {
+    /// 1-based index of the append call to tear.
+    pub nth: u64,
+    /// How many bytes of that append survive.
+    pub keep: usize,
+}
+
+/// Flip bit `bit` of the byte at `offset` in reads of `file`.
+#[derive(Debug, Clone)]
+pub struct BitFlip {
+    /// File whose reads are corrupted.
+    pub file: String,
+    /// Byte offset to corrupt.
+    pub offset: usize,
+    /// Bit index (0-7) to flip.
+    pub bit: u8,
+}
+
+/// A [`Vfs`] decorator that injects the faults scripted in a
+/// [`FaultPlan`].
+pub struct FaultVfs<V: Vfs> {
+    inner: Arc<V>,
+    plan: FaultPlan,
+    appends: AtomicU64,
+    syncs: AtomicU64,
+}
+
+impl<V: Vfs> FaultVfs<V> {
+    /// Wrap `inner`, injecting the faults in `plan`.
+    pub fn new(inner: Arc<V>, plan: FaultPlan) -> Self {
+        Self {
+            inner,
+            plan,
+            appends: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped filesystem (used by tests to crash/inspect it).
+    pub fn inner(&self) -> &Arc<V> {
+        &self.inner
+    }
+
+    /// Total [`Vfs::sync`] calls observed so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Total [`Vfs::append`] calls observed so far.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+}
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("injected fault: {what}"))
+}
+
+impl<V: Vfs> Vfs for FaultVfs<V> {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        let mut bytes = self.inner.read(name)?;
+        if let Some(flip) = &self.plan.flip_on_read {
+            if flip.file == name {
+                if let Some(byte) = bytes.get_mut(flip.offset) {
+                    *byte ^= 1 << flip.bit;
+                }
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let n = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(tear) = self.plan.tear_append {
+            if n == tear.nth {
+                let keep = tear.keep.min(data.len());
+                self.inner.append(name, &data[..keep])?;
+                return Err(injected("torn append"));
+            }
+        }
+        self.inner.append(name, data)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        let n = self.syncs.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(from) = self.plan.fail_sync_from {
+            if n >= from {
+                return Err(injected("fsync failure"));
+            }
+        }
+        self.inner.sync(name)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.inner.remove(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.inner.truncate(name, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+
+    #[test]
+    fn nth_sync_fails_and_stays_failed() {
+        let vfs = FaultVfs::new(
+            Arc::new(MemVfs::new()),
+            FaultPlan {
+                fail_sync_from: Some(2),
+                ..FaultPlan::default()
+            },
+        );
+        vfs.append("f", b"a").unwrap();
+        vfs.sync("f").unwrap();
+        vfs.append("f", b"b").unwrap();
+        assert!(vfs.sync("f").is_err());
+        assert!(vfs.sync("f").is_err(), "sync failure is sticky");
+        assert_eq!(vfs.inner().durable_bytes("f"), b"a");
+    }
+
+    #[test]
+    fn torn_append_persists_a_prefix_then_errors() {
+        let vfs = FaultVfs::new(
+            Arc::new(MemVfs::new()),
+            FaultPlan {
+                tear_append: Some(TornAppend { nth: 2, keep: 3 }),
+                ..FaultPlan::default()
+            },
+        );
+        vfs.append("f", b"full").unwrap();
+        assert!(vfs.append("f", b"torn-off").is_err());
+        vfs.sync("f").unwrap();
+        assert_eq!(vfs.read("f").unwrap(), b"fulltor");
+    }
+
+    #[test]
+    fn bit_flip_corrupts_reads_of_the_named_file_only() {
+        let vfs = FaultVfs::new(
+            Arc::new(MemVfs::new()),
+            FaultPlan {
+                flip_on_read: Some(BitFlip {
+                    file: "f".into(),
+                    offset: 0,
+                    bit: 0,
+                }),
+                ..FaultPlan::default()
+            },
+        );
+        vfs.append("f", b"\x00").unwrap();
+        vfs.append("g", b"\x00").unwrap();
+        assert_eq!(vfs.read("f").unwrap(), b"\x01", "bit 0 flipped");
+        assert_eq!(vfs.read("g").unwrap(), b"\x00", "other files untouched");
+    }
+}

@@ -1,0 +1,318 @@
+//! Snapshot checkpoints: sstable-style sorted key/word tables that fold
+//! the sealed WAL segment in and let the log be truncated.
+//!
+//! On-disk format:
+//!
+//! ```text
+//! [magic: b"CRTSNAP1"] [crc32: u32 LE] [count: u32 LE]
+//! ([key: u64 LE] [word: u64 LE]) * count      -- sorted by key
+//! ```
+//!
+//! The crc covers everything after itself (count + entries). Snapshots
+//! are written via the classic temp-file protocol — write
+//! [`SNAPSHOT_TMP_FILE`], fsync, rename over [`SNAPSHOT_FILE`] — so a
+//! crash leaves either the old snapshot or the new one, never a blend.
+//!
+//! # Checkpoint protocol
+//!
+//! [`checkpoint`] advances the store in idempotent phases; a crash
+//! between (or inside) any two phases is repaired by the *next*
+//! checkpoint or by [`crate::recover::recover`], because WAL records
+//! carry absolute words — replaying a segment that a snapshot already
+//! folded in rewrites the same values:
+//!
+//! 1. If `wal.old` exists (an earlier checkpoint died), fold it now.
+//! 2. Seal the live log: `wal` → `wal.old` ([`crate::wal::Wal::seal`]).
+//! 3. Fold `wal.old` into the snapshot (tmp + fsync + rename).
+//! 4. Remove `wal.old` — the log bytes are now redundant.
+// lint:allow — clock-blessed IO-path file (see xtask BLESSED_CLOCK_FILES).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::record::{self, crc32};
+use crate::vfs::Vfs;
+use crate::wal::{Wal, WalError, WAL_OLD_FILE};
+
+/// On-disk name of the committed snapshot.
+pub const SNAPSHOT_FILE: &str = "snapshot";
+/// On-disk name of the in-flight snapshot (discarded on recovery).
+pub const SNAPSHOT_TMP_FILE: &str = "snapshot.tmp";
+/// Format magic: "Composing Relaxed Transactions SNAPshot v1".
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"CRTSNAP1";
+
+/// Why a committed snapshot failed to load. Unlike a torn WAL tail this
+/// is *not* gracefully degradable — the checkpoint replaced the log
+/// bytes it folded in, so a corrupt snapshot means real data loss and
+/// recovery reports it as a hard, typed error instead of guessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file is shorter than its header or promised entry table.
+    Truncated {
+        /// Bytes needed.
+        need: usize,
+        /// Bytes present.
+        have: usize,
+    },
+    /// The magic bytes are wrong — not a snapshot (or overwritten).
+    BadMagic,
+    /// The entry table does not match the stored checksum.
+    BadChecksum {
+        /// Checksum stored in the header.
+        expect: u32,
+        /// Checksum computed over the table.
+        got: u32,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { need, have } => {
+                write!(f, "snapshot truncated ({have} of {need} bytes)")
+            }
+            SnapshotError::BadMagic => write!(f, "snapshot magic mismatch"),
+            SnapshotError::BadChecksum { expect, got } => write!(
+                f,
+                "snapshot checksum mismatch (stored {expect:#010x}, computed {got:#010x})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialize `values` into snapshot bytes (sorted; `BTreeMap` iteration
+/// order is already ascending by key).
+#[must_use]
+pub fn encode(values: &BTreeMap<u64, u64>) -> Vec<u8> {
+    let count = u32::try_from(values.len()).expect("snapshot exceeds u32 entries");
+    let mut table = Vec::with_capacity(4 + values.len() * 16);
+    table.extend_from_slice(&count.to_le_bytes());
+    for (&key, &word) in values {
+        table.extend_from_slice(&key.to_le_bytes());
+        table.extend_from_slice(&word.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(12 + table.len());
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&crc32(&table).to_le_bytes());
+    out.extend_from_slice(&table);
+    out
+}
+
+/// Decode snapshot bytes back into a key→word table.
+///
+/// # Errors
+/// A typed [`SnapshotError`]; never a partially filled table.
+pub fn decode(bytes: &[u8]) -> Result<BTreeMap<u64, u64>, SnapshotError> {
+    if bytes.len() < 16 {
+        return Err(SnapshotError::Truncated {
+            need: 16,
+            have: bytes.len(),
+        });
+    }
+    if &bytes[0..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let expect = u32::from_le_bytes(bytes[8..12].try_into().expect("crc slice"));
+    let table = &bytes[12..];
+    let count = u32::from_le_bytes(table[0..4].try_into().expect("count slice")) as usize;
+    let need = 16 + count * 16;
+    if bytes.len() < need {
+        return Err(SnapshotError::Truncated {
+            need,
+            have: bytes.len(),
+        });
+    }
+    let table = &bytes[12..need];
+    let got = crc32(table);
+    if got != expect {
+        return Err(SnapshotError::BadChecksum { expect, got });
+    }
+    let mut values = BTreeMap::new();
+    let mut at = 4;
+    for _ in 0..count {
+        let key = u64::from_le_bytes(table[at..at + 8].try_into().expect("key slice"));
+        let word = u64::from_le_bytes(table[at + 8..at + 16].try_into().expect("word slice"));
+        values.insert(key, word);
+        at += 16;
+    }
+    Ok(values)
+}
+
+/// What a checkpoint did, for logging and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointReport {
+    /// WAL records folded into the snapshot.
+    pub records_folded: u64,
+    /// Entries in the snapshot after folding.
+    pub snapshot_entries: usize,
+    /// Whether an interrupted earlier checkpoint was completed first.
+    pub repaired_previous: bool,
+}
+
+/// Errors surfaced by [`checkpoint`].
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The WAL refused to seal (poisoned).
+    Wal(WalError),
+    /// The existing committed snapshot is corrupt — checkpointing over
+    /// it would launder data loss, so it is reported instead.
+    Snapshot(SnapshotError),
+    /// Filesystem failure while writing the new snapshot.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Wal(e) => write!(f, "checkpoint: {e}"),
+            CheckpointError::Snapshot(e) => write!(f, "checkpoint: {e}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Fold `wal.old` (if present) into the snapshot via the temp-file
+/// protocol, then remove it. Phase 3+4 of the checkpoint; also phase 1
+/// when repairing a predecessor's crash.
+fn fold_sealed_segment(vfs: &Arc<dyn Vfs>) -> Result<u64, CheckpointError> {
+    if !vfs.exists(WAL_OLD_FILE) {
+        return Ok(0);
+    }
+    let mut values = if vfs.exists(SNAPSHOT_FILE) {
+        decode(&vfs.read(SNAPSHOT_FILE).map_err(CheckpointError::Io)?)
+            .map_err(CheckpointError::Snapshot)?
+    } else {
+        BTreeMap::new()
+    };
+    let bytes = vfs.read(WAL_OLD_FILE).map_err(CheckpointError::Io)?;
+    // A sealed segment was fully fsynced before the rename, so a decode
+    // error here is corruption, not a tear — but folding must still not
+    // lose the clean prefix. Fold what decodes; recovery reports the
+    // same diagnostic when it replays.
+    let (records, _, _) = record::decode_stream(&bytes);
+    let folded = records.len() as u64;
+    for rec in &records {
+        for &(key, word) in &rec.writes {
+            values.insert(key, word);
+        }
+    }
+    if vfs.exists(SNAPSHOT_TMP_FILE) {
+        vfs.remove(SNAPSHOT_TMP_FILE).map_err(CheckpointError::Io)?;
+    }
+    vfs.append(SNAPSHOT_TMP_FILE, &encode(&values))
+        .map_err(CheckpointError::Io)?;
+    vfs.sync(SNAPSHOT_TMP_FILE).map_err(CheckpointError::Io)?;
+    vfs.rename(SNAPSHOT_TMP_FILE, SNAPSHOT_FILE)
+        .map_err(CheckpointError::Io)?;
+    vfs.remove(WAL_OLD_FILE).map_err(CheckpointError::Io)?;
+    Ok(folded)
+}
+
+/// Run one checkpoint: complete any interrupted predecessor, seal the
+/// live log, fold the sealed segment into the snapshot, drop the
+/// redundant log bytes. See the module docs for the crash-safety
+/// argument phase by phase.
+///
+/// # Errors
+/// [`CheckpointError`] — the store is left in a state `recover` accepts
+/// regardless of where the failure hit.
+pub fn checkpoint(wal: &Wal) -> Result<CheckpointReport, CheckpointError> {
+    let vfs = wal.vfs();
+    let mut report = CheckpointReport::default();
+    // Phase 1: repair a predecessor that crashed between seal and fold.
+    if vfs.exists(WAL_OLD_FILE) {
+        report.records_folded += fold_sealed_segment(vfs)?;
+        report.repaired_previous = true;
+    }
+    // Phase 2: seal the live segment (no-op on an empty log).
+    if wal.seal().map_err(CheckpointError::Wal)? {
+        // Phases 3-4: fold it and drop it.
+        report.records_folded += fold_sealed_segment(vfs)?;
+    }
+    if vfs.exists(SNAPSHOT_FILE) {
+        let snap = decode(&vfs.read(SNAPSHOT_FILE).map_err(CheckpointError::Io)?)
+            .map_err(CheckpointError::Snapshot)?;
+        report.snapshot_entries = snap.len();
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::MemVfs;
+    use crate::wal::WAL_FILE;
+
+    #[test]
+    fn snapshot_bytes_round_trip() {
+        let values: BTreeMap<u64, u64> = (0..100u64).map(|k| (k, k * 7)).collect();
+        assert_eq!(decode(&encode(&values)).unwrap(), values);
+        assert_eq!(decode(&encode(&BTreeMap::new())).unwrap(), BTreeMap::new());
+    }
+
+    #[test]
+    fn snapshot_corruption_is_typed() {
+        let values: BTreeMap<u64, u64> = [(1, 2), (3, 4)].into();
+        let bytes = encode(&values);
+        assert!(matches!(
+            decode(&bytes[..10]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode(&bad), Err(SnapshotError::BadMagic)));
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() ^= 1;
+        assert!(matches!(
+            decode(&bad),
+            Err(SnapshotError::BadChecksum { .. })
+        ));
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 1]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_folds_log_and_truncates_it() {
+        let mem = Arc::new(MemVfs::new());
+        let wal = Wal::open(mem.clone() as Arc<dyn Vfs>);
+        wal.append(1, &[(10, 1), (11, 1)]).unwrap();
+        wal.append(2, &[(10, 2)]).unwrap();
+        let report = checkpoint(&wal).unwrap();
+        assert_eq!(report.records_folded, 2);
+        assert_eq!(report.snapshot_entries, 2);
+        assert!(!report.repaired_previous);
+        assert!(!mem.exists(WAL_FILE) && !mem.exists(WAL_OLD_FILE));
+        let snap = decode(&mem.read(SNAPSHOT_FILE).unwrap()).unwrap();
+        assert_eq!(snap, [(10u64, 2u64), (11, 1)].into());
+        // Later writes land in a fresh live segment and fold on top.
+        wal.append(3, &[(11, 9)]).unwrap();
+        checkpoint(&wal).unwrap();
+        let snap = decode(&mem.read(SNAPSHOT_FILE).unwrap()).unwrap();
+        assert_eq!(snap, [(10u64, 2u64), (11, 9)].into());
+    }
+
+    #[test]
+    fn checkpoint_repairs_a_predecessor_that_died_after_sealing() {
+        let mem = Arc::new(MemVfs::new());
+        let wal = Wal::open(mem.clone() as Arc<dyn Vfs>);
+        wal.append(1, &[(1, 1)]).unwrap();
+        // Simulate a predecessor crash between seal and fold: the live
+        // segment has been renamed but no snapshot written.
+        wal.seal().unwrap();
+        let wal2 = Wal::open(mem.clone() as Arc<dyn Vfs>);
+        let report = checkpoint(&wal2).unwrap();
+        assert!(report.repaired_previous);
+        assert_eq!(report.records_folded, 1);
+        assert_eq!(
+            decode(&mem.read(SNAPSHOT_FILE).unwrap()).unwrap(),
+            [(1u64, 1u64)].into()
+        );
+    }
+}

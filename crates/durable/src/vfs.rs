@@ -1,0 +1,372 @@
+//! The virtual filesystem the durable layer writes through.
+//!
+//! Everything in this crate does its IO through the object-safe [`Vfs`]
+//! trait instead of `std::fs` directly, for one reason: **crash testing**.
+//! [`StdVfs`] is the thin production binding to a real directory;
+//! [`MemVfs`] is an in-memory filesystem that distinguishes *durable*
+//! bytes (fsynced) from *pending* bytes (written but not yet synced), so a
+//! test can [`MemVfs::crash`] the "machine" at any point and recover from
+//! exactly the bytes a real kill would have left behind. The fault
+//! injection layer ([`crate::fault::FaultVfs`]) wraps any `Vfs` and turns
+//! scripted op counts into torn writes, fsync errors, and bit flips.
+//!
+//! File names are flat, slash-free keys relative to the store directory
+//! (the durable layer only ever uses `wal`, `wal.old`, `snapshot`,
+//! `snapshot.tmp`). Renames are modeled as atomic and immediately durable
+//! — the POSIX idiom of `rename(2)` over a synced temp file; the
+//! directory-entry fsync a fully paranoid production store would add is
+//! out of scope here and called out in DESIGN.md.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Object-safe filesystem surface of the durable layer: whole-file reads,
+/// appends, fsync, atomic rename, remove, truncate.
+pub trait Vfs: Send + Sync {
+    /// Read the entire current content of `name` (durable *and* pending
+    /// bytes — what a live process sees). Missing files read as
+    /// `NotFound`.
+    ///
+    /// # Errors
+    /// `NotFound` when the file does not exist; backend IO errors
+    /// otherwise.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+
+    /// Append `data` to `name`, creating it if missing. Appended bytes
+    /// are *pending* (lost on crash) until [`sync`](Self::sync) returns.
+    ///
+    /// # Errors
+    /// Backend IO errors (and injected faults).
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+
+    /// Make every byte previously appended to `name` durable (fsync).
+    ///
+    /// # Errors
+    /// Backend IO errors (and injected faults). After a failed sync the
+    /// durability of the pending bytes is unknown — callers must treat
+    /// the file as poisoned (the WAL does).
+    fn sync(&self, name: &str) -> io::Result<()>;
+
+    /// Atomically rename `from` to `to`, replacing `to` if it exists.
+    ///
+    /// # Errors
+    /// `NotFound` when `from` does not exist; backend IO errors.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
+
+    /// Remove `name`. Removing a missing file is an error (`NotFound`).
+    ///
+    /// # Errors
+    /// `NotFound` when the file does not exist; backend IO errors.
+    fn remove(&self, name: &str) -> io::Result<()>;
+
+    /// Whether `name` currently exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// Truncate `name` to `len` bytes (used by recovery to cut a torn or
+    /// corrupt WAL tail). A no-op when the file is already shorter.
+    ///
+    /// # Errors
+    /// `NotFound` when the file does not exist; backend IO errors.
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+}
+
+/// Production binding: files under a root directory on the real
+/// filesystem.
+#[derive(Debug)]
+pub struct StdVfs {
+    root: PathBuf,
+}
+
+impl StdVfs {
+    /// Bind to `root`, creating the directory if needed.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path(name))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        f.write_all(data)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        // fsync(2) applies to the file, not the handle that wrote it, so
+        // a fresh handle is sufficient to flush earlier appends.
+        std::fs::File::open(self.path(name))?.sync_all()
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        std::fs::rename(self.path(from), self.path(to))
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.path(name))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).is_file()
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))?;
+        if f.metadata()?.len() > len {
+            f.set_len(len)?;
+            f.sync_all()?;
+        }
+        Ok(())
+    }
+}
+
+/// One in-memory file: the durable prefix (survives [`MemVfs::crash`])
+/// plus the pending suffix (appended but not yet fsynced).
+#[derive(Debug, Default, Clone)]
+struct MemFile {
+    durable: Vec<u8>,
+    pending: Vec<u8>,
+}
+
+impl MemFile {
+    fn combined(&self) -> Vec<u8> {
+        let mut out = self.durable.clone();
+        out.extend_from_slice(&self.pending);
+        out
+    }
+}
+
+/// In-memory filesystem with explicit durability tracking — the crash
+/// simulator the recovery battery runs on.
+#[derive(Debug, Default)]
+pub struct MemVfs {
+    files: Mutex<BTreeMap<String, MemFile>>,
+}
+
+impl MemVfs {
+    /// An empty in-memory filesystem.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulate a process kill / power loss: every pending (unsynced)
+    /// byte vanishes, every durable byte survives.
+    pub fn crash(&self) {
+        let mut files = self.files.lock().expect("mem vfs lock");
+        for file in files.values_mut() {
+            file.pending.clear();
+        }
+    }
+
+    /// The bytes of `name` that would survive a crash right now (empty if
+    /// the file does not exist).
+    #[must_use]
+    pub fn durable_bytes(&self, name: &str) -> Vec<u8> {
+        self.files
+            .lock()
+            .expect("mem vfs lock")
+            .get(name)
+            .map(|f| f.durable.clone())
+            .unwrap_or_default()
+    }
+
+    /// A fresh `MemVfs` seeded with exactly one durable file — the
+    /// building block of the crash-point battery (`wal = W[..offset]`).
+    #[must_use]
+    pub fn with_file(name: &str, durable: Vec<u8>) -> Self {
+        let vfs = Self::new();
+        vfs.files.lock().expect("mem vfs lock").insert(
+            name.to_string(),
+            MemFile {
+                durable,
+                pending: Vec::new(),
+            },
+        );
+        vfs
+    }
+
+    /// Clone the current *durable* image (name → synced bytes), i.e. the
+    /// filesystem a crash right now would leave behind. Use it to build a
+    /// post-crash replica with [`from_durable_image`](Self::from_durable_image).
+    #[must_use]
+    pub fn durable_image(&self) -> BTreeMap<String, Vec<u8>> {
+        self.files
+            .lock()
+            .expect("mem vfs lock")
+            .iter()
+            .filter(|(_, f)| !f.durable.is_empty())
+            .map(|(name, f)| (name.clone(), f.durable.clone()))
+            .collect()
+    }
+
+    /// Rebuild a filesystem from a durable image (see
+    /// [`durable_image`](Self::durable_image)).
+    #[must_use]
+    pub fn from_durable_image(image: BTreeMap<String, Vec<u8>>) -> Self {
+        let vfs = Self::new();
+        {
+            let mut files = vfs.files.lock().expect("mem vfs lock");
+            for (name, durable) in image {
+                files.insert(
+                    name,
+                    MemFile {
+                        durable,
+                        pending: Vec::new(),
+                    },
+                );
+            }
+        }
+        vfs
+    }
+}
+
+fn not_found(name: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}"))
+}
+
+impl Vfs for MemVfs {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .expect("mem vfs lock")
+            .get(name)
+            .map(MemFile::combined)
+            .ok_or_else(|| not_found(name))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("mem vfs lock")
+            .entry(name.to_string())
+            .or_default()
+            .pending
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem vfs lock");
+        let file = files.get_mut(name).ok_or_else(|| not_found(name))?;
+        let pending = std::mem::take(&mut file.pending);
+        file.durable.extend_from_slice(&pending);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem vfs lock");
+        let file = files.remove(from).ok_or_else(|| not_found(from))?;
+        files.insert(to.to_string(), file);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.files
+            .lock()
+            .expect("mem vfs lock")
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| not_found(name))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.files.lock().expect("mem vfs lock").contains_key(name)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut files = self.files.lock().expect("mem vfs lock");
+        let file = files.get_mut(name).ok_or_else(|| not_found(name))?;
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        if len <= file.durable.len() {
+            file.durable.truncate(len);
+            file.pending.clear();
+        } else {
+            file.pending.truncate(len - file.durable.len());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_vfs_crash_drops_only_unsynced_bytes() {
+        let vfs = MemVfs::new();
+        vfs.append("wal", b"durable").unwrap();
+        vfs.sync("wal").unwrap();
+        vfs.append("wal", b"+pending").unwrap();
+        assert_eq!(vfs.read("wal").unwrap(), b"durable+pending");
+        vfs.crash();
+        assert_eq!(vfs.read("wal").unwrap(), b"durable");
+        assert_eq!(vfs.durable_bytes("wal"), b"durable");
+    }
+
+    #[test]
+    fn mem_vfs_rename_remove_exists_truncate() {
+        let vfs = MemVfs::new();
+        vfs.append("a", b"abcdef").unwrap();
+        vfs.sync("a").unwrap();
+        vfs.append("a", b"ghi").unwrap();
+        vfs.rename("a", "b").unwrap();
+        assert!(!vfs.exists("a") && vfs.exists("b"));
+        // Truncation inside the durable prefix also discards pending.
+        vfs.truncate("b", 4).unwrap();
+        assert_eq!(vfs.read("b").unwrap(), b"abcd");
+        vfs.remove("b").unwrap();
+        assert!(vfs.read("b").is_err());
+        assert!(vfs.remove("b").is_err());
+        assert!(vfs.rename("b", "c").is_err());
+    }
+
+    #[test]
+    fn durable_image_round_trips_into_a_replica() {
+        let vfs = MemVfs::new();
+        vfs.append("wal", b"synced").unwrap();
+        vfs.sync("wal").unwrap();
+        vfs.append("wal", b"lost").unwrap();
+        vfs.append("tmp", b"never-synced").unwrap();
+        let replica = MemVfs::from_durable_image(vfs.durable_image());
+        assert_eq!(replica.read("wal").unwrap(), b"synced");
+        assert!(!replica.exists("tmp"), "unsynced files do not survive");
+    }
+
+    #[test]
+    fn std_vfs_round_trips_under_a_temp_root() {
+        let root = std::env::temp_dir().join(format!("durable-vfs-{}", std::process::id()));
+        let vfs = StdVfs::new(&root).unwrap();
+        let name = "t.log";
+        let _ = vfs.remove(name);
+        vfs.append(name, b"hello ").unwrap();
+        vfs.append(name, b"world").unwrap();
+        vfs.sync(name).unwrap();
+        assert_eq!(vfs.read(name).unwrap(), b"hello world");
+        vfs.truncate(name, 5).unwrap();
+        assert_eq!(vfs.read(name).unwrap(), b"hello");
+        vfs.rename(name, "t2.log").unwrap();
+        assert!(vfs.exists("t2.log") && !vfs.exists(name));
+        vfs.remove("t2.log").unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

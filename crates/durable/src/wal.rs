@@ -1,0 +1,335 @@
+//! Group-committed write-ahead log.
+//!
+//! Concurrent committers append encoded records into a shared in-memory
+//! segment under a mutex; the first appender to find no flush in flight
+//! becomes the **leader**, swaps the segment out, and does one
+//! `append` + `fsync` for the whole batch while later arrivals keep
+//! staging behind it. Everyone blocks until the fsync covering *their*
+//! record returns, so [`Wal::append`] only reports success once the
+//! record is durable — but N committers share ~1 fsync instead of
+//! paying N (the fsync-batch bench scenario measures exactly this
+//! amortisation via [`WalStats`]).
+//!
+//! Failure model: the WAL is **sticky-poisoned** on the first IO error.
+//! A failed fsync leaves the on-disk suffix in an unknown state, so no
+//! further appends are accepted and every waiter (current and future)
+//! gets [`WalError::Poisoned`]; the durable prefix on disk remains a
+//! prefix of the committed history, which is all recovery needs.
+//! `CommitHook::on_commit` is infallible by contract — the hook layer
+//! ([`crate::heap::DurableHook`]) swallows the error and exposes it via
+//! `io_error()` instead of unwinding into a backend's commit path.
+// lint:allow — this file is deliberately clock-blessed (see xtask): the
+// WAL runs on the IO path, not the transactional hot path.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::record;
+use crate::vfs::Vfs;
+
+/// On-disk name of the live log segment.
+pub const WAL_FILE: &str = "wal";
+/// On-disk name of the sealed segment awaiting checkpoint fold-in.
+pub const WAL_OLD_FILE: &str = "wal.old";
+
+/// Why an append could not be made durable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// A previous IO failure poisoned the log; the message describes the
+    /// original failure. Durable state is a prefix of committed history.
+    Poisoned(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Poisoned(msg) => write!(f, "wal poisoned: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Group-commit accounting, for tests and the bench `fsync-batch`
+/// scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStats {
+    /// Records appended (== committed update transactions logged).
+    pub records: u64,
+    /// Physical `append`+`fsync` batches issued. `records / flushes` is
+    /// the group-commit amortisation factor.
+    pub flushes: u64,
+    /// Bytes durably written to the live segment.
+    pub bytes: u64,
+}
+
+#[derive(Default)]
+struct WalState {
+    /// Records staged but not yet handed to a leader.
+    buf: Vec<u8>,
+    /// Sequence number of the most recently staged record.
+    staged: u64,
+    /// Highest sequence number known durable on disk.
+    durable: u64,
+    /// A leader is currently writing a batch.
+    flushing: bool,
+    /// First IO failure, if any — sticky.
+    poisoned: Option<String>,
+    stats: WalStats,
+}
+
+/// A group-committed write-ahead log over a [`Vfs`].
+pub struct Wal {
+    vfs: Arc<dyn Vfs>,
+    state: Mutex<WalState>,
+    flushed: Condvar,
+}
+
+impl Wal {
+    /// Open (or continue) the log at [`WAL_FILE`] on `vfs`. Appends go
+    /// after whatever the file already holds — run
+    /// [`crate::recover::recover`] first so the tail is known-clean.
+    pub fn open(vfs: Arc<dyn Vfs>) -> Self {
+        Self {
+            vfs,
+            state: Mutex::new(WalState::default()),
+            flushed: Condvar::new(),
+        }
+    }
+
+    /// Append one record and block until it is durable (fsynced), riding
+    /// a shared batch fsync when other committers are in flight.
+    ///
+    /// Returns the record's sequence number (1-based, monotonically
+    /// increasing in durability order).
+    ///
+    /// # Errors
+    /// [`WalError::Poisoned`] once any batch write or fsync has failed;
+    /// the record is then *not* durable and never will be.
+    pub fn append(&self, version: u64, writes: &[(u64, u64)]) -> Result<u64, WalError> {
+        let mut st = self.state.lock();
+        if let Some(msg) = &st.poisoned {
+            return Err(WalError::Poisoned(msg.clone()));
+        }
+        record::encode_into(&mut st.buf, version, writes);
+        st.staged += 1;
+        st.stats.records += 1;
+        let my_seq = st.staged;
+        loop {
+            if st.durable >= my_seq {
+                return Ok(my_seq);
+            }
+            if let Some(msg) = &st.poisoned {
+                return Err(WalError::Poisoned(msg.clone()));
+            }
+            if st.flushing {
+                // A leader is writing a batch that may or may not cover
+                // us; wait for it to report and re-check.
+                self.flushed.wait(&mut st);
+            } else {
+                st = self.lead_flush(st);
+            }
+        }
+    }
+
+    /// Become the leader: swap the staged segment out, write+fsync it
+    /// without holding the lock, then publish the new durable watermark.
+    fn lead_flush<'a>(
+        &'a self,
+        mut st: parking_lot::MutexGuard<'a, WalState>,
+    ) -> parking_lot::MutexGuard<'a, WalState> {
+        st.flushing = true;
+        let batch = std::mem::take(&mut st.buf);
+        let batch_covers = st.staged;
+        drop(st);
+
+        let res = self
+            .vfs
+            .append(WAL_FILE, &batch)
+            .and_then(|()| self.vfs.sync(WAL_FILE));
+
+        let mut st = self.state.lock();
+        st.flushing = false;
+        match res {
+            Ok(()) => {
+                st.durable = batch_covers;
+                st.stats.flushes += 1;
+                st.stats.bytes += batch.len() as u64;
+            }
+            Err(err) => {
+                // The batch may be partially on disk (torn). Poison:
+                // nothing staged after this point may claim durability.
+                st.poisoned = Some(err.to_string());
+            }
+        }
+        self.flushed.notify_all();
+        st
+    }
+
+    /// Flush anything still staged (e.g. before sealing the segment).
+    ///
+    /// # Errors
+    /// [`WalError::Poisoned`] as for [`append`](Self::append).
+    pub fn flush(&self) -> Result<(), WalError> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(msg) = &st.poisoned {
+                return Err(WalError::Poisoned(msg.clone()));
+            }
+            if st.durable >= st.staged && st.buf.is_empty() {
+                return Ok(());
+            }
+            if st.flushing {
+                self.flushed.wait(&mut st);
+            } else {
+                st = self.lead_flush(st);
+            }
+        }
+    }
+
+    /// Seal the live segment: flush staged records, then rename
+    /// [`WAL_FILE`] → [`WAL_OLD_FILE`] so a checkpoint can fold it in
+    /// while new appends start a fresh live segment. Appenders are held
+    /// out for the duration (the lock is kept across the rename).
+    ///
+    /// Returns `false` (without renaming) when there is nothing to seal.
+    ///
+    /// # Errors
+    /// [`WalError::Poisoned`] if the flush or rename fails (a failed
+    /// rename poisons the log: the segment layout is then unknown).
+    pub fn seal(&self) -> Result<bool, WalError> {
+        self.flush()?;
+        let mut st = self.state.lock();
+        if let Some(msg) = &st.poisoned {
+            return Err(WalError::Poisoned(msg.clone()));
+        }
+        // Note: the file may hold bytes from a previous process (reopen
+        // after recovery) even when this instance has appended nothing,
+        // so the check is on the file, not on `stats.bytes`.
+        if !self.vfs.exists(WAL_FILE) {
+            return Ok(false);
+        }
+        debug_assert!(!st.flushing, "flush() left a leader in flight");
+        match self.vfs.rename(WAL_FILE, WAL_OLD_FILE) {
+            Ok(()) => {
+                st.stats.bytes = 0;
+                Ok(true)
+            }
+            Err(err) => {
+                st.poisoned = Some(format!("sealing wal: {err}"));
+                self.flushed.notify_all();
+                Err(WalError::Poisoned(err.to_string()))
+            }
+        }
+    }
+
+    /// Group-commit accounting so far.
+    pub fn stats(&self) -> WalStats {
+        self.state.lock().stats
+    }
+
+    /// The first IO failure, if the log is poisoned.
+    pub fn io_error(&self) -> Option<String> {
+        self.state.lock().poisoned.clone()
+    }
+
+    /// The underlying filesystem (for the checkpointer).
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("Wal")
+            .field("staged", &st.staged)
+            .field("durable", &st.durable)
+            .field("poisoned", &st.poisoned)
+            .field("stats", &st.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultVfs};
+    use crate::vfs::MemVfs;
+
+    #[test]
+    fn appends_are_durable_on_return_and_replayable() {
+        let mem = Arc::new(MemVfs::new());
+        let wal = Wal::open(mem.clone());
+        wal.append(5, &[(1, 100)]).unwrap();
+        wal.append(6, &[(2, 200), (3, 300)]).unwrap();
+        // Durable, not merely written: a crash right now keeps both.
+        mem.crash();
+        let (records, _, err) = record::decode_stream(&mem.read(WAL_FILE).unwrap());
+        assert!(err.is_none());
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].writes, vec![(2, 200), (3, 300)]);
+    }
+
+    #[test]
+    fn group_commit_amortises_fsyncs_across_threads() {
+        let mem = Arc::new(MemVfs::new());
+        let fav = Arc::new(FaultVfs::new(mem, FaultPlan::default()));
+        let wal = Arc::new(Wal::open(fav.clone() as Arc<dyn Vfs>));
+        let threads = 8;
+        let per = 64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let wal = Arc::clone(&wal);
+                s.spawn(move || {
+                    for i in 0..per {
+                        wal.append(0, &[(t, i)]).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = wal.stats();
+        assert_eq!(stats.records, threads * per);
+        assert_eq!(stats.flushes, fav.syncs());
+        assert!(
+            stats.flushes <= stats.records,
+            "leader batches must never exceed record count"
+        );
+        // And every record made it to disk intact, each exactly once.
+        let (records, _, err) = record::decode_stream(&fav.inner().read(WAL_FILE).unwrap());
+        assert!(err.is_none());
+        assert_eq!(records.len() as u64, threads * per);
+    }
+
+    #[test]
+    fn fsync_failure_poisons_stickily() {
+        let mem = Arc::new(MemVfs::new());
+        let vfs = Arc::new(FaultVfs::new(
+            mem,
+            FaultPlan {
+                fail_sync_from: Some(2),
+                ..FaultPlan::default()
+            },
+        ));
+        let wal = Wal::open(vfs as Arc<dyn Vfs>);
+        wal.append(1, &[(1, 1)]).unwrap();
+        let err = wal.append(2, &[(2, 2)]).unwrap_err();
+        assert!(matches!(err, WalError::Poisoned(_)));
+        // Sticky: later appends fail without touching the disk.
+        assert!(wal.append(3, &[(3, 3)]).is_err());
+        assert!(wal.io_error().is_some());
+    }
+
+    #[test]
+    fn seal_renames_live_segment_and_resets_byte_accounting() {
+        let mem = Arc::new(MemVfs::new());
+        let wal = Wal::open(mem.clone() as Arc<dyn Vfs>);
+        assert!(!wal.seal().unwrap(), "nothing to seal on an empty log");
+        wal.append(1, &[(1, 1)]).unwrap();
+        assert!(wal.seal().unwrap());
+        assert!(mem.exists(WAL_OLD_FILE) && !mem.exists(WAL_FILE));
+        wal.append(2, &[(2, 2)]).unwrap();
+        assert!(mem.exists(WAL_FILE), "appends restart a fresh segment");
+    }
+}

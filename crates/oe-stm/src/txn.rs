@@ -4,6 +4,7 @@
 
 use crate::OeStm;
 use stm_core::cm::{Arbitrate, CmState, ConflictCtx, ContentionManager};
+use stm_core::hook::WriteRecord;
 use stm_core::scratch::TxScratch;
 use stm_core::ticket::next_ticket;
 use stm_core::trace::{AttemptTracer, TraceOp};
@@ -236,6 +237,20 @@ impl<'env> OeTxn<'env> {
                 self.scratch.base.writes.release_locks();
                 return Err(Abort::new(AbortReason::ReadValidation));
             }
+        }
+        // Point of no return: validation succeeded (elastic window
+        // already folded into the read set) and every write lock is
+        // held, so the commit hook observes the write set before any
+        // conflicting commit can follow (see stm_core::hook). Both the
+        // elastic and the estm-compat registry modes pass through here.
+        if let Some(hook) = self.stm.config().commit_hook.as_deref() {
+            let writes = &self.scratch.base.writes;
+            let iter = |f: &mut dyn FnMut(usize, u64)| {
+                for e in writes.iter() {
+                    f(e.core.id(), e.value);
+                }
+            };
+            hook.on_commit(&WriteRecord::new(wv, writes.len(), &iter));
         }
         self.scratch.base.writes.write_back_and_release(wv);
         if let Some(t) = self.tracer.as_mut() {

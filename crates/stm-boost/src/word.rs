@@ -28,6 +28,7 @@
 use crate::locks::AbstractLocks;
 use stm_core::clock::GlobalClock;
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
+use stm_core::hook::WriteRecord;
 use stm_core::stm::retry_loop;
 use stm_core::ticket::next_ticket;
 use stm_core::trace::{AttemptTracer, TraceOp};
@@ -122,6 +123,26 @@ impl<'env> BoostWordTxn<'env> {
     /// of its locations, so there is nothing left to validate.
     fn commit(&mut self) {
         debug_assert_eq!(self.depth, 0, "commit with an open child");
+        // Commit hook (durability seam): fire before the compensation
+        // log is discarded and before any abstract lock releases —
+        // under strict 2PL no conflicting transaction can touch these
+        // locations until the locks drop, so per-location hook order
+        // equals commit order (see stm_core::hook). The log appends one
+        // entry per write, so a location written twice is reported
+        // twice — each time with its final committed word
+        // (`value_unsync` is safe under the held abstract lock). Boost
+        // never ticks the clock; the record's version is the advisory 0.
+        if !self.undo.is_empty() {
+            if let Some(hook) = self.stm.config.commit_hook.as_deref() {
+                let undo = &self.undo;
+                let iter = |f: &mut dyn FnMut(usize, u64)| {
+                    for (core, _) in undo {
+                        f(core.id(), core.value_unsync());
+                    }
+                };
+                hook.on_commit(&WriteRecord::new(0, undo.len(), &iter));
+            }
+        }
         self.undo.clear();
         for key in self.held.drain(..).rev() {
             self.stm.locks.release(key, self.ticket);

@@ -1,6 +1,7 @@
 //! Tunables shared by the STM implementations.
 
 use crate::cm::CmPolicy;
+use crate::hook::CommitHook;
 use crate::trace::TraceSink;
 use std::sync::Arc;
 
@@ -53,6 +54,14 @@ pub struct StmConfig {
     /// backend honours this; `None` (the default) keeps the hot path
     /// entirely trace-free — pinned by the zero-allocation suite.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Optional commit hook (see [`crate::hook`]): when set, every
+    /// backend fires [`CommitHook::on_commit`] once per committed
+    /// top-level update transaction, after validation succeeds and
+    /// before its write locks release — the seam the opt-in durable
+    /// mode (WAL + snapshot) plugs into. Every registry backend honours
+    /// this; `None` (the default) is a single predictable branch per
+    /// commit, pinned allocation-free by the zero-allocation suite.
+    pub commit_hook: Option<Arc<dyn CommitHook>>,
 }
 
 impl core::fmt::Debug for StmConfig {
@@ -67,6 +76,10 @@ impl core::fmt::Debug for StmConfig {
             .field("progress_park_after", &self.progress_park_after)
             .field("max_retries", &self.max_retries)
             .field("trace", &self.trace.as_ref().map(|_| "Some(<sink>)"))
+            .field(
+                "commit_hook",
+                &self.commit_hook.as_ref().map(|_| "Some(<hook>)"),
+            )
             .finish()
     }
 }
@@ -83,6 +96,7 @@ impl Default for StmConfig {
             progress_park_after: 64,
             max_retries: None,
             trace: None,
+            commit_hook: None,
         }
     }
 }
@@ -126,6 +140,15 @@ impl StmConfig {
         self.trace = Some(sink);
         self
     }
+
+    /// Attach a commit hook (see [`crate::hook`]): backends built from
+    /// this config fire it once per committed top-level update
+    /// transaction, after validation and before lock release.
+    #[must_use]
+    pub fn with_commit_hook(mut self, hook: Arc<dyn CommitHook>) -> Self {
+        self.commit_hook = Some(hook);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +185,19 @@ mod tests {
         assert!(c.trace.is_some());
         // The sink is debug-opaque but the config must stay debuggable.
         assert!(format!("{c:?}").contains("trace"));
+    }
+
+    #[test]
+    fn commit_hook_defaults_off_and_attaches() {
+        struct Nop;
+        impl CommitHook for Nop {
+            fn on_commit(&self, _record: &crate::hook::WriteRecord<'_>) {}
+        }
+        let c = StmConfig::default();
+        assert!(c.commit_hook.is_none(), "durability must be opt-in");
+        let c = c.with_commit_hook(Arc::new(Nop));
+        assert!(c.commit_hook.is_some());
+        assert!(format!("{c:?}").contains("commit_hook"));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod cm;
 pub mod config;
 pub mod dynstm;
 pub mod error;
+pub mod hook;
 pub mod parallel;
 pub mod readset;
 pub mod scratch;
@@ -75,6 +76,7 @@ pub use dynstm::{
     Backend, BackendRegistry, BackendSpec, DynStm, DynTransaction, DynTxn, UnknownBackend,
 };
 pub use error::{Abort, AbortReason};
+pub use hook::{CommitHook, WriteRecord};
 pub use scratch::TxScratch;
 pub use stats::{StatsSnapshot, StmStats};
 pub use stm::{RunError, Stm, Transaction, TxKind};

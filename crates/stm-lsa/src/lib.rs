@@ -37,6 +37,7 @@
 use stm_core::bloom::Bloom;
 use stm_core::cm::{Arbitrate, CmState, ConflictCtx, ContentionManager};
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
+use stm_core::hook::WriteRecord;
 use stm_core::readset::ReadSet;
 use stm_core::stm::retry_loop_arbitrated;
 use stm_core::ticket::next_ticket;
@@ -297,6 +298,22 @@ impl<'env> LsaTxn<'env> {
                 self.on_abort();
                 return Err(Abort::new(AbortReason::ReadValidation));
             }
+        }
+        // Point of no return: validation succeeded and the in-place
+        // values sit behind write locks this transaction still holds, so
+        // the commit hook observes them before any conflicting commit
+        // can follow (see stm_core::hook). The undo log is first-write-
+        // wins, so each written location appears exactly once; its
+        // committed word is the in-place value (`value_unsync` is safe
+        // under the held lock).
+        if let Some(hook) = self.stm.config.commit_hook.as_deref() {
+            let undo = &self.scratch.undo;
+            let iter = |f: &mut dyn FnMut(usize, u64)| {
+                for e in &undo.entries {
+                    f(e.core.id(), e.core.value_unsync());
+                }
+            };
+            hook.on_commit(&WriteRecord::new(wv, undo.len(), &iter));
         }
         self.scratch.undo.release_at(wv);
         // The commit event is stamped only now, with the in-place values

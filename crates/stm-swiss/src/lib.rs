@@ -47,6 +47,7 @@ use core::sync::atomic::{AtomicU64, Ordering};
 use stm_core::bloom::hash_id;
 use stm_core::cm::{Arbitrate, CmState, ConflictCtx, ContentionManager};
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
+use stm_core::hook::WriteRecord;
 use stm_core::scratch::TxScratch;
 use stm_core::stm::retry_loop_arbitrated;
 use stm_core::ticket::next_ticket;
@@ -348,6 +349,19 @@ impl<'env> SwissTxn<'env> {
                 self.release_wlocks();
                 return Err(Abort::new(AbortReason::ReadValidation));
             }
+        }
+        // Point of no return: validation succeeded and both lock layers
+        // (commit-time versioned locks and encounter-time write locks)
+        // are still held, so the commit hook observes the write set
+        // before any conflicting commit can follow (see stm_core::hook).
+        if let Some(hook) = self.stm.config.commit_hook.as_deref() {
+            let writes = &self.scratch.writes;
+            let iter = |f: &mut dyn FnMut(usize, u64)| {
+                for e in writes.iter() {
+                    f(e.core.id(), e.value);
+                }
+            };
+            hook.on_commit(&WriteRecord::new(wv, writes.len(), &iter));
         }
         self.scratch.writes.write_back_and_release(wv);
         self.release_wlocks();

@@ -28,6 +28,7 @@
 
 use stm_core::cm::{Arbitrate, CmState, ConflictCtx, ContentionManager};
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
+use stm_core::hook::WriteRecord;
 use stm_core::scratch::TxScratch;
 use stm_core::stm::retry_loop_arbitrated;
 use stm_core::ticket::next_ticket;
@@ -184,6 +185,20 @@ impl<'env> Tl2Txn<'env> {
                 self.scratch.writes.release_locks();
                 return Err(Abort::new(AbortReason::ReadValidation));
             }
+        }
+        // Point of no return: validation succeeded and every write lock
+        // is held, so the commit hook (the durability seam) observes the
+        // write set *before* any conflicting transaction can lock it —
+        // per-location hook order equals commit order (see
+        // stm_core::hook).
+        if let Some(hook) = self.stm.config.commit_hook.as_deref() {
+            let writes = &self.scratch.writes;
+            let iter = |f: &mut dyn FnMut(usize, u64)| {
+                for e in writes.iter() {
+                    f(e.core.id(), e.value);
+                }
+            };
+            hook.on_commit(&WriteRecord::new(wv, writes.len(), &iter));
         }
         self.scratch.writes.write_back_and_release(wv);
         // The commit event is stamped only now, with write-back complete

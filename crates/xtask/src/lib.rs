@@ -78,6 +78,15 @@ pub const BLESSED_CLOCK_FILES: &[&str] = &[
     "crates/stm-swiss/src/lib.rs",
     "crates/oe-stm/src/lib.rs",
     "crates/oe-stm/src/txn.rs",
+    // The durable layer's IO-path modules: they handle commit *versions*
+    // (WAL records carry them, recovery re-installs them) and so sit next
+    // to the clock protocol — but they must never mint one. Blessing them
+    // documents the seam; a CommitHook impl anywhere else that calls
+    // tick()/stamp() still trips the rule (see the hook fixture).
+    "crates/durable/src/wal.rs",
+    "crates/durable/src/snapshot.rs",
+    "crates/durable/src/recover.rs",
+    "crates/durable/src/store.rs",
 ];
 
 /// Substrings banned in hot-path-tagged files (timing and allocation).
@@ -330,9 +339,20 @@ mod tests {
         let line = "let rv = self.clock.now();\n";
         check_clock_discipline(Path::new("crates/stm-tl2/src/lib.rs"), line, &mut v);
         assert!(v.is_empty());
+        check_clock_discipline(Path::new("crates/durable/src/wal.rs"), line, &mut v);
+        assert!(v.is_empty(), "the durable IO modules are blessed");
         check_clock_discipline(Path::new("crates/cec/src/lib.rs"), line, &mut v);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "clock-discipline");
+        // A hook crate is NOT blessed: the durability seam must not let a
+        // CommitHook impl elsewhere mint versions.
+        v.clear();
+        check_clock_discipline(
+            Path::new("crates/someplugin/src/hook.rs"),
+            "impl CommitHook for H { fn on_commit(&self) { self.clock.tick(); } }\n",
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
     }
 
     #[test]

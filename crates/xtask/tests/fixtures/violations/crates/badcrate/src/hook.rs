@@ -1,0 +1,27 @@
+//! Seeded violation: a commit hook that advances the global clock.
+//!
+//! The `CommitHook` seam fires *inside* the backend's commit critical
+//! section, after the write-version was already minted — a hook that
+//! ticks the clock would desynchronize every backend's validation
+//! protocol. The clock-discipline rule must therefore flag any hook
+//! implementation reaching for `tick()` outside the blessed modules.
+
+use crate::Clock;
+
+/// Fixture stand-in for `stm_core::hook::CommitHook`.
+pub trait CommitHook {
+    /// Fixture stub of the post-validation callback.
+    fn on_commit(&self, version: u64);
+}
+
+/// A durability hook gone wrong: it re-ticks the clock per commit.
+pub struct TickingHook {
+    /// The clock it should never touch.
+    pub clock: Clock,
+}
+
+impl CommitHook for TickingHook {
+    fn on_commit(&self, _version: u64) {
+        self.clock.tick();
+    }
+}

@@ -1,6 +1,7 @@
 //! Seeded violation: crate root that dropped the unsafe-forbid attribute.
 
 pub mod clocky;
+pub mod hook;
 pub mod hot;
 
 /// Reads the global clock outside the blessed backend modules.

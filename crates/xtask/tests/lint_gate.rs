@@ -44,13 +44,15 @@ fn seeded_fixtures_trip_every_rule() {
         "Instant + format!, waived vec stays quiet: {hot:?}"
     );
     // All three clock read entry points trip outside the blessed modules:
-    // the legacy `.now()` in lib.rs, plus the `.tick()` and lazy-clock
-    // `.stamp()` call sites seeded in clocky.rs.
+    // the legacy `.now()` in lib.rs, the `.tick()` and lazy-clock
+    // `.stamp()` call sites seeded in clocky.rs, plus the CommitHook impl
+    // in hook.rs that ticks the clock from inside `on_commit` — the
+    // durability-seam abuse the rule exists to catch.
     let clock: Vec<_> = violations
         .iter()
         .filter(|v| v.rule == "clock-discipline")
         .collect();
-    assert_eq!(clock.len(), 3, "now + tick + stamp: {clock:?}");
+    assert_eq!(clock.len(), 4, "now + tick + stamp + hook tick: {clock:?}");
     assert_eq!(
         clock
             .iter()
@@ -58,6 +60,14 @@ fn seeded_fixtures_trip_every_rule() {
             .count(),
         2,
         "tick and stamp must each fire: {clock:?}"
+    );
+    assert_eq!(
+        clock
+            .iter()
+            .filter(|v| v.file == Path::new("crates/badcrate/src/hook.rs"))
+            .count(),
+        1,
+        "a CommitHook impl ticking the clock must fire: {clock:?}"
     );
 }
 

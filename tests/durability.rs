@@ -1,0 +1,430 @@
+//! Durability under fire: the CommitHook seam, the group-committed WAL,
+//! and recovery — proven by exhaustive crash-point injection.
+//!
+//! The centerpiece sweeps **every byte offset** of a real WAL produced
+//! by every registered backend: for each prefix `W[..cut]` it recovers a
+//! fresh replica and checks the rebuilt image equals an independent
+//! replay of the longest clean record prefix — a crash at *any* instant
+//! loses at most the in-flight suffix, never a committed record, and a
+//! torn tail is truncated with a diagnostic rather than guessed at.
+//!
+//! Around it: hook-contract checks (fires once per top-level update
+//! commit, never for read-only transactions, retried branches, or child
+//! commits), fsync-failure degradation (sticky poison, memory-only
+//! continuation, clean durable prefix), bit-flip corruption (typed
+//! verdict, clean-prefix replay), and a checkpoint/crash/reopen
+//! generation cycle including a crash between seal and fold.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use composing_relaxed_transactions::backend_registry;
+use composing_relaxed_transactions::stm_core::api::{Atomic, Policy};
+use composing_relaxed_transactions::stm_core::dynstm::Backend;
+use composing_relaxed_transactions::stm_core::hook::{CommitHook, WriteRecord};
+use composing_relaxed_transactions::stm_core::{StmConfig, TVar, Transaction, TxKind};
+use durable::record::{self, Record};
+use durable::wal::WAL_FILE;
+use durable::{recover, BitFlip, DurableStore, FaultPlan, FaultVfs, MemVfs, Vfs};
+
+const BACKENDS: [&str; 6] = ["tl2", "lsa", "swiss", "oe", "oe-estm-compat", "boost"];
+const VARS: usize = 8;
+const PER_VAR: u64 = 100;
+const TOTAL: u64 = VARS as u64 * PER_VAR;
+
+/// Replay records the way recovery does: absolute words, log order.
+fn replay(records: &[Record]) -> BTreeMap<u64, u64> {
+    let mut values = BTreeMap::new();
+    for rec in records {
+        for &(key, word) in &rec.writes {
+            values.insert(key, word);
+        }
+    }
+    values
+}
+
+/// One observed firing: the commit version and its `(id, word)` pairs.
+type ObservedCommit = (u64, Vec<(usize, u64)>);
+
+/// A hook that records every firing for the contract checks.
+#[derive(Default)]
+struct CountingHook {
+    fires: AtomicU64,
+    records: Mutex<Vec<ObservedCommit>>,
+}
+
+impl CommitHook for CountingHook {
+    fn on_commit(&self, record: &WriteRecord<'_>) {
+        self.fires.fetch_add(1, Ordering::SeqCst);
+        let mut writes = Vec::new();
+        record.for_each(&mut |id, word| writes.push((id, word)));
+        assert_eq!(writes.len(), record.len(), "len() must match iteration");
+        self.records
+            .lock()
+            .unwrap()
+            .push((record.version(), writes));
+    }
+}
+
+#[test]
+fn hook_fires_once_per_toplevel_update_commit_on_every_backend() {
+    let registry = backend_registry();
+    for name in BACKENDS {
+        let hook = Arc::new(CountingHook::default());
+        let backend = registry
+            .build(name, StmConfig::default().with_commit_hook(hook.clone()))
+            .unwrap();
+        let x = TVar::new(1u64);
+        let y = TVar::new(2u64);
+
+        // Read-only transactions never fire the hook.
+        let got = backend.run(TxKind::Regular, |tx| tx.get(&x));
+        assert_eq!(got, 1);
+        assert_eq!(
+            hook.fires.load(Ordering::SeqCst),
+            0,
+            "{name}: read-only fired"
+        );
+
+        // One update with a child: exactly one fire, at the top-level
+        // commit, covering the merged write set.
+        backend.run(TxKind::Regular, |tx| {
+            tx.set(&x, 10)?;
+            tx.child(TxKind::Regular, |tx| tx.set(&y, 20))
+        });
+        assert_eq!(
+            hook.fires.load(Ordering::SeqCst),
+            1,
+            "{name}: child or extra fire"
+        );
+
+        let records = hook.records.lock().unwrap();
+        let (version, writes) = &records[0];
+        let ids: BTreeSet<usize> = writes.iter().map(|&(id, _)| id).collect();
+        let expect: BTreeSet<usize> = [x.core().id(), y.core().id()].into();
+        assert_eq!(ids, expect, "{name}: write set mismatch");
+        // Duplicates are allowed (boost logs per acquisition); the last
+        // word per location must be the committed one.
+        let mut last = BTreeMap::new();
+        for &(id, word) in writes {
+            last.insert(id, word);
+        }
+        assert_eq!(last[&x.core().id()], 10, "{name}");
+        assert_eq!(last[&y.core().id()], 20, "{name}");
+        if name == "boost" {
+            assert_eq!(
+                *version, 0,
+                "boost never ticks the clock; version is advisory"
+            );
+        } else {
+            assert!(
+                *version > 0,
+                "{name}: commit version must be a real clock stamp"
+            );
+        }
+    }
+}
+
+#[test]
+fn hook_skips_retried_branches_and_aborted_attempts() {
+    let registry = backend_registry();
+    for name in BACKENDS {
+        let hook = Arc::new(CountingHook::default());
+        let at = Atomic::new(
+            registry
+                .build(name, StmConfig::default().with_commit_hook(hook.clone()))
+                .unwrap(),
+        );
+        let gate = TVar::new(0u64);
+        let out = TVar::new(0u64);
+        // The primary branch writes, then retries: its tentative write
+        // set is discarded and must never reach the hook. Only the
+        // committing fallback fires.
+        let picked = at.or_else(
+            Policy::Regular,
+            |tx| {
+                tx.set(&out, 111)?;
+                if tx.get(&gate)? == 0 {
+                    return tx.retry();
+                }
+                Ok("primary")
+            },
+            |tx| {
+                tx.set(&out, 222)?;
+                Ok("fallback")
+            },
+        );
+        assert_eq!(picked, "fallback", "{name}");
+        assert_eq!(hook.fires.load(Ordering::SeqCst), 1, "{name}");
+        let records = hook.records.lock().unwrap();
+        let mut last = BTreeMap::new();
+        for &(id, word) in &records[0].1 {
+            last.insert(id, word);
+        }
+        assert_eq!(
+            last.get(&out.core().id()),
+            Some(&222),
+            "{name}: retried branch's write leaked into the hook"
+        );
+    }
+}
+
+/// Random zero-sum transfers between `vars`, preserving `TOTAL`.
+fn transfer_loop(backend: &Backend, vars: &[TVar<u64>], thread_seed: u64, rounds: usize) {
+    let mut seed = 0x9E37_79B9u64.wrapping_mul(thread_seed + 1) | 1;
+    for _ in 0..rounds {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        let from = (seed % VARS as u64) as usize;
+        let to = ((seed >> 16) % VARS as u64) as usize;
+        if from == to {
+            continue;
+        }
+        backend.run(TxKind::Regular, |tx| {
+            let a = tx.get(&vars[from])?;
+            let b = tx.get(&vars[to])?;
+            if a > 0 {
+                tx.set(&vars[from], a - 1)?;
+                tx.set(&vars[to], b + 1)?;
+            }
+            Ok(())
+        });
+    }
+}
+
+/// Run a multi-threaded durable transfer workload for `name` against
+/// `vfs`, then crash the machine and return the surviving WAL bytes.
+fn run_durable_workload(name: &str, mem: &Arc<MemVfs>) -> Vec<u8> {
+    let (store, recovered) = DurableStore::open(mem.clone() as Arc<dyn Vfs>).unwrap();
+    assert!(recovered.values.is_empty(), "{name}: fresh store not empty");
+    let backend = backend_registry()
+        .build(name, StmConfig::default().with_commit_hook(store.hook()))
+        .unwrap();
+    let vars: Vec<TVar<u64>> = (0..VARS).map(|_| TVar::new(0)).collect();
+    for (key, var) in vars.iter().enumerate() {
+        store.heap().register(key as u64, var.core());
+    }
+    // Seed every account in one durable transaction so record 0 covers
+    // all keys.
+    backend.run(TxKind::Regular, |tx| {
+        for var in &vars {
+            tx.set(var, PER_VAR)?;
+        }
+        Ok(())
+    });
+    std::thread::scope(|s| {
+        for t in 0..2u64 {
+            let backend = &backend;
+            let vars = &vars;
+            s.spawn(move || transfer_loop(backend, vars, t, 25));
+        }
+    });
+    assert!(
+        store.io_error().is_none(),
+        "{name}: WAL poisoned during workload"
+    );
+    // `Wal::append` returns only after fsync, so the crash loses nothing
+    // that a transaction observed as committed-durable.
+    mem.crash();
+    mem.durable_bytes(WAL_FILE)
+}
+
+#[test]
+fn crash_point_exhaustion_recovers_every_wal_prefix_on_every_backend() {
+    for name in BACKENDS {
+        let mem = Arc::new(MemVfs::new());
+        let wal_bytes = run_durable_workload(name, &mem);
+        assert!(!wal_bytes.is_empty(), "{name}: no WAL written");
+
+        // The full durable log replays to a complete, money-conserving
+        // image.
+        let (all_records, _, end_err) = record::decode_stream(&wal_bytes);
+        assert!(
+            end_err.is_none(),
+            "{name}: durable log has a bad tail: {end_err:?}"
+        );
+        let full = replay(&all_records);
+        assert_eq!(full.len(), VARS, "{name}: keys missing from replay");
+        assert_eq!(
+            full.values().sum::<u64>(),
+            TOTAL,
+            "{name}: money not conserved"
+        );
+
+        // Kill the machine at every byte offset of the log and recover.
+        for cut in 0..=wal_bytes.len() {
+            let replica = MemVfs::with_file(WAL_FILE, wal_bytes[..cut].to_vec());
+            let rec = recover(&replica).unwrap();
+            let (records, clean, err) = record::decode_stream(&wal_bytes[..cut]);
+            assert_eq!(
+                rec.values,
+                replay(&records),
+                "{name} cut {cut}: image is not the longest clean record prefix"
+            );
+            assert_eq!(
+                rec.records_applied,
+                records.len() as u64,
+                "{name} cut {cut}"
+            );
+            match err {
+                None => assert!(
+                    rec.notes.is_empty(),
+                    "{name} cut {cut}: spurious diagnostics {:?}",
+                    rec.notes
+                ),
+                Some(e) => {
+                    assert!(
+                        e.is_truncation(),
+                        "{name} cut {cut}: a crash prefix misread as corruption: {e}"
+                    );
+                    assert!(
+                        rec.notes.iter().any(|n| n.contains("torn tail")),
+                        "{name} cut {cut}: missing torn-tail diagnostic"
+                    );
+                    assert_eq!(
+                        replica.read(WAL_FILE).unwrap().len(),
+                        clean,
+                        "{name} cut {cut}: tail not physically truncated"
+                    );
+                    // Double crash: recovering the repaired replica again
+                    // reaches the same image, now without diagnostics.
+                    let rec2 = recover(&replica).unwrap();
+                    assert_eq!(rec2.values, rec.values, "{name} cut {cut}: not idempotent");
+                    assert!(rec2.notes.is_empty(), "{name} cut {cut}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fsync_failure_poisons_durability_while_commits_continue_in_memory() {
+    let mem = Arc::new(MemVfs::new());
+    let faulty = Arc::new(FaultVfs::new(
+        mem.clone(),
+        FaultPlan {
+            fail_sync_from: Some(3),
+            ..FaultPlan::default()
+        },
+    ));
+    let (store, _) = DurableStore::open(faulty as Arc<dyn Vfs>).unwrap();
+    let backend = backend_registry()
+        .build("tl2", StmConfig::default().with_commit_hook(store.hook()))
+        .unwrap();
+    let v = TVar::new(0u64);
+    store.heap().register(1, v.core());
+    for i in 1..=10u64 {
+        backend.run(TxKind::Regular, |tx| tx.set(&v, i));
+    }
+    // The STM is unaffected: commits keep landing in memory...
+    assert_eq!(v.load_atomic(), 10);
+    // ...but durability degraded, stickily, and says so.
+    let err = store.io_error().expect("fsync failure must surface");
+    assert!(err.contains("injected fault"), "{err}");
+    // The durable prefix is exactly the two successfully fsynced batches
+    // (single-threaded appends flush one record per batch) and recovers
+    // without diagnostics.
+    mem.crash();
+    let rec = recover(mem.as_ref()).unwrap();
+    assert!(rec.notes.is_empty(), "{:?}", rec.notes);
+    assert_eq!(rec.values, [(1u64, 2u64)].into());
+}
+
+#[test]
+fn bit_flip_corruption_ends_replay_with_a_typed_diagnostic() {
+    let mem = Arc::new(MemVfs::new());
+    let wal_bytes = run_durable_workload("lsa", &mem);
+    let (records, _, _) = record::decode_stream(&wal_bytes);
+    assert!(records.len() >= 2);
+    // Corrupt a payload byte of the second record via the fault layer's
+    // read-path bit flip.
+    let first_len =
+        record::HEADER_LEN + record::PAYLOAD_FIXED_LEN + record::PAIR_LEN * records[0].writes.len();
+    let replica = Arc::new(MemVfs::with_file(WAL_FILE, wal_bytes.clone()));
+    let flipping = FaultVfs::new(
+        replica.clone(),
+        FaultPlan {
+            flip_on_read: Some(BitFlip {
+                file: WAL_FILE.to_string(),
+                offset: first_len + record::HEADER_LEN + 3,
+                bit: 5,
+            }),
+            ..FaultPlan::default()
+        },
+    );
+    let rec = recover(&flipping).unwrap();
+    // Only the record before the flip survives; the verdict is
+    // corruption, not a tear; the bad suffix is gone from the file.
+    assert_eq!(rec.values, replay(&records[..1]));
+    assert!(
+        rec.notes.iter().any(|n| n.contains("corrupt record")),
+        "{:?}",
+        rec.notes
+    );
+    assert_eq!(replica.read(WAL_FILE).unwrap().len(), first_len);
+}
+
+#[test]
+fn checkpoint_crash_reopen_cycle_preserves_state_across_generations() {
+    let mem = Arc::new(MemVfs::new());
+    let registry = backend_registry();
+
+    // Generation 1: seed, transfer, checkpoint, transfer more, crash.
+    {
+        let (store, _) = DurableStore::open(mem.clone() as Arc<dyn Vfs>).unwrap();
+        let backend = registry
+            .build("swiss", StmConfig::default().with_commit_hook(store.hook()))
+            .unwrap();
+        let vars: Vec<TVar<u64>> = (0..VARS).map(|_| TVar::new(0)).collect();
+        for (key, var) in vars.iter().enumerate() {
+            store.heap().register(key as u64, var.core());
+        }
+        backend.run(TxKind::Regular, |tx| {
+            for var in &vars {
+                tx.set(var, PER_VAR)?;
+            }
+            Ok(())
+        });
+        transfer_loop(&backend, &vars, 7, 20);
+        let report = store.checkpoint().unwrap();
+        assert_eq!(report.snapshot_entries, VARS);
+        transfer_loop(&backend, &vars, 8, 20);
+    }
+    mem.crash();
+
+    // Generation 2: recover (snapshot + post-checkpoint log), reinstall
+    // into fresh TVars, keep going, then die between seal and fold.
+    {
+        let (store, recovered) = DurableStore::open(mem.clone() as Arc<dyn Vfs>).unwrap();
+        assert_eq!(recovered.snapshot_entries, VARS);
+        assert_eq!(recovered.values.len(), VARS);
+        assert_eq!(recovered.values.values().sum::<u64>(), TOTAL);
+        let backend = registry
+            .build("swiss", StmConfig::default().with_commit_hook(store.hook()))
+            .unwrap();
+        let vars: Vec<TVar<u64>> = (0..VARS).map(|_| TVar::new(0)).collect();
+        for (key, var) in vars.iter().enumerate() {
+            store.heap().register(key as u64, var.core());
+            vars[key].store_atomic(recovered.values[&(key as u64)], recovered.last_version);
+        }
+        transfer_loop(&backend, &vars, 9, 20);
+        // A checkpoint that dies right after sealing: wal → wal.old and
+        // nothing else.
+        store.wal().seal().unwrap();
+    }
+    mem.crash();
+
+    // Generation 3: the interrupted checkpoint is repaired on recovery.
+    let rec = recover(mem.as_ref()).unwrap();
+    assert!(
+        rec.notes
+            .iter()
+            .any(|n| n.contains("interrupted checkpoint")),
+        "{:?}",
+        rec.notes
+    );
+    assert_eq!(rec.values.len(), VARS);
+    assert_eq!(rec.values.values().sum::<u64>(), TOTAL);
+}

@@ -101,10 +101,7 @@ fn storm_completes_even_with_a_hair_trigger_backstop() {
     // the time" configuration must still be correct (and, on this
     // workload, still fast enough for the bound).
     for backend in BACKENDS {
-        let at = runner(
-            backend,
-            StmConfig::default().with_progress_park_after(0),
-        );
+        let at = runner(backend, StmConfig::default().with_progress_park_after(0));
         two_thread_storm(&at, backend, "park-after-0");
     }
 }
