@@ -2,7 +2,7 @@
 //! scenario × backend benchmark matrix.
 //!
 //! ```text
-//! repro [fig6|fig7|fig8|summary|all|list]
+//! repro [fig6|fig7|fig8|summary|txkv|all|list]
 //!       [--stm tl2,lsa,swiss,oe,oe-estm-compat] [--scenario fig6,bank-transfer,...]
 //!       [--cm suicide,backoff,karma,two-phase]
 //!       [--threads 1,2,4] [--duration-ms 500] [--composed 5,15]
@@ -168,6 +168,24 @@ fn summary(opts: &Options, all_rows: &mut Vec<BenchRow>) {
         }
     }
     all_rows.extend(rows);
+}
+
+/// `repro txkv`: the service-layer sweep — `summary` restricted to the
+/// `txkv-*` scenario family (all of it unless `--scenario` narrows the
+/// selection further). Rows carry the latency percentiles the service
+/// histogram records, so the tables grow p50/p99/p999 columns.
+fn txkv(opts: &Options, all_rows: &mut Vec<BenchRow>) {
+    let mut opts = opts.clone();
+    if opts.scenario.is_none() {
+        opts.scenario = Some(
+            scenarios()
+                .iter()
+                .filter(|s| s.name().starts_with("txkv-"))
+                .map(|s| s.name().to_string())
+                .collect(),
+        );
+    }
+    summary(&opts, all_rows);
 }
 
 /// Record one deterministic two-process composition on `backend`: the
@@ -530,6 +548,7 @@ fn main() {
             "fig7" => figure(Structure::SkipList, 7, &opts, &mut all_rows),
             "fig8" => figure(Structure::HashSet, 8, &opts, &mut all_rows),
             "summary" => summary(&opts, &mut all_rows),
+            "txkv" => txkv(&opts, &mut all_rows),
             "all" => {
                 figure(Structure::LinkedList, 6, &opts, &mut all_rows);
                 figure(Structure::SkipList, 7, &opts, &mut all_rows);

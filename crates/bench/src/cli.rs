@@ -21,6 +21,10 @@ targets:
   fig6 | fig7 | fig8   regenerate one figure's tables
   all                  fig6 + fig7 + fig8 (default)
   summary              full scenario x backend matrix + headline speedups
+  txkv                 the transactional KV service sweep: `summary`
+                       restricted to the txkv-* scenario family (skew,
+                       MULTI-size and read/write-mix sweeps with latency
+                       percentiles; narrow with --scenario)
   trace                record a deterministic two-process composition per
                        backend (--stm; default oe) — or --steps racing ops
                        of each --scenario — and dump the history in the
@@ -479,6 +483,7 @@ mod tests {
             "recover",
             "summary",
             "trace",
+            "txkv",
         ] {
             assert!(USAGE.contains(flag), "usage text is missing {flag}");
         }

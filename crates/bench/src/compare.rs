@@ -93,9 +93,11 @@ pub fn parse_rows(text: &str) -> Result<BTreeMap<RowKey, f64>, String> {
 }
 
 /// The numeric per-row fields that `merge` medians over, in schema order.
-/// `explicit_retries` and `cm_waits` are optional in the schema (older
-/// artifacts predate them) and default to 0 when absent.
-const MERGE_FIELDS: [&str; 8] = [
+/// `explicit_retries`, `cm_waits` and the v2 `latency_*` trio are optional
+/// in the schema (older artifacts predate them) and default to 0 when
+/// absent — so v1 and v2 artifacts flow through the same merge/compare
+/// machinery.
+const MERGE_FIELDS: [&str; 11] = [
     "ops",
     "throughput",
     "abort_rate",
@@ -103,6 +105,9 @@ const MERGE_FIELDS: [&str; 8] = [
     "outherits",
     "explicit_retries",
     "cm_waits",
+    "latency_p50_us",
+    "latency_p99_us",
+    "latency_p999_us",
     "elapsed_ms",
 ];
 
@@ -186,7 +191,9 @@ pub fn merge(texts: &[&str]) -> Result<String, String> {
              \"structure\": \"{}\", \"threads\": {threads}, \
              \"composed_pct\": {composed}, \"ops\": {}, \"throughput\": {:.6}, \
              \"abort_rate\": {:.6}, \"elastic_cuts\": {}, \"outherits\": {}, \
-             \"explicit_retries\": {}, \"cm_waits\": {}, \"elapsed_ms\": {:.6}}}{}\n",
+             \"explicit_retries\": {}, \"cm_waits\": {}, \
+             \"latency_p50_us\": {:.6}, \"latency_p99_us\": {:.6}, \
+             \"latency_p999_us\": {:.6}, \"elapsed_ms\": {:.6}}}{}\n",
             json::escape(scenario),
             json::escape(backend),
             json::escape(structure),
@@ -198,6 +205,9 @@ pub fn merge(texts: &[&str]) -> Result<String, String> {
             med(5) as u64,
             med(6) as u64,
             med(7),
+            med(8),
+            med(9),
+            med(10),
             if i + 1 == total { "" } else { "," }
         ));
     }
@@ -391,6 +401,9 @@ mod tests {
                 cm_waits: 0,
                 elastic_cuts: 0,
                 outherits: 0,
+                p50_us: 0.0,
+                p99_us: 0.0,
+                p999_us: 0.0,
                 elapsed: Duration::from_millis(100),
             },
         }
@@ -633,6 +646,61 @@ mod tests {
         assert!(table.contains("livelocked row(s) skipped"), "{table}");
         assert!(table.contains("fig6/tl2"), "{table}");
         assert!(table.contains("0 regression(s)"), "{table}");
+    }
+
+    /// Downgrade a rendered (v2) document to a faithful v1 artifact: old
+    /// version stamp, no latency fields.
+    fn as_v1(text: &str) -> String {
+        let v1 = text
+            .replace("\"schema_version\": 2", "\"schema_version\": 1")
+            .replace("\"latency_p50_us\": 0.000000, ", "")
+            .replace("\"latency_p99_us\": 0.000000, ", "")
+            .replace("\"latency_p999_us\": 0.000000, ", "");
+        assert!(!v1.contains("latency_"), "downgrade left latency fields");
+        v1
+    }
+
+    #[test]
+    fn v1_baselines_compare_against_v2_candidates() {
+        // The committed pre-txkv baselines are v1; CI compares them
+        // against freshly emitted v2 artifacts. Identity matching and the
+        // throughput delta must work across the version pair, both ways.
+        let base = as_v1(&doc(&[row("fig6", "tl2", 1, 100.0)]));
+        let cand = doc(&[row("fig6", "tl2", 1, 95.0)]);
+        let c = compare(&base, &cand).unwrap();
+        assert_eq!(c.deltas.len(), 1, "v1/v2 rows must pair up");
+        assert!((c.deltas[0].delta_pct + 5.0).abs() < 1e-9);
+        assert!(c.regressions(10.0).is_empty());
+        let c = compare(&cand, &base).unwrap();
+        assert_eq!(c.deltas.len(), 1, "v2/v1 order works too");
+    }
+
+    #[test]
+    fn merge_medians_the_latency_trio_and_accepts_v1_inputs() {
+        let mut a_row = row("txkv-zipf", "oe", 4, 100.0);
+        a_row.m.p50_us = 10.0;
+        a_row.m.p99_us = 100.0;
+        a_row.m.p999_us = 1000.0;
+        let mut b_row = row("txkv-zipf", "oe", 4, 120.0);
+        b_row.m.p50_us = 20.0;
+        b_row.m.p99_us = 300.0;
+        b_row.m.p999_us = 3000.0;
+        let merged = merge(&[&doc(&[a_row]), &doc(&[b_row])]).unwrap();
+        crate::json::validate(&merged).expect("merged v2 rows must validate");
+        let rows = parse_full_rows(&merged).unwrap();
+        let (_, (fields, _)) = rows.iter().next().unwrap();
+        assert!((fields[7] - 15.0).abs() < 1e-6, "p50 median");
+        assert!((fields[8] - 200.0).abs() < 1e-6, "p99 median");
+        assert!((fields[9] - 2000.0).abs() < 1e-6, "p999 median");
+        // Merging v1 inputs still works — latency reads as 0 throughout.
+        let a = as_v1(&doc(&[row("fig6", "tl2", 1, 100.0)]));
+        let b = as_v1(&doc(&[row("fig6", "tl2", 1, 300.0)]));
+        let merged = merge(&[&a, &b]).unwrap();
+        crate::json::validate(&merged).expect("merged v1 inputs validate");
+        let rows = parse_full_rows(&merged).unwrap();
+        let (_, (fields, _)) = rows.iter().next().unwrap();
+        assert!((fields[1] - 200.0).abs() < 1e-6, "throughput median");
+        assert_eq!(fields[7], 0.0, "absent latency medians to 0");
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub struct Measurement {
     /// `outherit()` invocations — child protected sets passed to parents
     /// (OE-STM only; 0 elsewhere).
     pub outherits: u64,
+    /// Median per-op latency in µs (0 for workloads that don't record
+    /// latency — only the txkv service scenarios do).
+    pub p50_us: f64,
+    /// 99th-percentile per-op latency in µs (0 when not recorded).
+    pub p99_us: f64,
+    /// 99.9th-percentile per-op latency in µs (0 when not recorded).
+    pub p999_us: f64,
     /// Wall-clock duration measured.
     pub elapsed: Duration,
 }
@@ -54,8 +61,21 @@ impl Measurement {
             cm_waits: snap.cm_waits(),
             elastic_cuts: snap.elastic_cuts,
             outherits: snap.outherits,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            p999_us: 0.0,
             elapsed,
         }
+    }
+
+    /// Attach a drained latency summary (txkv scenarios record per-op
+    /// latency; everything else leaves the percentiles at 0).
+    #[must_use]
+    pub fn with_latency(mut self, latency: txkv::LatencySummary) -> Self {
+        self.p50_us = latency.p50_us;
+        self.p99_us = latency.p99_us;
+        self.p999_us = latency.p999_us;
+        self
     }
 }
 
@@ -210,6 +230,9 @@ pub fn run_sequential(
         cm_waits: 0,
         elastic_cuts: 0,
         outherits: 0,
+        p50_us: 0.0,
+        p99_us: 0.0,
+        p999_us: 0.0,
         elapsed,
     }
 }

@@ -9,7 +9,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "seed": 61713,
 //!   "host_parallelism": 8,
 //!   "rows": [
@@ -18,17 +18,28 @@
 //!       "threads": 2, "composed_pct": 5, "ops": 12345,
 //!       "throughput": 123.4, "abort_rate": 0.01,
 //!       "elastic_cuts": 17, "outherits": 42, "explicit_retries": 3,
-//!       "elapsed_ms": 500.2
+//!       "latency_p50_us": 12.0, "latency_p99_us": 40.0,
+//!       "latency_p999_us": 96.0, "elapsed_ms": 500.2
 //!     }
 //!   ]
 //! }
 //! ```
+//!
+//! **v2** added the three `latency_*` percentile fields for the txkv
+//! service scenarios. The change is purely additive — every v1 artifact
+//! still validates (see [`MIN_SCHEMA_VERSION`]) and the comparison tools
+//! treat a missing latency field as 0, so v1-vs-v2 pairs compare cleanly.
 
 use crate::scenario::BenchRow;
 use std::collections::BTreeMap;
 
 /// Current schema version of the emitted document.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`validate`] accepts. Committed baselines from
+/// earlier PRs are v1; the schema has only grown additively since, so the
+/// same validator covers the whole range.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Fields every row must carry, with `true` when the value is a number.
 /// (`scenario`/`backend`/`structure` are strings; the rest are numbers.)
@@ -61,7 +72,10 @@ pub const ROW_FIELDS: [(&str, bool); 11] = [
 /// through JSON: the watchdog measures each row in a subprocess and
 /// reassembles the [`BenchRow`] from the child's artifact
 /// ([`parse_rows`]).
-pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 7] = [
+/// The `latency_*` trio (schema v2) carries per-op latency percentiles in
+/// microseconds; only the txkv service scenarios record them (0 for
+/// throughput-only workloads), and v1 artifacts simply lack them.
+pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 10] = [
     ("explicit_retries", true),
     ("cm", false),
     ("cm_waits", true),
@@ -69,6 +83,9 @@ pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 7] = [
     ("commits", true),
     ("aborts", true),
     ("livelocked", true),
+    ("latency_p50_us", true),
+    ("latency_p99_us", true),
+    ("latency_p999_us", true),
 ];
 
 pub(crate) fn escape(s: &str) -> String {
@@ -126,7 +143,9 @@ pub fn render(rows: &[BenchRow], seed: u64) -> String {
              \"throughput\": {}, \
              \"abort_rate\": {}, \"commits\": {}, \"aborts\": {}, \
              \"elastic_cuts\": {}, \"outherits\": {}, \
-             \"explicit_retries\": {}, \"cm_waits\": {}, \"elapsed_ms\": {}}}{}\n",
+             \"explicit_retries\": {}, \"cm_waits\": {}, \
+             \"latency_p50_us\": {}, \"latency_p99_us\": {}, \
+             \"latency_p999_us\": {}, \"elapsed_ms\": {}}}{}\n",
             escape(&r.scenario),
             escape(&r.backend),
             escape(&r.system),
@@ -142,6 +161,9 @@ pub fn render(rows: &[BenchRow], seed: u64) -> String {
             r.m.outherits,
             r.m.explicit_retries,
             r.m.cm_waits,
+            num(r.m.p50_us),
+            num(r.m.p99_us),
+            num(r.m.p999_us),
             num(r.m.elapsed.as_secs_f64() * 1e3),
             if i + 1 == rows.len() { "" } else { "," }
         ));
@@ -435,9 +457,9 @@ pub fn validate(text: &str) -> Result<Vec<RowId>, String> {
         .get("schema_version")
         .and_then(Value::as_num)
         .ok_or("missing numeric \"schema_version\"")?;
-    if version != SCHEMA_VERSION as f64 {
+    if !(MIN_SCHEMA_VERSION as f64..=SCHEMA_VERSION as f64).contains(&version) {
         return Err(format!(
-            "schema_version {version} != supported {SCHEMA_VERSION}"
+            "schema_version {version} outside supported {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION}"
         ));
     }
     obj.get("seed")
@@ -557,6 +579,9 @@ pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
                     cm_waits: get_num(row, "cm_waits") as u64,
                     elastic_cuts: get_num(row, "elastic_cuts") as u64,
                     outherits: get_num(row, "outherits") as u64,
+                    p50_us: get_num(row, "latency_p50_us"),
+                    p99_us: get_num(row, "latency_p99_us"),
+                    p999_us: get_num(row, "latency_p999_us"),
                     elapsed: std::time::Duration::from_secs_f64(
                         get_num(row, "elapsed_ms").max(0.0) / 1e3,
                     ),
@@ -592,6 +617,9 @@ mod tests {
                 cm_waits: 21,
                 elastic_cuts: 7,
                 outherits: 13,
+                p50_us: 12.0,
+                p99_us: 40.0,
+                p999_us: 96.0,
                 elapsed: Duration::from_millis(50),
             },
         }
@@ -651,12 +679,18 @@ mod tests {
             cm_waits: 0,
             elastic_cuts: 0,
             outherits: 0,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            p999_us: 0.0,
             elapsed: Duration::from_secs(30),
         };
         let rows = vec![sample_row(), killed];
         let back = parse_rows(&render(&rows, 42)).expect("own output parses");
         assert_eq!(back.len(), 2);
         for (orig, got) in rows.iter().zip(&back) {
+            assert!((got.m.p50_us - orig.m.p50_us).abs() < 1e-6);
+            assert!((got.m.p99_us - orig.m.p99_us).abs() < 1e-6);
+            assert!((got.m.p999_us - orig.m.p999_us).abs() < 1e-6);
             assert_eq!(got.scenario, orig.scenario);
             assert_eq!(got.backend, orig.backend);
             assert_eq!(got.system, orig.system, "display names must round-trip");
@@ -712,6 +746,42 @@ mod tests {
             .replace("\"explicit_retries\": 3", "\"explicit_retries\": \"x\"");
         let err = validate(&mistyped).unwrap_err();
         assert!(err.contains("explicit_retries"), "{err}");
+    }
+
+    #[test]
+    fn v1_artifacts_without_latency_fields_still_validate() {
+        // A committed v1 baseline: version 1, no latency_* fields.
+        let text = render(&[sample_row()], 1)
+            .replace("\"schema_version\": 2", "\"schema_version\": 1")
+            .replace("\"latency_p50_us\": 12.000000, ", "")
+            .replace("\"latency_p99_us\": 40.000000, ", "")
+            .replace("\"latency_p999_us\": 96.000000, ", "");
+        assert!(!text.contains("latency_"), "test setup stripped the trio");
+        validate(&text).expect("v1 baselines must keep validating under v2");
+        let rows = parse_rows(&text).expect("v1 baselines must keep parsing");
+        assert_eq!(rows[0].m.p50_us, 0.0, "missing latency defaults to 0");
+        assert_eq!(rows[0].m.p999_us, 0.0);
+        // A present-but-mistyped latency field is still an error.
+        let mistyped = render(&[sample_row()], 1).replace(
+            "\"latency_p99_us\": 40.000000",
+            "\"latency_p99_us\": \"fast\"",
+        );
+        let err = validate(&mistyped).unwrap_err();
+        assert!(err.contains("latency_p99_us"), "{err}");
+    }
+
+    #[test]
+    fn v2_documents_always_carry_the_latency_trio() {
+        let text = render(&[sample_row()], 42);
+        assert!(text.contains("\"schema_version\": 2"));
+        let doc = parse(&text).unwrap();
+        let row = doc.as_obj().unwrap()["rows"].as_arr().unwrap()[0]
+            .as_obj()
+            .unwrap()
+            .clone();
+        assert_eq!(row["latency_p50_us"].as_num(), Some(12.0));
+        assert_eq!(row["latency_p99_us"].as_num(), Some(40.0));
+        assert_eq!(row["latency_p999_us"].as_num(), Some(96.0));
     }
 
     #[test]

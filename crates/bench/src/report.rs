@@ -109,9 +109,13 @@ pub fn run_figure_rows(
 
 /// Print a figure's rows in the paper's two-panel format (throughput and
 /// abort rate per thread count), plus the relaxation/composition counters.
+/// Blocks where any row recorded per-op latency (the txkv service
+/// scenarios) gain three percentile columns; the paper-figure tables keep
+/// their original shape.
 pub fn print_figure(title: &str, rows: &[Row]) {
+    let with_latency = rows.iter().any(|r| r.m.p999_us > 0.0);
     println!("\n=== {title} ===");
-    println!(
+    print!(
         "{:<20} {:>8} {:>16} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "system",
         "threads",
@@ -124,8 +128,12 @@ pub fn print_figure(title: &str, rows: &[Row]) {
         "retries",
         "cm-waits"
     );
+    if with_latency {
+        print!(" {:>9} {:>9} {:>9}", "p50(us)", "p99(us)", "p999(us)");
+    }
+    println!();
     for r in rows {
-        println!(
+        print!(
             "{:<20} {:>8} {:>16.1} {:>11.1}% {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
             r.system,
             r.threads,
@@ -138,6 +146,13 @@ pub fn print_figure(title: &str, rows: &[Row]) {
             r.m.explicit_retries,
             r.m.cm_waits
         );
+        if with_latency {
+            print!(
+                " {:>9.0} {:>9.0} {:>9.0}",
+                r.m.p50_us, r.m.p99_us, r.m.p999_us
+            );
+        }
+        println!();
     }
 }
 

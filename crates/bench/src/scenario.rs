@@ -23,6 +23,21 @@
 //! | `or-else-fallback` | 2 × `TxQueue` | `or_else` drain: primary retries on empty, fallback serves |
 //! | `contention-sweep` | 8 hot `TVar`s + gate | retry-storm pressure: hot RMWs + gated `or_else` retries |
 //! | `fsync-batch` | 64 `TVar` slots | write-heavy: nearly every op commits an update (the `--durable` axis's group-commit showcase) |
+//! | `txkv-uniform` | 8 hash-shard `KeySpace` | txkv service mix, uniform keys (the skew sweep's baseline) |
+//! | `txkv-zipf` | 8 hash-shard `KeySpace` | txkv service mix, zipfian(0.99) keys |
+//! | `txkv-hotspot` | 8 hash-shard `KeySpace` | txkv service mix, 90% of ops on 10% of keys |
+//! | `txkv-multi4` | 8 hash-shard `KeySpace` | MULTI-heavy, 4 keys per transaction (the MULTI-size sweep) |
+//! | `txkv-multi16` | 8 hash-shard `KeySpace` | MULTI-heavy, 16 keys per transaction |
+//! | `txkv-read-heavy` | 8 hash-shard `KeySpace` | 95% GET (the read/write-mix sweep's read end) |
+//! | `txkv-write-heavy` | 8 skip-list-shard `KeySpace` | 70% updates (the mix sweep's write end) |
+//!
+//! The `txkv-*` family drives the service layer (`crates/txkv`) and is the
+//! reason rows carry latency percentiles: each step is timed and recorded
+//! into the keyspace's lock-free histogram, and [`run_timed_dyn`] drains
+//! the histogram into the measurement's `p50/p99/p999` fields per window.
+//! The knobs (key distribution, op mix, MULTI size) are baked into the
+//! scenario names because [`ScenarioSpec`] construction is a plain fn
+//! pointer — each sweep point is its own named, reproducible row.
 //!
 //! The matrix additionally sweeps a **contention-management axis**
 //! ([`MatrixPlan::cms`], driven by `repro --cm`): each entry builds every
@@ -61,6 +76,13 @@ pub trait Workload: Sync {
 
     /// Execute one sampled high-level operation.
     fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng);
+
+    /// Drain and return per-op latency percentiles recorded since the
+    /// last call, for workloads that time their steps (the txkv family).
+    /// The default — throughput-only workloads — records nothing.
+    fn take_latency(&self) -> Option<txkv::LatencySummary> {
+        None
+    }
 }
 
 /// One registered scenario: a stable name, the structure label it runs
@@ -568,6 +590,156 @@ fn build_fsync_batch(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
 }
 
 // ---------------------------------------------------------------------
+// The txkv service family: keyed traffic with latency percentiles.
+// ---------------------------------------------------------------------
+
+/// Key universe of the txkv scenarios (matches the paper mixes'
+/// `DEFAULT_KEY_RANGE`; prefilled to 50%).
+const TXKV_CAPACITY: usize = 1 << 13;
+/// Shards per keyspace.
+const TXKV_SHARDS: usize = 8;
+
+/// The service-layer workload: each step samples a key from the baked
+/// distribution, runs one GET/SET/CAS/DEL/MULTI against the sharded
+/// keyspace, and records the op's service time into the lock-free
+/// histogram. Latency is closed-loop here (service time, not queueing
+/// delay) so rows stay comparable across backends of very different
+/// capacity; the open-loop driver with arrival pacing lives in
+/// `txkv::loadgen` and the `examples/txkv_demo.rs` walkthrough.
+struct TxKvWorkload {
+    ks: txkv::KeySpace,
+    sampler: txkv::KeySampler,
+    mix: txkv::OpMix,
+    multi_size: usize,
+    hist: txkv::LatencyHistogram,
+}
+
+impl TxKvWorkload {
+    fn new(
+        kind: txkv::ShardKind,
+        dist: txkv::KeyDist,
+        mix: txkv::OpMix,
+        multi_size: usize,
+    ) -> Self {
+        Self {
+            ks: txkv::KeySpace::new(kind, TXKV_SHARDS, TXKV_CAPACITY),
+            sampler: txkv::KeySampler::new(dist, TXKV_CAPACITY),
+            mix,
+            multi_size,
+            hist: txkv::LatencyHistogram::new(),
+        }
+    }
+}
+
+impl Workload for TxKvWorkload {
+    fn prefill(&self, at: &Atomic<Backend>, seed: u64) {
+        txkv::loadgen::prefill(&self.ks, at, seed);
+    }
+
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng) {
+        let started = Instant::now();
+        txkv::loadgen::run_one_op(&self.ks, at, rng, &self.sampler, &self.mix, self.multi_size);
+        self.hist.record_us(started.elapsed().as_micros() as u64);
+    }
+
+    fn take_latency(&self) -> Option<txkv::LatencySummary> {
+        Some(self.hist.drain())
+    }
+}
+
+/// A MULTI-heavy mix for the MULTI-size sweep: every fifth op is a
+/// multi-key read-modify-write.
+fn txkv_multi_mix() -> txkv::OpMix {
+    txkv::OpMix {
+        get_pct: 60,
+        set_pct: 15,
+        cas_pct: 3,
+        del_pct: 2,
+        multi_pct: 20,
+    }
+}
+
+fn build_txkv_uniform(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(TxKvWorkload::new(
+        txkv::ShardKind::Hash,
+        txkv::KeyDist::Uniform,
+        txkv::OpMix::service(),
+        4,
+    ))
+}
+
+fn build_txkv_zipf(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(TxKvWorkload::new(
+        txkv::ShardKind::Hash,
+        txkv::KeyDist::Zipfian { theta: 0.99 },
+        txkv::OpMix::service(),
+        4,
+    ))
+}
+
+fn build_txkv_hotspot(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(TxKvWorkload::new(
+        txkv::ShardKind::Hash,
+        txkv::KeyDist::Hotspot {
+            hot_keys: 0.1,
+            hot_ops: 0.9,
+        },
+        txkv::OpMix::service(),
+        4,
+    ))
+}
+
+fn build_txkv_multi4(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(TxKvWorkload::new(
+        txkv::ShardKind::Hash,
+        txkv::KeyDist::Zipfian { theta: 0.99 },
+        txkv_multi_mix(),
+        4,
+    ))
+}
+
+fn build_txkv_multi16(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(TxKvWorkload::new(
+        txkv::ShardKind::Hash,
+        txkv::KeyDist::Zipfian { theta: 0.99 },
+        txkv_multi_mix(),
+        16,
+    ))
+}
+
+fn build_txkv_read_heavy(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(TxKvWorkload::new(
+        txkv::ShardKind::Hash,
+        txkv::KeyDist::Zipfian { theta: 0.99 },
+        txkv::OpMix {
+            get_pct: 95,
+            set_pct: 3,
+            cas_pct: 1,
+            del_pct: 0,
+            multi_pct: 1,
+        },
+        4,
+    ))
+}
+
+fn build_txkv_write_heavy(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    // Skip-list shards: the write end of the mix sweep doubles as the
+    // ordered-structure coverage of the family.
+    Box::new(TxKvWorkload::new(
+        txkv::ShardKind::SkipList,
+        txkv::KeyDist::Zipfian { theta: 0.99 },
+        txkv::OpMix {
+            get_pct: 30,
+            set_pct: 40,
+            cas_pct: 10,
+            del_pct: 10,
+            multi_pct: 10,
+        },
+        4,
+    ))
+}
+
+// ---------------------------------------------------------------------
 // Registries.
 // ---------------------------------------------------------------------
 
@@ -654,6 +826,62 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             structure: "64xTVar",
             uses_composed_pct: false,
             build: build_fsync_batch,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "txkv-uniform",
+            summary: "txkv service mix over uniform keys (skew sweep baseline)",
+            structure: "8xHashShardKV",
+            uses_composed_pct: false,
+            build: build_txkv_uniform,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "txkv-zipf",
+            summary: "txkv service mix over zipfian(0.99) keys (skew sweep)",
+            structure: "8xHashShardKV",
+            uses_composed_pct: false,
+            build: build_txkv_zipf,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "txkv-hotspot",
+            summary: "txkv service mix, 90% of ops on 10% of keys (skew sweep)",
+            structure: "8xHashShardKV",
+            uses_composed_pct: false,
+            build: build_txkv_hotspot,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "txkv-multi4",
+            summary: "txkv MULTI-heavy, 4 keys per cross-shard txn (MULTI-size sweep)",
+            structure: "8xHashShardKV",
+            uses_composed_pct: false,
+            build: build_txkv_multi4,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "txkv-multi16",
+            summary: "txkv MULTI-heavy, 16 keys per cross-shard txn (MULTI-size sweep)",
+            structure: "8xHashShardKV",
+            uses_composed_pct: false,
+            build: build_txkv_multi16,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "txkv-read-heavy",
+            summary: "txkv 95% GET (read end of the read/write-mix sweep)",
+            structure: "8xHashShardKV",
+            uses_composed_pct: false,
+            build: build_txkv_read_heavy,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "txkv-write-heavy",
+            summary: "txkv 70% updates over skip-list shards (write end of the mix sweep)",
+            structure: "8xSkipShardKV",
+            uses_composed_pct: false,
+            build: build_txkv_write_heavy,
             sequential: None,
         },
     ]
@@ -752,7 +980,14 @@ pub fn run_timed_dyn(
         stop.store(true, Ordering::Relaxed);
     });
     let elapsed = started.elapsed();
-    Measurement::from_run(total_ops.load(Ordering::Relaxed), elapsed, &at.stats())
+    let m = Measurement::from_run(total_ops.load(Ordering::Relaxed), elapsed, &at.stats());
+    // Per-window percentiles: draining here means a warmed workload
+    // instance reused across thread counts reports each window's own
+    // latency, not a running mixture.
+    match workload.take_latency() {
+        Some(latency) => m.with_latency(latency),
+        None => m,
+    }
 }
 
 /// Fixed-work facade run for the Criterion benches: every worker performs
@@ -1035,14 +1270,85 @@ mod tests {
                 "queue-snapshot",
                 "or-else-fallback",
                 "contention-sweep",
-                "fsync-batch"
+                "fsync-batch",
+                "txkv-uniform",
+                "txkv-zipf",
+                "txkv-hotspot",
+                "txkv-multi4",
+                "txkv-multi16",
+                "txkv-read-heavy",
+                "txkv-write-heavy"
             ]
         );
         assert!(scenario("fig6").unwrap().uses_composed_pct());
         assert!(!scenario("bank-transfer").unwrap().uses_composed_pct());
         assert!(!scenario("contention-sweep").unwrap().uses_composed_pct());
         assert!(!scenario("fsync-batch").unwrap().uses_composed_pct());
+        for s in scenarios() {
+            assert_eq!(
+                s.name().starts_with("txkv-"),
+                s.structure().ends_with("ShardKV"),
+                "{} structure {}",
+                s.name(),
+                s.structure()
+            );
+            if s.name().starts_with("txkv-") {
+                assert!(!s.uses_composed_pct(), "{}", s.name());
+            }
+        }
         assert!(scenario("nope").is_none());
+    }
+
+    #[test]
+    fn txkv_scenarios_report_latency_percentiles() {
+        let plan = MatrixPlan {
+            scenarios: vec!["txkv-zipf".into(), "txkv-multi4".into()],
+            backends: vec!["oe".into(), "tl2".into()],
+            threads: vec![1, 2],
+            duration: Duration::from_millis(30),
+            composed: vec![5],
+            cms: vec![None],
+            seed: 21,
+            include_sequential: true,
+            durable: false,
+        };
+        let rows = run_matrix(&plan).expect("valid plan");
+        // No sequential reference: 2 scenarios × 2 backends × 2 threads.
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            assert!(r.m.ops > 0, "{}/{} produced no ops", r.scenario, r.backend);
+            assert!(
+                r.m.p50_us > 0.0 || r.m.p999_us > 0.0,
+                "{}/{} @ {} threads: txkv rows must carry latency, got {:?}",
+                r.scenario,
+                r.backend,
+                r.threads,
+                r.m
+            );
+            assert!(r.m.p50_us <= r.m.p99_us && r.m.p99_us <= r.m.p999_us);
+        }
+        // The latency fields survive the JSON round trip (schema v2).
+        let text = crate::json::render(&rows, 21);
+        let back = crate::json::parse_rows(&text).expect("v2 rows round-trip");
+        assert!(back.iter().any(|r| r.m.p99_us > 0.0));
+    }
+
+    #[test]
+    fn non_txkv_scenarios_leave_latency_zeroed() {
+        let plan = MatrixPlan {
+            scenarios: vec!["fig8".into()],
+            backends: vec!["tl2".into()],
+            threads: vec![1],
+            duration: Duration::from_millis(20),
+            composed: vec![5],
+            cms: vec![None],
+            seed: 4,
+            include_sequential: false,
+            durable: false,
+        };
+        let rows = run_matrix(&plan).expect("valid plan");
+        assert_eq!(rows[0].m.p50_us, 0.0);
+        assert_eq!(rows[0].m.p999_us, 0.0);
     }
 
     #[test]

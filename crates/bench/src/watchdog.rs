@@ -95,6 +95,9 @@ impl Cell {
                 cm_waits: 0,
                 elastic_cuts: 0,
                 outherits: 0,
+                p50_us: 0.0,
+                p99_us: 0.0,
+                p999_us: 0.0,
                 elapsed: bound,
             },
         }

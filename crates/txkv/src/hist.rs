@@ -1,0 +1,234 @@
+// lint:hot-path
+//! Fixed-bucket lock-free latency histogram — the txkv record path.
+//!
+//! Layout: the first `LINEAR_BUCKETS` (32) buckets are 1 µs wide; above
+//! that, buckets are log₂-major with `SUB_BUCKETS` (32) linear sub-buckets
+//! per octave (an HDR-style 5-bit mantissa), so relative quantization
+//! error stays ≤ 1/32 ≈ 3% across the whole range. The top bucket
+//! absorbs everything past ~19 hours, which is not a latency but a bug.
+//!
+//! [`record_us`](LatencyHistogram::record_us) is the hot path: one pure
+//! index computation plus one relaxed `fetch_add` — no allocation, no
+//! locks, no clock reads (callers time the operation and pass the
+//! elapsed microseconds in). The workspace `zero_alloc` counting-
+//! allocator test pins the no-allocation property; this file carries the
+//! `lint:hot-path` tag so `xtask lint` rejects allocating or
+//! clock-reading constructs at the source level too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per octave above the linear range (5-bit mantissa).
+const SUB_BUCKETS: u64 = 32;
+/// Values below this many µs get their own 1 µs bucket.
+const LINEAR_BUCKETS: u64 = SUB_BUCKETS;
+/// Total bucket count: 32 octaves of 32 sub-buckets. The last bucket's
+/// floor is `(63) << 30` µs ≈ 18.8 hours.
+pub const BUCKETS: usize = (SUB_BUCKETS * SUB_BUCKETS) as usize;
+
+/// Bucket index of a microsecond value (monotone in `us`).
+#[must_use]
+fn bucket_of(us: u64) -> usize {
+    if us < LINEAR_BUCKETS {
+        return us as usize;
+    }
+    // Position of the most significant set bit (≥ 5 here).
+    let msb = 63 - u64::from(us.leading_zeros());
+    let major = msb - 4;
+    let minor = (us >> (msb - 5)) & (SUB_BUCKETS - 1);
+    let idx = (major * SUB_BUCKETS + minor) as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// Lower edge of bucket `b`, in µs — the value percentiles report.
+#[must_use]
+fn bucket_floor(b: usize) -> u64 {
+    let b = b as u64;
+    if b < LINEAR_BUCKETS {
+        return b;
+    }
+    let major = b / SUB_BUCKETS;
+    let minor = b % SUB_BUCKETS;
+    (SUB_BUCKETS + minor) << (major - 1)
+}
+
+/// Latency percentiles drained from a histogram, in microseconds.
+/// Percentile values are bucket lower edges (≤ 3% quantization).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Operations recorded.
+    pub count: u64,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: f64,
+    /// 99.9th-percentile latency (µs).
+    pub p999_us: f64,
+}
+
+/// A fixed-size, lock-free histogram of per-operation latencies.
+///
+/// All buckets are allocated at construction; recording touches exactly
+/// one `AtomicU64`. Any number of threads may record concurrently while
+/// one reader drains.
+pub struct LatencyHistogram {
+    buckets: std::boxed::Box<[AtomicU64]>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (the only allocation this type ever performs).
+    #[must_use]
+    pub fn new() -> Self {
+        let buckets: std::vec::Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+        }
+    }
+
+    /// Record one operation that took `us` microseconds. Lock-free and
+    /// allocation-free — safe on the hottest path.
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total operations recorded (racy snapshot under concurrent
+    /// recording, exact when quiescent).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Drain the histogram: atomically take every bucket's count (the
+    /// histogram reads as empty afterwards) and reduce the taken counts
+    /// to percentiles. One drain per measurement window gives
+    /// per-window percentiles from a shared instance.
+    pub fn drain(&self) -> LatencySummary {
+        let mut counts = [0u64; BUCKETS];
+        let mut total = 0u64;
+        for (slot, bucket) in counts.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.swap(0, Ordering::Relaxed);
+            total += *slot;
+        }
+        if total == 0 {
+            return LatencySummary::default();
+        }
+        let pct = |q: f64| {
+            // 1-based rank of the q-quantile observation.
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (b, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_floor(b) as f64;
+                }
+            }
+            bucket_floor(BUCKETS - 1) as f64
+        };
+        LatencySummary {
+            count: total,
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+            p999_us: pct(0.999),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_contiguous() {
+        let mut last = 0usize;
+        for us in 0..100_000u64 {
+            let b = bucket_of(us);
+            assert!(b >= last, "bucket_of must be monotone at {us}");
+            assert!(b - last <= 1, "no gaps at {us}");
+            last = b;
+        }
+        // Every bucket's floor maps back into that bucket.
+        for b in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(b)), b, "floor of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for us in [100u64, 999, 5_000, 123_456, 10_000_000] {
+            let floor = bucket_floor(bucket_of(us));
+            assert!(floor <= us);
+            assert!(
+                (us - floor) as f64 / us as f64 <= 1.0 / 32.0 + 1e-9,
+                "error too large at {us}: floor {floor}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp_to_the_top_bucket() {
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        let h = LatencyHistogram::new();
+        h.record_us(u64::MAX);
+        let s = h.drain();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_us, bucket_floor(BUCKETS - 1) as f64);
+    }
+
+    #[test]
+    fn percentiles_of_a_known_distribution() {
+        let h = LatencyHistogram::new();
+        // 1000 ops at 10 µs, 10 at 1000 µs: p50 = 10, p99 = 10 (rank 1000
+        // of 1010 lands in the bulk), p999 = 1000-ish.
+        for _ in 0..1000 {
+            h.record_us(10);
+        }
+        for _ in 0..10 {
+            h.record_us(1000);
+        }
+        let s = h.drain();
+        assert_eq!(s.count, 1010);
+        assert_eq!(s.p50_us, 10.0);
+        assert_eq!(s.p99_us, 10.0);
+        let p999_floor = bucket_floor(bucket_of(1000)) as f64;
+        assert_eq!(s.p999_us, p999_floor);
+        assert!(s.p999_us >= 960.0, "{}", s.p999_us);
+    }
+
+    #[test]
+    fn drain_resets_the_histogram() {
+        let h = LatencyHistogram::new();
+        h.record_us(5);
+        assert_eq!(h.drain().count, 1);
+        assert_eq!(h.drain(), LatencySummary::default());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_us(t * 1000 + i % 100);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.drain().count, 40_000);
+    }
+}

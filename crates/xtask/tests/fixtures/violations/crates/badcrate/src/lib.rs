@@ -1,6 +1,7 @@
 //! Seeded violation: crate root that dropped the unsafe-forbid attribute.
 
 pub mod clocky;
+pub mod histo;
 pub mod hook;
 pub mod hot;
 

@@ -36,12 +36,22 @@ fn seeded_fixtures_trip_every_rule() {
     assert!(violations
         .iter()
         .any(|v| v.rule == "unsafe-forbid" && v.file == Path::new("crates/badcrate/src/lib.rs")));
-    // Both the Instant and the format! land; the lint:allow line does not.
+    // hot.rs: both the Instant and the format! land; the lint:allow line
+    // does not. histo.rs (the allocating histogram): the Box::new and the
+    // vec! on the record path each fire — proof the txkv `LatencyHistogram`
+    // pin would catch an allocator on the record path.
     let hot: Vec<_> = violations.iter().filter(|v| v.rule == "hot-path").collect();
     assert_eq!(
         hot.len(),
+        4,
+        "Instant + format! + Box::new + vec!, waived vec stays quiet: {hot:?}"
+    );
+    assert_eq!(
+        hot.iter()
+            .filter(|v| v.file == Path::new("crates/badcrate/src/histo.rs"))
+            .count(),
         2,
-        "Instant + format!, waived vec stays quiet: {hot:?}"
+        "the allocating histogram must trip twice (Box::new, vec!): {hot:?}"
     );
     // All three clock read entry points trip outside the blessed modules:
     // the legacy `.now()` in lib.rs, the `.tick()` and lazy-clock

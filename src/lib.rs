@@ -12,6 +12,9 @@
 //!   VIII's "general principle" claim, executable)
 //! * [`histories`] — the executable formal model of Sections II–IV
 //! * [`cec`] — the composable collections package of Section VI
+//! * [`txkv`] — the service layer: a sharded transactional keyspace
+//!   (`GET`/`SET`/`CAS`/`DEL`/`MULTI`) with open-loop load generation and
+//!   latency-percentile measurement
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
@@ -25,6 +28,7 @@ pub use stm_core;
 pub use stm_lsa;
 pub use stm_swiss;
 pub use stm_tl2;
+pub use txkv;
 
 use stm_core::dynstm::BackendRegistry;
 
