@@ -93,11 +93,12 @@ pub fn parse_rows(text: &str) -> Result<BTreeMap<RowKey, f64>, String> {
 }
 
 /// The numeric per-row fields that `merge` medians over, in schema order.
-/// `explicit_retries`, `cm_waits` and the v2 `latency_*` trio are optional
-/// in the schema (older artifacts predate them) and default to 0 when
-/// absent — so v1 and v2 artifacts flow through the same merge/compare
-/// machinery.
-const MERGE_FIELDS: [&str; 11] = [
+/// `explicit_retries`, `cm_waits`, the wait trio
+/// (`retry_parks`/`wakeups`/`spurious_wakeups`) and the v2 `latency_*`
+/// trio are optional in the schema (older artifacts predate them) and
+/// default to 0 when absent — so artifacts from every schema era flow
+/// through the same merge/compare machinery.
+const MERGE_FIELDS: [&str; 14] = [
     "ops",
     "throughput",
     "abort_rate",
@@ -105,6 +106,9 @@ const MERGE_FIELDS: [&str; 11] = [
     "outherits",
     "explicit_retries",
     "cm_waits",
+    "retry_parks",
+    "wakeups",
+    "spurious_wakeups",
     "latency_p50_us",
     "latency_p99_us",
     "latency_p999_us",
@@ -192,6 +196,7 @@ pub fn merge(texts: &[&str]) -> Result<String, String> {
              \"composed_pct\": {composed}, \"ops\": {}, \"throughput\": {:.6}, \
              \"abort_rate\": {:.6}, \"elastic_cuts\": {}, \"outherits\": {}, \
              \"explicit_retries\": {}, \"cm_waits\": {}, \
+             \"retry_parks\": {}, \"wakeups\": {}, \"spurious_wakeups\": {}, \
              \"latency_p50_us\": {:.6}, \"latency_p99_us\": {:.6}, \
              \"latency_p999_us\": {:.6}, \"elapsed_ms\": {:.6}}}{}\n",
             json::escape(scenario),
@@ -204,10 +209,13 @@ pub fn merge(texts: &[&str]) -> Result<String, String> {
             med(4) as u64,
             med(5) as u64,
             med(6) as u64,
-            med(7),
-            med(8),
-            med(9),
+            med(7) as u64,
+            med(8) as u64,
+            med(9) as u64,
             med(10),
+            med(11),
+            med(12),
+            med(13),
             if i + 1 == total { "" } else { "," }
         ));
     }
@@ -399,6 +407,9 @@ mod tests {
                 aborts: 100,
                 explicit_retries: 0,
                 cm_waits: 0,
+                retry_parks: 0,
+                wakeups: 0,
+                spurious_wakeups: 0,
                 elastic_cuts: 0,
                 outherits: 0,
                 p50_us: 0.0,
@@ -689,9 +700,9 @@ mod tests {
         crate::json::validate(&merged).expect("merged v2 rows must validate");
         let rows = parse_full_rows(&merged).unwrap();
         let (_, (fields, _)) = rows.iter().next().unwrap();
-        assert!((fields[7] - 15.0).abs() < 1e-6, "p50 median");
-        assert!((fields[8] - 200.0).abs() < 1e-6, "p99 median");
-        assert!((fields[9] - 2000.0).abs() < 1e-6, "p999 median");
+        assert!((fields[10] - 15.0).abs() < 1e-6, "p50 median");
+        assert!((fields[11] - 200.0).abs() < 1e-6, "p99 median");
+        assert!((fields[12] - 2000.0).abs() < 1e-6, "p999 median");
         // Merging v1 inputs still works — latency reads as 0 throughout.
         let a = as_v1(&doc(&[row("fig6", "tl2", 1, 100.0)]));
         let b = as_v1(&doc(&[row("fig6", "tl2", 1, 300.0)]));
@@ -700,7 +711,37 @@ mod tests {
         let rows = parse_full_rows(&merged).unwrap();
         let (_, (fields, _)) = rows.iter().next().unwrap();
         assert!((fields[1] - 200.0).abs() < 1e-6, "throughput median");
-        assert_eq!(fields[7], 0.0, "absent latency medians to 0");
+        assert_eq!(fields[10], 0.0, "absent latency medians to 0");
+    }
+
+    #[test]
+    fn merge_medians_the_wait_trio_and_defaults_it_on_old_inputs() {
+        // The BENCH_pr10 protocol: wake-scenario baselines are 5-run
+        // medians, and the park accounting must survive the merge (the
+        // first merged wake baseline silently zeroed it).
+        let mut a_row = row("wake-storm", "tl2", 2, 100.0);
+        a_row.m.retry_parks = 10;
+        a_row.m.wakeups = 4;
+        a_row.m.spurious_wakeups = 6;
+        let mut b_row = row("wake-storm", "tl2", 2, 120.0);
+        b_row.m.retry_parks = 30;
+        b_row.m.wakeups = 12;
+        b_row.m.spurious_wakeups = 18;
+        let merged = merge(&[&doc(&[a_row]), &doc(&[b_row])]).unwrap();
+        crate::json::validate(&merged).expect("merged wake rows must validate");
+        assert!(merged.contains("\"retry_parks\": 20"), "{merged}");
+        assert!(merged.contains("\"wakeups\": 8"), "{merged}");
+        assert!(merged.contains("\"spurious_wakeups\": 12"), "{merged}");
+        // Artifacts from before the trio merge with it defaulting to 0.
+        let a = doc(&[row("fig6", "tl2", 1, 100.0)]);
+        let stripped = a
+            .replace("\"retry_parks\": 0, ", "")
+            .replace("\"wakeups\": 0, ", "")
+            .replace("\"spurious_wakeups\": 0, ", "");
+        let merged = merge(&[&stripped, &a]).unwrap();
+        let rows = parse_full_rows(&merged).unwrap();
+        let (_, (fields, _)) = rows.iter().next().unwrap();
+        assert_eq!(fields[7], 0.0, "absent retry_parks medians to 0");
     }
 
     #[test]

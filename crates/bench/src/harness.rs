@@ -31,6 +31,14 @@ pub struct Measurement {
     /// how often conflict losers actually waited before retrying. Zero
     /// under the `suicide` policy by construction.
     pub cm_waits: u64,
+    /// Times an `ExplicitRetry` attempt parked on its read set waiting
+    /// for a committing writer (0 for workloads that never `retry()`).
+    pub retry_parks: u64,
+    /// Parked waiters woken by a commit to their read set.
+    pub wakeups: u64,
+    /// Parks that ended without a matching commit notification (bounded
+    /// timeout or invalidated read set) — the liveness safety-net firing.
+    pub spurious_wakeups: u64,
     /// Elastic cuts taken (OE-STM only; 0 elsewhere).
     pub elastic_cuts: u64,
     /// `outherit()` invocations — child protected sets passed to parents
@@ -59,6 +67,9 @@ impl Measurement {
             aborts: snap.aborts(),
             explicit_retries: snap.explicit_retries(),
             cm_waits: snap.cm_waits(),
+            retry_parks: snap.retry_parks,
+            wakeups: snap.wakeups,
+            spurious_wakeups: snap.spurious_wakeups,
             elastic_cuts: snap.elastic_cuts,
             outherits: snap.outherits,
             p50_us: 0.0,
@@ -228,6 +239,9 @@ pub fn run_sequential(
         aborts: 0,
         explicit_retries: 0,
         cm_waits: 0,
+        retry_parks: 0,
+        wakeups: 0,
+        spurious_wakeups: 0,
         elastic_cuts: 0,
         outherits: 0,
         p50_us: 0.0,

@@ -75,10 +75,16 @@ pub const ROW_FIELDS: [(&str, bool); 11] = [
 /// The `latency_*` trio (schema v2) carries per-op latency percentiles in
 /// microseconds; only the txkv service scenarios record them (0 for
 /// throughput-only workloads), and v1 artifacts simply lack them.
-pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 10] = [
+/// The wait trio (`retry_parks`/`wakeups`/`spurious_wakeups`) arrived
+/// with the wake-on-commit subsystem; artifacts from before it simply
+/// lack the fields and default to 0.
+pub const OPTIONAL_ROW_FIELDS: [(&str, bool); 13] = [
     ("explicit_retries", true),
     ("cm", false),
     ("cm_waits", true),
+    ("retry_parks", true),
+    ("wakeups", true),
+    ("spurious_wakeups", true),
     ("system", false),
     ("commits", true),
     ("aborts", true),
@@ -144,6 +150,7 @@ pub fn render(rows: &[BenchRow], seed: u64) -> String {
              \"abort_rate\": {}, \"commits\": {}, \"aborts\": {}, \
              \"elastic_cuts\": {}, \"outherits\": {}, \
              \"explicit_retries\": {}, \"cm_waits\": {}, \
+             \"retry_parks\": {}, \"wakeups\": {}, \"spurious_wakeups\": {}, \
              \"latency_p50_us\": {}, \"latency_p99_us\": {}, \
              \"latency_p999_us\": {}, \"elapsed_ms\": {}}}{}\n",
             escape(&r.scenario),
@@ -161,6 +168,9 @@ pub fn render(rows: &[BenchRow], seed: u64) -> String {
             r.m.outherits,
             r.m.explicit_retries,
             r.m.cm_waits,
+            r.m.retry_parks,
+            r.m.wakeups,
+            r.m.spurious_wakeups,
             num(r.m.p50_us),
             num(r.m.p99_us),
             num(r.m.p999_us),
@@ -577,6 +587,9 @@ pub fn parse_rows(text: &str) -> Result<Vec<BenchRow>, String> {
                     aborts: get_num(row, "aborts") as u64,
                     explicit_retries: get_num(row, "explicit_retries") as u64,
                     cm_waits: get_num(row, "cm_waits") as u64,
+                    retry_parks: get_num(row, "retry_parks") as u64,
+                    wakeups: get_num(row, "wakeups") as u64,
+                    spurious_wakeups: get_num(row, "spurious_wakeups") as u64,
                     elastic_cuts: get_num(row, "elastic_cuts") as u64,
                     outherits: get_num(row, "outherits") as u64,
                     p50_us: get_num(row, "latency_p50_us"),
@@ -615,6 +628,9 @@ mod tests {
                 aborts: 330,
                 explicit_retries: 3,
                 cm_waits: 21,
+                retry_parks: 2,
+                wakeups: 2,
+                spurious_wakeups: 1,
                 elastic_cuts: 7,
                 outherits: 13,
                 p50_us: 12.0,
@@ -637,6 +653,9 @@ mod tests {
         assert_eq!(row["elastic_cuts"].as_num(), Some(7.0));
         assert_eq!(row["explicit_retries"].as_num(), Some(3.0));
         assert_eq!(row["cm_waits"].as_num(), Some(21.0));
+        assert_eq!(row["retry_parks"].as_num(), Some(2.0));
+        assert_eq!(row["wakeups"].as_num(), Some(2.0));
+        assert_eq!(row["spurious_wakeups"].as_num(), Some(1.0));
         assert!(
             !row.contains_key("cm"),
             "default-policy rows must stay key-compatible with old baselines"
@@ -677,6 +696,9 @@ mod tests {
             aborts: 0,
             explicit_retries: 0,
             cm_waits: 0,
+            retry_parks: 0,
+            wakeups: 0,
+            spurious_wakeups: 0,
             elastic_cuts: 0,
             outherits: 0,
             p50_us: 0.0,
@@ -704,6 +726,9 @@ mod tests {
             assert_eq!(got.m.aborts, orig.m.aborts);
             assert_eq!(got.m.explicit_retries, orig.m.explicit_retries);
             assert_eq!(got.m.cm_waits, orig.m.cm_waits);
+            assert_eq!(got.m.retry_parks, orig.m.retry_parks);
+            assert_eq!(got.m.wakeups, orig.m.wakeups);
+            assert_eq!(got.m.spurious_wakeups, orig.m.spurious_wakeups);
             assert_eq!(got.m.elastic_cuts, orig.m.elastic_cuts);
             assert_eq!(got.m.outherits, orig.m.outherits);
             assert!((got.m.throughput - orig.m.throughput).abs() < 1e-6);
@@ -768,6 +793,29 @@ mod tests {
         );
         let err = validate(&mistyped).unwrap_err();
         assert!(err.contains("latency_p99_us"), "{err}");
+    }
+
+    #[test]
+    fn artifacts_without_the_wake_trio_still_validate_and_parse() {
+        // Baselines from before wake-on-commit lack the wait counters.
+        let text = render(&[sample_row()], 1)
+            .replace("\"retry_parks\": 2, ", "")
+            .replace("\"wakeups\": 2, ", "")
+            .replace("\"spurious_wakeups\": 1, ", "");
+        assert!(
+            !text.contains("retry_parks"),
+            "test setup stripped the trio"
+        );
+        validate(&text).expect("pre-wake baselines must keep validating");
+        let rows = parse_rows(&text).expect("pre-wake baselines must keep parsing");
+        assert_eq!(rows[0].m.retry_parks, 0, "missing counters default to 0");
+        assert_eq!(rows[0].m.wakeups, 0);
+        assert_eq!(rows[0].m.spurious_wakeups, 0);
+        // A present-but-mistyped wake field is still an error.
+        let mistyped =
+            render(&[sample_row()], 1).replace("\"wakeups\": 2", "\"wakeups\": \"lots\"");
+        let err = validate(&mistyped).unwrap_err();
+        assert!(err.contains("wakeups"), "{err}");
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! | `or-else-fallback` | 2 × `TxQueue` | `or_else` drain: primary retries on empty, fallback serves |
 //! | `contention-sweep` | 8 hot `TVar`s + gate | retry-storm pressure: hot RMWs + gated `or_else` retries |
 //! | `fsync-batch` | 64 `TVar` slots | write-heavy: nearly every op commits an update (the `--durable` axis's group-commit showcase) |
+//! | `wake-storm` | 4 mailbox `TVar`s | producers wake parked `retry()` consumers; rows carry wakeup-latency percentiles |
+//! | `waiter-army` | 1 × `TxQueue` | 85% blocking dequeues park on the head links; 15% enqueue bursts wake the crowd |
 //! | `txkv-uniform` | 8 hash-shard `KeySpace` | txkv service mix, uniform keys (the skew sweep's baseline) |
 //! | `txkv-zipf` | 8 hash-shard `KeySpace` | txkv service mix, zipfian(0.99) keys |
 //! | `txkv-hotspot` | 8 hash-shard `KeySpace` | txkv service mix, 90% of ops on 10% of keys |
@@ -590,6 +592,147 @@ fn build_fsync_batch(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
 }
 
 // ---------------------------------------------------------------------
+// Wake-storm scenario: committing producers wake parked consumers.
+// ---------------------------------------------------------------------
+
+/// Mailbox slots the storm runs over: few enough that several consumers
+/// pile up parked on the same slot, so one producing commit wakes a crowd.
+const STORM_SLOTS: usize = 4;
+/// Parks a consumer tolerates before giving its step up. Bounds the
+/// produceless corner (a single-threaded row samples consumers far more
+/// often than producers), so no step can block past its patience — and
+/// keeps a failed consume cheap enough that producer steps still flow
+/// at low thread counts.
+const STORM_PATIENCE: u32 = 6;
+
+/// The wake/notify subsystem's showcase: 40% of steps are *producers*
+/// that publish a timestamped token into a random mailbox slot, 60% are
+/// *consumers* that take the slot's token — or, finding it empty, call
+/// `retry()` and park on the slot until a producing commit wakes them.
+/// Consumers that actually parked record publish-to-consume time into
+/// the latency histogram, so the row's p50/p99/p999 are *wakeup latency*
+/// percentiles, not op service time. Between park and wake a consumer
+/// burns no CPU — the throughput column measures the woken path, not a
+/// spin loop.
+struct WakeStormWorkload {
+    slots: Vec<TVar<u64>>,
+    epoch: Instant,
+    hist: txkv::LatencyHistogram,
+}
+
+impl WakeStormWorkload {
+    fn new() -> Self {
+        Self {
+            slots: (0..STORM_SLOTS).map(|_| TVar::new(0u64)).collect(),
+            epoch: Instant::now(),
+            hist: txkv::LatencyHistogram::new(),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        // 0 marks "empty slot", so timestamps are forced odd.
+        (self.epoch.elapsed().as_micros() as u64) | 1
+    }
+}
+
+impl Workload for WakeStormWorkload {
+    fn prefill(&self, _at: &Atomic<Backend>, _seed: u64) {
+        // Slots start empty: the first consumers park immediately.
+    }
+
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng) {
+        let roll = rng.gen_range(0..100u32);
+        let i = rng.gen_range(0..STORM_SLOTS as i64) as usize;
+        if roll < 40 {
+            // Producer: publish a token; the commit notifies every
+            // consumer parked on this slot's wait list.
+            let ts = self.now_us();
+            at.run(Policy::Regular, |tx| tx.set(&self.slots[i], ts));
+        } else {
+            // Consumer: take the token or park on the slot.
+            let mut left = STORM_PATIENCE;
+            let taken = at.run(Policy::Regular, |tx| {
+                let ts = tx.get(&self.slots[i])?;
+                if ts == 0 {
+                    if left == 0 {
+                        return Ok(0);
+                    }
+                    left -= 1;
+                    return tx.retry();
+                }
+                tx.set(&self.slots[i], 0)?;
+                Ok(ts)
+            });
+            // Only consumers that really waited record latency: the gap
+            // from the producer's publish to this consume is wake-up
+            // latency, not slot dwell time.
+            if taken != 0 && left < STORM_PATIENCE {
+                self.hist.record_us(self.now_us().saturating_sub(taken));
+            }
+        }
+    }
+
+    fn take_latency(&self) -> Option<txkv::LatencySummary> {
+        Some(self.hist.drain())
+    }
+}
+
+fn build_wake_storm(_mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(WakeStormWorkload::new())
+}
+
+// ---------------------------------------------------------------------
+// Waiter-army scenario: a parked crowd over one blocking TxQueue.
+// ---------------------------------------------------------------------
+
+/// Parks an army consumer tolerates before abandoning its step (same
+/// produceless-corner bound as [`STORM_PATIENCE`]).
+const ARMY_PATIENCE: u32 = 8;
+/// Elements per producer burst: each committed enqueue of the burst
+/// wakes the whole crowd parked on the head links.
+const ARMY_BURST: usize = 4;
+
+/// The producer/consumer army: 85% of steps are blocking dequeues on one
+/// shared [`TxQueue`], 15% are enqueue bursts. Consumption outpaces
+/// production (0.85 vs 0.60 elements per step in expectation), so the
+/// queue hovers around empty and most dequeues park on the head links —
+/// across a timed multi-thread run the army racks up thousands of parked
+/// waiter episodes (`retry_parks`), every one of them woken by a
+/// producer's commit or a bounded-timeout backstop, never by spinning.
+struct WaiterArmyWorkload {
+    work: TxQueue,
+    key_range: i64,
+}
+
+impl Workload for WaiterArmyWorkload {
+    fn prefill(&self, at: &Atomic<Backend>, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // A small float of elements so the first consumers race real
+        // producers instead of all parking at once on a cold queue.
+        for _ in 0..ARMY_BURST {
+            self.work.enqueue(at, rng.gen_range(0..self.key_range));
+        }
+    }
+
+    fn step(&self, at: &Atomic<Backend>, rng: &mut SmallRng) {
+        if rng.gen_range(0..100u32) < 15 {
+            for _ in 0..ARMY_BURST {
+                self.work.enqueue(at, rng.gen_range(0..self.key_range));
+            }
+        } else {
+            self.work.dequeue_blocking_bounded(at, ARMY_PATIENCE);
+        }
+    }
+}
+
+fn build_waiter_army(mix: Mix) -> Box<dyn Workload + Send + Sync> {
+    Box::new(WaiterArmyWorkload {
+        work: TxQueue::new(),
+        key_range: mix.key_range,
+    })
+}
+
+// ---------------------------------------------------------------------
 // The txkv service family: keyed traffic with latency percentiles.
 // ---------------------------------------------------------------------
 
@@ -826,6 +969,22 @@ pub fn scenarios() -> Vec<ScenarioSpec> {
             structure: "64xTVar",
             uses_composed_pct: false,
             build: build_fsync_batch,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "wake-storm",
+            summary: "producers wake parked retry() consumers; wakeup-latency percentiles",
+            structure: "4xTVar-mailbox",
+            uses_composed_pct: false,
+            build: build_wake_storm,
+            sequential: None,
+        },
+        ScenarioSpec {
+            name: "waiter-army",
+            summary: "blocking-dequeue army parks on one TxQueue; producer bursts wake the crowd",
+            structure: "TxQueue",
+            uses_composed_pct: false,
+            build: build_waiter_army,
             sequential: None,
         },
         ScenarioSpec {
@@ -1271,6 +1430,8 @@ mod tests {
                 "or-else-fallback",
                 "contention-sweep",
                 "fsync-batch",
+                "wake-storm",
+                "waiter-army",
                 "txkv-uniform",
                 "txkv-zipf",
                 "txkv-hotspot",
@@ -1490,6 +1651,50 @@ mod tests {
                 r.m
             );
         }
+    }
+
+    #[test]
+    fn wake_scenarios_park_and_record_wakeups() {
+        let plan = MatrixPlan {
+            scenarios: vec!["wake-storm".into(), "waiter-army".into()],
+            backends: vec!["tl2".into(), "oe".into()],
+            threads: vec![2],
+            duration: Duration::from_millis(80),
+            composed: vec![5],
+            cms: vec![None],
+            seed: 17,
+            include_sequential: true,
+            durable: false,
+        };
+        let rows = run_matrix(&plan).expect("valid plan");
+        assert_eq!(rows.len(), 4, "no sequential reference for either");
+        for r in &rows {
+            assert!(r.m.ops > 0, "{}/{} produced no ops", r.scenario, r.backend);
+            assert!(
+                r.m.retry_parks > 0,
+                "{}/{}: consumers must park, got {:?}",
+                r.scenario,
+                r.backend,
+                r.m
+            );
+            assert!(
+                r.m.wakeups > 0,
+                "{}/{}: producing commits must wake parked consumers, got {:?}",
+                r.scenario,
+                r.backend,
+                r.m
+            );
+        }
+        let storm = rows.iter().find(|r| r.scenario == "wake-storm").unwrap();
+        assert!(
+            storm.m.p999_us >= storm.m.p50_us,
+            "wakeup percentiles must be ordered: {:?}",
+            storm.m
+        );
+        // The wait counters survive the JSON round trip.
+        let text = crate::json::render(&rows, 17);
+        let back = crate::json::parse_rows(&text).expect("rows round-trip");
+        assert!(back.iter().all(|r| r.m.retry_parks > 0 && r.m.wakeups > 0));
     }
 
     #[test]

@@ -93,6 +93,9 @@ impl Cell {
                 aborts: 0,
                 explicit_retries: 0,
                 cm_waits: 0,
+                retry_parks: 0,
+                wakeups: 0,
+                spurious_wakeups: 0,
                 elastic_cuts: 0,
                 outherits: 0,
                 p50_us: 0.0,

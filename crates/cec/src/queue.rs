@@ -186,6 +186,57 @@ impl TxQueue {
         out
     }
 
+    /// Atomic *blocking* dequeue: when the queue is empty the
+    /// transaction calls [`retry`](stm_core::api::Tx::retry) and parks
+    /// until a producer's committed enqueue touches the links it read,
+    /// so a waiting consumer burns no CPU. The waiter-army benchmark
+    /// scenario drives thousands of parked consumers through this path.
+    pub fn dequeue_blocking<B: AtomicBackend>(&self, at: &Atomic<B>) -> i64 {
+        let guard = pin();
+        let mut unlinked: Vec<u64> = Vec::new();
+        let out = at.run(Policy::Regular, |tx| {
+            unlinked.clear();
+            match self.dequeue_in(tx, &mut unlinked)? {
+                Some(v) => Ok(v),
+                None => tx.retry(),
+            }
+        });
+        for idx in unlinked {
+            self.arena.retire(idx, &guard);
+        }
+        out
+    }
+
+    /// Bounded-patience blocking dequeue: parks like
+    /// [`dequeue_blocking`](Self::dequeue_blocking), but after `patience`
+    /// empty attempts gives up and returns `None` instead of waiting for
+    /// a producer that may never come — the form benchmark consumers
+    /// use, so a produceless cell (every thread consuming) stays bounded.
+    pub fn dequeue_blocking_bounded<B: AtomicBackend>(
+        &self,
+        at: &Atomic<B>,
+        patience: u32,
+    ) -> Option<i64> {
+        let guard = pin();
+        let mut unlinked: Vec<u64> = Vec::new();
+        let mut left = patience;
+        let out = at.run(Policy::Regular, |tx| {
+            unlinked.clear();
+            match self.dequeue_in(tx, &mut unlinked)? {
+                Some(v) => Ok(Some(v)),
+                None if left > 0 => {
+                    left -= 1;
+                    tx.retry()
+                }
+                None => Ok(None),
+            }
+        });
+        for idx in unlinked {
+            self.arena.retire(idx, &guard);
+        }
+        out
+    }
+
     /// Atomic peek.
     pub fn peek<B: AtomicBackend>(&self, at: &Atomic<B>) -> Option<i64> {
         let _guard = pin();
@@ -309,6 +360,45 @@ mod tests {
     #[test]
     fn fifo_under_tl2() {
         fifo_order(&Atomic::new(Tl2::new()));
+    }
+
+    #[test]
+    fn dequeue_blocking_parks_until_a_producer_commits() {
+        use std::sync::Arc;
+        // A consumer parks on the empty queue; the producer's committed
+        // enqueue wakes it. FIFO drain proves each element is consumed
+        // exactly once even when consumers had to wait.
+        let at = Arc::new(Atomic::new(Tl2::new()));
+        let q = Arc::new(TxQueue::new());
+        let consumer = {
+            let at = Arc::clone(&at);
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || (0..3).map(|_| q.dequeue_blocking(&at)).collect::<Vec<_>>())
+        };
+        for v in [10, 20, 30] {
+            q.enqueue(&at, v);
+        }
+        let got = consumer.join().unwrap();
+        assert_eq!(got, [10, 20, 30]);
+        assert!(q.is_empty(&at));
+        let snap = at.stats();
+        assert_eq!(snap.wakeups + snap.spurious_wakeups, snap.retry_parks);
+    }
+
+    #[test]
+    fn bounded_blocking_dequeue_gives_up_on_a_produceless_queue() {
+        let at = Atomic::new(Tl2::new());
+        let q = TxQueue::new();
+        // Empty queue, nobody producing: the bounded form parks its
+        // patience out and returns None instead of blocking forever.
+        assert_eq!(q.dequeue_blocking_bounded(&at, 3), None);
+        let snap = at.stats();
+        assert_eq!(snap.retry_parks, 3, "{snap:?}");
+        assert_eq!(snap.explicit_retries(), 3);
+        // With an element present it consumes without parking.
+        q.enqueue(&at, 42);
+        assert_eq!(q.dequeue_blocking_bounded(&at, 3), Some(42));
+        assert_eq!(at.stats().retry_parks, 3, "no new park when non-empty");
     }
 
     #[test]

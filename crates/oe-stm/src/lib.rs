@@ -72,9 +72,10 @@ pub use txn::OeTxn;
 
 use std::sync::Arc;
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
-use stm_core::stm::retry_loop_arbitrated;
+use stm_core::stm::{retry_loop_waiting, AttemptFail};
 use stm_core::ticket::next_ticket;
 use stm_core::trace::TraceSink;
+use stm_core::wait;
 use stm_core::{Abort, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats, TxKind};
 
 /// Register this crate's backends: `"oe"` (outheritance on — the paper's
@@ -234,7 +235,8 @@ impl Stm for OeStm {
             txn::OeScratch::acquire(),
             self.config.cm.build(&self.config, seed),
         );
-        retry_loop_arbitrated(&self.config, &self.stats, |attempt| {
+        let mut wait_streak: u32 = 0;
+        retry_loop_waiting(&self.config, &self.stats, |attempt| {
             txn.restart(attempt);
             let outcome = match f(&mut txn) {
                 Ok(r) => match txn.commit() {
@@ -254,7 +256,26 @@ impl Stm for OeStm {
                     txn.cm_commit();
                     Ok(r)
                 }
-                Err(abort) => Err((abort, txn.arbitrate(abort))),
+                Err(abort) => {
+                    if abort.reason.is_explicit_retry() && !wait::alternative_pending() {
+                        // Genuine precondition wait: fold the elastic
+                        // window into the read set and park on the full
+                        // footprint until a commit touches it (uncharged).
+                        if !txn.fold_reads_for_wait() {
+                            return Err(AttemptFail::WouldBlock);
+                        }
+                        wait_streak += 1;
+                        let _ = wait::wait_for_locations(
+                            &mut txn.read_locations(),
+                            &|| txn.reads_still_valid(),
+                            wait_streak,
+                            &self.stats,
+                        );
+                        return Err(AttemptFail::Waited);
+                    }
+                    wait_streak = 0;
+                    Err(AttemptFail::Conflict(abort, txn.arbitrate(abort)))
+                }
             }
         })
     }
@@ -546,7 +567,8 @@ mod tests {
             let mut retried = false;
             stm.run(TxKind::Elastic, |tx| {
                 tx.child(TxKind::Elastic, |tx| {
-                    tx.write(&v, 5)?;
+                    let cur = tx.read(&v)?;
+                    tx.write(&v, cur + 5)?;
                     if !retried {
                         retried = true;
                         return tx.retry();
@@ -562,6 +584,52 @@ mod tests {
                 snap.aborts(),
                 0,
                 "{}: retry counted as conflict",
+                stm.name()
+            );
+            assert_eq!(snap.retry_parks, 1, "{}: retry must park", stm.name());
+            assert_eq!(snap.cm_waits(), 0, "{}: waits are unpaced", stm.name());
+        }
+    }
+
+    #[test]
+    fn waiting_retries_are_not_charged_against_a_bounded_budget() {
+        // max_retries = 1 conflict, but FOUR precondition waits then a
+        // commit: a wait is not a loss, so the run must not exhaust.
+        // Exercised in both registry modes, with the read held in the
+        // elastic window (the wait path must fold it into the read set).
+        for stm in [
+            OeStm::with_config(StmConfig::default().with_max_retries(1)),
+            OeStm::estm_compat_with_config(StmConfig::default().with_max_retries(1)),
+        ] {
+            let v = TVar::new(0u64);
+            let mut waits_left = 4;
+            let r = stm.try_run(TxKind::Elastic, |tx| {
+                let x = tx.read(&v)?;
+                if waits_left > 0 {
+                    waits_left -= 1;
+                    return tx.retry();
+                }
+                tx.write(&v, x + 1)
+            });
+            assert!(r.is_ok(), "{}: waits charged: {r:?}", stm.name());
+            assert_eq!(v.load_atomic(), 1, "{}", stm.name());
+            let snap = stm.stats();
+            assert_eq!(snap.explicit_retries(), 4, "{}", stm.name());
+            assert_eq!(snap.retry_parks, 4, "{}", stm.name());
+            assert_eq!(snap.cm_waits(), 0, "{}", stm.name());
+        }
+    }
+
+    #[test]
+    fn empty_read_set_retry_is_would_block_forever() {
+        // retry() before reading anything: no commit could ever wake
+        // it, so the run ends with the distinct error instead of
+        // parking until a watchdog kills it.
+        for stm in [OeStm::new(), OeStm::estm_compat()] {
+            let r: Result<(), _> = stm.try_run(TxKind::Elastic, |tx| tx.retry());
+            assert!(
+                matches!(r, Err(RunError::WouldBlockForever { attempts: 1 })),
+                "{}: {r:?}",
                 stm.name()
             );
         }

@@ -9,6 +9,7 @@ use stm_core::scratch::TxScratch;
 use stm_core::ticket::next_ticket;
 use stm_core::trace::{AttemptTracer, TraceOp};
 use stm_core::tvar::{ReadConflict, TVarCore};
+use stm_core::wait;
 use stm_core::{Abort, AbortReason, Stm, Transaction, TxKind};
 
 use crate::window::Window;
@@ -208,6 +209,27 @@ impl<'env> OeTxn<'env> {
         }
     }
 
+    /// Fold the current elastic window into the base read set and report
+    /// whether any read is registered — the wait path parks on the full
+    /// footprint of the aborted attempt. (Windows parked in already-popped
+    /// nesting frames are not recovered; the bounded park timeout covers
+    /// the resulting — rare — missed-wake corner.)
+    pub(crate) fn fold_reads_for_wait(&mut self) -> bool {
+        self.window.drain_into(&mut self.scratch.base.reads);
+        !self.scratch.base.reads.is_empty()
+    }
+
+    /// The attempt's read locations, for wait registration.
+    pub(crate) fn read_locations(&self) -> impl Iterator<Item = usize> + '_ {
+        self.scratch.base.reads.iter().map(|e| e.core.id())
+    }
+
+    /// Re-validate the folded read set with no locks held by anyone —
+    /// the park-or-rerun check of the wait protocol.
+    pub(crate) fn reads_still_valid(&self) -> bool {
+        self.scratch.base.reads.validate(None, |_| None)
+    }
+
     /// Top-level commit.
     pub(crate) fn commit(&mut self) -> Result<(), Abort> {
         debug_assert!(self.scratch.frames.is_empty(), "commit with live children");
@@ -251,6 +273,17 @@ impl<'env> OeTxn<'env> {
                 }
             };
             hook.on_commit(&WriteRecord::new(wv, writes.len(), &iter));
+        }
+        // Wake parked retry()-waiters (and backstop sleepers) on every
+        // written location — write locks still held, so notify order is
+        // commit order. Both registry modes pass through here.
+        {
+            let writes = &self.scratch.base.writes;
+            wait::notify_commit(&|f| {
+                for e in writes.iter() {
+                    f(e.core.id());
+                }
+            });
         }
         self.scratch.base.writes.write_back_and_release(wv);
         if let Some(t) = self.tracer.as_mut() {

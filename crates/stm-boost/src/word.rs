@@ -27,12 +27,14 @@
 
 use crate::locks::AbstractLocks;
 use stm_core::clock::GlobalClock;
+use stm_core::cm::{ConflictCtx, ContentionManager};
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::hook::WriteRecord;
-use stm_core::stm::retry_loop;
+use stm_core::stm::{retry_loop_waiting, AttemptFail};
 use stm_core::ticket::next_ticket;
 use stm_core::trace::{AttemptTracer, TraceOp};
 use stm_core::tvar::TVarCore;
+use stm_core::wait;
 use stm_core::{
     Abort, AbortReason, RunError, StatsSnapshot, Stm, StmConfig, StmStats, Transaction, TxKind,
 };
@@ -96,6 +98,10 @@ pub struct BoostWordTxn<'env> {
     held: Vec<i64>,
     /// Compensation log: (location, previous word), in application order.
     undo: Vec<(&'env TVarCore, u64)>,
+    /// First-touch read log: (location, word observed). Boost has no
+    /// version clock, so a parked `retry()` re-validates by *value*
+    /// comparison against these observations.
+    reads: Vec<(&'env TVarCore, u64)>,
     /// Open child depth (flat nesting — bookkeeping only).
     depth: u32,
     tracer: Option<Box<AttemptTracer>>,
@@ -143,6 +149,18 @@ impl<'env> BoostWordTxn<'env> {
                 hook.on_commit(&WriteRecord::new(0, undo.len(), &iter));
             }
         }
+        // Wake parked retry()-waiters (and backstop sleepers) on every
+        // written location — abstract locks still held, so notify order
+        // is commit order. The log may repeat a location; the second
+        // notification finds no live waiter and is harmless.
+        if !self.undo.is_empty() {
+            let undo = &self.undo;
+            wait::notify_commit(&|f| {
+                for (core, _) in undo {
+                    f(core.id());
+                }
+            });
+        }
         self.undo.clear();
         for key in self.held.drain(..).rev() {
             self.stm.locks.release(key, self.ticket);
@@ -173,6 +191,9 @@ impl<'env> Transaction<'env> for BoostWordTxn<'env> {
     fn read_word(&mut self, core: &'env TVarCore) -> Result<u64, Abort> {
         let first = self.acquire(core)?;
         let word = core.value_unsync();
+        if first {
+            self.reads.push((core, word));
+        }
         if let Some(t) = self.tracer.as_deref_mut() {
             if first {
                 t.op(core.id(), TraceOp::Read(word));
@@ -264,7 +285,10 @@ impl Stm for BoostStm {
         kind: TxKind,
         mut f: impl FnMut(&mut Self::Txn<'env>) -> Result<R, Abort>,
     ) -> Result<R, RunError> {
-        retry_loop(&self.config, &self.stats, next_ticket().get(), || {
+        let mut cm = self.config.cm.build(&self.config, next_ticket().get());
+        let mut wait_streak: u32 = 0;
+        retry_loop_waiting(&self.config, &self.stats, |attempt| {
+            cm.on_start(attempt);
             let ticket = next_ticket().get();
             let tracer = self
                 .config
@@ -277,17 +301,43 @@ impl Stm for BoostStm {
                 kind,
                 held: Vec::new(),
                 undo: Vec::new(),
+                reads: Vec::new(),
                 depth: 0,
                 tracer,
             };
             match f(&mut txn) {
                 Ok(r) => {
                     txn.commit();
+                    cm.on_commit();
                     Ok(r)
                 }
                 Err(abort) => {
                     txn.on_abort();
-                    Err(abort)
+                    if abort.reason.is_explicit_retry() && !wait::alternative_pending() {
+                        // Genuine precondition wait: compensations are
+                        // replayed and locks released, so the read log
+                        // holds pre-attempt observations — park until a
+                        // commit changes one of them (uncharged).
+                        if txn.reads.is_empty() {
+                            return Err(AttemptFail::WouldBlock);
+                        }
+                        wait_streak += 1;
+                        let reads = &txn.reads;
+                        let _ = wait::wait_for_locations(
+                            &mut reads.iter().map(|(core, _)| core.id()),
+                            &|| {
+                                reads
+                                    .iter()
+                                    .all(|(core, word)| core.value_unsync() == *word)
+                            },
+                            wait_streak,
+                            &self.stats,
+                        );
+                        return Err(AttemptFail::Waited);
+                    }
+                    wait_streak = 0;
+                    let decision = cm.on_conflict(&ConflictCtx::retry(abort.reason, attempt));
+                    Err(AttemptFail::Conflict(abort, decision))
                 }
             }
         })
@@ -362,6 +412,49 @@ mod tests {
         });
         assert_eq!(v.load_atomic(), 8);
         assert_eq!(stm.stats().child_commits, 1);
+        assert_eq!(stm.locks().held(), 0);
+    }
+
+    #[test]
+    fn waiting_retries_are_not_charged_against_a_bounded_budget() {
+        // max_retries = 1 conflict, but FOUR precondition waits then a
+        // commit: a wait is not a loss, so the run must not exhaust.
+        let stm = BoostStm::with_config(StmConfig::default().with_max_retries(1));
+        let v = TVar::new(0u64);
+        let mut waits_left = 4;
+        let r = stm.try_run(TxKind::Regular, |tx| {
+            let x = tx.read(&v)?;
+            if waits_left > 0 {
+                waits_left -= 1;
+                return tx.retry();
+            }
+            tx.write(&v, x + 1)
+        });
+        assert!(r.is_ok(), "waits charged against max_retries: {r:?}");
+        assert_eq!(v.load_atomic(), 1);
+        let snap = stm.stats();
+        assert_eq!(snap.explicit_retries(), 4);
+        assert_eq!(snap.retry_parks, 4);
+        assert_eq!(snap.cm_waits(), 0);
+        assert_eq!(stm.locks().held(), 0, "waits must not pin abstract locks");
+    }
+
+    #[test]
+    fn empty_read_set_retry_is_would_block_forever() {
+        // retry() before reading anything: no commit could ever wake
+        // it, so the run ends with the distinct error instead of
+        // parking until a watchdog kills it. A write alone is not a
+        // wakeable precondition either.
+        let stm = BoostStm::new();
+        let w = TVar::new(1u64);
+        let r: Result<(), _> = stm.try_run(TxKind::Regular, |tx| {
+            tx.write(&w, 2)?;
+            tx.retry()
+        });
+        assert!(
+            matches!(r, Err(RunError::WouldBlockForever { attempts: 1 })),
+            "{r:?}"
+        );
         assert_eq!(stm.locks().held(), 0);
     }
 

@@ -27,26 +27,39 @@
 //! ## Retry semantics
 //!
 //! [`Tx::retry`] aborts the current attempt with
-//! [`AbortReason::ExplicitRetry`]. The shared retry loop treats it like
-//! any abort *mechanically* (the attempt's effects vanish, backoff runs,
-//! `max_retries` still bounds the loop) but the statistics layer files it
-//! in its own category — [`StatsSnapshot::explicit_retries`] — because a
-//! user-level retry is a control-flow decision, not a conflict.
+//! [`AbortReason::ExplicitRetry`]. The attempt's effects vanish, and then
+//! the backend *parks*: it registers the attempt's read set in the
+//! per-TVar wait registry ([`crate::wait`]), re-validates (a commit may
+//! have raced the registration — the token-semantics parker makes the
+//! park return immediately in that window), and sleeps until a
+//! committing writer touches one of those locations. The statistics
+//! layer files the retry in its own category —
+//! [`StatsSnapshot::explicit_retries`] — and the park/wake activity in
+//! [`StatsSnapshot::retry_parks`] / [`StatsSnapshot::wakeups`] /
+//! [`StatsSnapshot::spurious_wakeups`]. A waiting transaction is *not*
+//! losing a conflict, so the wait is charged against neither
+//! `max_retries` nor the contention manager's work-lost accounting; a
+//! retry whose attempt read **nothing** could never be woken, so it ends
+//! the run with [`RunError::WouldBlockForever`] instead of parking.
 //!
-//! How the re-runs are *paced* — and how conflict losers are arbitrated
-//! in general — is the configured contention-management policy
+//! How conflict losers (the *other* failure mode) are arbitrated and
+//! paced is the configured contention-management policy
 //! ([`crate::cm::CmPolicy`], selected with [`StmConfig::with_cm`] when the
 //! backend is built and visible through [`Atomic::cm`]); the default
 //! two-phase policy reproduces the classic randomized exponential backoff.
 //!
-//! Under [`Atomic::or_else`], an explicit retry additionally flips which
-//! branch the *next* attempt runs: first ↦ second, second ↦ first. Each
-//! branch executes as a complete transaction attempt of its own, so
-//! whichever branch commits, commits atomically; a branch that retried
-//! left no effects behind (its writes died with the aborted attempt).
-//! This is the lock-free approximation of Haskell-STM's `orElse`: instead
-//! of blocking on the first branch's read set, the runner alternates
-//! branches under the same bounded backoff that paces conflict retries.
+//! Under [`Atomic::or_else`], an explicit retry does *not* park: it flips
+//! which branch the *next* attempt runs (first ↦ second, second ↦ first),
+//! because alternation must make progress through the loop rather than
+//! sleep in it. Each branch executes as a complete transaction attempt of
+//! its own, so whichever branch commits, commits atomically; a branch
+//! that retried left no effects behind (its writes died with the aborted
+//! attempt). This is the lock-free approximation of Haskell-STM's
+//! `orElse`: instead of blocking on the first branch's read set, the
+//! runner alternates branches under the same bounded backoff that paces
+//! conflict retries — and those suppressed retries stay charged against
+//! `max_retries`, so two branches that both keep retrying still exhaust a
+//! bounded budget.
 //!
 //! ## Zero-cost discipline
 //!
@@ -207,8 +220,9 @@ impl<'env, 'a> Tx<'env, 'a> {
     }
 
     /// User-level retry: abandon this attempt because a precondition does
-    /// not hold yet, and re-run (after backoff) — or, under
-    /// [`Atomic::or_else`], switch to the alternative branch.
+    /// not hold yet, park until a commit touches something this attempt
+    /// read, then re-run — or, under [`Atomic::or_else`], switch to the
+    /// alternative branch instead of parking.
     ///
     /// # Errors
     /// Always returns `Err` with [`AbortReason::ExplicitRetry`]; propagate
@@ -469,6 +483,9 @@ impl<B: AtomicBackend> Atomic<B> {
         mut second: impl for<'a> FnMut(&mut Tx<'env, 'a>) -> Result<R, Abort>,
     ) -> Result<R, RunError> {
         let mut alternative = false;
+        // While this frame is live the backends suppress parking: an
+        // explicit retry must alternate branches, not sleep.
+        let _alt = crate::wait::AlternativeGuard::new();
         self.inner.try_exec(policy, move |tx| {
             let r = if alternative { second(tx) } else { first(tx) };
             if let Err(abort) = &r {

@@ -29,6 +29,10 @@
 //! * retry machinery with bounded exponential [`backoff`] and pluggable
 //!   [`cm`] contention management (suicide / backoff / karma / two-phase
 //!   policies deciding how conflict losers pace their retries),
+//! * the [`wait`] registry — per-TVar waiter lists with token-semantics
+//!   parking, so `retry()` blocks until a commit touches the read set
+//!   instead of burning CPU, and conflict losers in the progress
+//!   backstop wake as soon as a rival commits,
 //! * a [`dynstm`] erasure layer (object-safe `DynStm`/`DynTransaction`
 //!   twins of the static traits) and the name-based
 //!   [`BackendRegistry`] runtime callers select
@@ -65,6 +69,7 @@ pub mod ticket;
 pub mod trace;
 pub mod tvar;
 pub mod vlock;
+pub mod wait;
 pub mod word;
 pub mod writeset;
 

@@ -54,6 +54,9 @@ struct StripeCell {
     cm_backoffs: AtomicU64,
     cm_yields: AtomicU64,
     progress_parks: AtomicU64,
+    retry_parks: AtomicU64,
+    wakeups: AtomicU64,
+    spurious_wakeups: AtomicU64,
 }
 
 impl StripeCell {
@@ -69,6 +72,9 @@ impl StripeCell {
         self.cm_backoffs.store(0, Ordering::Relaxed);
         self.cm_yields.store(0, Ordering::Relaxed);
         self.progress_parks.store(0, Ordering::Relaxed);
+        self.retry_parks.store(0, Ordering::Relaxed);
+        self.wakeups.store(0, Ordering::Relaxed);
+        self.spurious_wakeups.store(0, Ordering::Relaxed);
     }
 }
 
@@ -164,6 +170,27 @@ impl StmStats {
         self.cell().progress_parks.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a `retry()` waiter actually parking on its read set (the
+    /// wait registry's episode reached the park; see `wait::wait_on`).
+    #[inline]
+    pub fn record_retry_park(&self) {
+        self.cell().retry_parks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a parked waiter woken by a committing writer's token (the
+    /// wake-on-commit path doing its job).
+    #[inline]
+    pub fn record_wakeup(&self) {
+        self.cell().wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a park that expired on its bounded timeout with no
+    /// relevant commit — the liveness backstop firing, not a wake.
+    #[inline]
+    pub fn record_spurious_wakeup(&self) {
+        self.cell().spurious_wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Take a consistent-enough snapshot for reporting (counters are
     /// monotone; exact simultaneity is not required). Aggregates every
     /// stripe lock-free.
@@ -182,6 +209,9 @@ impl StmStats {
             snap.cm_backoffs += cell.cm_backoffs.load(Ordering::Relaxed);
             snap.cm_yields += cell.cm_yields.load(Ordering::Relaxed);
             snap.progress_parks += cell.progress_parks.load(Ordering::Relaxed);
+            snap.retry_parks += cell.retry_parks.load(Ordering::Relaxed);
+            snap.wakeups += cell.wakeups.load(Ordering::Relaxed);
+            snap.spurious_wakeups += cell.spurious_wakeups.load(Ordering::Relaxed);
         }
         snap
     }
@@ -216,6 +246,13 @@ pub struct StatsSnapshot {
     /// Progress-backstop parks executed (escalating sleeps after runs of
     /// consecutive losses; see `stm::retry_loop_arbitrated`).
     pub progress_parks: u64,
+    /// `retry()` waiters that actually parked on their read set.
+    pub retry_parks: u64,
+    /// Parked waiters woken by a committing writer's token.
+    pub wakeups: u64,
+    /// Parks that expired on their bounded timeout instead (the
+    /// liveness backstop, not a commit).
+    pub spurious_wakeups: u64,
 }
 
 impl StatsSnapshot {
@@ -288,6 +325,9 @@ impl StatsSnapshot {
             cm_backoffs: self.cm_backoffs - earlier.cm_backoffs,
             cm_yields: self.cm_yields - earlier.cm_yields,
             progress_parks: self.progress_parks - earlier.progress_parks,
+            retry_parks: self.retry_parks - earlier.retry_parks,
+            wakeups: self.wakeups - earlier.wakeups,
+            spurious_wakeups: self.spurious_wakeups - earlier.spurious_wakeups,
         }
     }
 }
@@ -353,6 +393,9 @@ mod tests {
         s.record_cm_backoff();
         s.record_cm_yield();
         s.record_progress_park();
+        s.record_retry_park();
+        s.record_wakeup();
+        s.record_spurious_wakeup();
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
     }
@@ -444,6 +487,25 @@ mod tests {
         assert_eq!(s.snapshot().delta_since(&before).progress_parks, 1);
         s.reset();
         assert_eq!(s.snapshot().progress_parks, 0);
+    }
+
+    #[test]
+    fn wait_counters_accumulate_delta_and_reset() {
+        let s = StmStats::new();
+        s.record_retry_park();
+        s.record_retry_park();
+        s.record_wakeup();
+        s.record_spurious_wakeup();
+        let before = s.snapshot();
+        assert_eq!(before.retry_parks, 2);
+        assert_eq!((before.wakeups, before.spurious_wakeups), (1, 1));
+        s.record_wakeup();
+        let d = s.snapshot().delta_since(&before);
+        assert_eq!((d.retry_parks, d.wakeups, d.spurious_wakeups), (0, 1, 0));
+        s.reset();
+        assert_eq!(s.snapshot().retry_parks, 0);
+        assert_eq!(s.snapshot().wakeups, 0);
+        assert_eq!(s.snapshot().spurious_wakeups, 0);
     }
 
     #[test]

@@ -29,15 +29,26 @@ pub enum TxKind {
     Elastic,
 }
 
-/// Error returned by [`Stm::try_run`] when the retry budget is exhausted.
+/// Error returned by [`Stm::try_run`] when the run cannot complete.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunError {
-    /// The transaction aborted more than `max_retries` times.
+    /// The transaction lost more than `max_retries` *conflicts*. Genuine
+    /// precondition waits (a parked `retry()`) are not charged here — a
+    /// blocked transaction is waiting, not losing.
     RetriesExhausted {
         /// Number of attempts performed.
         attempts: u64,
         /// Reason of the final abort.
         last: AbortReason,
+    },
+    /// The body called `retry()` without having read anything: its read
+    /// set is empty, so no commit anywhere could ever change what it
+    /// observed — parking would sleep forever. Surfaced as a distinct
+    /// error instead of spinning until a watchdog kills the run.
+    WouldBlockForever {
+        /// Number of attempts performed (the empty-read-set retry ends
+        /// the run on the attempt that raised it).
+        attempts: u64,
     },
 }
 
@@ -47,6 +58,11 @@ impl core::fmt::Display for RunError {
             RunError::RetriesExhausted { attempts, last } => write!(
                 f,
                 "transaction failed after {attempts} attempts (last abort: {last})"
+            ),
+            RunError::WouldBlockForever { attempts } => write!(
+                f,
+                "retry() with an empty read set after {attempts} attempts: \
+                 no commit could ever wake this transaction"
             ),
         }
     }
@@ -145,11 +161,15 @@ pub trait Transaction<'env> {
         }
     }
 
-    /// User-level retry: abandon this attempt and re-run the body from
-    /// scratch (after backoff), because a precondition does not hold yet.
+    /// User-level retry: abandon this attempt because a precondition
+    /// does not hold yet. With no `or_else` alternative pending the
+    /// backend registers the attempt's read set in the `wait` registry
+    /// and *parks* until a committing writer touches one of those
+    /// locations, then re-runs the body from scratch.
     ///
     /// Recorded as [`AbortReason::ExplicitRetry`] — its own statistics
-    /// category, not a conflict abort — and it is what
+    /// category, not a conflict abort, and (unlike a conflict) not
+    /// charged against `max_retries` — and it is what
     /// [`Atomic::or_else`](crate::api::Atomic::or_else) intercepts to
     /// switch to the alternative branch.
     fn retry<T>(&mut self) -> Result<T, Abort>
@@ -206,28 +226,47 @@ pub trait Stm: Send + Sync {
     }
 }
 
-/// The shared retry loop, contention-management edition: runs `attempt`
-/// until it returns `Ok`, recording commit/abort statistics and executing
-/// the [`Arbitrate`] decision the caller's contention manager attached to
-/// each failure.
+/// How one attempt of [`retry_loop_waiting`] failed — the distinction
+/// the wake-on-commit subsystem runs on.
+#[derive(Debug)]
+pub enum AttemptFail {
+    /// A conflict loss (or an `or_else`-suppressed retry, which must
+    /// alternate branches rather than park): charged against
+    /// `max_retries` and paced by the arbitration decision.
+    Conflict(Abort, Arbitrate),
+    /// A genuine precondition wait: the backend already registered the
+    /// read set and parked until a relevant commit (or the bounded
+    /// timeout). Filed as an explicit retry; *not* charged against the
+    /// budget and not paced — the park was the pacing.
+    Waited,
+    /// `retry()` with an empty read set: no commit anywhere could wake
+    /// it, so the run ends with [`RunError::WouldBlockForever`].
+    WouldBlock,
+}
+
+/// The shared retry loop, wake-on-commit edition: runs `attempt` until
+/// it returns `Ok`, recording commit/abort statistics, executing the
+/// [`Arbitrate`] decision attached to each conflict loss, and keeping
+/// precondition waits out of the budget and pacing entirely.
 ///
 /// `attempt` receives the 1-based attempt number and must perform a
-/// complete begin → body → commit cycle; on failure it returns the
+/// complete begin → body → commit cycle. On a conflict it returns the
 /// [`Abort`] *paired with* the arbitration decision, which the backend
-/// obtains from the [`ContentionManager`] owned by its transaction object
-/// (the same instance that arbitrates encounter-time conflicts, so
-/// policies like Karma keep one coherent priority). The loop executes the
-/// decision — retry immediately, busy-wait, or yield — and files
-/// `Backoff`/`Yield` pacing events in the statistics so benchmark rows can
-/// report arbitration activity.
+/// obtains from the [`ContentionManager`] owned by its transaction
+/// object (the same instance that arbitrates encounter-time conflicts,
+/// so policies like Karma keep one coherent priority). The loop
+/// executes the decision — retry immediately, busy-wait, or yield — and
+/// files `Backoff`/`Yield` pacing events in the statistics.
 ///
-/// All four backends (and therefore the `dynstm` erasure layer and the
-/// `api` facade on top) funnel every abort through here, so
-/// [`AbortReason::ExplicitRetry`] is handled uniformly: it goes through
-/// the same CM pacing (a retrying transaction waits for another thread to
-/// change the world) and counts against `max_retries`, but the statistics
-/// layer files it in its own category instead of the conflict-abort
-/// counters.
+/// [`AbortReason::ExplicitRetry`] is different: a retrying transaction
+/// is *waiting for a precondition*, not losing a conflict, so the
+/// backend parks it on its read set (the `wait` registry) and reports
+/// [`AttemptFail::Waited`] — filed in the explicit-retry statistics
+/// category but charged against neither `max_retries` nor the
+/// contention manager's work-lost accounting. Only when an `or_else`
+/// alternative is pending does a retry come back as a charged, paced
+/// [`AttemptFail::Conflict`] (alternation must make progress through
+/// the loop, not sleep in it).
 ///
 /// # The progress backstop
 ///
@@ -236,12 +275,14 @@ pub trait Stm: Send + Sync {
 /// stays in lockstep (the classic 2-thread livelock — especially on a
 /// single core, where `yield_now` between two runnable threads can
 /// degenerate into a hot hand-off). So on top of whatever the contention
-/// manager decides, the loop counts **consecutive** losses of this `run`
-/// call; past [`StmConfig::progress_park_after`] it additionally *parks*
-/// the loser on an escalating, bounded timeout (doubling from
-/// [`PARK_BASE_MICROS`] up to `PARK_BASE_MICROS << PARK_MAX_STEP`, each
-/// park stretched by a per-thread random factor in `[1, 2)`, via the
-/// parking shim so a future commit path can also wake it early).
+/// manager decides, the loop counts **consecutive** conflict losses of
+/// this `run` call; past [`StmConfig::progress_park_after`] it
+/// additionally *parks* the loser on an escalating, bounded timeout
+/// (doubling from [`PARK_BASE_MICROS`] up to `PARK_BASE_MICROS <<
+/// PARK_MAX_STEP`, each park stretched by a per-thread random factor in
+/// `[1, 2)`). The sleep goes through the `wait` registry's backstop
+/// list, which **every** committing writer wakes — so a loser resumes
+/// as soon as a rival commits instead of sleeping out its full timeout.
 ///
 /// Termination argument: once engaged, every loser sleeps for real
 /// wall-clock time, the sleeps *grow* until they exceed the solo running
@@ -253,15 +294,23 @@ pub trait Stm: Send + Sync {
 /// abort needs a concurrent conflictor). The jitter matters as much as
 /// the escalation: identical timeouts produced synchronized wakeups whose
 /// overlapping attempts re-conflicted forever on a single core. The
-/// sleeps stay bounded, so a loser also resumes promptly once its rivals
-/// commit; throughput degrades gracefully instead of hanging. Parks are
-/// counted in [`StatsSnapshot::progress_parks`].
-pub fn retry_loop_arbitrated<R>(
+/// sleeps stay bounded — and since the wake-on-commit change they are
+/// usually cut short by the first rival commit, so the backstop no
+/// longer trades livelock-freedom for latency. Parked `retry()` waiters
+/// terminate the same way: their parks are bounded too, every relevant
+/// commit wakes them through the per-location registries, and an
+/// empty-read-set retry (which no commit could ever wake) ends the run
+/// with [`RunError::WouldBlockForever`] instead of sleeping forever.
+/// Parks are counted in [`StatsSnapshot::progress_parks`] (backstop)
+/// and [`StatsSnapshot::retry_parks`] (waiters).
+pub fn retry_loop_waiting<R>(
     cfg: &StmConfig,
     stats: &StmStats,
-    mut attempt: impl FnMut(u64) -> Result<R, (Abort, Arbitrate)>,
+    mut attempt: impl FnMut(u64) -> Result<R, AttemptFail>,
 ) -> Result<R, RunError> {
     let mut attempts: u64 = 0;
+    // Conflict losses charged against `max_retries`; waits are free.
+    let mut charged: u64 = 0;
     let mut losses: u32 = 0;
     loop {
         attempts += 1;
@@ -270,10 +319,21 @@ pub fn retry_loop_arbitrated<R>(
                 stats.record_commit();
                 return Ok(r);
             }
-            Err((abort, decision)) => {
+            Err(AttemptFail::Waited) => {
+                stats.record_abort(AbortReason::ExplicitRetry);
+                // Waiting is not losing: the park already paced this
+                // attempt, and a fresh streak starts after the wake.
+                losses = 0;
+            }
+            Err(AttemptFail::WouldBlock) => {
+                stats.record_abort(AbortReason::ExplicitRetry);
+                return Err(RunError::WouldBlockForever { attempts });
+            }
+            Err(AttemptFail::Conflict(abort, decision)) => {
                 stats.record_abort(abort.reason);
+                charged += 1;
                 if let Some(max) = cfg.max_retries {
-                    if attempts > max {
+                    if charged > max {
                         return Err(RunError::RetriesExhausted {
                             attempts,
                             last: abort.reason,
@@ -308,6 +368,20 @@ pub fn retry_loop_arbitrated<R>(
             }
         }
     }
+}
+
+/// The contention-management retry loop without a wait path: every
+/// failure is a charged, paced conflict. A thin adapter over
+/// [`retry_loop_waiting`] for callers that never park — budget,
+/// pacing and backstop semantics are identical.
+pub fn retry_loop_arbitrated<R>(
+    cfg: &StmConfig,
+    stats: &StmStats,
+    mut attempt: impl FnMut(u64) -> Result<R, (Abort, Arbitrate)>,
+) -> Result<R, RunError> {
+    retry_loop_waiting(cfg, stats, |n| {
+        attempt(n).map_err(|(abort, decision)| AttemptFail::Conflict(abort, decision))
+    })
 }
 
 /// First park of the progress backstop, in microseconds.
@@ -355,19 +429,14 @@ fn park_jitter(range: u64) -> u64 {
     })
 }
 
-/// Park the calling thread for at most `timeout` on its thread-local
-/// [`Parker`](parking_lot::park::Parker). Nothing unparks retry-loop
-/// losers today (commit-driven wakeups are the async-runtime roadmap
-/// item), so this is a sleep — but one routed through the parking shim so
-/// the wake side already exists.
+/// Park the calling thread for at most `timeout` on the `wait`
+/// registry's backstop list. Commit-driven wakeups are live now: every
+/// committing writer wakes the backstop sleepers (see
+/// [`wait::notify_commit`](crate::wait::notify_commit)), so a loser
+/// parked here resumes as soon as a rival commits — the bounded timeout
+/// only matters when no rival ever does.
 fn progress_park(timeout: core::time::Duration) {
-    use parking_lot::park::Parker;
-    thread_local! {
-        static PARKER: Parker = Parker::new();
-    }
-    PARKER.with(|p| {
-        let _ = p.park_timeout(timeout);
-    });
+    let _ = crate::wait::backstop_park(timeout);
 }
 
 /// The classic retry loop: like [`retry_loop_arbitrated`] but with the
@@ -570,6 +639,95 @@ mod tests {
             0,
             "ordinary contention must never sleep"
         );
+    }
+
+    #[test]
+    fn waiting_loop_does_not_charge_waits_against_the_budget() {
+        // A bounded budget of 1 conflict: three genuine waits then a
+        // commit must NOT exhaust — a precondition wait is not a loss.
+        let cfg = StmConfig::default().with_max_retries(1);
+        let stats = StmStats::new();
+        let mut waits_left = 3;
+        let r = retry_loop_waiting(&cfg, &stats, |_| {
+            if waits_left > 0 {
+                waits_left -= 1;
+                Err(AttemptFail::Waited)
+            } else {
+                Ok(11)
+            }
+        });
+        assert_eq!(r.unwrap(), 11);
+        let snap = stats.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.explicit_retries(), 3);
+        assert_eq!(snap.aborts(), 0);
+        assert_eq!(snap.cm_waits(), 0, "waits are parked, never CM-paced");
+    }
+
+    #[test]
+    fn waiting_loop_surfaces_would_block_forever() {
+        let cfg = StmConfig::default();
+        let stats = StmStats::new();
+        let r: Result<(), _> = retry_loop_waiting(&cfg, &stats, |_| Err(AttemptFail::WouldBlock));
+        assert_eq!(r.unwrap_err(), RunError::WouldBlockForever { attempts: 1 });
+        let snap = stats.snapshot();
+        assert_eq!(snap.explicit_retries(), 1, "still filed as a retry");
+        assert_eq!(snap.commits, 0);
+        let msg = RunError::WouldBlockForever { attempts: 1 }.to_string();
+        assert!(msg.contains("empty read set"), "{msg}");
+    }
+
+    #[test]
+    fn waiting_loop_still_charges_conflicts_between_waits() {
+        use crate::cm::Arbitrate;
+        // Budget 1: wait, conflict, conflict -> the second conflict
+        // exhausts (charged 2 > 1) even though a wait sat in between.
+        let cfg = StmConfig::default().with_max_retries(1);
+        let stats = StmStats::new();
+        let mut step = 0;
+        let r: Result<(), _> = retry_loop_waiting(&cfg, &stats, |_| {
+            step += 1;
+            match step {
+                1 => Err(AttemptFail::Waited),
+                _ => Err(AttemptFail::Conflict(
+                    Abort::new(AbortReason::LockConflict),
+                    Arbitrate::Abort,
+                )),
+            }
+        });
+        assert_eq!(
+            r.unwrap_err(),
+            RunError::RetriesExhausted {
+                attempts: 3,
+                last: AbortReason::LockConflict
+            }
+        );
+        assert_eq!(stats.snapshot().aborts(), 2);
+        assert_eq!(stats.snapshot().explicit_retries(), 1);
+    }
+
+    #[test]
+    fn waits_reset_the_backstop_loss_streak() {
+        use crate::cm::Arbitrate;
+        // Threshold 2, pattern: conflict x2 (streak 2, no park), wait
+        // (streak resets), conflict x2 (streak 2 again), commit. No
+        // attempt ever exceeds the threshold -> zero parks.
+        let cfg = StmConfig::default().with_progress_park_after(2);
+        let stats = StmStats::new();
+        let mut step = 0;
+        retry_loop_waiting(&cfg, &stats, |_| {
+            step += 1;
+            match step {
+                1 | 2 | 4 | 5 => Err(AttemptFail::Conflict(
+                    Abort::new(AbortReason::LockConflict),
+                    Arbitrate::Abort,
+                )),
+                3 => Err(AttemptFail::Waited),
+                _ => Ok(()),
+            }
+        })
+        .unwrap();
+        assert_eq!(stats.snapshot().progress_parks, 0);
     }
 
     #[test]

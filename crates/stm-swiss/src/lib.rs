@@ -49,10 +49,11 @@ use stm_core::cm::{Arbitrate, CmState, ConflictCtx, ContentionManager};
 use stm_core::dynstm::{BackendRegistry, BackendSpec};
 use stm_core::hook::WriteRecord;
 use stm_core::scratch::TxScratch;
-use stm_core::stm::retry_loop_arbitrated;
+use stm_core::stm::{retry_loop_waiting, AttemptFail};
 use stm_core::ticket::next_ticket;
 use stm_core::trace::{AttemptTracer, TraceOp};
 use stm_core::tvar::{ReadConflict, TVarCore};
+use stm_core::wait;
 use stm_core::{
     Abort, AbortReason, GlobalClock, RunError, StatsSnapshot, Stm, StmConfig, StmStats,
     Transaction, TxKind,
@@ -363,6 +364,17 @@ impl<'env> SwissTxn<'env> {
             };
             hook.on_commit(&WriteRecord::new(wv, writes.len(), &iter));
         }
+        // Wake parked retry()-waiters (and backstop sleepers) on every
+        // written location — both lock layers still held, so notify
+        // order is commit order.
+        {
+            let writes = &self.scratch.writes;
+            wait::notify_commit(&|f| {
+                for e in writes.iter() {
+                    f(e.core.id());
+                }
+            });
+        }
         self.scratch.writes.write_back_and_release(wv);
         self.release_wlocks();
         // The commit event is stamped only now, with write-back complete
@@ -503,7 +515,8 @@ impl Stm for Swiss {
             TxScratch::acquire(),
             self.config.cm.build(&self.config, seed),
         );
-        retry_loop_arbitrated(&self.config, &self.stats, |attempt| {
+        let mut wait_streak: u32 = 0;
+        retry_loop_waiting(&self.config, &self.stats, |attempt| {
             txn.restart(attempt);
             let outcome = match f(&mut txn) {
                 Ok(r) => txn.commit().map(|()| r),
@@ -519,7 +532,25 @@ impl Stm for Swiss {
                 }
                 Err(abort) => {
                     txn.trace_abort();
-                    Err((abort, txn.arbitrate(abort)))
+                    if abort.reason.is_explicit_retry() && !wait::alternative_pending() {
+                        // Genuine precondition wait: all locks released by
+                        // on_abort, so park on the read set until a commit
+                        // touches it (uncharged).
+                        if txn.scratch.reads.is_empty() {
+                            return Err(AttemptFail::WouldBlock);
+                        }
+                        wait_streak += 1;
+                        let reads = &txn.scratch.reads;
+                        let _ = wait::wait_for_locations(
+                            &mut reads.iter().map(|e| e.core.id()),
+                            &|| reads.validate(None, |_| None),
+                            wait_streak,
+                            &self.stats,
+                        );
+                        return Err(AttemptFail::Waited);
+                    }
+                    wait_streak = 0;
+                    Err(AttemptFail::Conflict(abort, txn.arbitrate(abort)))
                 }
             }
         })
@@ -736,7 +767,8 @@ mod tests {
         let v = TVar::new(0u64);
         let mut retried = false;
         stm.run(TxKind::Regular, |tx| {
-            tx.write(&v, 5)?;
+            let cur = tx.read(&v)?;
+            tx.write(&v, cur + 5)?;
             if !retried {
                 retried = true;
                 return tx.retry();
@@ -749,5 +781,43 @@ mod tests {
         assert_eq!(snap.explicit_retries(), 1);
         assert_eq!(snap.aborts(), 0, "SwissTM: retry counted as conflict");
         assert_eq!(snap.abort_rate(), 0.0);
+        assert_eq!(snap.retry_parks, 1, "the retry must actually park");
+        assert_eq!(snap.cm_waits(), 0, "a wait is parked, not CM-paced");
+    }
+
+    #[test]
+    fn waiting_retries_are_not_charged_against_a_bounded_budget() {
+        // max_retries = 1 conflict, but FOUR precondition waits then a
+        // commit: a wait is not a loss, so the run must not exhaust.
+        let stm = Swiss::with_config(StmConfig::default().with_max_retries(1));
+        let v = TVar::new(0u64);
+        let mut waits_left = 4;
+        let r = stm.try_run(TxKind::Regular, |tx| {
+            let x = tx.read(&v)?;
+            if waits_left > 0 {
+                waits_left -= 1;
+                return tx.retry();
+            }
+            tx.write(&v, x + 1)
+        });
+        assert!(r.is_ok(), "waits charged against max_retries: {r:?}");
+        assert_eq!(v.load_atomic(), 1);
+        let snap = stm.stats();
+        assert_eq!(snap.explicit_retries(), 4);
+        assert_eq!(snap.retry_parks, 4);
+        assert_eq!(snap.cm_waits(), 0);
+    }
+
+    #[test]
+    fn empty_read_set_retry_is_would_block_forever() {
+        // retry() before reading anything: no commit could ever wake
+        // it, so the run ends with the distinct error instead of
+        // parking until a watchdog kills it.
+        let stm = Swiss::new();
+        let r: Result<(), _> = stm.try_run(TxKind::Regular, |tx| tx.retry());
+        assert!(
+            matches!(r, Err(RunError::WouldBlockForever { attempts: 1 })),
+            "{r:?}"
+        );
     }
 }

@@ -1,0 +1,18 @@
+// lint:hot-path
+//! Seeded violations in the shape of the `stm-core::wait` module: a
+//! waiter registry whose park path reads wall-clock time, allocates its
+//! waiter list per episode, and samples the global version clock. The
+//! real module is hot-path-tagged and must never do any of these.
+
+pub struct BadWaitRegistry {
+    clock: Clock,
+}
+
+impl BadWaitRegistry {
+    pub fn park(&self, location: usize) {
+        let deadline = Instant::now(); // timing belongs to the harness
+        let waiters = vec![location]; // a wait episode must not allocate
+        let _stamp = self.clock.now(); // wait lists are not a blessed clock site
+        let _ = (deadline, waiters);
+    }
+}

@@ -39,12 +39,23 @@ fn seeded_fixtures_trip_every_rule() {
     // hot.rs: both the Instant and the format! land; the lint:allow line
     // does not. histo.rs (the allocating histogram): the Box::new and the
     // vec! on the record path each fire — proof the txkv `LatencyHistogram`
-    // pin would catch an allocator on the record path.
+    // pin would catch an allocator on the record path. waity.rs (the
+    // wait-registry shape): an Instant park deadline and a per-episode
+    // vec! each fire — the pins that keep `stm-core::wait` allocation-
+    // and timing-free under its own hot-path tag.
     let hot: Vec<_> = violations.iter().filter(|v| v.rule == "hot-path").collect();
     assert_eq!(
         hot.len(),
-        4,
-        "Instant + format! + Box::new + vec!, waived vec stays quiet: {hot:?}"
+        6,
+        "Instant + format! + Box::new + vec! + wait Instant + wait vec!, \
+         waived vec stays quiet: {hot:?}"
+    );
+    assert_eq!(
+        hot.iter()
+            .filter(|v| v.file == Path::new("crates/badcrate/src/waity.rs"))
+            .count(),
+        2,
+        "the wait-registry fixture must trip twice (Instant, vec!): {hot:?}"
     );
     assert_eq!(
         hot.iter()
@@ -62,7 +73,19 @@ fn seeded_fixtures_trip_every_rule() {
         .iter()
         .filter(|v| v.rule == "clock-discipline")
         .collect();
-    assert_eq!(clock.len(), 4, "now + tick + stamp + hook tick: {clock:?}");
+    assert_eq!(
+        clock.len(),
+        5,
+        "now + tick + stamp + hook tick + wait-registry now: {clock:?}"
+    );
+    assert_eq!(
+        clock
+            .iter()
+            .filter(|v| v.file == Path::new("crates/badcrate/src/waity.rs"))
+            .count(),
+        1,
+        "a wait registry sampling the clock must fire: {clock:?}"
+    );
     assert_eq!(
         clock
             .iter()

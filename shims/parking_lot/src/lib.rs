@@ -8,11 +8,14 @@
 //! semantics.
 //!
 //! On top of the crate-compatible surface, the [`park`] module adds the
-//! thread park/unpark primitive the STM retry loop's progress backstop
-//! uses (the real crate keeps this in `parking_lot_core`): a
-//! [`park::Parker`]/[`park::Unparker`] pair with token semantics, so a
-//! conflict loser can *sleep* with a bounded timeout and a future commit
-//! path can wake it early.
+//! thread park/unpark primitive behind the STM retry loop's progress
+//! backstop and the `stm-core::wait` waiter registry (the real crate
+//! keeps this in `parking_lot_core`): a [`park::Parker`]/
+//! [`park::Unparker`] pair with token semantics, so a conflict loser or
+//! a blocked `retry()` can *sleep* with a bounded timeout and a
+//! committing writer wakes it early — an unpark that lands before the
+//! park deposits a token the next park consumes immediately, which is
+//! exactly the lost-wakeup guarantee `wait` builds on.
 
 #![forbid(unsafe_code)]
 

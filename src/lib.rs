@@ -86,15 +86,16 @@ pub const PAPER: &str = "Gramoli, Guerraoui, Letia: Composing Relaxed Transactio
 /// let v = TVar::new(0u64);
 /// let mut retried = false;
 /// at.run(Policy::Regular, |tx| {
-///     tx.set(&v, 1)?;
+///     let cur = tx.get(&v)?;
 ///     if !retried {
 ///         retried = true;
-///         return tx.retry(); // paced by the Karma arbiter
+///         return tx.retry(); // parks on the read set, not CM-paced
 ///     }
-///     Ok(())
+///     tx.set(&v, cur + 1)
 /// });
 /// assert_eq!(at.stats().explicit_retries(), 1);
-/// assert_eq!(at.stats().cm_waits(), 1); // the loss was paced, not hot-spun
+/// assert_eq!(at.stats().retry_parks, 1); // a wait parks; it is not a loss
+/// assert_eq!(at.stats().cm_waits(), 0); // the Karma arbiter paces conflicts only
 /// ```
 ///
 /// The facade's `retry`/`or_else` combinators work over any backend:

@@ -9,7 +9,7 @@ use composing_relaxed_transactions::cec::{dequeue_or_else, LinkedListSet, SetExt
 use composing_relaxed_transactions::oe_stm::OeStm;
 use composing_relaxed_transactions::stm_core::api::{Atomic, AtomicBackend, Policy};
 use composing_relaxed_transactions::stm_core::dynstm::Backend;
-use composing_relaxed_transactions::stm_core::{AbortReason, RunError, StmConfig, TVar};
+use composing_relaxed_transactions::stm_core::{RunError, StmConfig, TVar};
 use composing_relaxed_transactions::stm_tl2::Tl2;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -80,7 +80,8 @@ fn retry_reruns_and_counts_separately_every_backend() {
         let v = TVar::new(0u64);
         let mut retried = false;
         at.run(Policy::Regular, |tx| {
-            tx.set(&v, 9)?;
+            let cur = tx.get(&v)?;
+            tx.set(&v, cur + 9)?;
             if !retried {
                 retried = true;
                 return tx.retry();
@@ -98,11 +99,26 @@ fn retry_reruns_and_counts_separately_every_backend() {
             key(&at)
         );
         assert_eq!(snap.abort_rate(), 0.0, "{}", key(&at));
+        assert_eq!(
+            snap.retry_parks,
+            1,
+            "{}: a genuine retry parks on its read set",
+            key(&at)
+        );
+        assert_eq!(
+            snap.cm_waits(),
+            0,
+            "{}: a precondition wait is parked, never CM-paced",
+            key(&at)
+        );
     }
 }
 
 #[test]
-fn retry_exhausts_a_bounded_budget_every_backend() {
+fn empty_read_set_retry_would_block_forever_every_backend() {
+    // A retry that read nothing can never be woken by a commit, so
+    // instead of parking forever (or burning a retry budget) the run
+    // ends with the distinct WouldBlockForever error on every backend.
     let reg = backend_registry();
     for name in reg.names() {
         let at = Atomic::new(
@@ -111,12 +127,43 @@ fn retry_exhausts_a_bounded_budget_every_backend() {
         );
         let r: Result<(), _> = at.try_run(Policy::Regular, |tx| tx.retry());
         match r {
-            Err(RunError::RetriesExhausted { last, attempts }) => {
-                assert_eq!(last, AbortReason::ExplicitRetry, "{name}");
-                assert_eq!(attempts, 3, "{name}");
+            Err(RunError::WouldBlockForever { attempts }) => {
+                assert_eq!(attempts, 1, "{name}: ends on the first attempt");
             }
-            other => panic!("{name}: expected exhaustion, got {other:?}"),
+            other => panic!("{name}: expected WouldBlockForever, got {other:?}"),
         }
+        let snap = at.stats();
+        assert_eq!(snap.explicit_retries(), 1, "{name}: still filed as retry");
+        assert_eq!(snap.retry_parks, 0, "{name}: must not park unwakeable");
+    }
+}
+
+#[test]
+fn waiting_retries_never_exhaust_a_bounded_budget_every_backend() {
+    // The bugfix pin: a bounded budget counts conflict LOSSES, and a
+    // precondition wait is not a loss. Retry (with a read set) more
+    // times than max_retries allows, then succeed — must commit.
+    let reg = backend_registry();
+    for name in reg.names() {
+        let at = Atomic::new(
+            reg.build(name, StmConfig::default().with_max_retries(2))
+                .unwrap(),
+        );
+        let v = TVar::new(0u64);
+        let mut waits_left = 5;
+        let r = at.try_run(Policy::Regular, |tx| {
+            let x = tx.get(&v)?;
+            if waits_left > 0 {
+                waits_left -= 1;
+                return tx.retry();
+            }
+            tx.set(&v, x + 1)
+        });
+        assert!(r.is_ok(), "{name}: waits charged against budget: {r:?}");
+        assert_eq!(v.load_atomic(), 1, "{name}");
+        let snap = at.stats();
+        assert_eq!(snap.explicit_retries(), 5, "{name}");
+        assert_eq!(snap.retry_parks, 5, "{name}");
     }
 }
 

@@ -112,7 +112,7 @@ fn always_winning_adversary_terminates_within_the_attempt_budget() {
             Err(RunError::RetriesExhausted { attempts, .. }) => {
                 assert_eq!(attempts, BUDGET + 1, "{backend}/{cm}");
             }
-            Ok(()) => panic!("{backend}/{cm}: the adversary must win every attempt"),
+            other => panic!("{backend}/{cm}: expected exhaustion, got {other:?}"),
         }
         let snap = at.stats();
         assert_eq!(snap.commits, 0, "{backend}/{cm}");
@@ -126,13 +126,15 @@ fn explicit_retries_file_separately_from_cm_aborts() {
     // A retry storm through the facade: the body explicit-retries K times
     // before committing. The retries must land in their own category —
     // never in the conflict counters, and in particular never in the
-    // ContentionManager slot — while the CM still paces them.
+    // ContentionManager slot — and a genuine precondition wait is parked
+    // on the read set, NOT paced by the CM (under every policy alike).
     const RETRIES: u64 = 5;
     for_every_cell(None, |at, cm, backend| {
         let v = TVar::new(0u64);
         let mut left = RETRIES;
         at.run(Policy::Regular, |tx| {
-            tx.set(&v, 7)?;
+            let cur = tx.get(&v)?;
+            tx.set(&v, cur + 7)?;
             if left > 0 {
                 left -= 1;
                 return tx.retry();
@@ -154,15 +156,15 @@ fn explicit_retries_file_separately_from_cm_aborts() {
             "{backend}/{cm}: explicit retries counted as CM aborts"
         );
         assert_eq!(snap.abort_rate(), 0.0, "{backend}/{cm}");
-        if cm == CmPolicy::Suicide {
-            assert_eq!(snap.cm_waits(), 0, "{backend}/{cm}");
-        } else {
-            assert_eq!(
-                snap.cm_waits(),
-                RETRIES,
-                "{backend}/{cm}: retries go through CM pacing like any abort"
-            );
-        }
+        assert_eq!(
+            snap.retry_parks, RETRIES,
+            "{backend}/{cm}: every genuine retry parks on the read set"
+        );
+        assert_eq!(
+            snap.cm_waits(),
+            0,
+            "{backend}/{cm}: a precondition wait is parked, never CM-paced"
+        );
     });
 }
 

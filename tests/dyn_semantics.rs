@@ -72,7 +72,8 @@ fn explicit_retry_then_commit_every_backend() {
         let v = TVar::new(0i64);
         let mut failed = false;
         b.run(TxKind::Regular, |tx| {
-            tx.write(&v, 9)?;
+            let cur = tx.read(&v)?;
+            tx.write(&v, cur + 9)?;
             if !failed {
                 failed = true;
                 return tx.retry();

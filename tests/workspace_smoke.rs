@@ -42,7 +42,7 @@ fn commit_round_trip<S: Stm>(stm: &S, kind: TxKind) {
 }
 
 /// Abort path: a transaction that writes and then explicitly retries must
-/// leave no trace, and a zero-retry budget surfaces `RetriesExhausted`.
+/// leave no trace, and an unwakeable retry surfaces `WouldBlockForever`.
 fn abort_round_trip<S: Stm>(stm: &S, kind: TxKind) {
     let v = TVar::new(7u64);
     let result: Result<(), RunError> = stm.try_run(kind, |tx| {
@@ -50,8 +50,8 @@ fn abort_round_trip<S: Stm>(stm: &S, kind: TxKind) {
         tx.retry()
     });
     assert!(
-        matches!(result, Err(RunError::RetriesExhausted { .. })),
-        "{}: explicit retry with zero budget must exhaust",
+        matches!(result, Err(RunError::WouldBlockForever { .. })),
+        "{}: a retry that read nothing can never be woken",
         stm.name()
     );
     assert_eq!(
